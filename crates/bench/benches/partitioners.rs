@@ -1,0 +1,33 @@
+//! Criterion bench of the partitioning substrate: the METIS-like
+//! multilevel partitioner vs the cheap alternatives.
+
+use cmg_graph::generators::{circuit_like, grid2d};
+use cmg_partition::multilevel_partition;
+use cmg_partition::simple::{bfs_partition, block_partition, hash_partition};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_partitioners(c: &mut Criterion) {
+    let grid = grid2d(128, 128);
+    let circuit = circuit_like(20_000, 5);
+    let mut group = c.benchmark_group("partitioners");
+    group.sample_size(10);
+    for (name, g) in [("grid128", &grid), ("circuit20k", &circuit)] {
+        group.bench_with_input(BenchmarkId::new("multilevel_16", name), g, |b, g| {
+            b.iter(|| black_box(multilevel_partition(g, 16, 3)))
+        });
+        group.bench_with_input(BenchmarkId::new("bfs_16", name), g, |b, g| {
+            b.iter(|| black_box(bfs_partition(g, 16)))
+        });
+        group.bench_with_input(BenchmarkId::new("block_16", name), g, |b, g| {
+            b.iter(|| black_box(block_partition(g.num_vertices(), 16)))
+        });
+        group.bench_with_input(BenchmarkId::new("hash_16", name), g, |b, g| {
+            b.iter(|| black_box(hash_partition(g.num_vertices(), 16, 1)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners);
+criterion_main!(benches);

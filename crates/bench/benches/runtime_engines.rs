@@ -1,0 +1,46 @@
+//! Criterion bench of the runtime substrate: simulation vs threaded
+//! engine on the same workload, and the host-side cost of message
+//! bundling (Ablation A's engine-level counterpart).
+
+use cmg_core::{run_matching, Engine};
+use cmg_graph::generators::grid2d;
+use cmg_graph::weights::{assign_weights, WeightScheme};
+use cmg_partition::simple::grid2d_partition;
+use cmg_runtime::EngineConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_engines(c: &mut Criterion) {
+    const K: usize = 128;
+    let grid = assign_weights(
+        &grid2d(K, K),
+        WeightScheme::Uniform { lo: 0.0, hi: 1.0 },
+        7,
+    );
+    let part = grid2d_partition(K, K, 2, 2);
+    let mut group = c.benchmark_group("runtime_engines");
+    group.sample_size(10);
+    group.bench_function("sim_engine_matching_4ranks", |b| {
+        b.iter(|| black_box(run_matching(&grid, &part, &Engine::default_simulated())))
+    });
+    group.bench_function("threaded_engine_matching_4ranks", |b| {
+        b.iter(|| black_box(run_matching(&grid, &part, &Engine::default_threaded())))
+    });
+    let unbundled = EngineConfig {
+        bundling: false,
+        ..Default::default()
+    };
+    group.bench_function("sim_engine_matching_unbundled", |b| {
+        b.iter(|| {
+            black_box(run_matching(
+                &grid,
+                &part,
+                &Engine::Simulated(unbundled.clone()),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion benches of sequential greedy coloring under each vertex
+//! ordering (§4.1's single-rank substrate).
+
+use cmg_coloring::seq::{greedy, Ordering};
+use cmg_graph::generators::{circuit_like, grid2d};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_seq_coloring(c: &mut Criterion) {
+    let grid = grid2d(256, 256);
+    let circuit = circuit_like(50_000, 3);
+    let mut group = c.benchmark_group("seq_coloring");
+    group.sample_size(10);
+    for (name, g) in [("grid256", &grid), ("circuit50k", &circuit)] {
+        group.bench_with_input(BenchmarkId::new("greedy_d2", name), g, |b, g| {
+            b.iter(|| black_box(cmg_coloring::distance2::greedy_d2(g, Ordering::Natural)))
+        });
+        for (oname, order) in [
+            ("natural", Ordering::Natural),
+            ("random", Ordering::Random(7)),
+            ("largest_first", Ordering::LargestFirst),
+            ("smallest_last", Ordering::SmallestLast),
+            ("incidence", Ordering::IncidenceDegree),
+            ("saturation", Ordering::Saturation),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(oname, name),
+                &(g, order),
+                |b, (g, order)| b.iter(|| black_box(greedy(g, *order))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_seq_coloring);
+criterion_main!(benches);

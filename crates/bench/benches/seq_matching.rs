@@ -1,0 +1,45 @@
+//! Criterion benches of the sequential matching algorithms (the building
+//! blocks behind Table 1.1 and the single-rank baseline of Figures
+//! 5.1–5.3).
+
+use cmg_graph::generators::{circuit_like, grid2d};
+use cmg_graph::weights::{assign_weights, WeightScheme};
+use cmg_matching::seq;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_seq_matching(c: &mut Criterion) {
+    let grid = assign_weights(
+        &grid2d(256, 256),
+        WeightScheme::Uniform { lo: 0.0, hi: 1.0 },
+        1,
+    );
+    let circuit = assign_weights(
+        &circuit_like(50_000, 2),
+        WeightScheme::Uniform { lo: 0.0, hi: 1.0 },
+        2,
+    );
+    let mut group = c.benchmark_group("seq_matching");
+    group.sample_size(10);
+    for (name, g) in [("grid256", &grid), ("circuit50k", &circuit)] {
+        group.bench_with_input(BenchmarkId::new("greedy", name), g, |b, g| {
+            b.iter(|| black_box(seq::greedy(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("local_dominant", name), g, |b, g| {
+            b.iter(|| black_box(seq::local_dominant(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("path_growing", name), g, |b, g| {
+            b.iter(|| black_box(seq::path_growing(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("suitor", name), g, |b, g| {
+            b.iter(|| black_box(seq::suitor(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("b_suitor_b2", name), g, |b, g| {
+            b.iter(|| black_box(cmg_matching::ext::b_suitor(g, |_| 2)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_seq_matching);
+criterion_main!(benches);

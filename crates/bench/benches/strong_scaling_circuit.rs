@@ -1,0 +1,44 @@
+//! Criterion bench of the Figure 5.3/5.4 kernels: distributed matching
+//! (multilevel partition) and coloring (1-D block partition) on
+//! circuit-like graphs.
+
+use cmg_coloring::ColoringConfig;
+use cmg_core::{run_coloring, run_matching, Engine};
+use cmg_graph::generators::circuit_like;
+use cmg_graph::weights::{assign_weights, WeightScheme};
+use cmg_partition::multilevel_partition;
+use cmg_partition::simple::block_partition;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_strong_scaling_circuit(c: &mut Criterion) {
+    let gm = assign_weights(
+        &circuit_like(50_000, 42),
+        WeightScheme::Uniform { lo: 0.0, hi: 1.0 },
+        7,
+    );
+    let gc = circuit_like(50_000, 43);
+    let mut group = c.benchmark_group("fig5_3_4_strong_scaling_circuit");
+    group.sample_size(10);
+    for p in [16u32, 64, 256] {
+        let pm = multilevel_partition(&gm, p, 11);
+        group.bench_with_input(BenchmarkId::new("fig5_3_matching", p), &p, |b, _| {
+            b.iter(|| black_box(run_matching(&gm, &pm, &Engine::default_simulated())))
+        });
+        let pc = block_partition(gc.num_vertices(), p);
+        group.bench_with_input(BenchmarkId::new("fig5_4_coloring", p), &p, |b, _| {
+            b.iter(|| {
+                black_box(run_coloring(
+                    &gc,
+                    &pc,
+                    ColoringConfig::default(),
+                    &Engine::default_simulated(),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strong_scaling_circuit);
+criterion_main!(benches);

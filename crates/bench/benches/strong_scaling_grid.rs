@@ -1,0 +1,39 @@
+//! Criterion bench of the Figure 5.2 kernel: distributed matching and
+//! coloring on one grid at increasing rank counts (simulation engine).
+
+use cmg_coloring::ColoringConfig;
+use cmg_core::{run_coloring, run_matching, Engine};
+use cmg_graph::generators::grid2d;
+use cmg_graph::weights::{assign_weights, WeightScheme};
+use cmg_partition::simple::{grid2d_partition, square_processor_grid};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_strong_scaling_grid(c: &mut Criterion) {
+    const K: usize = 512;
+    let grid = grid2d(K, K);
+    let wg = assign_weights(&grid, WeightScheme::Uniform { lo: 0.0, hi: 1.0 }, 7);
+    let mut group = c.benchmark_group("fig5_2_strong_scaling_grid");
+    group.sample_size(10);
+    for p in [16u32, 64, 256] {
+        let (pr, pc) = square_processor_grid(p);
+        let part = grid2d_partition(K, K, pr, pc);
+        group.bench_with_input(BenchmarkId::new("matching", p), &p, |b, _| {
+            b.iter(|| black_box(run_matching(&wg, &part, &Engine::default_simulated())))
+        });
+        group.bench_with_input(BenchmarkId::new("coloring", p), &p, |b, _| {
+            b.iter(|| {
+                black_box(run_coloring(
+                    &grid,
+                    &part,
+                    ColoringConfig::default(),
+                    &Engine::default_simulated(),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strong_scaling_grid);
+criterion_main!(benches);

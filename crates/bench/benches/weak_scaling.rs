@@ -1,0 +1,41 @@
+//! Criterion bench of the Figure 5.1 kernel: full distributed matching and
+//! coloring runs (simulation engine) at weak-scaling points. Measures the
+//! host cost of regenerating each point of the figure.
+
+use cmg_coloring::ColoringConfig;
+use cmg_core::{run_coloring, run_matching, Engine};
+use cmg_graph::generators::grid2d;
+use cmg_graph::weights::{assign_weights, WeightScheme};
+use cmg_partition::simple::grid2d_partition;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_weak_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_1_weak_scaling");
+    group.sample_size(10);
+    // Per-rank subgrid of 8²; rank counts 64 → 1024.
+    for p in [64u32, 256, 1024] {
+        let side = (p as f64).sqrt() as usize;
+        let k = 8 * side;
+        let grid = grid2d(k, k);
+        let wg = assign_weights(&grid, WeightScheme::Uniform { lo: 0.0, hi: 1.0 }, 7);
+        let part = grid2d_partition(k, k, side as u32, side as u32);
+        group.bench_with_input(BenchmarkId::new("matching", p), &p, |b, _| {
+            b.iter(|| black_box(run_matching(&wg, &part, &Engine::default_simulated())))
+        });
+        group.bench_with_input(BenchmarkId::new("coloring", p), &p, |b, _| {
+            b.iter(|| {
+                black_box(run_coloring(
+                    &grid,
+                    &part,
+                    ColoringConfig::default(),
+                    &Engine::default_simulated(),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_weak_scaling);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Figure 5.2 — Strong scaling of matching (top) and coloring (bottom) on
+//! one five-point grid graph, uniform 2-D distribution, log-log scale.
+//! Uses the implicit distributed grid construction.
+//!
+//! Usage: `cargo run --release -p cmg-bench --bin fig5_2 [--scale …]`
+
+use cmg_bench::{scale_from_args, setup};
+use cmg_core::prelude::*;
+use cmg_core::report::{fmt_time, Table};
+use cmg_partition::grid2d_dist;
+use cmg_partition::simple::square_processor_grid;
+
+fn main() {
+    let scale = scale_from_args();
+    let (k, ranks) = setup::strong_scaling_grid_series(scale);
+    println!("Figure 5.2: strong scaling on a {k} x {k} grid (uniform 2D)\n");
+    let engine = Engine::default_simulated();
+
+    let mut mt = Table::new(&["Ranks", "Matching actual", "Matching ideal"]);
+    let mut ct = Table::new(&["Ranks", "Coloring actual", "Coloring ideal", "Colors"]);
+    let mut ideal_m = None;
+    let mut ideal_c = None;
+    let mut first_weight = None;
+    for &p in &ranks {
+        let (pr, pc) = square_processor_grid(p);
+
+        let m = run_matching_parts(grid2d_dist(k, k, pr, pc, Some(7)), &engine);
+        // §5.2 invariant: the weight must not depend on the rank count.
+        let w0 = *first_weight.get_or_insert(m.weight);
+        assert!((m.weight - w0).abs() < 1e-6, "weight changed with p");
+        let im = *ideal_m.get_or_insert(m.simulated_time * ranks[0] as f64) / p as f64;
+        mt.row(&[p.to_string(), fmt_time(m.simulated_time), fmt_time(im)]);
+
+        let c = run_coloring_parts(
+            grid2d_dist(k, k, pr, pc, None),
+            ColoringConfig::default(),
+            &engine,
+        );
+        assert_eq!(c.conflicts, 0, "invalid coloring");
+        let ic = *ideal_c.get_or_insert(c.simulated_time * ranks[0] as f64) / p as f64;
+        ct.row(&[
+            p.to_string(),
+            fmt_time(c.simulated_time),
+            fmt_time(ic),
+            c.num_colors.to_string(),
+        ]);
+    }
+    println!("Top: matching\n{mt}");
+    println!("Bottom: coloring\n{ct}");
+    println!("Paper: near-linear decrease (log-log straight line) 512 -> 16,384 ranks.");
+}

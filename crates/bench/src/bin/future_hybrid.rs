@@ -1,0 +1,72 @@
+//! Future-work experiment — bi-level hybrid parallelism (§6's outlook:
+//! "implementations … will need to rely on the use of hybrid
+//! distributed-memory and shared-memory programming, for example, via the
+//! combined use of MPI and OpenMP").
+//!
+//! Model: a fixed budget of `C` cores is split into `C / t` ranks with `t`
+//! threads each. Threads speed up each rank's local compute by `t · e(t)`
+//! (a sublinear efficiency `e(t) = 1 / (1 + 0.08·(t−1))`, typical for
+//! memory-bound graph kernels), while fewer ranks mean fewer boundary
+//! vertices and fewer messages. The sweep shows where the trade lands.
+//!
+//! Usage: `cargo run --release -p cmg-bench --bin future_hybrid [--scale …]`
+
+use cmg_bench::scale_from_args;
+use cmg_core::prelude::*;
+use cmg_core::report::{fmt_count, fmt_time, Table};
+use cmg_partition::grid2d_dist;
+use cmg_partition::simple::square_processor_grid;
+use cmg_runtime::{CostModel, EngineConfig};
+
+fn main() {
+    let scale = scale_from_args();
+    let (k, cores) = match scale {
+        cmg_bench::Scale::Small => (1024usize, 1024u32),
+        cmg_bench::Scale::Medium => (2048, 4096),
+        cmg_bench::Scale::Large => (4096, 16384),
+    };
+    println!(
+        "Future work (§6): hybrid MPI+threads on a {k} x {k} grid, {cores}-core budget\n"
+    );
+    let mut t = Table::new(&[
+        "Threads/rank", "Ranks", "Matching", "Coloring", "Messages (match)", "Boundary frac",
+    ]);
+    for threads in [1u32, 2, 4, 8, 16] {
+        let ranks = cores / threads;
+        if ranks == 0 {
+            break;
+        }
+        let (pr, pc) = square_processor_grid(ranks);
+        let efficiency = 1.0 / (1.0 + 0.08 * (threads as f64 - 1.0));
+        let base = CostModel::blue_gene_p();
+        let cost = CostModel {
+            gamma: base.gamma / (threads as f64 * efficiency),
+            ..base
+        };
+        let cfg = EngineConfig {
+            cost,
+            ..Default::default()
+        };
+        let engine = Engine::Simulated(cfg);
+
+        let parts = grid2d_dist(k, k, pr, pc, Some(7));
+        let boundary: usize = parts.iter().map(|d| d.num_boundary()).sum();
+        let m = run_matching_parts(parts, &engine);
+
+        let parts = grid2d_dist(k, k, pr, pc, None);
+        let c = run_coloring_parts(parts, ColoringConfig::default(), &engine);
+        assert_eq!(c.conflicts, 0);
+
+        t.row(&[
+            threads.to_string(),
+            ranks.to_string(),
+            fmt_time(m.simulated_time),
+            fmt_time(c.simulated_time),
+            fmt_count(m.stats.total_messages()),
+            format!("{:.1}%", 100.0 * boundary as f64 / (k * k) as f64),
+        ]);
+    }
+    println!("{t}");
+    println!("Expected: a few threads per rank beat pure MPI (fewer boundary");
+    println!("vertices and messages) until thread efficiency flattens the gain.");
+}

@@ -1,0 +1,37 @@
+//! Runs every table/figure harness in sequence (used to generate
+//! EXPERIMENTS.md). Each harness is also available as its own binary.
+//!
+//! Usage: `cargo run --release -p cmg-bench --bin repro_all [--scale …]`
+
+use std::process::Command;
+
+fn main() {
+    let scale_args: Vec<String> = std::env::args().skip(1).collect();
+    let bins = [
+        "table1_1",
+        "table5_1",
+        "fig5_1",
+        "fig5_2",
+        "fig5_3",
+        "fig5_4",
+        "ablation_bundling",
+        "ablation_comm_variants",
+        "ablation_superstep",
+        "ablation_jp",
+        "ablation_weight_dist",
+        "ablation_sync",
+        "ext_distance2",
+        "future_hybrid",
+        "quality_vs_p",
+    ];
+    let me = std::env::current_exe().expect("own path");
+    let dir = me.parent().expect("bin dir");
+    for bin in bins {
+        println!("\n=== {bin} {} ===\n", scale_args.join(" "));
+        let status = Command::new(dir.join(bin))
+            .args(&scale_args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+}

@@ -1,0 +1,36 @@
+//! Table 1.1 — Quality of the ½-approximation matching relative to the
+//! optimal solution, on bipartite graphs.
+//!
+//! Usage: `cargo run --release -p cmg-bench --bin table1_1 [--scale small|medium|large]`
+
+use cmg_bench::{scale_from_args, setup};
+use cmg_core::report::Table;
+use cmg_matching::{exact, seq};
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Table 1.1: quality of the half-approximation matching");
+    println!("(synthetic stand-ins for the UF matrices; scale {scale:?})\n");
+    let mut table = Table::new(&["Matrix", "#Vertices", "#Edges", "Approx W", "Optimal W", "Quality"]);
+    for inst in setup::table1_instances(scale) {
+        let g = inst.graph.to_general();
+        let approx = seq::local_dominant(&g);
+        approx.validate(&g).expect("invalid matching");
+        let opt = exact::max_weight_bipartite(&inst.graph);
+        let quality = if opt.weight > 0.0 {
+            100.0 * approx.weight(&g) / opt.weight
+        } else {
+            100.0
+        };
+        table.row(&[
+            inst.name.to_string(),
+            format!("{}", g.num_vertices()),
+            format!("{}", g.num_edges()),
+            format!("{:.2}", approx.weight(&g)),
+            format!("{:.2}", opt.weight),
+            format!("{quality:.2}%"),
+        ]);
+    }
+    println!("{table}");
+    println!("Paper: quality 99.36%–100.00% across the six matrices.");
+}

@@ -1,0 +1,69 @@
+//! Table 5.1 — Overview of the experimental setup: inputs, distributions,
+//! rank ranges, and the achieved partition quality of the circuit graphs.
+//!
+//! Usage: `cargo run --release -p cmg-bench --bin table5_1 [--scale …]`
+
+use cmg_bench::{scale_from_args, setup};
+use cmg_core::report::Table;
+use cmg_graph::GraphStats;
+use cmg_partition::multilevel_partition;
+use cmg_partition::simple::block_partition;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Table 5.1: experimental setup overview (scale {scale:?})\n");
+    let mut t = Table::new(&["Figure", "Problem", "Scaling", "Input graph", "Distribution", "Max ranks"]);
+
+    let (b, weak) = setup::weak_scaling_series(scale);
+    let (k_small, _) = weak.first().copied().unwrap();
+    let (k_big, p_big) = weak.last().copied().unwrap();
+    t.row(&[
+        "Fig 5.1".into(),
+        "matching & coloring".into(),
+        "Weak".into(),
+        format!("k×k grids, {k_small}²–{k_big}² ({b}² per rank)"),
+        "Uniform 2D".into(),
+        format!("{p_big}"),
+    ]);
+
+    let (k, ranks) = setup::strong_scaling_grid_series(scale);
+    t.row(&[
+        "Fig 5.2".into(),
+        "matching & coloring".into(),
+        "Strong".into(),
+        format!("{k} × {k} grid"),
+        "Uniform 2D".into(),
+        format!("{}", ranks.last().unwrap()),
+    ]);
+
+    let ranks = setup::circuit_rank_series(scale);
+    let p_max = *ranks.last().unwrap();
+
+    let gm = setup::circuit_matching_graph(scale);
+    let pm = multilevel_partition(&gm, p_max, 11);
+    let qm = pm.quality(&gm);
+    t.row(&[
+        "Fig 5.3".into(),
+        "matching".into(),
+        "Strong".into(),
+        format!("circuit-like [{}]", GraphStats::of(&gm)),
+        format!("multilevel (METIS-like, {:.0}% cut)", 100.0 * qm.cut_fraction),
+        format!("{p_max}"),
+    ]);
+
+    let gc = setup::circuit_coloring_graph(scale);
+    let pc = block_partition(gc.num_vertices(), p_max);
+    let qc = pc.quality(&gc);
+    t.row(&[
+        "Fig 5.4".into(),
+        "coloring".into(),
+        "Strong".into(),
+        format!("circuit-like [{}]", GraphStats::of(&gc)),
+        format!("1-D blocks (ParMETIS-like, {:.0}% cut)", 100.0 * qc.cut_fraction),
+        format!("{p_max}"),
+    ]);
+
+    println!("{t}");
+    println!("Paper: METIS 6% cut / ParMETIS 40% cut at 4,096 ranks;");
+    println!("grids 8,000²–32,000² (250² per rank) on up to 16,384 ranks.");
+}

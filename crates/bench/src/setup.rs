@@ -1,0 +1,193 @@
+//! Workload builders for every experiment.
+
+use cmg_graph::generators;
+use cmg_graph::weights::{assign_weights, WeightScheme};
+use cmg_graph::{BipartiteGraph, CsrGraph};
+
+/// Experiment size preset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-per-experiment on one core (default; CI-friendly).
+    Small,
+    /// A few minutes per experiment.
+    Medium,
+    /// Tens of minutes; approaches the paper's per-rank sizes.
+    Large,
+}
+
+/// Uniform random edge weights, as in the paper's matching experiments.
+pub fn uniform_weights(g: &CsrGraph, seed: u64) -> CsrGraph {
+    assign_weights(g, WeightScheme::Uniform { lo: 0.0, hi: 1.0 }, seed)
+}
+
+// ---------------------------------------------------------------- Table 1.1
+
+/// One Table 1.1 instance: a synthetic stand-in for a UF matrix.
+pub struct Table1Instance {
+    /// Name of the original UF matrix this instance stands in for.
+    pub name: &'static str,
+    /// The bipartite graph.
+    pub graph: BipartiteGraph,
+}
+
+/// The six Table 1.1 stand-ins, scaled to `scale`.
+///
+/// The originals range from 1.4 M to 77 M edges; exact optima at that size
+/// are out of reach on one host, so the stand-ins reproduce each matrix's
+/// *shape class* (random sparse / banded structural) at solver-friendly
+/// sizes. The measured quality ratio is the paper's metric.
+pub fn table1_instances(scale: Scale) -> Vec<Table1Instance> {
+    let f = match scale {
+        Scale::Small => 1usize,
+        Scale::Medium => 3,
+        Scale::Large => 8,
+    };
+    // All six UF originals are (near-)diagonally dominant circuit or FEM
+    // matrices; the diagonal dominance is what yields the ≥99 % ratios.
+    // Hamrle3 (99.36 % in the paper) is the least dominant → lowest ratio.
+    vec![
+        Table1Instance {
+            name: "ASIC_680k-like",
+            graph: generators::diag_dominant_bipartite(600 * f, 2, 2.0, 1),
+        },
+        Table1Instance {
+            name: "Hamrle3-like",
+            graph: generators::diag_dominant_bipartite(900 * f, 1, 0.8, 2),
+        },
+        Table1Instance {
+            name: "rajat31-like",
+            graph: generators::diag_dominant_bipartite(1000 * f, 1, 2.0, 3),
+        },
+        Table1Instance {
+            name: "cage14-like",
+            graph: generators::diag_dominant_bipartite(700 * f, 8, 2.0, 4),
+        },
+        Table1Instance {
+            name: "ldoor-like",
+            graph: generators::diag_dominant_bipartite(800 * f, 23, 3.0, 5),
+        },
+        Table1Instance {
+            name: "audikw_1-like",
+            graph: generators::diag_dominant_bipartite(600 * f, 40, 3.0, 6),
+        },
+    ]
+}
+
+// ------------------------------------------------------- Grid experiments
+
+/// Weak-scaling series (Figure 5.1): fixed per-rank subgrid, growing grid
+/// and rank count together. Returns `(subgrid_side, Vec<(k, p)>)` — each
+/// entry is a `k × k` grid on `p` ranks arranged `√p × √p`.
+pub fn weak_scaling_series(scale: Scale) -> (usize, Vec<(usize, u32)>) {
+    // The paper: 8,000² on 1,024 ranks → 16,000² on 4,096 → 32,000² on
+    // 16,384 (250² per rank). Same rank counts, smaller subgrids here.
+    let b = match scale {
+        Scale::Small => 16usize,
+        Scale::Medium => 32,
+        Scale::Large => 64,
+    };
+    let series = [1024u32, 4096, 16384]
+        .into_iter()
+        .map(|p| {
+            let side = (p as f64).sqrt() as usize;
+            (b * side, p)
+        })
+        .collect();
+    (b, series)
+}
+
+/// Strong-scaling grid series (Figure 5.2): one `k × k` grid, growing rank
+/// counts over a 32× range as in the paper. Returns `(k, ranks)`.
+///
+/// The paper's 32,000² grid keeps ≥ 61k vertices per rank even at 16,384
+/// ranks; these presets keep a comparable per-rank regime at host-feasible
+/// graph sizes by shifting the rank window instead of inflating the graph.
+pub fn strong_scaling_grid_series(scale: Scale) -> (usize, Vec<u32>) {
+    let (k, p0) = match scale {
+        Scale::Small => (2048usize, 32u32),
+        Scale::Medium => (4096, 128),
+        Scale::Large => (8192, 512),
+    };
+    (k, (0..6).map(|i| p0 << i).collect())
+}
+
+// ------------------------------------------------ Circuit-graph experiments
+
+/// The circuit-simulation stand-in for Figure 5.3's bipartite graph
+/// (original: 3.2 M vertices, 7.7 M edges). Returned as a general graph
+/// (the matching code operates on general graphs).
+pub fn circuit_matching_graph(scale: Scale) -> CsrGraph {
+    let n = match scale {
+        Scale::Small => 100_000usize,
+        Scale::Medium => 400_000,
+        Scale::Large => 1_600_000,
+    };
+    uniform_weights(&generators::circuit_like(n, 42), 7)
+}
+
+/// The circuit-simulation stand-in for Figure 5.4's adjacency graph
+/// (original: 1.5 M vertices, 3 M edges, degrees 2–6).
+pub fn circuit_coloring_graph(scale: Scale) -> CsrGraph {
+    let n = match scale {
+        Scale::Small => 75_000usize,
+        Scale::Medium => 300_000,
+        Scale::Large => 1_200_000,
+    };
+    generators::circuit_like(n, 43)
+}
+
+/// Rank counts for the circuit strong-scaling figures (paper: 2 → 4,096).
+pub fn circuit_rank_series(scale: Scale) -> Vec<u32> {
+    let max = match scale {
+        Scale::Small => 1024u32,
+        Scale::Medium => 2048,
+        Scale::Large => 4096,
+    };
+    let mut p = 2u32;
+    let mut out = Vec::new();
+    while p <= max {
+        out.push(p);
+        p *= 2;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_instances_have_expected_shapes() {
+        let insts = table1_instances(Scale::Small);
+        assert_eq!(insts.len(), 6);
+        for inst in &insts {
+            assert!(inst.graph.num_edges() > 0, "{}", inst.name);
+        }
+    }
+
+    #[test]
+    fn weak_series_squares_match_rank_grid() {
+        let (b, series) = weak_scaling_series(Scale::Small);
+        for (k, p) in series {
+            let side = (p as f64).sqrt() as usize;
+            assert_eq!(k, b * side);
+            assert_eq!(side * side, p as usize, "p must be a square");
+        }
+    }
+
+    #[test]
+    fn circuit_graphs_match_paper_degree_profile() {
+        let g = circuit_coloring_graph(Scale::Small);
+        assert!(g.max_degree() <= 6);
+        assert!(g.min_degree() >= 2);
+    }
+
+    #[test]
+    fn rank_series_doubles() {
+        let s = circuit_rank_series(Scale::Small);
+        assert_eq!(s.first(), Some(&2));
+        for w in s.windows(2) {
+            assert_eq!(w[1], w[0] * 2);
+        }
+    }
+}

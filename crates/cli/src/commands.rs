@@ -1,0 +1,267 @@
+//! The CLI subcommands.
+
+use crate::args::Args;
+use cmg_coloring::{ColoringConfig, CommVariant};
+use cmg_core::{run_coloring, run_matching, Engine};
+use cmg_graph::weights::{assign_weights, WeightScheme};
+use cmg_graph::{generators, io, CsrGraph, GraphStats};
+use cmg_partition::simple as psimple;
+use cmg_partition::{multilevel_partition, Partition};
+use cmg_runtime::EngineConfig;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+/// Runs `f`, mapping an error message to exit code 1.
+fn run(f: impl FnOnce() -> Result<(), String>) -> i32 {
+    match f() {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}
+
+fn load_graph(path: &str) -> Result<CsrGraph, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let reader = BufReader::new(file);
+    if path.ends_with(".mtx") {
+        let m = io::read_matrix_market(reader).map_err(|e| e.to_string())?;
+        if m.rows != m.cols {
+            return Err(format!(
+                "{path} is rectangular ({}x{}): only square matrices map to a graph here",
+                m.rows, m.cols
+            ));
+        }
+        Ok(m.to_adjacency())
+    } else {
+        io::read_edge_list(reader).map_err(|e| e.to_string())
+    }
+}
+
+fn save_graph(g: &CsrGraph, path: &str) -> Result<(), String> {
+    let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    let writer = BufWriter::new(file);
+    if path.ends_with(".mtx") {
+        io::write_matrix_market(g, writer).map_err(|e| e.to_string())
+    } else {
+        io::write_edge_list(g, writer).map_err(|e| e.to_string())
+    }
+}
+
+fn build_partition(g: &CsrGraph, args: &Args) -> Result<Partition, String> {
+    let parts: u32 = args.num("parts", 1)?;
+    let seed: u64 = args.num("seed", 0)?;
+    let method = args.get_or("method", "multilevel");
+    Ok(match method {
+        "multilevel" => multilevel_partition(g, parts, seed),
+        "block" => psimple::block_partition(g.num_vertices(), parts),
+        "bfs" => psimple::bfs_partition(g, parts),
+        "random" => psimple::random_partition(g.num_vertices(), parts, seed),
+        "hash" => psimple::hash_partition(g.num_vertices(), parts, seed),
+        other => return Err(format!("unknown partition method: {other}")),
+    })
+}
+
+fn build_engine(args: &Args) -> Result<Engine, String> {
+    let cfg = EngineConfig {
+        bundling: !args.has_switch("--no-bundling"),
+        ..Default::default()
+    };
+    match args.get_or("engine", "sim") {
+        "sim" => Ok(Engine::Simulated(cfg)),
+        "threaded" => Ok(Engine::Threaded(cfg)),
+        other => Err(format!("unknown engine: {other}")),
+    }
+}
+
+/// `cmg gen`
+pub fn gen(argv: &[String]) -> i32 {
+    run(|| {
+        let args = Args::parse(argv)?;
+        let kind = args.get_or("kind", "grid2d");
+        let seed: u64 = args.num("seed", 1)?;
+        let n: usize = args.num("n", 1024)?;
+        let rows: usize = args.num("rows", 32)?;
+        let cols: usize = args.num("cols", 32)?;
+        let g = match kind {
+            "grid2d" => generators::grid2d(rows, cols),
+            "grid3d" => {
+                let nz: usize = args.num("depth", 8)?;
+                generators::grid3d(rows, cols, nz)
+            }
+            "circuit" => generators::circuit_like(n, seed),
+            "rmat" => {
+                let scale = (n as f64).log2().ceil() as u32;
+                generators::rmat(scale, 8, (0.57, 0.19, 0.19, 0.05), seed)
+            }
+            "erdos" => generators::erdos_renyi(n, 4 * n, seed),
+            other => return Err(format!("unknown graph kind: {other}")),
+        };
+        let g = match args.get_or("weights", "none") {
+            "none" => g,
+            "uniform" => assign_weights(&g, WeightScheme::Uniform { lo: 0.0, hi: 1.0 }, seed),
+            "integer" => assign_weights(&g, WeightScheme::Integer { max: 100 }, seed),
+            "equal" => assign_weights(&g, WeightScheme::Equal(1.0), seed),
+            other => return Err(format!("unknown weight scheme: {other}")),
+        };
+        let out = args.required("o")?;
+        save_graph(&g, out)?;
+        println!("wrote {out}: {}", GraphStats::of(&g));
+        Ok(())
+    })
+}
+
+/// `cmg stats`
+pub fn stats(argv: &[String]) -> i32 {
+    run(|| {
+        let args = Args::parse(argv)?;
+        let g = load_graph(args.required("input")?)?;
+        println!("{}", GraphStats::of(&g));
+        println!("weighted: {}", g.is_weighted());
+        println!(
+            "components: {}",
+            cmg_graph::traversal::connected_components(&g).1
+        );
+        println!("degeneracy: {}", cmg_coloring::seq::degeneracy(&g));
+        Ok(())
+    })
+}
+
+/// `cmg partition`
+pub fn partition(argv: &[String]) -> i32 {
+    run(|| {
+        let args = Args::parse(argv)?;
+        let g = load_graph(args.required("input")?)?;
+        let part = build_partition(&g, &args)?;
+        println!(
+            "{} parts over {}: {}",
+            part.num_parts(),
+            GraphStats::of(&g),
+            part.quality(&g)
+        );
+        if let Some(out) = args.get("o") {
+            use std::io::Write;
+            let mut w = BufWriter::new(File::create(out).map_err(|e| e.to_string())?);
+            for &a in part.assignment() {
+                writeln!(w, "{a}").map_err(|e| e.to_string())?;
+            }
+            println!("assignment written to {out}");
+        }
+        Ok(())
+    })
+}
+
+/// `cmg match`
+pub fn matching(argv: &[String]) -> i32 {
+    run(|| {
+        let args = Args::parse(argv)?;
+        let g = load_graph(args.required("input")?)?;
+        if let Some(alg) = args.get("seq") {
+            let m = match alg {
+                "greedy" => cmg_matching::seq::greedy(&g),
+                "local-dominant" => cmg_matching::seq::local_dominant(&g),
+                "path-growing" => cmg_matching::seq::path_growing(&g),
+                "suitor" => cmg_matching::seq::suitor(&g),
+                other => return Err(format!("unknown sequential algorithm: {other}")),
+            };
+            m.validate(&g).map_err(|e| format!("invalid matching: {e}"))?;
+            println!(
+                "sequential {alg}: {} edges, weight {:.4}",
+                m.cardinality(),
+                m.weight(&g)
+            );
+            return Ok(());
+        }
+        let part = build_partition(&g, &args)?;
+        let engine = build_engine(&args)?;
+        let runr = run_matching(&g, &part, &engine);
+        runr.matching
+            .validate(&g)
+            .map_err(|e| format!("invalid matching: {e}"))?;
+        println!(
+            "matched {} edges, weight {:.4} over {} ranks ({})",
+            runr.matching.cardinality(),
+            runr.matching.weight(&g),
+            part.num_parts(),
+            part.quality(&g)
+        );
+        match runr.wall_time {
+            Some(w) => println!("wall time: {w:.2?}"),
+            None => println!("simulated time: {:.3} ms", runr.simulated_time * 1e3),
+        }
+        println!(
+            "messages: {} in {} packets, {} bytes",
+            runr.stats.total_messages(),
+            runr.stats.total_packets(),
+            runr.stats.total_bytes()
+        );
+        Ok(())
+    })
+}
+
+/// `cmg color`
+pub fn coloring(argv: &[String]) -> i32 {
+    run(|| {
+        let args = Args::parse(argv)?;
+        let g = load_graph(args.required("input")?)?;
+        let g = g.unweighted();
+        let part = build_partition(&g, &args)?;
+        let engine = build_engine(&args)?;
+        let distance: u32 = args.num("distance", 1)?;
+        let superstep: usize = args.num("superstep", 1000)?;
+        match distance {
+            1 => {
+                let comm = match args.get_or("comm", "new") {
+                    "new" => CommVariant::Neighbor,
+                    "fiac" => CommVariant::Fiac,
+                    "fiab" => CommVariant::Fiab,
+                    other => return Err(format!("unknown comm variant: {other}")),
+                };
+                let cfg = ColoringConfig {
+                    superstep_size: superstep,
+                    comm,
+                    ..Default::default()
+                };
+                let runr = run_coloring(&g, &part, cfg, &engine);
+                runr.coloring
+                    .validate(&g)
+                    .map_err(|e| format!("invalid coloring: {e}"))?;
+                println!(
+                    "{} colors in {} phases over {} ranks",
+                    runr.coloring.num_colors(),
+                    runr.phases,
+                    part.num_parts()
+                );
+                match runr.wall_time {
+                    Some(w) => println!("wall time: {w:.2?}"),
+                    None => println!("simulated time: {:.3} ms", runr.simulated_time * 1e3),
+                }
+            }
+            2 => {
+                use cmg_coloring::dist2::{assemble_d2, DistColoring2};
+                let parts = cmg_partition::DistGraph::build_all(&g, &part);
+                let programs: Vec<DistColoring2> = parts
+                    .into_iter()
+                    .map(|dg| DistColoring2::new(dg, superstep, 7))
+                    .collect();
+                let result =
+                    cmg_runtime::SimEngine::new(programs, EngineConfig::default()).run();
+                if result.hit_round_cap {
+                    return Err("distance-2 coloring did not converge".into());
+                }
+                let coloring = assemble_d2(&result.programs, g.num_vertices());
+                cmg_coloring::distance2::validate_d2(&coloring, &g)
+                    .map_err(|e| format!("invalid d2 coloring: {e}"))?;
+                println!(
+                    "{} colors (distance-2) over {} ranks; simulated time {:.3} ms",
+                    coloring.num_colors(),
+                    part.num_parts(),
+                    result.stats.makespan() * 1e3
+                );
+            }
+            other => return Err(format!("--distance must be 1 or 2, got {other}")),
+        }
+        Ok(())
+    })
+}

@@ -1,0 +1,61 @@
+//! `cmg` — command-line interface to the matching/coloring toolkit.
+//!
+//! ```text
+//! cmg gen   --kind grid2d --rows 64 --cols 64 --weights uniform -o g.mtx
+//! cmg stats --input g.mtx
+//! cmg partition --input g.mtx --parts 16 --method multilevel
+//! cmg match --input g.mtx --parts 16 --method multilevel --engine sim
+//! cmg color --input g.mtx --parts 16 --distance 2
+//! ```
+
+mod args;
+mod commands;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match argv.first().map(String::as_str) {
+        Some("gen") => commands::gen(&argv[1..]),
+        Some("stats") => commands::stats(&argv[1..]),
+        Some("partition") => commands::partition(&argv[1..]),
+        Some("match") => commands::matching(&argv[1..]),
+        Some("color") => commands::coloring(&argv[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print_usage();
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown command: {other}\n");
+            print_usage();
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn print_usage() {
+    println!(
+        "cmg — distributed-memory matching & coloring (IPPS 2011 reproduction)
+
+USAGE: cmg <command> [options]
+
+COMMANDS
+  gen        generate a synthetic graph and write it to a file
+             --kind grid2d|grid3d|circuit|rmat|erdos  --rows R --cols C
+             --n N --seed S --weights none|uniform|integer|equal
+             -o FILE   (.mtx = Matrix Market, anything else = edge list)
+  stats      print size/degree statistics of a graph file
+             --input FILE
+  partition  partition a graph and report the cut quality
+             --input FILE --parts K --method multilevel|block|bfs|random|hash
+             [--seed S]
+  match      run the distributed ½-approximation matching
+             --input FILE [--parts K] [--method …] [--engine sim|threaded]
+             [--no-bundling] [--seq greedy|local-dominant|path-growing|suitor]
+  color      run the distributed speculative coloring
+             --input FILE [--parts K] [--method …] [--engine sim|threaded]
+             [--distance 1|2] [--superstep S] [--comm new|fiac|fiab]
+
+Graphs are read in Matrix Market coordinate format (*.mtx) or whitespace
+edge lists (`u v [w]`, zero-based)."
+    );
+}

@@ -1,0 +1,874 @@
+//! The distributed speculative/iterative coloring framework (§4,
+//! Algorithm 4.1) with the paper's new neighbor-customized communication
+//! scheme and the FIAC / FIAB variants it improves on.
+//!
+//! Each *phase* (an iteration of Algorithm 4.1's `while` loop) consists of:
+//!
+//! 1. **speculative coloring** of the phase's vertex set `U` in supersteps
+//!    of `s` vertices, exchanging boundary colors after each superstep;
+//! 2. a **`DONE` wave** so every rank knows its neighbors' colors for the
+//!    phase are complete ("Wait until all incoming messages are
+//!    successfully received");
+//! 3. **conflict detection** — local, no communication: for a conflict
+//!    edge, the endpoint with the smaller pre-assigned random priority
+//!    `r(v)` is re-colored next phase;
+//! 4. a **tree allreduce** of the global conflict count, realizing the
+//!    framework's `while ∃j, Uj ≠ ∅` termination test.
+//!
+//! Interior vertices are colored entirely locally, strictly before or
+//! strictly after the boundary (per [`LocalOrder`]), following the
+//! recommendation of Bozdağ et al. that the paper adopts.
+
+use crate::coloring::{Coloring, UNCOLORED};
+use bytes::{Buf, BufMut};
+use cmg_graph::util::{vertex_priority, FxHashMap};
+use cmg_graph::VertexId;
+use cmg_partition::DistGraph;
+use cmg_runtime::{Rank, RankCtx, RankProgram, Status, WireMessage};
+
+/// Communication variant for boundary-color exchange (§4.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommVariant {
+    /// FIAB: the same message (all colors of the superstep) to every rank.
+    Fiab,
+    /// FIAC: customized per destination, but sent to every rank (empty
+    /// marker when a rank owns no affected neighbor).
+    Fiac,
+    /// The paper's new scheme: customized messages to neighbor ranks only
+    /// — fewer messages *and* less volume.
+    Neighbor,
+}
+
+/// How a processor chooses a color for a vertex (§4.1's design question).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ColorChoice {
+    /// Smallest color not used by any neighbor.
+    FirstFit,
+    /// First-fit scanning from a rank-dependent offset (reduces same-color
+    /// collisions between ranks at the price of more colors).
+    StaggeredFirstFit,
+    /// Least-locally-used permissible color among those seen so far.
+    LeastUsed,
+}
+
+/// Relative order of interior and boundary coloring.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LocalOrder {
+    /// Color interior vertices first, then the boundary phases.
+    InteriorFirst,
+    /// Run the boundary phases first, color interior at the end.
+    BoundaryFirst,
+}
+
+/// Configuration of the distributed coloring algorithm.
+#[derive(Clone, Copy, Debug)]
+pub struct ColoringConfig {
+    /// Superstep size `s`: vertices colored between communication steps.
+    pub superstep_size: usize,
+    /// Communication variant.
+    pub comm: CommVariant,
+    /// Color-selection strategy.
+    pub color_choice: ColorChoice,
+    /// Interior/boundary order.
+    pub order: LocalOrder,
+    /// Seed of the pre-assigned random priority function `r(v)`.
+    pub seed: u64,
+}
+
+impl Default for ColoringConfig {
+    fn default() -> Self {
+        ColoringConfig {
+            superstep_size: 1000, // the paper's recommendation for
+            // well-partitioned graphs
+            comm: CommVariant::Neighbor,
+            color_choice: ColorChoice::FirstFit,
+            order: LocalOrder::InteriorFirst,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Wire messages of the coloring algorithm.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ColorMsg {
+    /// Vertex `v` (global id) now has `color`.
+    Color {
+        /// Recolored vertex.
+        v: VertexId,
+        /// Its new color.
+        color: u32,
+    },
+    /// FIAC's customized-but-empty message.
+    Empty,
+    /// Sender finished coloring phase `phase`.
+    Done {
+        /// Phase number.
+        phase: u32,
+    },
+    /// Allreduce: subtree conflict count flowing up.
+    Reduce {
+        /// Phase number.
+        phase: u32,
+        /// Conflicts in the sender's subtree.
+        count: u64,
+    },
+    /// Allreduce: global conflict count flowing down.
+    Bcast {
+        /// Phase number.
+        phase: u32,
+        /// Global conflict count.
+        count: u64,
+    },
+}
+
+impl WireMessage for ColorMsg {
+    fn encode(&self, buf: &mut impl BufMut) {
+        match *self {
+            ColorMsg::Color { v, color } => {
+                buf.put_u8(0);
+                buf.put_u32_le(v);
+                buf.put_u32_le(color);
+            }
+            ColorMsg::Empty => buf.put_u8(1),
+            ColorMsg::Done { phase } => {
+                buf.put_u8(2);
+                buf.put_u32_le(phase);
+            }
+            ColorMsg::Reduce { phase, count } => {
+                buf.put_u8(3);
+                buf.put_u32_le(phase);
+                buf.put_u64_le(count);
+            }
+            ColorMsg::Bcast { phase, count } => {
+                buf.put_u8(4);
+                buf.put_u32_le(phase);
+                buf.put_u64_le(count);
+            }
+        }
+    }
+
+    fn decode(buf: &mut impl Buf) -> Option<Self> {
+        if !buf.has_remaining() {
+            return None;
+        }
+        match buf.get_u8() {
+            0 => (buf.remaining() >= 8).then(|| ColorMsg::Color {
+                v: buf.get_u32_le(),
+                color: buf.get_u32_le(),
+            }),
+            1 => Some(ColorMsg::Empty),
+            2 => (buf.remaining() >= 4).then(|| ColorMsg::Done {
+                phase: buf.get_u32_le(),
+            }),
+            3 => (buf.remaining() >= 12).then(|| ColorMsg::Reduce {
+                phase: buf.get_u32_le(),
+                count: buf.get_u64_le(),
+            }),
+            4 => (buf.remaining() >= 12).then(|| ColorMsg::Bcast {
+                phase: buf.get_u32_le(),
+                count: buf.get_u64_le(),
+            }),
+            _ => None,
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        match self {
+            ColorMsg::Color { .. } => 9,
+            ColorMsg::Empty => 1,
+            ColorMsg::Done { .. } => 5,
+            ColorMsg::Reduce { .. } | ColorMsg::Bcast { .. } => 13,
+        }
+    }
+}
+
+/// Where the rank is in the per-phase protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PState {
+    Coloring,
+    WaitingDone,
+    WaitingReduce,
+    WaitingBcast,
+    Finished,
+}
+
+/// One rank's state of the distributed coloring algorithm.
+pub struct DistColoring {
+    dg: DistGraph,
+    cfg: ColoringConfig,
+    /// Current color per local index (owned + ghost).
+    color: Vec<u32>,
+    /// Pre-assigned random priority `r(v)` per local index.
+    priority: Vec<u64>,
+    /// Owned interior vertices.
+    interior: Vec<u32>,
+    /// Owned boundary vertices.
+    boundary: Vec<u32>,
+    /// Vertices to (re)color this phase, and progress within them.
+    u_cur: Vec<u32>,
+    u_pos: usize,
+    phase: u32,
+    state: PState,
+    /// Phases executed so far (the paper's "rounds").
+    pub phases_executed: u32,
+    /// Total vertices this rank had to re-color due to conflicts.
+    pub total_recolored: u64,
+    /// `Done` counts per phase (ranks may run one phase ahead).
+    done_counts: FxHashMap<u32, usize>,
+    /// Allreduce accumulators per phase: (children heard, subtree count).
+    reduce_acc: FxHashMap<u32, (usize, u64)>,
+    detection_done: bool,
+    my_conflicts: u64,
+    interior_colored: bool,
+    /// Scratch: stamp-based forbidden-color set.
+    forbidden: Vec<u64>,
+    stamp: u64,
+    /// Scratch: per-destination dedup for customized sends.
+    dest_seen: Vec<u32>,
+    dest_stamp: u32,
+    /// FIAC: which ranks got content this superstep.
+    content_sent: Vec<bool>,
+    /// LeastUsed: local usage count per color.
+    usage: Vec<u64>,
+    /// StaggeredFirstFit offset.
+    stagger: u32,
+}
+
+impl DistColoring {
+    /// Prepares the program for one rank.
+    pub fn new(dg: DistGraph, cfg: ColoringConfig) -> Self {
+        let n_total = dg.n_total();
+        let priority = (0..n_total)
+            .map(|i| vertex_priority(dg.global_ids[i] as u64, cfg.seed))
+            .collect();
+        let mut interior = Vec::new();
+        let mut boundary = Vec::new();
+        let mut max_deg = 0usize;
+        for v in 0..dg.n_local as u32 {
+            if dg.is_boundary[v as usize] {
+                boundary.push(v);
+            } else {
+                interior.push(v);
+            }
+            max_deg = max_deg.max(dg.degree(v));
+        }
+        let stagger = if dg.num_ranks <= 1 {
+            0
+        } else {
+            ((dg.rank as u64 * (max_deg as u64 + 1)) / dg.num_ranks as u64) as u32
+        };
+        let p = dg.num_ranks as usize;
+        DistColoring {
+            color: vec![UNCOLORED; n_total],
+            priority,
+            interior,
+            boundary,
+            u_cur: Vec::new(),
+            u_pos: 0,
+            phase: 0,
+            state: PState::Coloring,
+            phases_executed: 0,
+            total_recolored: 0,
+            done_counts: FxHashMap::default(),
+            reduce_acc: FxHashMap::default(),
+            detection_done: false,
+            my_conflicts: 0,
+            interior_colored: false,
+            forbidden: vec![u64::MAX; n_total + 2],
+            stamp: 0,
+            dest_seen: vec![u32::MAX; p],
+            dest_stamp: 0,
+            content_sent: vec![false; p],
+            usage: Vec::new(),
+            stagger,
+            cfg,
+            dg,
+        }
+    }
+
+    /// Final colors of owned vertices as `(global id, color)`.
+    pub fn local_colors(&self) -> impl Iterator<Item = (VertexId, u32)> + '_ {
+        (0..self.dg.n_local).map(|v| (self.dg.global_ids[v], self.color[v]))
+    }
+
+    /// Access to the distributed graph.
+    pub fn dist_graph(&self) -> &DistGraph {
+        &self.dg
+    }
+
+    /// Counts conflict edges visible from this rank, each counted exactly
+    /// once globally: owned–owned edges by the smaller local endpoint,
+    /// owned–ghost edges by the smaller *global* id. Summing over ranks
+    /// therefore validates the whole coloring without the global graph.
+    pub fn local_conflict_count(&self) -> usize {
+        let mut conflicts = 0;
+        for v in 0..self.dg.n_local as u32 {
+            let cv = self.color[v as usize];
+            let vg = self.dg.global_ids[v as usize];
+            for &u in self.dg.neighbors(v) {
+                let ug = self.dg.global_ids[u as usize];
+                if vg < ug && self.color[u as usize] == cv {
+                    conflicts += 1;
+                }
+            }
+        }
+        conflicts
+    }
+
+    /// Largest color used on this rank's owned vertices (`None` if the
+    /// rank owns nothing).
+    pub fn max_local_color(&self) -> Option<u32> {
+        (0..self.dg.n_local).map(|v| self.color[v]).max()
+    }
+
+    /// Ranks in the color/Done communication scope of this rank.
+    fn scope(&self) -> Vec<Rank> {
+        match self.cfg.comm {
+            CommVariant::Neighbor => self.dg.neighbor_ranks.clone(),
+            CommVariant::Fiab | CommVariant::Fiac => {
+                (0..self.dg.num_ranks).filter(|&r| r != self.dg.rank).collect()
+            }
+        }
+    }
+
+    /// Allreduce-tree children of this rank (8-ary tree: the shallow
+    /// fan-out mirrors optimized MPI collectives — Blue Gene/P even has a
+    /// dedicated hardware tree network for them).
+    fn tree_children(&self) -> impl Iterator<Item = Rank> + '_ {
+        const ARITY: u64 = 8;
+        let r = self.dg.rank as u64;
+        (1..=ARITY)
+            .map(move |i| ARITY * r + i)
+            .filter(|&c| c < self.dg.num_ranks as u64)
+            .map(|c| c as Rank)
+    }
+
+    /// Allreduce-tree parent, or `None` at the root.
+    fn tree_parent(&self) -> Option<Rank> {
+        (self.dg.rank > 0).then(|| (self.dg.rank - 1) / 8)
+    }
+
+    /// Picks a permissible color for owned vertex `v` per the configured
+    /// strategy, charging one work unit per adjacency entry scanned.
+    fn pick_color(&mut self, v: u32, ctx: &mut RankCtx<ColorMsg>) -> u32 {
+        self.stamp += 1;
+        let deg = self.dg.degree(v);
+        ctx.charge(deg as u64 + 1);
+        for &u in self.dg.neighbors(v) {
+            let c = self.color[u as usize];
+            if c != UNCOLORED && (c as usize) < self.forbidden.len() {
+                self.forbidden[c as usize] = self.stamp;
+            }
+        }
+        let first_free_from = |from: u32, forbidden: &[u64], stamp: u64| -> u32 {
+            let mut c = from;
+            while (c as usize) < forbidden.len() && forbidden[c as usize] == stamp {
+                c += 1;
+            }
+            c
+        };
+        match self.cfg.color_choice {
+            ColorChoice::FirstFit => first_free_from(0, &self.forbidden, self.stamp),
+            ColorChoice::StaggeredFirstFit => {
+                // Scan from the rank's offset; the offset keeps concurrent
+                // ranks on disjoint color ranges, trading color count for
+                // fewer conflicts.
+                first_free_from(self.stagger, &self.forbidden, self.stamp)
+            }
+            ColorChoice::LeastUsed => {
+                let mut best: Option<(u64, u32)> = None;
+                for c in 0..self.usage.len() as u32 {
+                    if self.forbidden[c as usize] != self.stamp {
+                        let u = self.usage[c as usize];
+                        if best.is_none_or(|(bu, _)| u < bu) {
+                            best = Some((u, c));
+                        }
+                    }
+                }
+                let c = match best {
+                    Some((_, c)) => c,
+                    None => first_free_from(0, &self.forbidden, self.stamp),
+                };
+                if c as usize >= self.usage.len() {
+                    self.usage.resize(c as usize + 1, 0);
+                }
+                self.usage[c as usize] += 1;
+                c
+            }
+        }
+    }
+
+    /// Colors all interior vertices (purely local).
+    fn color_interior(&mut self, ctx: &mut RankCtx<ColorMsg>) {
+        let interior = std::mem::take(&mut self.interior);
+        for &v in &interior {
+            let c = self.pick_color(v, ctx);
+            self.color[v as usize] = c;
+        }
+        self.interior = interior;
+        self.interior_colored = true;
+    }
+
+    /// Sends `(v, color)` per the communication variant.
+    fn publish_color(&mut self, v: u32, c: u32, ctx: &mut RankCtx<ColorMsg>) {
+        let msg = ColorMsg::Color {
+            v: self.dg.global_ids[v as usize],
+            color: c,
+        };
+        match self.cfg.comm {
+            CommVariant::Fiab => {
+                for r in 0..self.dg.num_ranks {
+                    if r != self.dg.rank {
+                        ctx.send(r, &msg);
+                    }
+                }
+            }
+            CommVariant::Fiac | CommVariant::Neighbor => {
+                // Customized: only ranks owning a neighbor of v, once each.
+                self.dest_stamp += 1;
+                for i in self.dg.xadj[v as usize]..self.dg.xadj[v as usize + 1] {
+                    let u = self.dg.adj[i];
+                    if self.dg.is_ghost(u) {
+                        let owner = self.dg.owner(u);
+                        if self.dest_seen[owner as usize] != self.dest_stamp {
+                            self.dest_seen[owner as usize] = self.dest_stamp;
+                            self.content_sent[owner as usize] = true;
+                            ctx.send(owner, &msg);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs one superstep: colors up to `s` vertices of `u_cur` and
+    /// publishes their colors. Returns `true` if the phase's coloring is
+    /// complete.
+    fn superstep(&mut self, ctx: &mut RankCtx<ColorMsg>) -> bool {
+        let end = (self.u_pos + self.cfg.superstep_size.max(1)).min(self.u_cur.len());
+        self.content_sent.iter_mut().for_each(|b| *b = false);
+        while self.u_pos < end {
+            let v = self.u_cur[self.u_pos];
+            self.u_pos += 1;
+            let c = self.pick_color(v, ctx);
+            self.color[v as usize] = c;
+            self.publish_color(v, c, ctx);
+        }
+        // FIAC: every other rank gets a (possibly empty) customized
+        // message each superstep.
+        if self.cfg.comm == CommVariant::Fiac {
+            for r in 0..self.dg.num_ranks {
+                if r != self.dg.rank && !self.content_sent[r as usize] {
+                    ctx.send(r, &ColorMsg::Empty);
+                }
+            }
+        }
+        self.u_pos >= self.u_cur.len()
+    }
+
+    /// Called when this rank finishes coloring its `u_cur`: announce DONE.
+    fn announce_done(&mut self, ctx: &mut RankCtx<ColorMsg>) {
+        let msg = ColorMsg::Done { phase: self.phase };
+        for r in self.scope() {
+            ctx.send(r, &msg);
+        }
+        self.state = PState::WaitingDone;
+    }
+
+    /// Conflict detection (Algorithm 4.1's second block): among the
+    /// vertices colored this phase, re-color those that lose the random
+    /// tie-break on a conflict edge.
+    fn detect_conflicts(&mut self, ctx: &mut RankCtx<ColorMsg>) {
+        let mut r_set = Vec::new();
+        let u_cur = std::mem::take(&mut self.u_cur);
+        for &v in &u_cur {
+            ctx.charge(self.dg.degree(v) as u64);
+            let cv = self.color[v as usize];
+            let pv = (self.priority[v as usize], self.dg.global_ids[v as usize]);
+            for &w in self.dg.neighbors(v) {
+                if self.dg.is_ghost(w)
+                    && self.color[w as usize] == cv
+                    && (self.priority[w as usize], self.dg.global_ids[w as usize]) > pv
+                {
+                    r_set.push(v);
+                    break;
+                }
+            }
+        }
+        self.my_conflicts = r_set.len() as u64;
+        self.total_recolored += self.my_conflicts;
+        self.u_cur = r_set;
+        self.u_pos = 0;
+        self.detection_done = true;
+        self.state = PState::WaitingReduce;
+        self.try_send_reduce(ctx);
+    }
+
+    /// Sends the subtree count up (or broadcasts at the root) once this
+    /// rank's detection and all children's counts are in.
+    fn try_send_reduce(&mut self, ctx: &mut RankCtx<ColorMsg>) {
+        if !self.detection_done || self.state != PState::WaitingReduce {
+            return;
+        }
+        let want = self.tree_children().count();
+        let (got, sum) = self
+            .reduce_acc
+            .get(&self.phase)
+            .copied()
+            .unwrap_or((0, 0));
+        if got < want {
+            return;
+        }
+        let total = sum + self.my_conflicts;
+        self.reduce_acc.remove(&self.phase);
+        match self.tree_parent() {
+            Some(parent) => {
+                ctx.send(
+                    parent,
+                    &ColorMsg::Reduce {
+                        phase: self.phase,
+                        count: total,
+                    },
+                );
+                self.state = PState::WaitingBcast;
+            }
+            None => {
+                // Root: the global count is known; broadcast and act.
+                self.broadcast_and_act(total, ctx);
+            }
+        }
+    }
+
+    /// Forwards the global count to children and starts the next phase or
+    /// finishes.
+    fn broadcast_and_act(&mut self, total: u64, ctx: &mut RankCtx<ColorMsg>) {
+        let msg = ColorMsg::Bcast {
+            phase: self.phase,
+            count: total,
+        };
+        for c in self.tree_children().collect::<Vec<_>>() {
+            ctx.send(c, &msg);
+        }
+        self.done_counts.remove(&self.phase);
+        if total == 0 {
+            if !self.interior_colored {
+                self.color_interior(ctx);
+            }
+            self.state = PState::Finished;
+        } else {
+            self.phase += 1;
+            self.phases_executed += 1;
+            self.detection_done = false;
+            self.my_conflicts = 0;
+            self.state = PState::Coloring;
+            if self.superstep(ctx) {
+                self.announce_done(ctx);
+                self.try_detect(ctx);
+            }
+        }
+    }
+
+    /// Runs conflict detection once every scope rank's DONE for the
+    /// current phase has arrived (and our own coloring is finished).
+    fn try_detect(&mut self, ctx: &mut RankCtx<ColorMsg>) {
+        if self.state != PState::WaitingDone {
+            return;
+        }
+        let want = self.scope().len();
+        let got = self.done_counts.get(&self.phase).copied().unwrap_or(0);
+        if got >= want {
+            self.detect_conflicts(ctx);
+        }
+    }
+
+    fn handle(&mut self, msg: ColorMsg, ctx: &mut RankCtx<ColorMsg>) {
+        ctx.charge(1);
+        match msg {
+            ColorMsg::Color { v, color } => {
+                // Under FIAB the vertex may be unknown here; ignore then.
+                if let Some(&local) = self.dg.global_to_local.get(&v) {
+                    self.color[local as usize] = color;
+                }
+            }
+            ColorMsg::Empty => {}
+            ColorMsg::Done { phase } => {
+                *self.done_counts.entry(phase).or_insert(0) += 1;
+                self.try_detect(ctx);
+            }
+            ColorMsg::Reduce { phase, count } => {
+                let e = self.reduce_acc.entry(phase).or_insert((0, 0));
+                e.0 += 1;
+                e.1 += count;
+                self.try_send_reduce(ctx);
+            }
+            ColorMsg::Bcast { phase, count } => {
+                debug_assert_eq!(phase, self.phase);
+                debug_assert_eq!(self.state, PState::WaitingBcast);
+                self.broadcast_and_act(count, ctx);
+            }
+        }
+    }
+}
+
+impl RankProgram for DistColoring {
+    type Msg = ColorMsg;
+
+    fn on_start(&mut self, ctx: &mut RankCtx<ColorMsg>) -> Status {
+        if self.cfg.order == LocalOrder::InteriorFirst {
+            self.color_interior(ctx);
+        }
+        self.u_cur = self.boundary.clone();
+        self.u_pos = 0;
+        self.phases_executed = 1;
+        if self.superstep(ctx) {
+            self.announce_done(ctx);
+            self.try_detect(ctx);
+        }
+        self.status()
+    }
+
+    fn on_round(
+        &mut self,
+        inbox: &mut Vec<(Rank, Vec<ColorMsg>)>,
+        ctx: &mut RankCtx<ColorMsg>,
+    ) -> Status {
+        for (_, msgs) in inbox.drain(..) {
+            for m in msgs {
+                self.handle(m, ctx);
+            }
+        }
+        if self.state == PState::Coloring && self.superstep(ctx) {
+            self.announce_done(ctx);
+            self.try_detect(ctx);
+        }
+        self.status()
+    }
+}
+
+impl DistColoring {
+    fn status(&self) -> Status {
+        if self.state == PState::Coloring && self.u_pos < self.u_cur.len() {
+            Status::Active
+        } else {
+            Status::Idle
+        }
+    }
+}
+
+/// Assembles the global coloring from finished rank programs.
+pub fn assemble_coloring(programs: &[DistColoring], num_vertices: usize) -> Coloring {
+    let mut coloring = Coloring::uncolored(num_vertices);
+    for p in programs {
+        for (v, c) in p.local_colors() {
+            coloring.set(v, c);
+        }
+    }
+    coloring
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmg_graph::generators::{circuit_like, complete, erdos_renyi, grid2d};
+    use cmg_graph::CsrGraph;
+    use cmg_partition::simple::{block_partition, grid2d_partition, hash_partition};
+    use cmg_partition::Partition;
+    use cmg_runtime::{CostModel, EngineConfig, SimEngine};
+
+    fn free_config() -> EngineConfig {
+        EngineConfig {
+            cost: CostModel::compute_only(),
+            ..Default::default()
+        }
+    }
+
+    fn run_coloring(
+        g: &CsrGraph,
+        partition: &Partition,
+        cfg: ColoringConfig,
+    ) -> (Coloring, cmg_runtime::RunStats, u32) {
+        let parts = DistGraph::build_all(g, partition);
+        let programs: Vec<DistColoring> = parts
+            .into_iter()
+            .map(|dg| DistColoring::new(dg, cfg))
+            .collect();
+        let result = SimEngine::new(programs, free_config()).run();
+        assert!(!result.hit_round_cap, "coloring did not quiesce");
+        let phases = result
+            .programs
+            .iter()
+            .map(|p| p.phases_executed)
+            .max()
+            .unwrap_or(0);
+        (
+            assemble_coloring(&result.programs, g.num_vertices()),
+            result.stats,
+            phases,
+        )
+    }
+
+    #[test]
+    fn message_codec_round_trip() {
+        let msgs = [
+            ColorMsg::Color { v: 3, color: 9 },
+            ColorMsg::Empty,
+            ColorMsg::Done { phase: 4 },
+            ColorMsg::Reduce { phase: 1, count: 7 },
+            ColorMsg::Bcast { phase: 2, count: 0 },
+        ];
+        let mut buf = bytes::BytesMut::new();
+        for m in &msgs {
+            m.encode(&mut buf);
+        }
+        let decoded: Vec<ColorMsg> = cmg_runtime::message::decode_all(buf.freeze()).unwrap();
+        assert_eq!(decoded, msgs);
+    }
+
+    #[test]
+    fn single_rank_colors_like_sequential_greedy_bound() {
+        let g = grid2d(10, 10);
+        let (c, _, phases) =
+            run_coloring(&g, &Partition::single(100), ColoringConfig::default());
+        c.validate(&g).unwrap();
+        assert_eq!(c.num_colors(), 2); // grid is bipartite, natural order
+        assert_eq!(phases, 1);
+    }
+
+    #[test]
+    fn valid_coloring_across_variants_and_rank_counts() {
+        let g = erdos_renyi(200, 800, 5);
+        for comm in [CommVariant::Neighbor, CommVariant::Fiac, CommVariant::Fiab] {
+            for parts in [2u32, 4, 8] {
+                let p = hash_partition(g.num_vertices(), parts, 3);
+                let cfg = ColoringConfig {
+                    comm,
+                    superstep_size: 16,
+                    ..Default::default()
+                };
+                let (c, _, phases) = run_coloring(&g, &p, cfg);
+                c.validate(&g)
+                    .unwrap_or_else(|e| panic!("{comm:?}/{parts}: {e}"));
+                assert!(
+                    c.num_colors() <= g.max_degree() + 1,
+                    "{comm:?}: too many colors"
+                );
+                assert!(phases <= 10, "{comm:?}: {phases} phases");
+            }
+        }
+    }
+
+    #[test]
+    fn color_choices_all_valid() {
+        let g = circuit_like(1500, 1);
+        let p = block_partition(g.num_vertices(), 6);
+        for choice in [
+            ColorChoice::FirstFit,
+            ColorChoice::StaggeredFirstFit,
+            ColorChoice::LeastUsed,
+        ] {
+            let cfg = ColoringConfig {
+                color_choice: choice,
+                superstep_size: 50,
+                ..Default::default()
+            };
+            let (c, _, _) = run_coloring(&g, &p, cfg);
+            c.validate(&g).unwrap_or_else(|e| panic!("{choice:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn boundary_first_order_works() {
+        let g = grid2d(12, 12);
+        let p = grid2d_partition(12, 12, 2, 2);
+        let cfg = ColoringConfig {
+            order: LocalOrder::BoundaryFirst,
+            superstep_size: 8,
+            ..Default::default()
+        };
+        let (c, _, _) = run_coloring(&g, &p, cfg);
+        c.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn neighbor_variant_sends_fewer_packets_than_fiac_and_fiab() {
+        let g = grid2d(16, 16);
+        let p = grid2d_partition(16, 16, 4, 2);
+        let run = |comm| {
+            let cfg = ColoringConfig {
+                comm,
+                superstep_size: 8,
+                ..Default::default()
+            };
+            run_coloring(&g, &p, cfg).1
+        };
+        let new = run(CommVariant::Neighbor);
+        let fiac = run(CommVariant::Fiac);
+        let fiab = run(CommVariant::Fiab);
+        // §4.2: NEW reduces both the number and the volume of messages.
+        assert!(
+            new.total_messages() < fiac.total_messages(),
+            "NEW {} !< FIAC {}",
+            new.total_messages(),
+            fiac.total_messages()
+        );
+        assert!(
+            new.total_bytes() < fiab.total_bytes(),
+            "NEW {} bytes !< FIAB {}",
+            new.total_bytes(),
+            fiab.total_bytes()
+        );
+        assert!(fiac.total_bytes() < fiab.total_bytes());
+    }
+
+    #[test]
+    fn conflicts_resolved_within_few_phases() {
+        // Superstep size 1 with many ranks maximizes speculation; the
+        // framework must still converge quickly (paper: ≤ 6 rounds).
+        let g = complete(24);
+        let p = hash_partition(24, 8, 2);
+        let cfg = ColoringConfig {
+            superstep_size: 1,
+            ..Default::default()
+        };
+        let (c, _, phases) = run_coloring(&g, &p, cfg);
+        c.validate(&g).unwrap();
+        assert_eq!(c.num_colors(), 24);
+        assert!(phases <= 24, "{phases} phases");
+    }
+
+    #[test]
+    fn empty_rank_does_not_deadlock() {
+        let g = grid2d(1, 3);
+        let p = block_partition(3, 4); // rank 3 owns nothing
+        let (c, _, _) = run_coloring(&g, &p, ColoringConfig::default());
+        c.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn disconnected_graph() {
+        let mut b = cmg_graph::GraphBuilder::new(8);
+        b.add_edge_unweighted(0, 1);
+        b.add_edge_unweighted(2, 3);
+        let g = b.build();
+        let p = hash_partition(8, 3, 1);
+        let (c, _, _) = run_coloring(&g, &p, ColoringConfig::default());
+        c.validate(&g).unwrap();
+        assert_eq!(c.num_colors(), 2);
+    }
+
+    #[test]
+    fn num_colors_close_to_sequential() {
+        // §5.2: "the number of colors … in general remained nearly the
+        // same as the number used by the underlying serial algorithm."
+        let g = circuit_like(3000, 4);
+        let seq_colors = crate::seq::greedy(&g, crate::seq::Ordering::Natural).num_colors();
+        let p = block_partition(g.num_vertices(), 8);
+        let (c, _, _) = run_coloring(&g, &p, ColoringConfig::default());
+        c.validate(&g).unwrap();
+        assert!(
+            c.num_colors() <= seq_colors + 2,
+            "dist {} vs seq {seq_colors}",
+            c.num_colors()
+        );
+    }
+}

@@ -1,0 +1,755 @@
+//! Distributed speculative **distance-2** coloring.
+//!
+//! Extends the paper's speculative/iterative framework (§4) to the
+//! distance-2 problem that motivates it (Jacobian/Hessian compression,
+//! §1). The structure per phase mirrors Algorithm 4.1 — speculative
+//! coloring in supersteps, a `DONE` wave, conflict detection, an allreduce
+//! on the conflict count — with two distance-2-specific twists:
+//!
+//! * **Relay detection.** A distance-2 conflict `a – m – b` is detected by
+//!   the owner of the *middle* vertex `m`, the only rank guaranteed to
+//!   know both endpoint colors (they are its owned/ghost neighbors). The
+//!   loser's owner is notified with a `Recolor` message; a second wave
+//!   (`Done2`) closes the notification phase.
+//! * **Learned constraints + randomized backoff.** A rank cannot see
+//!   colors two hops away through a *ghost* middle, so a losing vertex
+//!   permanently bans the conflicting color before re-coloring, and picks
+//!   its next color from a hash-randomized window that widens with every
+//!   loss. The bans prune the choice space; the randomization breaks the
+//!   lockstep in which two symmetric losers shadow each other's first-fit
+//!   choices forever. Convergence is a handful of phases in practice.
+
+use crate::coloring::UNCOLORED;
+use bytes::{Buf, BufMut};
+use cmg_graph::util::{vertex_priority, FxHashMap, FxHashSet};
+use cmg_graph::VertexId;
+use cmg_partition::DistGraph;
+use cmg_runtime::{Rank, RankCtx, RankProgram, Status, WireMessage};
+
+/// Wire messages of the distance-2 coloring algorithm.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum D2Msg {
+    /// Vertex `v` (global id) now has `color`.
+    Color {
+        /// Recolored vertex.
+        v: VertexId,
+        /// Its new color.
+        color: u32,
+    },
+    /// Sender finished coloring its phase-`phase` vertex set.
+    Done {
+        /// Phase number.
+        phase: u32,
+    },
+    /// Sender finished detection (all its `Recolor`s for `phase` are out).
+    Done2 {
+        /// Phase number.
+        phase: u32,
+    },
+    /// `v` (owned by the receiver) lost a conflict and must re-color,
+    /// permanently avoiding `banned`.
+    Recolor {
+        /// Losing vertex.
+        v: VertexId,
+        /// The color it clashed with.
+        banned: u32,
+    },
+    /// Allreduce: subtree conflict count flowing up.
+    Reduce {
+        /// Phase number.
+        phase: u32,
+        /// Conflicts in the sender's subtree.
+        count: u64,
+    },
+    /// Allreduce: global conflict count flowing down.
+    Bcast {
+        /// Phase number.
+        phase: u32,
+        /// Global conflict count.
+        count: u64,
+    },
+}
+
+impl WireMessage for D2Msg {
+    fn encode(&self, buf: &mut impl BufMut) {
+        match *self {
+            D2Msg::Color { v, color } => {
+                buf.put_u8(0);
+                buf.put_u32_le(v);
+                buf.put_u32_le(color);
+            }
+            D2Msg::Done { phase } => {
+                buf.put_u8(1);
+                buf.put_u32_le(phase);
+            }
+            D2Msg::Done2 { phase } => {
+                buf.put_u8(2);
+                buf.put_u32_le(phase);
+            }
+            D2Msg::Recolor { v, banned } => {
+                buf.put_u8(3);
+                buf.put_u32_le(v);
+                buf.put_u32_le(banned);
+            }
+            D2Msg::Reduce { phase, count } => {
+                buf.put_u8(4);
+                buf.put_u32_le(phase);
+                buf.put_u64_le(count);
+            }
+            D2Msg::Bcast { phase, count } => {
+                buf.put_u8(5);
+                buf.put_u32_le(phase);
+                buf.put_u64_le(count);
+            }
+        }
+    }
+
+    fn decode(buf: &mut impl Buf) -> Option<Self> {
+        if !buf.has_remaining() {
+            return None;
+        }
+        let tag = buf.get_u8();
+        match tag {
+            0 | 3 => (buf.remaining() >= 8).then(|| {
+                let v = buf.get_u32_le();
+                let x = buf.get_u32_le();
+                if tag == 0 {
+                    D2Msg::Color { v, color: x }
+                } else {
+                    D2Msg::Recolor { v, banned: x }
+                }
+            }),
+            1 | 2 => (buf.remaining() >= 4).then(|| {
+                let phase = buf.get_u32_le();
+                if tag == 1 {
+                    D2Msg::Done { phase }
+                } else {
+                    D2Msg::Done2 { phase }
+                }
+            }),
+            4 | 5 => (buf.remaining() >= 12).then(|| {
+                let phase = buf.get_u32_le();
+                let count = buf.get_u64_le();
+                if tag == 4 {
+                    D2Msg::Reduce { phase, count }
+                } else {
+                    D2Msg::Bcast { phase, count }
+                }
+            }),
+            _ => None,
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        match self {
+            D2Msg::Color { .. } | D2Msg::Recolor { .. } => 9,
+            D2Msg::Done { .. } | D2Msg::Done2 { .. } => 5,
+            D2Msg::Reduce { .. } | D2Msg::Bcast { .. } => 13,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PState {
+    Coloring,
+    WaitingDone,
+    WaitingDone2,
+    WaitingReduce,
+    WaitingBcast,
+    Finished,
+}
+
+/// One rank's state of the distributed distance-2 coloring.
+pub struct DistColoring2 {
+    dg: DistGraph,
+    superstep_size: usize,
+    /// Current color per local index.
+    color: Vec<u32>,
+    /// Random priority per local index.
+    priority: Vec<u64>,
+    /// Owned vertices to (re)color this phase, and progress.
+    u_cur: Vec<u32>,
+    u_pos: usize,
+    phase: u32,
+    state: PState,
+    /// Phases executed ("rounds" in the paper's terms).
+    pub phases_executed: u32,
+    /// Total vertices re-colored over the whole run.
+    pub total_recolored: u64,
+    /// Permanently banned colors per owned vertex (learned constraints).
+    learned: FxHashMap<u32, FxHashSet<u32>>,
+    /// Ghosts whose color changed this phase.
+    dirty_ghosts: Vec<u32>,
+    /// Next phase's re-color set (dedup via `in_r`).
+    r_set: Vec<u32>,
+    in_r: Vec<bool>,
+    /// Wave bookkeeping (per phase; ranks may run one phase apart).
+    done_counts: FxHashMap<u32, usize>,
+    done2_counts: FxHashMap<u32, usize>,
+    reduce_acc: FxHashMap<u32, (usize, u64)>,
+    detection_done: bool,
+    /// Scratch for forbidden-color computation.
+    forbidden: Vec<u64>,
+    stamp: u64,
+    dest_seen: Vec<u32>,
+    dest_stamp: u32,
+    seed: u64,
+}
+
+impl DistColoring2 {
+    /// Prepares the program for one rank; `superstep_size` as in the d1
+    /// framework, `seed` for the priority function.
+    pub fn new(dg: DistGraph, superstep_size: usize, seed: u64) -> Self {
+        let n_total = dg.n_total();
+        let priority = (0..n_total)
+            .map(|i| vertex_priority(dg.global_ids[i] as u64, seed))
+            .collect();
+        let p = dg.num_ranks as usize;
+        DistColoring2 {
+            color: vec![UNCOLORED; n_total],
+            priority,
+            u_cur: Vec::new(),
+            u_pos: 0,
+            phase: 0,
+            state: PState::Coloring,
+            phases_executed: 0,
+            total_recolored: 0,
+            learned: FxHashMap::default(),
+            dirty_ghosts: Vec::new(),
+            r_set: Vec::new(),
+            in_r: vec![false; dg.n_local],
+            done_counts: FxHashMap::default(),
+            done2_counts: FxHashMap::default(),
+            reduce_acc: FxHashMap::default(),
+            detection_done: false,
+            forbidden: vec![u64::MAX; n_total + 2],
+            stamp: 0,
+            dest_seen: vec![u32::MAX; p],
+            dest_stamp: 0,
+            superstep_size: superstep_size.max(1),
+            seed,
+            dg,
+        }
+    }
+
+    /// Final colors of owned vertices.
+    pub fn local_colors(&self) -> impl Iterator<Item = (VertexId, u32)> + '_ {
+        (0..self.dg.n_local).map(|v| (self.dg.global_ids[v], self.color[v]))
+    }
+
+    /// Largest owned color.
+    pub fn max_local_color(&self) -> Option<u32> {
+        (0..self.dg.n_local).map(|v| self.color[v]).max()
+    }
+
+    fn scope(&self) -> &[Rank] {
+        &self.dg.neighbor_ranks
+    }
+
+    fn tree_children(&self) -> impl Iterator<Item = Rank> + '_ {
+        const ARITY: u64 = 8;
+        let r = self.dg.rank as u64;
+        (1..=ARITY)
+            .map(move |i| ARITY * r + i)
+            .filter(|&c| c < self.dg.num_ranks as u64)
+            .map(|c| c as Rank)
+    }
+
+    fn tree_parent(&self) -> Option<Rank> {
+        (self.dg.rank > 0).then(|| (self.dg.rank - 1) / 8)
+    }
+
+    /// Picks a color for owned `v`: forbid distance-1 colors, distance-2
+    /// colors visible through *owned* middles, and the learned bans.
+    fn pick_color(&mut self, v: u32, ctx: &mut RankCtx<D2Msg>) -> u32 {
+        self.stamp += 1;
+        let mut work = 1u64;
+        for &u in self.dg.neighbors(v) {
+            work += 1;
+            let cu = self.color[u as usize];
+            if cu != UNCOLORED && (cu as usize) < self.forbidden.len() {
+                self.forbidden[cu as usize] = self.stamp;
+            }
+            if !self.dg.is_ghost(u) {
+                for &w in self.dg.neighbors(u) {
+                    work += 1;
+                    if w != v {
+                        let cw = self.color[w as usize];
+                        if cw != UNCOLORED && (cw as usize) < self.forbidden.len() {
+                            self.forbidden[cw as usize] = self.stamp;
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(banned) = self.learned.get(&v) {
+            for &c in banned {
+                if (c as usize) < self.forbidden.len() {
+                    self.forbidden[c as usize] = self.stamp;
+                }
+            }
+        }
+        ctx.charge(work);
+        // Randomized backoff (the standard escape from speculative-d2
+        // lockstep): a vertex that has lost `l` conflicts picks uniformly
+        // (hash-seeded, deterministic) among its first `l + 1` permissible
+        // colors instead of strictly first-fit, so two symmetric losers
+        // stop shadowing each other's choices.
+        let losses = self.learned.get(&v).map_or(0, |s| s.len()) as u64;
+        // The window must keep widening with losses: high-multiplicity
+        // conflict sets (e.g. a star's leaves, all pairwise at distance 2)
+        // need a window as large as the set to separate in few phases.
+        let window = losses + 1;
+        let pick = if window == 1 {
+            0
+        } else {
+            let key = (self.dg.global_ids[v as usize] as u64) ^ ((self.phase as u64) << 32);
+            vertex_priority(key, self.seed) % window
+        };
+        let mut c = 0u32;
+        let mut skipped = 0u64;
+        loop {
+            let allowed = (c as usize) >= self.forbidden.len()
+                || self.forbidden[c as usize] != self.stamp;
+            if allowed {
+                if skipped == pick {
+                    break;
+                }
+                skipped += 1;
+            }
+            c += 1;
+        }
+        c
+    }
+
+    /// Publishes `(v, color)` to every neighbor rank owning a neighbor of
+    /// `v` (the paper's NEW customized scheme).
+    fn publish_color(&mut self, v: u32, c: u32, ctx: &mut RankCtx<D2Msg>) {
+        let msg = D2Msg::Color {
+            v: self.dg.global_ids[v as usize],
+            color: c,
+        };
+        self.dest_stamp += 1;
+        for i in self.dg.xadj[v as usize]..self.dg.xadj[v as usize + 1] {
+            let u = self.dg.adj[i];
+            if self.dg.is_ghost(u) {
+                let owner = self.dg.owner(u);
+                if self.dest_seen[owner as usize] != self.dest_stamp {
+                    self.dest_seen[owner as usize] = self.dest_stamp;
+                    ctx.send(owner, &msg);
+                }
+            }
+        }
+    }
+
+    fn superstep(&mut self, ctx: &mut RankCtx<D2Msg>) -> bool {
+        let end = (self.u_pos + self.superstep_size).min(self.u_cur.len());
+        while self.u_pos < end {
+            let v = self.u_cur[self.u_pos];
+            self.u_pos += 1;
+            let c = self.pick_color(v, ctx);
+            self.color[v as usize] = c;
+            self.publish_color(v, c, ctx);
+        }
+        self.u_pos >= self.u_cur.len()
+    }
+
+    fn announce(&mut self, msg: D2Msg, ctx: &mut RankCtx<D2Msg>) {
+        for &r in self.scope() {
+            ctx.send(r, &msg);
+        }
+    }
+
+    /// Adds owned vertex `v` to next phase's re-color set, banning `c`.
+    fn mark_loser(&mut self, v: u32, c: u32) {
+        self.learned.entry(v).or_default().insert(c);
+        if !self.in_r[v as usize] {
+            self.in_r[v as usize] = true;
+            self.r_set.push(v);
+        }
+    }
+
+    /// Conflict detection: distance-1 against ghosts for vertices colored
+    /// this phase, and distance-2 relay detection through owned middles
+    /// touched by this phase's color changes.
+    fn detect_conflicts(&mut self, ctx: &mut RankCtx<D2Msg>) {
+        // Dirty set: owned vertices colored this phase + updated ghosts.
+        self.stamp += 1;
+        let dirty_stamp = self.stamp;
+        let mut dirty: Vec<u32> = Vec::new();
+        for i in 0..self.u_pos {
+            let v = self.u_cur[i];
+            if self.forbidden[..0].is_empty() {
+                // no-op: keep the scratch untouched; dirty marking below
+            }
+            dirty.push(v);
+        }
+        dirty.append(&mut self.dirty_ghosts);
+        let mut dirty_mark = vec![false; self.dg.n_total()];
+        for &d in &dirty {
+            dirty_mark[d as usize] = true;
+        }
+        let _ = dirty_stamp;
+
+        // Distance-1 checks for own colored boundary vertices.
+        for i in 0..self.u_pos {
+            let v = self.u_cur[i];
+            ctx.charge(self.dg.degree(v) as u64);
+            let cv = self.color[v as usize];
+            let pv = (self.priority[v as usize], self.dg.global_ids[v as usize]);
+            let loses = self.dg.neighbors(v).iter().any(|&w| {
+                self.dg.is_ghost(w)
+                    && self.color[w as usize] == cv
+                    && (self.priority[w as usize], self.dg.global_ids[w as usize]) > pv
+            });
+            if loses {
+                self.mark_loser(v, cv);
+            }
+        }
+
+        // Distance-2 relay detection through owned middles.
+        for m in 0..self.dg.n_local as u32 {
+            let nbrs_range = self.dg.xadj[m as usize]..self.dg.xadj[m as usize + 1];
+            // Skip middles with no dirty neighbor (cheap scan).
+            let any_dirty = self.dg.adj[nbrs_range.clone()]
+                .iter()
+                .any(|&u| dirty_mark[u as usize]);
+            ctx.charge((nbrs_range.end - nbrs_range.start) as u64);
+            if !any_dirty {
+                continue;
+            }
+            let (lo, hi) = (nbrs_range.start, nbrs_range.end);
+            for ia in lo..hi {
+                let a = self.dg.adj[ia];
+                if !dirty_mark[a as usize] {
+                    continue;
+                }
+                let ca = self.color[a as usize];
+                if ca == UNCOLORED {
+                    continue;
+                }
+                for ib in lo..hi {
+                    ctx.charge(1);
+                    let b = self.dg.adj[ib];
+                    if b == a || self.color[b as usize] != ca {
+                        continue;
+                    }
+                    // Conflict pair (a, b) through middle m: smaller
+                    // priority loses.
+                    let pa = (self.priority[a as usize], self.dg.global_ids[a as usize]);
+                    let pb = (self.priority[b as usize], self.dg.global_ids[b as usize]);
+                    let loser = if pa < pb { a } else { b };
+                    if self.dg.is_ghost(loser) {
+                        ctx.send(
+                            self.dg.owner(loser),
+                            &D2Msg::Recolor {
+                                v: self.dg.global_ids[loser as usize],
+                                banned: ca,
+                            },
+                        );
+                    } else {
+                        self.mark_loser(loser, ca);
+                    }
+                }
+            }
+        }
+
+        self.detection_done = true;
+        self.announce(D2Msg::Done2 { phase: self.phase }, ctx);
+        self.state = PState::WaitingDone2;
+        self.try_finish_detection(ctx);
+    }
+
+    /// After `Done2` from every neighbor the re-color set is final.
+    fn try_finish_detection(&mut self, ctx: &mut RankCtx<D2Msg>) {
+        if self.state != PState::WaitingDone2 {
+            return;
+        }
+        let got = self.done2_counts.get(&self.phase).copied().unwrap_or(0);
+        if got < self.scope().len() {
+            return;
+        }
+        self.state = PState::WaitingReduce;
+        self.try_send_reduce(ctx);
+    }
+
+    fn try_send_reduce(&mut self, ctx: &mut RankCtx<D2Msg>) {
+        if self.state != PState::WaitingReduce || !self.detection_done {
+            return;
+        }
+        let want = self.tree_children().count();
+        let (got, sum) = self.reduce_acc.get(&self.phase).copied().unwrap_or((0, 0));
+        if got < want {
+            return;
+        }
+        let total = sum + self.r_set.len() as u64;
+        self.reduce_acc.remove(&self.phase);
+        match self.tree_parent() {
+            Some(parent) => {
+                ctx.send(
+                    parent,
+                    &D2Msg::Reduce {
+                        phase: self.phase,
+                        count: total,
+                    },
+                );
+                self.state = PState::WaitingBcast;
+            }
+            None => self.broadcast_and_act(total, ctx),
+        }
+    }
+
+    fn broadcast_and_act(&mut self, total: u64, ctx: &mut RankCtx<D2Msg>) {
+        let msg = D2Msg::Bcast {
+            phase: self.phase,
+            count: total,
+        };
+        for c in self.tree_children().collect::<Vec<_>>() {
+            ctx.send(c, &msg);
+        }
+        self.done_counts.remove(&self.phase);
+        self.done2_counts.remove(&self.phase);
+        if total == 0 {
+            self.state = PState::Finished;
+            return;
+        }
+        // Next phase with the re-color set.
+        self.phase += 1;
+        self.phases_executed += 1;
+        self.detection_done = false;
+        self.total_recolored += self.r_set.len() as u64;
+        self.u_cur = std::mem::take(&mut self.r_set);
+        for &v in &self.u_cur {
+            self.in_r[v as usize] = false;
+        }
+        self.u_pos = 0;
+        self.state = PState::Coloring;
+        if self.superstep(ctx) {
+            self.announce(D2Msg::Done { phase: self.phase }, ctx);
+            self.state = PState::WaitingDone;
+            self.try_detect(ctx);
+        }
+    }
+
+    fn try_detect(&mut self, ctx: &mut RankCtx<D2Msg>) {
+        if self.state != PState::WaitingDone {
+            return;
+        }
+        let got = self.done_counts.get(&self.phase).copied().unwrap_or(0);
+        if got >= self.scope().len() {
+            self.detect_conflicts(ctx);
+        }
+    }
+
+    fn handle(&mut self, msg: D2Msg, ctx: &mut RankCtx<D2Msg>) {
+        ctx.charge(1);
+        match msg {
+            D2Msg::Color { v, color } => {
+                let local = self.dg.global_to_local[&v];
+                self.color[local as usize] = color;
+                self.dirty_ghosts.push(local);
+            }
+            D2Msg::Done { phase } => {
+                *self.done_counts.entry(phase).or_insert(0) += 1;
+                self.try_detect(ctx);
+            }
+            D2Msg::Done2 { phase } => {
+                *self.done2_counts.entry(phase).or_insert(0) += 1;
+                self.try_finish_detection(ctx);
+            }
+            D2Msg::Recolor { v, banned } => {
+                let local = self.dg.global_to_local[&v];
+                debug_assert!(!self.dg.is_ghost(local));
+                self.mark_loser(local, banned);
+            }
+            D2Msg::Reduce { phase, count } => {
+                let e = self.reduce_acc.entry(phase).or_insert((0, 0));
+                e.0 += 1;
+                e.1 += count;
+                self.try_send_reduce(ctx);
+            }
+            D2Msg::Bcast { phase, count } => {
+                debug_assert_eq!(phase, self.phase);
+                self.broadcast_and_act(count, ctx);
+            }
+        }
+    }
+
+    fn status(&self) -> Status {
+        if self.state == PState::Coloring && self.u_pos < self.u_cur.len() {
+            Status::Active
+        } else {
+            Status::Idle
+        }
+    }
+}
+
+impl RankProgram for DistColoring2 {
+    type Msg = D2Msg;
+
+    fn on_start(&mut self, ctx: &mut RankCtx<D2Msg>) -> Status {
+        // Unlike distance-1, interior vertices are not conflict-free (two
+        // interior vertices of different ranks may share a ghost-middle
+        // path only if both are boundary — interior vertices are ≥ 2 hops
+        // from any cross edge, so they *are* safe: color them first).
+        self.u_cur = (0..self.dg.n_local as u32).collect();
+        // Boundary last: their speculative colors settle against fresher
+        // interior information.
+        self.u_cur.sort_by_key(|&v| self.dg.is_boundary[v as usize]);
+        self.u_pos = 0;
+        self.phases_executed = 1;
+        if self.superstep(ctx) {
+            self.announce(D2Msg::Done { phase: 0 }, ctx);
+            self.state = PState::WaitingDone;
+            self.try_detect(ctx);
+        }
+        self.status()
+    }
+
+    fn on_round(
+        &mut self,
+        inbox: &mut Vec<(Rank, Vec<D2Msg>)>,
+        ctx: &mut RankCtx<D2Msg>,
+    ) -> Status {
+        for (_, msgs) in inbox.drain(..) {
+            for m in msgs {
+                self.handle(m, ctx);
+            }
+        }
+        if self.state == PState::Coloring && self.superstep(ctx) {
+            self.announce(D2Msg::Done { phase: self.phase }, ctx);
+            self.state = PState::WaitingDone;
+            self.try_detect(ctx);
+        }
+        self.status()
+    }
+}
+
+/// Assembles the global distance-2 coloring from finished rank programs.
+pub fn assemble_d2(programs: &[DistColoring2], num_vertices: usize) -> crate::Coloring {
+    let mut coloring = crate::Coloring::uncolored(num_vertices);
+    for p in programs {
+        for (v, c) in p.local_colors() {
+            coloring.set(v, c);
+        }
+    }
+    coloring
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance2::{greedy_d2, validate_d2};
+    use crate::seq::Ordering;
+    use cmg_graph::generators::{circuit_like, erdos_renyi, grid2d, star};
+    use cmg_graph::CsrGraph;
+    use cmg_partition::simple::{block_partition, hash_partition};
+    use cmg_partition::Partition;
+    use cmg_runtime::{CostModel, EngineConfig, SimEngine};
+
+    fn run_d2(g: &CsrGraph, partition: &Partition, s: usize) -> (crate::Coloring, u32) {
+        let parts = DistGraph::build_all(g, partition);
+        let programs: Vec<DistColoring2> = parts
+            .into_iter()
+            .map(|dg| DistColoring2::new(dg, s, 99))
+            .collect();
+        let cfg = EngineConfig {
+            cost: CostModel::compute_only(),
+            max_rounds: 100_000,
+            ..Default::default()
+        };
+        let result = SimEngine::new(programs, cfg).run();
+        assert!(!result.hit_round_cap, "d2 coloring did not quiesce");
+        let phases = result
+            .programs
+            .iter()
+            .map(|p| p.phases_executed)
+            .max()
+            .unwrap_or(0);
+        (assemble_d2(&result.programs, g.num_vertices()), phases)
+    }
+
+    #[test]
+    fn codec_round_trip() {
+        let msgs = [
+            D2Msg::Color { v: 1, color: 2 },
+            D2Msg::Done { phase: 3 },
+            D2Msg::Done2 { phase: 4 },
+            D2Msg::Recolor { v: 5, banned: 6 },
+            D2Msg::Reduce { phase: 7, count: 8 },
+            D2Msg::Bcast { phase: 9, count: 0 },
+        ];
+        let mut buf = bytes::BytesMut::new();
+        for m in &msgs {
+            m.encode(&mut buf);
+        }
+        let decoded: Vec<D2Msg> = cmg_runtime::message::decode_all(buf.freeze()).unwrap();
+        assert_eq!(decoded, msgs);
+    }
+
+    #[test]
+    fn single_rank_matches_d2_validity() {
+        let g = grid2d(8, 8);
+        let (c, phases) = run_d2(&g, &Partition::single(64), 1000);
+        validate_d2(&c, &g).unwrap();
+        assert_eq!(phases, 1);
+    }
+
+    #[test]
+    fn grid_d2_across_ranks() {
+        let g = grid2d(12, 12);
+        for parts in [2u32, 4, 9] {
+            let p = block_partition(144, parts);
+            let (c, phases) = run_d2(&g, &p, 8);
+            validate_d2(&c, &g).unwrap();
+            assert!(phases <= 12, "{phases} phases");
+            // Stay in the ballpark of sequential d2 (never worse than 3x).
+            let seq = greedy_d2(&g, Ordering::Natural).num_colors();
+            assert!(c.num_colors() <= 3 * seq, "{} vs seq {seq}", c.num_colors());
+        }
+    }
+
+    #[test]
+    fn random_graph_d2_many_ranks() {
+        let g = erdos_renyi(150, 450, 7);
+        let p = hash_partition(150, 8, 1);
+        let (c, _) = run_d2(&g, &p, 4);
+        validate_d2(&c, &g).unwrap();
+        assert!(c.num_colors() <= g.max_degree() * g.max_degree() + 1);
+    }
+
+    #[test]
+    fn star_center_split_from_leaves() {
+        // All leaves mutually at distance 2 through the hub: the hub's
+        // owner must relay-detect every leaf pair conflict.
+        let g = star(20);
+        let p = hash_partition(20, 4, 2);
+        let (c, _) = run_d2(&g, &p, 2);
+        validate_d2(&c, &g).unwrap();
+        assert_eq!(c.num_colors(), 20);
+    }
+
+    #[test]
+    fn circuit_graph_d2() {
+        let g = circuit_like(1_000, 11);
+        let p = block_partition(g.num_vertices(), 6);
+        let (c, phases) = run_d2(&g, &p, 100);
+        validate_d2(&c, &g).unwrap();
+        assert!(phases <= 8, "{phases} phases");
+    }
+
+    #[test]
+    fn superstep_one_worst_case_speculation() {
+        let g = grid2d(6, 6);
+        let p = hash_partition(36, 6, 3);
+        let (c, _) = run_d2(&g, &p, 1);
+        validate_d2(&c, &g).unwrap();
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        let g = CsrGraph::empty(3);
+        let (c, _) = run_d2(&g, &block_partition(3, 2), 10);
+        assert!(c.is_complete());
+    }
+}

@@ -1,0 +1,224 @@
+//! Jones–Plassmann maximal-independent-set coloring — the baseline the
+//! speculative framework is compared against (§4.1: the framework "uses
+//! provably fewer or at most as many rounds").
+//!
+//! Every vertex carries a random priority; in each round, a vertex whose
+//! priority beats all of its *uncolored* neighbors colors itself first-fit
+//! and announces the color. No conflicts ever occur, but the number of
+//! rounds grows with the length of decreasing-priority paths, and every
+//! round is a communication step.
+
+use crate::coloring::{Coloring, UNCOLORED};
+use crate::dist::ColorMsg;
+use cmg_graph::util::vertex_priority;
+use cmg_graph::VertexId;
+use cmg_partition::DistGraph;
+use cmg_runtime::{Rank, RankCtx, RankProgram, Status};
+
+/// One rank's state of the Jones–Plassmann algorithm. Reuses
+/// [`ColorMsg::Color`] as its only message.
+pub struct JonesPlassmann {
+    dg: DistGraph,
+    color: Vec<u32>,
+    priority: Vec<u64>,
+    /// Owned vertices not yet colored.
+    pending: Vec<u32>,
+    forbidden: Vec<u64>,
+    stamp: u64,
+    dest_seen: Vec<u32>,
+    dest_stamp: u32,
+}
+
+impl JonesPlassmann {
+    /// Prepares the program for one rank.
+    pub fn new(dg: DistGraph, seed: u64) -> Self {
+        let n_total = dg.n_total();
+        let priority = (0..n_total)
+            .map(|i| vertex_priority(dg.global_ids[i] as u64, seed))
+            .collect();
+        let p = dg.num_ranks as usize;
+        JonesPlassmann {
+            color: vec![UNCOLORED; n_total],
+            priority,
+            pending: (0..dg.n_local as u32).collect(),
+            forbidden: vec![u64::MAX; n_total + 2],
+            stamp: 0,
+            dest_seen: vec![u32::MAX; p],
+            dest_stamp: 0,
+            dg,
+        }
+    }
+
+    /// Final colors of owned vertices as `(global id, color)`.
+    pub fn local_colors(&self) -> impl Iterator<Item = (VertexId, u32)> + '_ {
+        (0..self.dg.n_local).map(|v| (self.dg.global_ids[v], self.color[v]))
+    }
+
+    /// Colors every pending vertex that is a local maximum among its
+    /// uncolored neighbors.
+    fn sweep(&mut self, ctx: &mut RankCtx<ColorMsg>) {
+        // One sweep per round: collect the colorable set first (so the
+        // round behaves like the synchronous MIS step), then color it.
+        let mut colorable = Vec::new();
+        let mut still_pending = Vec::new();
+        for &v in &self.pending {
+            ctx.charge(self.dg.degree(v) as u64);
+            let pv = (self.priority[v as usize], self.dg.global_ids[v as usize]);
+            let dominated = self.dg.neighbors(v).iter().any(|&u| {
+                self.color[u as usize] == UNCOLORED
+                    && (self.priority[u as usize], self.dg.global_ids[u as usize]) > pv
+            });
+            if dominated {
+                still_pending.push(v);
+            } else {
+                colorable.push(v);
+            }
+        }
+        self.pending = still_pending;
+        for v in colorable {
+            self.stamp += 1;
+            ctx.charge(self.dg.degree(v) as u64 + 1);
+            for &u in self.dg.neighbors(v) {
+                let c = self.color[u as usize];
+                if c != UNCOLORED && (c as usize) < self.forbidden.len() {
+                    self.forbidden[c as usize] = self.stamp;
+                }
+            }
+            let mut c = 0u32;
+            while (c as usize) < self.forbidden.len() && self.forbidden[c as usize] == self.stamp
+            {
+                c += 1;
+            }
+            self.color[v as usize] = c;
+            // Announce to ranks owning a neighbor, once each.
+            self.dest_stamp += 1;
+            let msg = ColorMsg::Color {
+                v: self.dg.global_ids[v as usize],
+                color: c,
+            };
+            for i in self.dg.xadj[v as usize]..self.dg.xadj[v as usize + 1] {
+                let u = self.dg.adj[i];
+                if self.dg.is_ghost(u) {
+                    let owner = self.dg.owner(u);
+                    if self.dest_seen[owner as usize] != self.dest_stamp {
+                        self.dest_seen[owner as usize] = self.dest_stamp;
+                        ctx.send(owner, &msg);
+                    }
+                }
+            }
+        }
+    }
+
+    fn status(&self) -> Status {
+        if self.pending.is_empty() {
+            Status::Idle
+        } else {
+            Status::Active
+        }
+    }
+}
+
+impl RankProgram for JonesPlassmann {
+    type Msg = ColorMsg;
+
+    fn on_start(&mut self, ctx: &mut RankCtx<ColorMsg>) -> Status {
+        self.sweep(ctx);
+        self.status()
+    }
+
+    fn on_round(
+        &mut self,
+        inbox: &mut Vec<(Rank, Vec<ColorMsg>)>,
+        ctx: &mut RankCtx<ColorMsg>,
+    ) -> Status {
+        for (_, msgs) in inbox.drain(..) {
+            for m in msgs {
+                ctx.charge(1);
+                if let ColorMsg::Color { v, color } = m {
+                    if let Some(&local) = self.dg.global_to_local.get(&v) {
+                        self.color[local as usize] = color;
+                    }
+                }
+            }
+        }
+        self.sweep(ctx);
+        self.status()
+    }
+}
+
+/// Assembles the global coloring from finished rank programs.
+pub fn assemble_jp(programs: &[JonesPlassmann], num_vertices: usize) -> Coloring {
+    let mut coloring = Coloring::uncolored(num_vertices);
+    for p in programs {
+        for (v, c) in p.local_colors() {
+            coloring.set(v, c);
+        }
+    }
+    coloring
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmg_graph::generators::{circuit_like, erdos_renyi, grid2d};
+    use cmg_graph::CsrGraph;
+    use cmg_partition::simple::{block_partition, hash_partition};
+    use cmg_partition::Partition;
+    use cmg_runtime::{CostModel, EngineConfig, SimEngine};
+
+    fn run_jp(g: &CsrGraph, partition: &Partition) -> (Coloring, u64) {
+        let parts = DistGraph::build_all(g, partition);
+        let programs: Vec<JonesPlassmann> = parts
+            .into_iter()
+            .map(|dg| JonesPlassmann::new(dg, 42))
+            .collect();
+        let cfg = EngineConfig {
+            cost: CostModel::compute_only(),
+            ..Default::default()
+        };
+        let result = SimEngine::new(programs, cfg).run();
+        assert!(!result.hit_round_cap);
+        (
+            assemble_jp(&result.programs, g.num_vertices()),
+            result.stats.rounds,
+        )
+    }
+
+    #[test]
+    fn jp_colors_grid_validly() {
+        let g = grid2d(10, 10);
+        let (c, _) = run_jp(&g, &block_partition(100, 4));
+        c.validate(&g).unwrap();
+        assert!(c.num_colors() <= g.max_degree() + 1);
+    }
+
+    #[test]
+    fn jp_on_random_graph_multiple_rank_counts() {
+        let g = erdos_renyi(150, 600, 2);
+        for parts in [1u32, 3, 8] {
+            let (c, _) = run_jp(&g, &hash_partition(150, parts, 5));
+            c.validate(&g).unwrap();
+        }
+    }
+
+    #[test]
+    fn jp_never_conflicts_mid_run() {
+        // The invariant that distinguishes JP from speculation: colors are
+        // final the moment they are assigned. Validity of the final result
+        // plus determinism across rank counts is the observable effect.
+        let g = circuit_like(800, 3);
+        let (c1, _) = run_jp(&g, &Partition::single(g.num_vertices()));
+        let (c2, _) = run_jp(&g, &hash_partition(g.num_vertices(), 6, 1));
+        c1.validate(&g).unwrap();
+        c2.validate(&g).unwrap();
+        // JP's outcome depends only on priorities, not the partition.
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn jp_rounds_grow_with_priority_paths() {
+        let g = grid2d(30, 30);
+        let (_, rounds) = run_jp(&g, &block_partition(900, 4));
+        assert!(rounds > 3, "JP should need several rounds, got {rounds}");
+    }
+}

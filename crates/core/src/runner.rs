@@ -1,0 +1,362 @@
+//! One-call runners: distribute a graph, execute a distributed algorithm
+//! on the chosen engine, assemble and verify the result.
+
+use cmg_coloring::{assemble_coloring, jp, Coloring, ColoringConfig, DistColoring, JonesPlassmann};
+use cmg_graph::CsrGraph;
+use cmg_matching::dist::assemble_matching;
+use cmg_matching::{DistMatching, Matching};
+use cmg_partition::{DistGraph, Partition};
+use cmg_runtime::{EngineConfig, RunStats, SimEngine, ThreadedEngine};
+use std::time::Duration;
+
+/// Which execution engine to use.
+#[derive(Clone, Debug)]
+pub enum Engine {
+    /// Discrete-event simulation under the configured cost model; scales
+    /// to the paper's rank counts and reports simulated time.
+    Simulated(EngineConfig),
+    /// One OS thread per rank; reports wall-clock time. Keep rank counts
+    /// near the host's core count.
+    Threaded(EngineConfig),
+}
+
+impl Engine {
+    /// Simulated engine with default (Blue Gene/P) configuration.
+    pub fn default_simulated() -> Self {
+        Engine::Simulated(EngineConfig::default())
+    }
+
+    /// Threaded engine with default configuration.
+    pub fn default_threaded() -> Self {
+        Engine::Threaded(EngineConfig::default())
+    }
+
+    /// The underlying engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        match self {
+            Engine::Simulated(c) | Engine::Threaded(c) => c,
+        }
+    }
+}
+
+/// Outcome of a distributed matching run.
+#[derive(Debug)]
+pub struct MatchingRun {
+    /// The computed (global) matching.
+    pub matching: Matching,
+    /// Per-rank execution statistics.
+    pub stats: RunStats,
+    /// Simulated completion time (simulation engine; 0 for threaded).
+    pub simulated_time: f64,
+    /// Measured wall time (threaded engine only).
+    pub wall_time: Option<Duration>,
+}
+
+/// Outcome of a distributed coloring run.
+#[derive(Debug)]
+pub struct ColoringRun {
+    /// The computed (global) coloring.
+    pub coloring: Coloring,
+    /// Per-rank execution statistics.
+    pub stats: RunStats,
+    /// Simulated completion time (simulation engine; 0 for threaded).
+    pub simulated_time: f64,
+    /// Measured wall time (threaded engine only).
+    pub wall_time: Option<Duration>,
+    /// Number of speculative phases ("rounds") executed.
+    pub phases: u32,
+}
+
+/// Runs the distributed ½-approximation matching of `g` under `partition`.
+///
+/// # Panics
+/// Panics if the run fails to quiesce within the engine's round cap or if
+/// ranks disagree on the result (either would be a bug).
+pub fn run_matching(g: &CsrGraph, partition: &Partition, engine: &Engine) -> MatchingRun {
+    let parts = DistGraph::build_all(g, partition);
+    let programs: Vec<DistMatching> = parts.into_iter().map(DistMatching::new).collect();
+    let n = g.num_vertices();
+    match engine {
+        Engine::Simulated(cfg) => {
+            let result = SimEngine::new(programs, cfg.clone()).run();
+            assert!(!result.hit_round_cap, "matching hit the round cap");
+            MatchingRun {
+                matching: assemble_matching(&result.programs, n),
+                simulated_time: result.stats.makespan(),
+                stats: result.stats,
+                wall_time: None,
+            }
+        }
+        Engine::Threaded(cfg) => {
+            let result = ThreadedEngine::new(programs, cfg.clone()).run();
+            assert!(!result.hit_round_cap, "matching hit the round cap");
+            MatchingRun {
+                matching: assemble_matching(&result.programs, n),
+                simulated_time: 0.0,
+                stats: result.stats,
+                wall_time: Some(result.wall_time),
+            }
+        }
+    }
+}
+
+/// Runs the distributed speculative coloring of `g` under `partition`.
+///
+/// # Panics
+/// Panics if the run fails to quiesce within the engine's round cap.
+pub fn run_coloring(
+    g: &CsrGraph,
+    partition: &Partition,
+    config: ColoringConfig,
+    engine: &Engine,
+) -> ColoringRun {
+    let parts = DistGraph::build_all(g, partition);
+    let programs: Vec<DistColoring> = parts
+        .into_iter()
+        .map(|dg| DistColoring::new(dg, config))
+        .collect();
+    let n = g.num_vertices();
+    match engine {
+        Engine::Simulated(cfg) => {
+            let result = SimEngine::new(programs, cfg.clone()).run();
+            assert!(!result.hit_round_cap, "coloring hit the round cap");
+            let phases = result.programs.iter().map(|p| p.phases_executed).max().unwrap_or(0);
+            ColoringRun {
+                coloring: assemble_coloring(&result.programs, n),
+                simulated_time: result.stats.makespan(),
+                stats: result.stats,
+                wall_time: None,
+                phases,
+            }
+        }
+        Engine::Threaded(cfg) => {
+            let result = ThreadedEngine::new(programs, cfg.clone()).run();
+            assert!(!result.hit_round_cap, "coloring hit the round cap");
+            let phases = result.programs.iter().map(|p| p.phases_executed).max().unwrap_or(0);
+            ColoringRun {
+                coloring: assemble_coloring(&result.programs, n),
+                simulated_time: 0.0,
+                stats: result.stats,
+                wall_time: Some(result.wall_time),
+                phases,
+            }
+        }
+    }
+}
+
+/// Runs the Jones–Plassmann baseline coloring of `g` under `partition`.
+pub fn run_jones_plassmann(
+    g: &CsrGraph,
+    partition: &Partition,
+    seed: u64,
+    engine: &Engine,
+) -> ColoringRun {
+    let parts = DistGraph::build_all(g, partition);
+    let programs: Vec<JonesPlassmann> = parts
+        .into_iter()
+        .map(|dg| JonesPlassmann::new(dg, seed))
+        .collect();
+    let n = g.num_vertices();
+    match engine {
+        Engine::Simulated(cfg) => {
+            let result = SimEngine::new(programs, cfg.clone()).run();
+            assert!(!result.hit_round_cap, "JP hit the round cap");
+            let rounds = result.stats.rounds as u32;
+            ColoringRun {
+                coloring: jp::assemble_jp(&result.programs, n),
+                simulated_time: result.stats.makespan(),
+                stats: result.stats,
+                wall_time: None,
+                phases: rounds,
+            }
+        }
+        Engine::Threaded(cfg) => {
+            let result = ThreadedEngine::new(programs, cfg.clone()).run();
+            assert!(!result.hit_round_cap, "JP hit the round cap");
+            let rounds = result.stats.rounds as u32;
+            ColoringRun {
+                coloring: jp::assemble_jp(&result.programs, n),
+                simulated_time: 0.0,
+                stats: result.stats,
+                wall_time: Some(result.wall_time),
+                phases: rounds,
+            }
+        }
+    }
+}
+
+/// Summary of a distributed matching run executed directly on pre-built
+/// rank-local graphs — the memory-light path for paper-scale inputs
+/// (weight and cardinality are reduced across ranks; no global graph or
+/// global mate array is materialized).
+#[derive(Debug)]
+pub struct PartsMatchingRun {
+    /// Total matched weight.
+    pub weight: f64,
+    /// Number of matched edges.
+    pub cardinality: usize,
+    /// Execution statistics.
+    pub stats: RunStats,
+    /// Simulated completion time (simulation engine; 0 for threaded).
+    pub simulated_time: f64,
+    /// Measured wall time (threaded engine only).
+    pub wall_time: Option<Duration>,
+}
+
+/// Summary of a distributed coloring run executed directly on pre-built
+/// rank-local graphs.
+#[derive(Debug)]
+pub struct PartsColoringRun {
+    /// Number of colors used.
+    pub num_colors: usize,
+    /// Remaining conflict edges (must be 0 — exposed for verification).
+    pub conflicts: usize,
+    /// Speculative phases executed.
+    pub phases: u32,
+    /// Execution statistics.
+    pub stats: RunStats,
+    /// Simulated completion time (simulation engine; 0 for threaded).
+    pub simulated_time: f64,
+    /// Measured wall time (threaded engine only).
+    pub wall_time: Option<Duration>,
+}
+
+/// Runs the distributed matching on pre-built rank-local graphs (e.g. from
+/// [`cmg_partition::grid2d_dist`]). See [`PartsMatchingRun`].
+pub fn run_matching_parts(parts: Vec<DistGraph>, engine: &Engine) -> PartsMatchingRun {
+    let programs: Vec<DistMatching> = parts.into_iter().map(DistMatching::new).collect();
+    let (programs, stats, simulated_time, wall_time) = match engine {
+        Engine::Simulated(cfg) => {
+            let r = SimEngine::new(programs, cfg.clone()).run();
+            assert!(!r.hit_round_cap, "matching hit the round cap");
+            let t = r.stats.makespan();
+            (r.programs, r.stats, t, None)
+        }
+        Engine::Threaded(cfg) => {
+            let r = ThreadedEngine::new(programs, cfg.clone()).run();
+            assert!(!r.hit_round_cap, "matching hit the round cap");
+            (r.programs, r.stats, 0.0, Some(r.wall_time))
+        }
+    };
+    PartsMatchingRun {
+        weight: programs.iter().map(|p| p.local_matched_weight()).sum(),
+        cardinality: programs.iter().map(|p| p.local_matched_edges()).sum(),
+        stats,
+        simulated_time,
+        wall_time,
+    }
+}
+
+/// Runs the distributed coloring on pre-built rank-local graphs. See
+/// [`PartsColoringRun`].
+pub fn run_coloring_parts(
+    parts: Vec<DistGraph>,
+    config: ColoringConfig,
+    engine: &Engine,
+) -> PartsColoringRun {
+    let programs: Vec<DistColoring> = parts
+        .into_iter()
+        .map(|dg| DistColoring::new(dg, config))
+        .collect();
+    let (programs, stats, simulated_time, wall_time) = match engine {
+        Engine::Simulated(cfg) => {
+            let r = SimEngine::new(programs, cfg.clone()).run();
+            assert!(!r.hit_round_cap, "coloring hit the round cap");
+            let t = r.stats.makespan();
+            (r.programs, r.stats, t, None)
+        }
+        Engine::Threaded(cfg) => {
+            let r = ThreadedEngine::new(programs, cfg.clone()).run();
+            assert!(!r.hit_round_cap, "coloring hit the round cap");
+            (r.programs, r.stats, 0.0, Some(r.wall_time))
+        }
+    };
+    PartsColoringRun {
+        num_colors: programs
+            .iter()
+            .filter_map(|p| p.max_local_color())
+            .max()
+            .map_or(0, |c| c as usize + 1),
+        conflicts: programs.iter().map(|p| p.local_conflict_count()).sum(),
+        phases: programs.iter().map(|p| p.phases_executed).max().unwrap_or(0),
+        stats,
+        simulated_time,
+        wall_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmg_coloring::ColoringConfig;
+    use cmg_graph::generators::grid2d;
+    use cmg_graph::weights::{assign_weights, WeightScheme};
+    use cmg_partition::simple::grid2d_partition;
+
+    fn weighted_grid() -> CsrGraph {
+        assign_weights(
+            &grid2d(8, 8),
+            WeightScheme::Uniform { lo: 0.0, hi: 1.0 },
+            1,
+        )
+    }
+
+    #[test]
+    fn simulated_and_threaded_matching_agree() {
+        let g = weighted_grid();
+        let p = grid2d_partition(8, 8, 2, 2);
+        let sim = run_matching(&g, &p, &Engine::default_simulated());
+        let thr = run_matching(&g, &p, &Engine::default_threaded());
+        assert_eq!(sim.matching, thr.matching);
+        sim.matching.validate(&g).unwrap();
+        assert!(sim.simulated_time > 0.0);
+        assert!(thr.wall_time.is_some());
+    }
+
+    #[test]
+    fn simulated_and_threaded_coloring_agree() {
+        let g = grid2d(8, 8);
+        let p = grid2d_partition(8, 8, 2, 2);
+        let cfg = ColoringConfig {
+            superstep_size: 4,
+            ..Default::default()
+        };
+        let sim = run_coloring(&g, &p, cfg, &Engine::default_simulated());
+        let thr = run_coloring(&g, &p, cfg, &Engine::default_threaded());
+        sim.coloring.validate(&g).unwrap();
+        thr.coloring.validate(&g).unwrap();
+        assert_eq!(sim.coloring, thr.coloring);
+        assert_eq!(sim.phases, thr.phases);
+    }
+
+    #[test]
+    fn parts_runners_agree_with_global_runners() {
+        let g = weighted_grid();
+        let part = grid2d_partition(8, 8, 2, 2);
+        let global = run_matching(&g, &part, &Engine::default_simulated());
+        let parts = cmg_partition::grid2d_dist(8, 8, 2, 2, Some(1));
+        let summary = run_matching_parts(parts, &Engine::default_simulated());
+        assert!((summary.weight - global.matching.weight(&g)).abs() < 1e-9);
+        assert_eq!(summary.cardinality, global.matching.cardinality());
+        assert_eq!(summary.simulated_time, global.simulated_time);
+
+        let unweighted = grid2d(8, 8);
+        let cfg = ColoringConfig::default();
+        let cglobal = run_coloring(&unweighted, &part, cfg, &Engine::default_simulated());
+        let cparts = cmg_partition::grid2d_dist(8, 8, 2, 2, None);
+        let csummary = run_coloring_parts(cparts, cfg, &Engine::default_simulated());
+        assert_eq!(csummary.num_colors, cglobal.coloring.num_colors());
+        assert_eq!(csummary.conflicts, 0);
+        assert_eq!(csummary.phases, cglobal.phases);
+    }
+
+    #[test]
+    fn jones_plassmann_runs_on_both_engines() {
+        let g = grid2d(6, 6);
+        let p = grid2d_partition(6, 6, 2, 2);
+        let sim = run_jones_plassmann(&g, &p, 7, &Engine::default_simulated());
+        let thr = run_jones_plassmann(&g, &p, 7, &Engine::default_threaded());
+        sim.coloring.validate(&g).unwrap();
+        assert_eq!(sim.coloring, thr.coloring);
+    }
+}

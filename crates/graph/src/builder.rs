@@ -1,0 +1,212 @@
+//! Edge-list accumulator that produces a canonical [`CsrGraph`].
+
+use crate::{CsrGraph, VertexId, Weight, NO_VERTEX};
+
+/// Accumulates undirected edges and builds a [`CsrGraph`].
+///
+/// The builder is forgiving: edges may be added in any order and in either
+/// orientation, duplicates collapse (keeping the *maximum* weight, which is
+/// the natural choice for matching inputs), and self-loops are dropped.
+///
+/// ```
+/// use cmg_graph::GraphBuilder;
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(2, 0, 1.5);
+/// b.add_edge(0, 2, 2.5); // duplicate: max weight wins
+/// b.add_edge(1, 1, 9.0); // self-loop: ignored
+/// let g = b.build();
+/// assert_eq!(g.num_edges(), 1);
+/// assert_eq!(g.edge_weight(0, 2), Some(2.5));
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    n: usize,
+    /// Canonicalized (min, max, w) triples.
+    edges: Vec<(VertexId, VertexId, Weight)>,
+    weighted: bool,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph on `n` vertices.
+    ///
+    /// # Panics
+    /// Panics if `n` leaves no room for the [`NO_VERTEX`] sentinel.
+    pub fn new(n: usize) -> Self {
+        assert!(n < NO_VERTEX as usize, "too many vertices");
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+            weighted: false,
+        }
+    }
+
+    /// A builder with pre-reserved capacity for `m` edges.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        let mut b = Self::new(n);
+        b.edges.reserve(m);
+        b
+    }
+
+    /// Number of vertices the final graph will have.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Adds the weighted undirected edge `{u, v}`. Self-loops are ignored.
+    ///
+    /// # Panics
+    /// Panics if `u` or `v` is out of range.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId, w: Weight) {
+        assert!((u as usize) < self.n && (v as usize) < self.n, "vertex out of range");
+        if u == v {
+            return;
+        }
+        self.weighted = true;
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        self.edges.push((a, b, w));
+    }
+
+    /// Adds an unweighted undirected edge (weight `1.0` if the graph ends up
+    /// weighted because other edges carry weights).
+    pub fn add_edge_unweighted(&mut self, u: VertexId, v: VertexId) {
+        assert!((u as usize) < self.n && (v as usize) < self.n, "vertex out of range");
+        if u == v {
+            return;
+        }
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        self.edges.push((a, b, 1.0));
+    }
+
+    /// Number of edges currently buffered (duplicates not yet collapsed).
+    pub fn num_buffered_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Builds the canonical CSR graph: sorted adjacency, duplicates
+    /// collapsed to max weight, no self-loops.
+    pub fn build(mut self) -> CsrGraph {
+        // Canonical order, then collapse duplicates keeping max weight.
+        self.edges
+            .sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)).then(a.2.total_cmp(&b.2)));
+        self.edges.dedup_by(|next, kept| {
+            if next.0 == kept.0 && next.1 == kept.1 {
+                // `next` has the >= weight thanks to the sort above; keep it.
+                kept.2 = next.2;
+                true
+            } else {
+                false
+            }
+        });
+
+        let n = self.n;
+        let mut xadj = vec![0usize; n + 1];
+        for &(u, v, _) in &self.edges {
+            xadj[u as usize + 1] += 1;
+            xadj[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            xadj[i + 1] += xadj[i];
+        }
+        let mut adj = vec![0 as VertexId; self.edges.len() * 2];
+        let mut weights = if self.weighted {
+            vec![0.0; self.edges.len() * 2]
+        } else {
+            Vec::new()
+        };
+        let mut cursor = xadj.clone();
+        for &(u, v, w) in &self.edges {
+            let iu = cursor[u as usize];
+            adj[iu] = v;
+            cursor[u as usize] += 1;
+            let iv = cursor[v as usize];
+            adj[iv] = u;
+            cursor[v as usize] += 1;
+            if self.weighted {
+                weights[iu] = w;
+                weights[iv] = w;
+            }
+        }
+        // Each row was filled in ascending (u, v) edge order; rows of the
+        // lower endpoint get neighbors in mixed order, so sort per row.
+        for v in 0..n {
+            let lo = xadj[v];
+            let hi = xadj[v + 1];
+            if self.weighted {
+                let mut row: Vec<(VertexId, Weight)> = adj[lo..hi]
+                    .iter()
+                    .copied()
+                    .zip(weights[lo..hi].iter().copied())
+                    .collect();
+                row.sort_unstable_by_key(|&(nbr, _)| nbr);
+                for (i, (nbr, w)) in row.into_iter().enumerate() {
+                    adj[lo + i] = nbr;
+                    weights[lo + i] = w;
+                }
+            } else {
+                adj[lo..hi].sort_unstable();
+            }
+        }
+        CsrGraph::from_raw(xadj, adj, weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_edges_keep_max_weight() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(1, 0, 1.0);
+        b.add_edge(0, 1, 5.0);
+        b.add_edge(0, 1, 3.0);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_weight(0, 1), Some(5.0));
+    }
+
+    #[test]
+    fn self_loops_dropped() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 0, 2.0);
+        b.add_edge(0, 1, 1.0);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn unweighted_when_only_unweighted_edges_added() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge_unweighted(0, 1);
+        b.add_edge_unweighted(1, 2);
+        let g = b.build();
+        assert!(!g.is_weighted());
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn adjacency_sorted_regardless_of_insertion_order() {
+        let mut b = GraphBuilder::new(5);
+        for &v in &[4, 2, 3, 1] {
+            b.add_edge(0, v, v as Weight);
+        }
+        let g = b.build();
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4]);
+        assert_eq!(g.neighbor_weights(0), &[1.0, 2.0, 3.0, 4.0]);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "vertex out of range")]
+    fn out_of_range_vertex_panics() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 2, 1.0);
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let g = GraphBuilder::new(7).build();
+        assert_eq!(g.num_vertices(), 7);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

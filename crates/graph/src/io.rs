@@ -1,0 +1,307 @@
+//! Graph file I/O: Matrix Market coordinate format (the UF Sparse Matrix
+//! Collection's native format, so the paper's real matrices can be dropped
+//! in when available) and a simple whitespace edge-list format.
+
+use crate::{BipartiteGraph, CsrGraph, GraphBuilder, VertexId, Weight};
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Errors raised while parsing graph files.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural or syntactic problem, with a human-readable description.
+    Parse(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+fn parse_err(msg: impl Into<String>) -> IoError {
+    IoError::Parse(msg.into())
+}
+
+/// A sparse matrix read from Matrix Market coordinate format.
+#[derive(Clone, Debug)]
+pub struct CoordinateMatrix {
+    /// Row count.
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+    /// `(row, col, value)` entries, zero-based.
+    pub entries: Vec<(VertexId, VertexId, Weight)>,
+    /// Whether the header declared `symmetric`.
+    pub symmetric: bool,
+}
+
+impl CoordinateMatrix {
+    /// Interprets the matrix as the **bipartite graph** of its nonzero
+    /// pattern (rows = left vertices, columns = right) with `|value|` as
+    /// edge weight — the representation Table 1.1 uses.
+    pub fn to_bipartite(&self) -> BipartiteGraph {
+        BipartiteGraph::from_edges(
+            self.rows,
+            self.cols,
+            self.entries.iter().map(|&(r, c, v)| (r, c, v.abs())),
+        )
+    }
+
+    /// Interprets a square matrix as the **adjacency graph** of `A + Aᵀ`
+    /// (off-diagonal pattern), weight `|value|` — the representation the
+    /// coloring experiments use.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn to_adjacency(&self) -> CsrGraph {
+        assert_eq!(self.rows, self.cols, "adjacency graph needs a square matrix");
+        let mut b = GraphBuilder::with_capacity(self.rows, self.entries.len());
+        for &(r, c, v) in &self.entries {
+            if r != c {
+                b.add_edge(r, c, v.abs());
+            }
+        }
+        b.build()
+    }
+}
+
+/// Reads a Matrix Market `coordinate` file (`real`, `integer` or `pattern`;
+/// `general` or `symmetric`).
+pub fn read_matrix_market(reader: impl Read) -> Result<CoordinateMatrix, IoError> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| parse_err("empty file"))??
+        .to_lowercase();
+    if !header.starts_with("%%matrixmarket") {
+        return Err(parse_err("missing %%MatrixMarket header"));
+    }
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    if fields.len() < 5 || fields[1] != "matrix" || fields[2] != "coordinate" {
+        return Err(parse_err(format!("unsupported header: {header}")));
+    }
+    let pattern = fields[3] == "pattern";
+    if !matches!(fields[3], "real" | "integer" | "pattern") {
+        return Err(parse_err(format!("unsupported field type: {}", fields[3])));
+    }
+    let symmetric = fields[4] == "symmetric";
+    if !matches!(fields[4], "general" | "symmetric") {
+        return Err(parse_err(format!("unsupported symmetry: {}", fields[4])));
+    }
+
+    // Skip comments, find the size line.
+    let size_line = loop {
+        let line = lines
+            .next()
+            .ok_or_else(|| parse_err("missing size line"))??;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        break line;
+    };
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|_| parse_err(format!("bad size line: {size_line}"))))
+        .collect::<Result<_, _>>()?;
+    if dims.len() != 3 {
+        return Err(parse_err(format!("bad size line: {size_line}")));
+    }
+    let (rows, cols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut entries = Vec::with_capacity(nnz);
+    for line in lines {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut toks = trimmed.split_whitespace();
+        let r: usize = toks
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| parse_err(format!("bad entry: {trimmed}")))?;
+        let c: usize = toks
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| parse_err(format!("bad entry: {trimmed}")))?;
+        let v: Weight = if pattern {
+            1.0
+        } else {
+            toks.next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| parse_err(format!("bad value: {trimmed}")))?
+        };
+        if r == 0 || c == 0 || r > rows || c > cols {
+            return Err(parse_err(format!("entry out of range: {trimmed}")));
+        }
+        entries.push(((r - 1) as VertexId, (c - 1) as VertexId, v));
+        if symmetric && r != c {
+            entries.push(((c - 1) as VertexId, (r - 1) as VertexId, v));
+        }
+    }
+    Ok(CoordinateMatrix {
+        rows,
+        cols,
+        entries,
+        symmetric,
+    })
+}
+
+/// Writes a graph as a Matrix Market symmetric coordinate file.
+pub fn write_matrix_market(g: &CsrGraph, mut w: impl Write) -> Result<(), IoError> {
+    writeln!(w, "%%MatrixMarket matrix coordinate real symmetric")?;
+    writeln!(w, "{} {} {}", g.num_vertices(), g.num_vertices(), g.num_edges())?;
+    for (u, v, wt) in g.edges() {
+        // Lower triangle, 1-based: row > col.
+        writeln!(w, "{} {} {}", v + 1, u + 1, wt)?;
+    }
+    Ok(())
+}
+
+/// Reads a whitespace edge list: lines of `u v [w]`, zero-based ids,
+/// `#`-comments allowed. `n` is inferred as max id + 1.
+pub fn read_edge_list(reader: impl Read) -> Result<CsrGraph, IoError> {
+    let mut edges: Vec<(VertexId, VertexId, Weight)> = Vec::new();
+    let mut max_id: i64 = -1;
+    for line in BufReader::new(reader).lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut toks = trimmed.split_whitespace();
+        let u: VertexId = toks
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| parse_err(format!("bad line: {trimmed}")))?;
+        let v: VertexId = toks
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| parse_err(format!("bad line: {trimmed}")))?;
+        let w: Weight = match toks.next() {
+            Some(t) => t.parse().map_err(|_| parse_err(format!("bad weight: {trimmed}")))?,
+            None => 1.0,
+        };
+        max_id = max_id.max(u as i64).max(v as i64);
+        edges.push((u, v, w));
+    }
+    let n = (max_id + 1) as usize;
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    for (u, v, w) in edges {
+        b.add_edge(u, v, w);
+    }
+    Ok(b.build())
+}
+
+/// Writes a graph as a `u v w` edge list.
+pub fn write_edge_list(g: &CsrGraph, mut w: impl Write) -> Result<(), IoError> {
+    for (u, v, wt) in g.edges() {
+        writeln!(w, "{u} {v} {wt}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::grid2d;
+    use crate::weights::{assign_weights, WeightScheme};
+
+    const MM_GENERAL: &str = "%%MatrixMarket matrix coordinate real general\n\
+        % a comment\n\
+        3 4 3\n\
+        1 1 2.5\n\
+        2 3 -1.0\n\
+        3 4 4.0\n";
+
+    const MM_SYMMETRIC: &str = "%%MatrixMarket matrix coordinate real symmetric\n\
+        3 3 3\n\
+        1 1 1.0\n\
+        2 1 2.0\n\
+        3 2 3.0\n";
+
+    #[test]
+    fn read_general_matrix() {
+        let m = read_matrix_market(MM_GENERAL.as_bytes()).unwrap();
+        assert_eq!((m.rows, m.cols), (3, 4));
+        assert_eq!(m.entries.len(), 3);
+        assert!(!m.symmetric);
+        let bg = m.to_bipartite();
+        assert_eq!(bg.num_edges(), 3);
+        assert_eq!(bg.neighbor_weights(1), &[1.0]); // |-1.0|
+    }
+
+    #[test]
+    fn read_symmetric_matrix_to_adjacency() {
+        let m = read_matrix_market(MM_SYMMETRIC.as_bytes()).unwrap();
+        assert!(m.symmetric);
+        let g = m.to_adjacency();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2); // diagonal dropped
+        assert_eq!(g.edge_weight(0, 1), Some(2.0));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn pattern_matrices_get_unit_values() {
+        let src = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 2\n";
+        let m = read_matrix_market(src.as_bytes()).unwrap();
+        assert_eq!(m.entries, vec![(0, 1, 1.0)]);
+    }
+
+    #[test]
+    fn reject_bad_header() {
+        assert!(read_matrix_market("hello\n1 1 0\n".as_bytes()).is_err());
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix array real general\n1 1 0\n".as_bytes()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn reject_out_of_range_entry() {
+        let src = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(read_matrix_market(src.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn matrix_market_round_trip() {
+        let g = assign_weights(&grid2d(4, 4), WeightScheme::Uniform { lo: 0.5, hi: 1.5 }, 7);
+        let mut buf = Vec::new();
+        write_matrix_market(&g, &mut buf).unwrap();
+        let g2 = read_matrix_market(&buf[..]).unwrap().to_adjacency();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn edge_list_round_trip() {
+        let g = assign_weights(&grid2d(3, 5), WeightScheme::Integer { max: 9 }, 1);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn edge_list_unweighted_and_comments() {
+        let src = "# comment\n0 1\n1 2\n";
+        let g = read_edge_list(src.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.edge_weight(0, 1), Some(1.0));
+    }
+}

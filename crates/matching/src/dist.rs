@@ -1,0 +1,664 @@
+//! The distributed ½-approximation matching algorithm (§3 of the paper).
+//!
+//! Each rank runs [`DistMatching`] over its piece of the distributed graph.
+//! The algorithm maintains, per vertex, a *candidate mate* — the heaviest
+//! still-available neighbor — and matches an edge exactly when the two
+//! endpoints point at each other (a locally dominant edge). Three message
+//! types flow across cross edges:
+//!
+//! * `REQUEST` — "my candidate mate is you" (a matching proposal);
+//! * `SUCCEEDED` — "I matched elsewhere; stop considering me";
+//! * `FAILED` — "I can never be matched; stop considering me".
+//!
+//! The paper's structure is preserved: an **inner loop** (the local queue)
+//! processes interior consequences of every event without communication;
+//! the **outer loop** (engine rounds) exchanges bundled messages for the
+//! boundary vertices. At least two and at most three messages cross any
+//! cross edge, but bundling packs all same-destination messages of a round
+//! into one wire packet.
+
+use crate::Matching;
+use bytes::{Buf, BufMut};
+use cmg_graph::{VertexId, Weight, NO_VERTEX};
+use cmg_partition::DistGraph;
+use cmg_runtime::{Rank, RankCtx, RankProgram, Status, WireMessage};
+use std::collections::VecDeque;
+
+/// Local-index sentinel.
+const NONE: u32 = u32::MAX;
+
+/// Per-vertex availability from this rank's point of view.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum VState {
+    /// Still available for matching.
+    Free,
+    /// Matched (to anyone).
+    Matched,
+    /// Can never be matched (all neighbors taken).
+    Failed,
+}
+
+/// The three wire messages of §3.2, each carrying the global ids of the
+/// edge endpoints (`from` = sender's vertex, `to` = addressee's vertex).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MatchMsg {
+    /// Matching proposal across edge `(from, to)`.
+    Request {
+        /// Proposing vertex (sender side).
+        from: VertexId,
+        /// Proposed-to vertex (receiver side).
+        to: VertexId,
+    },
+    /// `from` has been matched and is no longer available.
+    Succeeded {
+        /// Newly matched vertex (sender side).
+        from: VertexId,
+        /// Neighbor being informed (receiver side).
+        to: VertexId,
+    },
+    /// `from` cannot be matched at all.
+    Failed {
+        /// Failed vertex (sender side).
+        from: VertexId,
+        /// Neighbor being informed (receiver side).
+        to: VertexId,
+    },
+}
+
+impl WireMessage for MatchMsg {
+    fn encode(&self, buf: &mut impl BufMut) {
+        let (tag, from, to) = match *self {
+            MatchMsg::Request { from, to } => (0u8, from, to),
+            MatchMsg::Succeeded { from, to } => (1u8, from, to),
+            MatchMsg::Failed { from, to } => (2u8, from, to),
+        };
+        buf.put_u8(tag);
+        buf.put_u32_le(from);
+        buf.put_u32_le(to);
+    }
+
+    fn decode(buf: &mut impl Buf) -> Option<Self> {
+        if buf.remaining() < 9 {
+            return None;
+        }
+        let tag = buf.get_u8();
+        let from = buf.get_u32_le();
+        let to = buf.get_u32_le();
+        match tag {
+            0 => Some(MatchMsg::Request { from, to }),
+            1 => Some(MatchMsg::Succeeded { from, to }),
+            2 => Some(MatchMsg::Failed { from, to }),
+            _ => None,
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        9
+    }
+}
+
+/// One rank's state of the distributed matching algorithm.
+pub struct DistMatching {
+    dg: DistGraph,
+    /// Weight-sorted adjacency (descending weight, ascending global id —
+    /// the smallest-label tie-break) over owned vertices.
+    sxadj: Vec<usize>,
+    sadj: Vec<u32>,
+    /// Cursor into `sadj` per owned vertex: the candidate-mate pointer.
+    ptr: Vec<usize>,
+    /// Availability per local index (owned + ghost).
+    state: Vec<VState>,
+    /// Mate (global id) per owned vertex; `NO_VERTEX` while unmatched.
+    mate: Vec<VertexId>,
+    /// Candidate mate (local index) per owned vertex; `NONE` if exhausted.
+    candidate: Vec<u32>,
+    /// Pending remote proposals per owned vertex (requester local idxs).
+    r_set: Vec<Vec<u32>>,
+    /// Owned neighbors of each ghost (reverse cross-adjacency).
+    ghost_adj_x: Vec<usize>,
+    ghost_adj: Vec<u32>,
+    /// Inner-loop queue of newly unavailable local indices.
+    queue: VecDeque<u32>,
+}
+
+impl DistMatching {
+    /// Prepares the program for one rank of a distributed (weighted) graph.
+    pub fn new(dg: DistGraph) -> Self {
+        let n_local = dg.n_local;
+        let n_total = dg.n_total();
+
+        // Weight-sorted adjacency. Ties broken by ascending *global* id so
+        // every rank orders shared edges identically.
+        let mut sxadj = Vec::with_capacity(n_local + 1);
+        sxadj.push(0usize);
+        let mut sadj = Vec::with_capacity(dg.adj.len());
+        let mut row: Vec<(Weight, VertexId, u32)> = Vec::new();
+        for v in 0..n_local as u32 {
+            row.clear();
+            row.extend(
+                dg.neighbors_weighted(v)
+                    .map(|(u, w)| (w, dg.global_ids[u as usize], u)),
+            );
+            row.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+            sadj.extend(row.iter().map(|&(_, _, u)| u));
+            sxadj.push(sadj.len());
+        }
+
+        // Reverse adjacency for ghosts: which owned vertices touch each
+        // ghost (needed to propagate "ghost became unavailable").
+        let n_ghost = n_total - n_local;
+        let mut counts = vec![0usize; n_ghost];
+        for &u in &dg.adj {
+            if u as usize >= n_local {
+                counts[u as usize - n_local] += 1;
+            }
+        }
+        let mut ghost_adj_x = Vec::with_capacity(n_ghost + 1);
+        ghost_adj_x.push(0usize);
+        for c in &counts {
+            ghost_adj_x.push(ghost_adj_x.last().unwrap() + c);
+        }
+        let mut ghost_adj = vec![0u32; *ghost_adj_x.last().unwrap()];
+        let mut cursor = ghost_adj_x.clone();
+        for v in 0..n_local as u32 {
+            for &u in dg.neighbors(v) {
+                if u as usize >= n_local {
+                    let gi = u as usize - n_local;
+                    ghost_adj[cursor[gi]] = v;
+                    cursor[gi] += 1;
+                }
+            }
+        }
+
+        DistMatching {
+            ptr: sxadj[..n_local].to_vec(),
+            sxadj,
+            sadj,
+            state: vec![VState::Free; n_total],
+            mate: vec![NO_VERTEX; n_local],
+            candidate: vec![NONE; n_local],
+            r_set: vec![Vec::new(); n_local],
+            ghost_adj_x,
+            ghost_adj,
+            queue: VecDeque::new(),
+            dg,
+        }
+    }
+
+    /// Final mates of the owned vertices, as `(global vertex, global mate)`
+    /// pairs (`NO_VERTEX` mate = unmatched).
+    pub fn local_mates(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.dg.n_local).map(|v| (self.dg.global_ids[v], self.mate[v]))
+    }
+
+    /// Access to the underlying distributed graph.
+    pub fn dist_graph(&self) -> &DistGraph {
+        &self.dg
+    }
+
+    /// This rank's contribution to the global matching weight: each
+    /// matched edge is counted exactly once, by the owner of its
+    /// smaller-id endpoint — so summing over all ranks gives the total
+    /// weight without materializing the global graph.
+    pub fn local_matched_weight(&self) -> Weight {
+        let mut total = 0.0;
+        for v in 0..self.dg.n_local as u32 {
+            let m = self.mate[v as usize];
+            let vg = self.dg.global_ids[v as usize];
+            if m != NO_VERTEX && vg < m {
+                let ml = self.dg.global_to_local[&m];
+                let w = self
+                    .dg
+                    .neighbors_weighted(v)
+                    .find(|&(u, _)| u == ml)
+                    .map(|(_, w)| w)
+                    .expect("mate must be a neighbor");
+                total += w;
+            }
+        }
+        total
+    }
+
+    /// This rank's contribution to the global matching cardinality
+    /// (counted like [`Self::local_matched_weight`]).
+    pub fn local_matched_edges(&self) -> usize {
+        (0..self.dg.n_local as u32)
+            .filter(|&v| {
+                let m = self.mate[v as usize];
+                m != NO_VERTEX && self.dg.global_ids[v as usize] < m
+            })
+            .count()
+    }
+
+    /// Advances `v`'s pointer past unavailable neighbors; returns the new
+    /// candidate (local index) or `NONE`.
+    fn advance(&mut self, v: u32, ctx: &mut RankCtx<MatchMsg>) -> u32 {
+        let hi = self.sxadj[v as usize + 1];
+        let mut steps = 1u64;
+        while self.ptr[v as usize] < hi
+            && self.state[self.sadj[self.ptr[v as usize]] as usize] != VState::Free
+        {
+            self.ptr[v as usize] += 1;
+            steps += 1;
+        }
+        ctx.charge(steps);
+        if self.ptr[v as usize] < hi {
+            self.sadj[self.ptr[v as usize]]
+        } else {
+            NONE
+        }
+    }
+
+    /// (Re)computes `v`'s candidate mate and acts on it: mutual-candidate
+    /// matches, REQUESTs to ghosts, or failure.
+    fn recompute(&mut self, v: u32, ctx: &mut RankCtx<MatchMsg>) {
+        debug_assert_eq!(self.state[v as usize], VState::Free);
+        let c = self.advance(v, ctx);
+        self.candidate[v as usize] = c;
+        if c == NONE {
+            self.fail(v, ctx);
+            return;
+        }
+        if !self.dg.is_ghost(c) {
+            // Local candidate: locally dominant iff mutual.
+            if self.candidate[c as usize] == v {
+                self.match_pair(v, c, ctx);
+            }
+        } else {
+            // Ghost candidate: propose across the cross edge.
+            ctx.send(
+                self.dg.owner(c),
+                &MatchMsg::Request {
+                    from: self.dg.global_ids[v as usize],
+                    to: self.dg.global_ids[c as usize],
+                },
+            );
+            // A proposal may already be waiting from that very neighbor.
+            if self.r_set[v as usize].contains(&c) {
+                self.match_pair(v, c, ctx);
+            }
+        }
+    }
+
+    /// Matches owned vertex `v` with local index `c` (owned or ghost).
+    fn match_pair(&mut self, v: u32, c: u32, ctx: &mut RankCtx<MatchMsg>) {
+        debug_assert_eq!(self.state[v as usize], VState::Free);
+        debug_assert_eq!(self.state[c as usize], VState::Free);
+        self.state[v as usize] = VState::Matched;
+        self.state[c as usize] = VState::Matched;
+        self.mate[v as usize] = self.dg.global_ids[c as usize];
+        self.r_set[v as usize].clear();
+        self.announce_matched(v, c, ctx);
+        self.queue.push_back(v);
+        self.queue.push_back(c);
+        if !self.dg.is_ghost(c) {
+            self.mate[c as usize] = self.dg.global_ids[v as usize];
+            self.r_set[c as usize].clear();
+            self.announce_matched(c, v, ctx);
+        }
+    }
+
+    /// Sends SUCCEEDED for owned vertex `v` to every ghost neighbor except
+    /// its mate `m`.
+    fn announce_matched(&self, v: u32, m: u32, ctx: &mut RankCtx<MatchMsg>) {
+        let vg = self.dg.global_ids[v as usize];
+        for i in self.sxadj[v as usize]..self.sxadj[v as usize + 1] {
+            let u = self.sadj[i];
+            if u != m && self.dg.is_ghost(u) && self.state[u as usize] == VState::Free {
+                ctx.charge(1);
+                ctx.send(
+                    self.dg.owner(u),
+                    &MatchMsg::Succeeded {
+                        from: vg,
+                        to: self.dg.global_ids[u as usize],
+                    },
+                );
+            }
+        }
+    }
+
+    /// Marks owned vertex `v` unmatchable and notifies ghost neighbors.
+    fn fail(&mut self, v: u32, ctx: &mut RankCtx<MatchMsg>) {
+        self.state[v as usize] = VState::Failed;
+        self.r_set[v as usize].clear();
+        let vg = self.dg.global_ids[v as usize];
+        for i in self.sxadj[v as usize]..self.sxadj[v as usize + 1] {
+            let u = self.sadj[i];
+            if self.dg.is_ghost(u) && self.state[u as usize] == VState::Free {
+                ctx.charge(1);
+                ctx.send(
+                    self.dg.owner(u),
+                    &MatchMsg::Failed {
+                        from: vg,
+                        to: self.dg.global_ids[u as usize],
+                    },
+                );
+            }
+        }
+        self.queue.push_back(v);
+    }
+
+    /// Inner loop: drains the queue of newly unavailable vertices,
+    /// recomputing the candidates of affected Free owned neighbors — all
+    /// without communication (messages are only *buffered* for the round's
+    /// bundles).
+    fn drain_queue(&mut self, ctx: &mut RankCtx<MatchMsg>) {
+        while let Some(x) = self.queue.pop_front() {
+            let n_local = self.dg.n_local;
+            if (x as usize) < n_local {
+                let (lo, hi) = (self.sxadj[x as usize], self.sxadj[x as usize + 1]);
+                for i in lo..hi {
+                    let w = self.sadj[i];
+                    ctx.charge(1);
+                    if (w as usize) < n_local
+                        && self.state[w as usize] == VState::Free
+                        && self.candidate[w as usize] == x
+                    {
+                        self.recompute(w, ctx);
+                    }
+                }
+            } else {
+                let gi = x as usize - n_local;
+                let (lo, hi) = (self.ghost_adj_x[gi], self.ghost_adj_x[gi + 1]);
+                for i in lo..hi {
+                    let w = self.ghost_adj[i];
+                    ctx.charge(1);
+                    if self.state[w as usize] == VState::Free && self.candidate[w as usize] == x {
+                        self.recompute(w, ctx);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Handles one incoming message.
+    fn handle(&mut self, msg: MatchMsg, ctx: &mut RankCtx<MatchMsg>) {
+        ctx.charge(1);
+        match msg {
+            MatchMsg::Request { from, to } => {
+                let v = self.dg.global_to_local[&to];
+                let u = self.dg.global_to_local[&from];
+                debug_assert!(!self.dg.is_ghost(v));
+                if self.state[v as usize] != VState::Free {
+                    // Our SUCCEEDED/FAILED already crossed this REQUEST.
+                    return;
+                }
+                if self.candidate[v as usize] == u {
+                    self.match_pair(v, u, ctx);
+                    self.drain_queue(ctx);
+                } else {
+                    self.r_set[v as usize].push(u);
+                }
+            }
+            MatchMsg::Succeeded { from, to: _ } | MatchMsg::Failed { from, to: _ } => {
+                let u = self.dg.global_to_local[&from];
+                debug_assert!(self.dg.is_ghost(u));
+                if self.state[u as usize] == VState::Free {
+                    self.state[u as usize] = match msg {
+                        MatchMsg::Succeeded { .. } => VState::Matched,
+                        _ => VState::Failed,
+                    };
+                    self.queue.push_back(u);
+                    self.drain_queue(ctx);
+                }
+            }
+        }
+    }
+}
+
+impl RankProgram for DistMatching {
+    type Msg = MatchMsg;
+
+    fn on_start(&mut self, ctx: &mut RankCtx<MatchMsg>) -> Status {
+        // Initial candidates for every owned vertex…
+        for v in 0..self.dg.n_local as u32 {
+            self.candidate[v as usize] = self.advance(v, ctx);
+        }
+        // …then find the initial locally dominant edges and proposals.
+        for v in 0..self.dg.n_local as u32 {
+            if self.state[v as usize] != VState::Free {
+                continue;
+            }
+            let c = self.candidate[v as usize];
+            if c == NONE {
+                self.fail(v, ctx); // isolated vertex
+            } else if !self.dg.is_ghost(c) {
+                if self.candidate[c as usize] == v && (c as usize) > (v as usize) {
+                    self.match_pair(v, c, ctx);
+                }
+            } else {
+                ctx.send(
+                    self.dg.owner(c),
+                    &MatchMsg::Request {
+                        from: self.dg.global_ids[v as usize],
+                        to: self.dg.global_ids[c as usize],
+                    },
+                );
+            }
+        }
+        self.drain_queue(ctx);
+        Status::Idle
+    }
+
+    fn on_round(
+        &mut self,
+        inbox: &mut Vec<(Rank, Vec<MatchMsg>)>,
+        ctx: &mut RankCtx<MatchMsg>,
+    ) -> Status {
+        for (_, msgs) in inbox.drain(..) {
+            for msg in msgs {
+                self.handle(msg, ctx);
+            }
+        }
+        self.drain_queue(ctx);
+        Status::Idle
+    }
+}
+
+/// Assembles the global matching from finished rank programs, verifying
+/// cross-rank agreement on every matched edge.
+///
+/// # Panics
+/// Panics if two ranks disagree about a matched pair (would indicate a
+/// protocol bug).
+pub fn assemble_matching(programs: &[DistMatching], num_vertices: usize) -> Matching {
+    let mut mate = vec![NO_VERTEX; num_vertices];
+    for p in programs {
+        for (v, m) in p.local_mates() {
+            mate[v as usize] = m;
+        }
+    }
+    for v in 0..num_vertices as VertexId {
+        let m = mate[v as usize];
+        assert!(
+            m == NO_VERTEX || mate[m as usize] == v,
+            "ranks disagree: mate[{v}]={m} but mate[{m}]={}",
+            mate[m as usize]
+        );
+    }
+    Matching::from_mates(mate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq;
+    use cmg_graph::generators::{complete, erdos_renyi, grid2d};
+    use cmg_graph::weights::{assign_weights, WeightScheme};
+    use cmg_graph::CsrGraph;
+    use cmg_partition::simple::{block_partition, hash_partition};
+    use cmg_partition::Partition;
+    use cmg_runtime::{CostModel, EngineConfig, SimEngine};
+
+    fn free_config() -> EngineConfig {
+        EngineConfig {
+            cost: CostModel::compute_only(),
+            ..Default::default()
+        }
+    }
+
+    fn run_dist(g: &CsrGraph, partition: &Partition) -> (Matching, cmg_runtime::RunStats) {
+        let parts = DistGraph::build_all(g, partition);
+        let programs: Vec<DistMatching> = parts.into_iter().map(DistMatching::new).collect();
+        let result = SimEngine::new(programs, free_config()).run();
+        assert!(!result.hit_round_cap, "matching did not quiesce");
+        (
+            assemble_matching(&result.programs, g.num_vertices()),
+            result.stats,
+        )
+    }
+
+    #[test]
+    fn message_codec_round_trip() {
+        use cmg_runtime::WireMessage;
+        let msgs = [
+            MatchMsg::Request { from: 1, to: 2 },
+            MatchMsg::Succeeded { from: 3, to: 4 },
+            MatchMsg::Failed { from: 5, to: 6 },
+        ];
+        let mut buf = bytes::BytesMut::new();
+        for m in &msgs {
+            m.encode(&mut buf);
+        }
+        let decoded: Vec<MatchMsg> =
+            cmg_runtime::message::decode_all(buf.freeze()).unwrap();
+        assert_eq!(decoded, msgs);
+    }
+
+    #[test]
+    fn figure31_example_one_vertex_per_rank() {
+        // The paper's illustration: triangle with w(u,v)=3, w(u,w)=2,
+        // w(v,w)=1, one vertex per processor.
+        let mut b = cmg_graph::GraphBuilder::new(3);
+        b.add_edge(0, 1, 3.0);
+        b.add_edge(0, 2, 2.0);
+        b.add_edge(1, 2, 1.0);
+        let g = b.build();
+        let p = Partition::new(vec![0, 1, 2], 3);
+        let (m, stats) = run_dist(&g, &p);
+        assert_eq!(m.mate(0), 1);
+        assert_eq!(m.mate(1), 0);
+        assert!(!m.is_matched(2));
+        // §3.2: at least two and at most three messages per edge.
+        let msgs = stats.total_messages();
+        assert!((6..=9).contains(&msgs), "messages: {msgs}");
+    }
+
+    #[test]
+    fn matches_sequential_on_distinct_weights() {
+        for seed in 0..6 {
+            let g = assign_weights(
+                &erdos_renyi(80, 240, seed),
+                WeightScheme::Uniform { lo: 0.0, hi: 1.0 },
+                seed,
+            );
+            let expected = seq::local_dominant(&g);
+            for parts in [1u32, 2, 4, 7] {
+                let p = hash_partition(g.num_vertices(), parts, seed);
+                let (m, _) = run_dist(&g, &p);
+                m.validate(&g).unwrap();
+                assert_eq!(
+                    m, expected,
+                    "seed {seed}, {parts} parts: distributed != sequential"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weight_independent_of_rank_count() {
+        // §5.2: "the sum of the weights of edges in the computed matching
+        // remained the same, regardless of the number of processors used."
+        let g = assign_weights(
+            &grid2d(12, 12),
+            WeightScheme::Uniform { lo: 0.0, hi: 1.0 },
+            3,
+        );
+        let w1 = run_dist(&g, &Partition::single(g.num_vertices())).0.weight(&g);
+        for parts in [2u32, 3, 6, 12] {
+            let p = block_partition(g.num_vertices(), parts);
+            let w = run_dist(&g, &p).0.weight(&g);
+            assert!((w - w1).abs() < 1e-9, "{parts} parts: {w} vs {w1}");
+        }
+    }
+
+    #[test]
+    fn equal_weights_are_handled() {
+        // All-equal weights exercise every tie-break path.
+        let g = assign_weights(&complete(10), WeightScheme::Equal(1.0), 0);
+        let p = hash_partition(10, 3, 1);
+        let (m, _) = run_dist(&g, &p);
+        m.validate(&g).unwrap();
+        assert!(m.is_maximal(&g));
+        assert_eq!(m.cardinality(), 5);
+    }
+
+    #[test]
+    fn disconnected_graph_and_isolated_vertices() {
+        let mut b = cmg_graph::GraphBuilder::new(7);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(2, 3, 2.0);
+        // 4, 5, 6 isolated
+        let g = b.build();
+        let p = block_partition(7, 3);
+        let (m, _) = run_dist(&g, &p);
+        m.validate(&g).unwrap();
+        assert_eq!(m.cardinality(), 2);
+        assert!(!m.is_matched(4));
+    }
+
+    #[test]
+    fn bundling_reduces_packets_not_messages() {
+        let g = assign_weights(
+            &grid2d(16, 16),
+            WeightScheme::Uniform { lo: 0.0, hi: 1.0 },
+            7,
+        );
+        let p = block_partition(g.num_vertices(), 4);
+        let parts = DistGraph::build_all(&g, &p);
+        let run = |bundling: bool| {
+            let programs: Vec<DistMatching> =
+                parts.iter().cloned().map(DistMatching::new).collect();
+            let cfg = EngineConfig {
+                cost: CostModel::compute_only(),
+                bundling,
+                ..Default::default()
+            };
+            SimEngine::new(programs, cfg).run()
+        };
+        let bundled = run(true);
+        let unbundled = run(false);
+        assert_eq!(
+            bundled.stats.total_messages(),
+            unbundled.stats.total_messages()
+        );
+        assert!(
+            bundled.stats.total_packets() < unbundled.stats.total_packets() / 2,
+            "bundling should collapse packets: {} vs {}",
+            bundled.stats.total_packets(),
+            unbundled.stats.total_packets()
+        );
+        // And the matching itself is identical.
+        let ma = assemble_matching(&bundled.programs, g.num_vertices());
+        let mb = assemble_matching(&unbundled.programs, g.num_vertices());
+        assert_eq!(ma, mb);
+    }
+
+    #[test]
+    fn message_bound_per_cross_edge() {
+        // At most 3 logical messages per cross edge (§3.2).
+        let g = assign_weights(
+            &grid2d(10, 10),
+            WeightScheme::Uniform { lo: 0.0, hi: 1.0 },
+            11,
+        );
+        let p = block_partition(g.num_vertices(), 5);
+        let cross = p.quality(&g).edge_cut as u64;
+        let (_, stats) = run_dist(&g, &p);
+        assert!(
+            stats.total_messages() <= 3 * cross,
+            "messages {} > 3 × cut {cross}",
+            stats.total_messages()
+        );
+    }
+}

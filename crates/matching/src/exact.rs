@@ -1,0 +1,344 @@
+//! Exact maximum-weight matching references.
+//!
+//! Table 1.1 of the paper reports the ½-approximation's solution quality
+//! *relative to optimal solutions*; this module supplies the optima:
+//!
+//! * [`max_weight_bipartite`]: successive shortest paths with potentials
+//!   (min-cost-flow formulation) for bipartite graphs — the Table 1.1
+//!   reference (the table's inputs are bipartite graphs of matrices);
+//! * [`brute_force_weight`]: bitmask dynamic program for tiny general
+//!   graphs — the property-test oracle.
+
+use crate::Matching;
+use cmg_graph::{BipartiteGraph, CsrGraph, VertexId, Weight};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Result of an exact bipartite solve.
+#[derive(Clone, Debug)]
+pub struct BipartiteOptimum {
+    /// Optimal total weight.
+    pub weight: Weight,
+    /// Matched pairs `(left, right)`.
+    pub pairs: Vec<(VertexId, VertexId)>,
+}
+
+impl BipartiteOptimum {
+    /// Converts to a [`Matching`] over the ids of
+    /// [`BipartiteGraph::to_general`] (right ids offset by `num_left`).
+    pub fn to_general_matching(&self, num_left: usize, num_right: usize) -> Matching {
+        let mut m = Matching::empty(num_left + num_right);
+        for &(l, r) in &self.pairs {
+            m.add(l, r + num_left as VertexId);
+        }
+        m
+    }
+}
+
+/// Min-cost-flow arc.
+#[derive(Clone, Debug)]
+struct Arc {
+    to: u32,
+    cap: u32,
+    cost: f64,
+}
+
+/// Residual network with paired forward/backward arcs.
+struct Network {
+    arcs: Vec<Arc>,
+    /// Outgoing arc indices per node.
+    out: Vec<Vec<u32>>,
+}
+
+impl Network {
+    fn new(nodes: usize) -> Self {
+        Network {
+            arcs: Vec::new(),
+            out: vec![Vec::new(); nodes],
+        }
+    }
+
+    fn add_edge(&mut self, from: u32, to: u32, cap: u32, cost: f64) {
+        let id = self.arcs.len() as u32;
+        self.arcs.push(Arc { to, cap, cost });
+        self.arcs.push(Arc {
+            to: from,
+            cap: 0,
+            cost: -cost,
+        });
+        self.out[from as usize].push(id);
+        self.out[to as usize].push(id + 1);
+    }
+}
+
+/// Exact maximum-weight bipartite matching by successive shortest
+/// augmenting paths with Johnson potentials.
+///
+/// Only edges with positive weight can improve the objective, so
+/// non-positive-weight edges are never matched. Complexity
+/// `O(k · m log n)` where `k` is the optimal cardinality.
+pub fn max_weight_bipartite(g: &BipartiteGraph) -> BipartiteOptimum {
+    let nl = g.num_left();
+    let nr = g.num_right();
+    let nodes = 2 + nl + nr;
+    let source = 0u32;
+    let sink = 1u32;
+    let left = |l: VertexId| 2 + l;
+    let right = |r: VertexId| 2 + nl as u32 + r;
+
+    let mut net = Network::new(nodes);
+    let mut wmax: f64 = 0.0;
+    for l in 0..nl as VertexId {
+        net.add_edge(source, left(l), 1, 0.0);
+    }
+    for r in 0..nr as VertexId {
+        net.add_edge(right(r), sink, 1, 0.0);
+    }
+    for (l, r, w) in g.edges() {
+        net.add_edge(left(l), right(r), 1, -w);
+        wmax = wmax.max(w);
+    }
+
+    // Initial potentials make every reduced cost non-negative:
+    // φ(left) = 0, φ(right) = φ(sink) = −wmax.
+    let mut phi = vec![0.0f64; nodes];
+    for (node, p) in phi.iter_mut().enumerate() {
+        if node != source as usize && node >= 2 + nl || node == sink as usize {
+            *p = -wmax;
+        }
+    }
+
+    let mut total = 0.0f64;
+    let mut dist = vec![f64::INFINITY; nodes];
+    let mut prev_arc = vec![u32::MAX; nodes];
+    loop {
+        // Dijkstra on reduced costs.
+        dist.fill(f64::INFINITY);
+        prev_arc.fill(u32::MAX);
+        dist[source as usize] = 0.0;
+        let mut heap: BinaryHeap<Reverse<(OrdF64, u32)>> = BinaryHeap::new();
+        heap.push(Reverse((OrdF64(0.0), source)));
+        while let Some(Reverse((OrdF64(d), node))) = heap.pop() {
+            if d > dist[node as usize] {
+                continue;
+            }
+            for &aid in &net.out[node as usize] {
+                let arc = &net.arcs[aid as usize];
+                if arc.cap == 0 {
+                    continue;
+                }
+                let rc = arc.cost + phi[node as usize] - phi[arc.to as usize];
+                debug_assert!(rc > -1e-9, "negative reduced cost {rc}");
+                let nd = d + rc.max(0.0);
+                if nd + 1e-15 < dist[arc.to as usize] {
+                    dist[arc.to as usize] = nd;
+                    prev_arc[arc.to as usize] = aid;
+                    heap.push(Reverse((OrdF64(nd), arc.to)));
+                }
+            }
+        }
+        if !dist[sink as usize].is_finite() {
+            break; // no augmenting path at all
+        }
+        // Real path cost; augment only while it strictly improves.
+        let path_cost = dist[sink as usize] + phi[sink as usize] - phi[source as usize];
+        if path_cost >= -1e-12 {
+            break;
+        }
+        // Update potentials.
+        for node in 0..nodes {
+            if dist[node].is_finite() {
+                phi[node] += dist[node];
+            }
+        }
+        // Augment one unit along the path.
+        let mut node = sink;
+        while node != source {
+            let aid = prev_arc[node as usize] as usize;
+            net.arcs[aid].cap -= 1;
+            net.arcs[aid ^ 1].cap += 1;
+            // Either direction: the paired arc points back at the
+            // traversal's origin node.
+            node = net.arcs[aid ^ 1].to;
+        }
+        total += -path_cost;
+    }
+
+    // Extract matched pairs: saturated left→right arcs.
+    let mut pairs = Vec::new();
+    for l in 0..nl as VertexId {
+        for &aid in &net.out[left(l) as usize] {
+            if aid % 2 != 0 {
+                continue; // backward arc
+            }
+            let arc = &net.arcs[aid as usize];
+            let to = arc.to;
+            if to != source && to != sink && to >= 2 + nl as u32 && arc.cap == 0 {
+                pairs.push((l, to - 2 - nl as u32));
+            }
+        }
+    }
+    BipartiteOptimum {
+        weight: total,
+        pairs,
+    }
+}
+
+/// Total-order wrapper for `f64` heap keys.
+#[derive(Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Exact maximum-weight matching of a tiny general graph by bitmask
+/// dynamic programming. `O(2ⁿ·Δ)`; intended as a test oracle.
+///
+/// # Panics
+/// Panics if `g` has more than 24 vertices.
+pub fn brute_force_weight(g: &CsrGraph) -> Weight {
+    let n = g.num_vertices();
+    assert!(n <= 24, "brute force limited to 24 vertices");
+    let mut memo: Vec<f64> = vec![f64::NAN; 1usize << n];
+    solve(g, 0, &mut memo)
+}
+
+fn solve(g: &CsrGraph, used: u32, memo: &mut [f64]) -> Weight {
+    let n = g.num_vertices() as u32;
+    // First unused vertex.
+    let mut v = used.trailing_ones();
+    while v < n && used & (1 << v) != 0 {
+        v += 1;
+    }
+    if v >= n {
+        return 0.0;
+    }
+    if !memo[used as usize].is_nan() {
+        return memo[used as usize];
+    }
+    // Option 1: leave v unmatched.
+    let mut best = solve(g, used | (1 << v), memo);
+    // Option 2: match v with an unused neighbor.
+    for (u, w) in g.neighbors_weighted(v) {
+        if used & (1 << u) == 0 {
+            best = best.max(w + solve(g, used | (1 << v) | (1 << u), memo));
+        }
+    }
+    memo[used as usize] = best;
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq;
+    use cmg_graph::generators::{erdos_renyi, random_bipartite};
+    use cmg_graph::weights::{assign_weights, WeightScheme};
+    use cmg_graph::GraphBuilder;
+
+    #[test]
+    fn bipartite_hand_example() {
+        // left 0: r0 (w 5), r1 (w 1); left 1: r0 (w 4).
+        // Optimal: (0,r1)+(1,r0) = 5? No: (0,r0)=5 blocks (1,r0)=4 → 5+0? or 1+4=5.
+        // Both give 5... make it sharper: (0,r0)=5, (0,r1)=1, (1,r0)=4.9:
+        // greedy takes 5 → total 6 with (0,r0)+(1,?) none = 5? (0,r0)+nothing=5,
+        // alternative (0,r1)+(1,r0)=5.9 → optimum 5.9.
+        let g = BipartiteGraph::from_edges(
+            2,
+            2,
+            vec![(0, 0, 5.0), (0, 1, 1.0), (1, 0, 4.9)],
+        );
+        let opt = max_weight_bipartite(&g);
+        assert!((opt.weight - 5.9).abs() < 1e-9, "weight {}", opt.weight);
+        let mut pairs = opt.pairs.clone();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn zero_weight_edges_are_not_forced() {
+        let g = BipartiteGraph::from_edges(1, 1, vec![(0, 0, 0.0)]);
+        let opt = max_weight_bipartite(&g);
+        assert_eq!(opt.weight, 0.0);
+    }
+
+    #[test]
+    fn empty_bipartite() {
+        let g = BipartiteGraph::from_edges(3, 3, vec![]);
+        let opt = max_weight_bipartite(&g);
+        assert_eq!(opt.weight, 0.0);
+        assert!(opt.pairs.is_empty());
+    }
+
+    #[test]
+    fn optimum_matches_brute_force_on_small_bipartite() {
+        for seed in 0..8 {
+            let bg = random_bipartite(5, 5, 12, seed);
+            let opt = max_weight_bipartite(&bg);
+            let general = bg.to_general();
+            let brute = brute_force_weight(&general);
+            assert!(
+                (opt.weight - brute).abs() < 1e-9,
+                "seed {seed}: ssp {} vs brute {brute}",
+                opt.weight
+            );
+            // Also check the extracted pairs are a valid matching of that
+            // weight.
+            let m = opt.to_general_matching(5, 5);
+            m.validate(&general).unwrap();
+            assert!((m.weight(&general) - opt.weight).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn half_approximation_bound_holds_against_optimum() {
+        for seed in 0..8 {
+            let bg = random_bipartite(8, 8, 24, 50 + seed);
+            let g = bg.to_general();
+            let opt = max_weight_bipartite(&bg).weight;
+            for alg in [seq::greedy, seq::local_dominant, seq::path_growing, seq::suitor] {
+                let w = alg(&g).weight(&g);
+                assert!(
+                    w >= 0.5 * opt - 1e-9,
+                    "seed {seed}: approx {w} < half of {opt}"
+                );
+                assert!(w <= opt + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn brute_force_on_triangle() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 3.0);
+        b.add_edge(0, 2, 2.0);
+        b.add_edge(1, 2, 1.0);
+        assert_eq!(brute_force_weight(&b.build()), 3.0);
+    }
+
+    #[test]
+    fn brute_force_vs_greedy_on_random_graphs() {
+        for seed in 0..6 {
+            let g = assign_weights(
+                &erdos_renyi(10, 20, seed),
+                WeightScheme::Uniform { lo: 0.0, hi: 1.0 },
+                seed,
+            );
+            let opt = brute_force_weight(&g);
+            let gw = seq::greedy(&g).weight(&g);
+            assert!(gw <= opt + 1e-9);
+            assert!(gw >= 0.5 * opt - 1e-9);
+        }
+    }
+}

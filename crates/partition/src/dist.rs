@@ -1,0 +1,341 @@
+//! Distributed-graph construction: per-rank local graphs with ghost
+//! vertices.
+//!
+//! §3.3 of the paper: "Cross edges are represented using ghost vertices: a
+//! boundary vertex u is stored on its corresponding processor p(u) as well
+//! as on every other processor p(v) such that (u, v) is a cross edge. On
+//! processor p(v) vertex u represents a ghost vertex."
+//!
+//! Local index layout on each rank: owned vertices occupy `0..n_local`,
+//! ghosts occupy `n_local..n_local + n_ghost`. Only owned vertices carry an
+//! adjacency row.
+
+use crate::Partition;
+use cmg_graph::util::FxHashMap;
+use cmg_graph::{CsrGraph, VertexId, Weight};
+
+/// A rank (re-declared locally to avoid a dependency on `cmg-runtime`;
+/// the numeric type matches `cmg_runtime::Rank`).
+pub type Rank = u32;
+
+/// One rank's piece of a distributed graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DistGraph {
+    /// This rank's id.
+    pub rank: Rank,
+    /// Total number of ranks.
+    pub num_ranks: Rank,
+    /// Number of owned (local) vertices.
+    pub n_local: usize,
+    /// CSR offsets over owned vertices (length `n_local + 1`).
+    pub xadj: Vec<usize>,
+    /// Adjacency in *local indices* (owned or ghost).
+    pub adj: Vec<u32>,
+    /// Edge weights parallel to `adj` (empty if the global graph is
+    /// unweighted).
+    pub weights: Vec<Weight>,
+    /// Global id of each local index (owned then ghosts).
+    pub global_ids: Vec<VertexId>,
+    /// Owner rank of each ghost, indexed by `local - n_local`.
+    pub ghost_owner: Vec<Rank>,
+    /// Global id → local index, for owned and ghost vertices of this rank.
+    pub global_to_local: FxHashMap<VertexId, u32>,
+    /// `is_boundary[v]` for owned `v`: has at least one ghost neighbor.
+    pub is_boundary: Vec<bool>,
+    /// Sorted list of neighboring ranks (ranks owning at least one ghost).
+    pub neighbor_ranks: Vec<Rank>,
+}
+
+impl DistGraph {
+    /// Builds every rank's local graph from a global graph and partition
+    /// (the paper assumes "the input graph is pre-distributed").
+    ///
+    /// # Panics
+    /// Panics if graph and partition disagree on the vertex count.
+    pub fn build_all(g: &CsrGraph, partition: &Partition) -> Vec<DistGraph> {
+        assert_eq!(g.num_vertices(), partition.num_vertices());
+        let p = partition.num_parts();
+
+        // Owned vertices per rank, in global-id order (deterministic).
+        let mut owned: Vec<Vec<VertexId>> = vec![Vec::new(); p as usize];
+        for v in 0..g.num_vertices() as VertexId {
+            owned[partition.owner(v) as usize].push(v);
+        }
+
+        (0..p)
+            .map(|rank| Self::build_one(g, partition, rank, &owned[rank as usize]))
+            .collect()
+    }
+
+    fn build_one(
+        g: &CsrGraph,
+        partition: &Partition,
+        rank: Rank,
+        owned: &[VertexId],
+    ) -> DistGraph {
+        let n_local = owned.len();
+        let mut global_ids: Vec<VertexId> = owned.to_vec();
+        let mut global_to_local: FxHashMap<VertexId, u32> = FxHashMap::default();
+        for (i, &v) in owned.iter().enumerate() {
+            global_to_local.insert(v, i as u32);
+        }
+
+        // Discover ghosts in deterministic order (scan owned adjacency).
+        let mut ghost_owner: Vec<Rank> = Vec::new();
+        for &v in owned {
+            for &u in g.neighbors(v) {
+                let o = partition.owner(u);
+                if o != rank && !global_to_local.contains_key(&u) {
+                    let idx = (n_local + ghost_owner.len()) as u32;
+                    global_to_local.insert(u, idx);
+                    global_ids.push(u);
+                    ghost_owner.push(o);
+                }
+            }
+        }
+
+        // Local CSR over owned vertices.
+        let mut xadj = Vec::with_capacity(n_local + 1);
+        xadj.push(0usize);
+        let mut adj = Vec::new();
+        let mut weights = Vec::new();
+        let weighted = g.is_weighted();
+        let mut is_boundary = vec![false; n_local];
+        for (i, &v) in owned.iter().enumerate() {
+            for (u, w) in g.neighbors_weighted(v) {
+                let lu = global_to_local[&u];
+                adj.push(lu);
+                if weighted {
+                    weights.push(w);
+                }
+                if lu as usize >= n_local {
+                    is_boundary[i] = true;
+                }
+            }
+            xadj.push(adj.len());
+        }
+
+        let mut neighbor_ranks: Vec<Rank> = ghost_owner.clone();
+        neighbor_ranks.sort_unstable();
+        neighbor_ranks.dedup();
+
+        DistGraph {
+            rank,
+            num_ranks: partition.num_parts(),
+            n_local,
+            xadj,
+            adj,
+            weights,
+            global_ids,
+            ghost_owner,
+            global_to_local,
+            is_boundary,
+            neighbor_ranks,
+        }
+    }
+
+    /// Number of ghost vertices.
+    #[inline]
+    pub fn n_ghost(&self) -> usize {
+        self.ghost_owner.len()
+    }
+
+    /// Total local indices (owned + ghost).
+    #[inline]
+    pub fn n_total(&self) -> usize {
+        self.n_local + self.n_ghost()
+    }
+
+    /// `true` if local index `v` refers to a ghost.
+    #[inline]
+    pub fn is_ghost(&self, v: u32) -> bool {
+        v as usize >= self.n_local
+    }
+
+    /// Owner rank of local index `v` (self for owned vertices).
+    #[inline]
+    pub fn owner(&self, v: u32) -> Rank {
+        if self.is_ghost(v) {
+            self.ghost_owner[v as usize - self.n_local]
+        } else {
+            self.rank
+        }
+    }
+
+    /// Degree of owned vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: u32) -> usize {
+        self.xadj[v as usize + 1] - self.xadj[v as usize]
+    }
+
+    /// Neighbors (local indices) of owned vertex `v`.
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.adj[self.xadj[v as usize]..self.xadj[v as usize + 1]]
+    }
+
+    /// Neighbor weights parallel to [`Self::neighbors`] (empty if
+    /// unweighted).
+    #[inline]
+    pub fn neighbor_weights(&self, v: u32) -> &[Weight] {
+        if self.weights.is_empty() {
+            &[]
+        } else {
+            &self.weights[self.xadj[v as usize]..self.xadj[v as usize + 1]]
+        }
+    }
+
+    /// Iterates `(neighbor_local, weight)` of owned vertex `v` (weight 1.0
+    /// if unweighted).
+    pub fn neighbors_weighted(&self, v: u32) -> impl Iterator<Item = (u32, Weight)> + '_ {
+        let lo = self.xadj[v as usize];
+        let hi = self.xadj[v as usize + 1];
+        let weighted = !self.weights.is_empty();
+        (lo..hi).map(move |i| (self.adj[i], if weighted { self.weights[i] } else { 1.0 }))
+    }
+
+    /// Number of owned boundary vertices.
+    pub fn num_boundary(&self) -> usize {
+        self.is_boundary.iter().filter(|&&b| b).count()
+    }
+}
+
+/// Sanity-checks a set of rank-local graphs against the global graph they
+/// were built from (test helper; exercised heavily in the integration
+/// suite).
+pub fn validate_distribution(g: &CsrGraph, parts: &[DistGraph]) -> Result<(), String> {
+    let mut seen = vec![false; g.num_vertices()];
+    let mut edge_count = 0usize;
+    for dg in parts {
+        for vl in 0..dg.n_local as u32 {
+            let vg = dg.global_ids[vl as usize];
+            if seen[vg as usize] {
+                return Err(format!("vertex {vg} owned twice"));
+            }
+            seen[vg as usize] = true;
+            if dg.degree(vl) != g.degree(vg) {
+                return Err(format!("vertex {vg}: degree mismatch"));
+            }
+            let mut nbrs: Vec<VertexId> = dg
+                .neighbors(vl)
+                .iter()
+                .map(|&ul| dg.global_ids[ul as usize])
+                .collect();
+            nbrs.sort_unstable();
+            if nbrs != g.neighbors(vg) {
+                return Err(format!("vertex {vg}: neighbor set mismatch"));
+            }
+            edge_count += dg.degree(vl);
+        }
+        for (gi, &owner) in dg.ghost_owner.iter().enumerate() {
+            if owner == dg.rank {
+                return Err(format!(
+                    "rank {}: ghost {} owned by itself",
+                    dg.rank,
+                    dg.global_ids[dg.n_local + gi]
+                ));
+            }
+        }
+    }
+    if seen.iter().any(|&s| !s) {
+        return Err("some vertex owned by no rank".into());
+    }
+    if edge_count != 2 * g.num_edges() {
+        return Err(format!(
+            "directed edge count mismatch: {} vs {}",
+            edge_count,
+            2 * g.num_edges()
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simple::{block_partition, grid2d_partition, hash_partition};
+    use cmg_graph::generators::grid2d;
+    use cmg_graph::weights::{assign_weights, WeightScheme};
+
+    #[test]
+    fn grid_distribution_is_consistent() {
+        let g = grid2d(6, 6);
+        let p = grid2d_partition(6, 6, 2, 2);
+        let parts = DistGraph::build_all(&g, &p);
+        assert_eq!(parts.len(), 4);
+        validate_distribution(&g, &parts).unwrap();
+        // Each rank owns a 3x3 subgrid; corner subgrids have 5 boundary
+        // vertices (the two interior-facing sides).
+        for dg in &parts {
+            assert_eq!(dg.n_local, 9);
+            assert_eq!(dg.num_boundary(), 5);
+            // 5-point stencil: only the two side-adjacent ranks, no diagonal.
+            assert_eq!(dg.neighbor_ranks.len(), 2);
+        }
+    }
+
+    #[test]
+    fn five_point_grid_has_no_diagonal_rank_neighbors() {
+        // On a 4x4 grid split 2x2, each rank's ghosts come only from the 2
+        // side-adjacent ranks (5-point stencil has no diagonals).
+        let g = grid2d(4, 4);
+        let p = grid2d_partition(4, 4, 2, 2);
+        let parts = DistGraph::build_all(&g, &p);
+        for dg in &parts {
+            assert_eq!(dg.neighbor_ranks.len(), 2, "rank {}", dg.rank);
+        }
+    }
+
+    #[test]
+    fn weights_survive_distribution() {
+        let g = assign_weights(&grid2d(5, 5), WeightScheme::Uniform { lo: 0.0, hi: 1.0 }, 3);
+        let p = block_partition(25, 3);
+        let parts = DistGraph::build_all(&g, &p);
+        validate_distribution(&g, &parts).unwrap();
+        for dg in &parts {
+            for vl in 0..dg.n_local as u32 {
+                let vg = dg.global_ids[vl as usize];
+                for (ul, w) in dg.neighbors_weighted(vl) {
+                    let ug = dg.global_ids[ul as usize];
+                    assert_eq!(g.edge_weight(vg, ug), Some(w));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ghost_maps_are_inverse() {
+        let g = grid2d(8, 8);
+        let p = hash_partition(64, 4, 9);
+        let parts = DistGraph::build_all(&g, &p);
+        validate_distribution(&g, &parts).unwrap();
+        for dg in &parts {
+            for (gid, &lid) in &dg.global_to_local {
+                assert_eq!(dg.global_ids[lid as usize], *gid);
+            }
+            assert_eq!(dg.global_to_local.len(), dg.n_total());
+        }
+    }
+
+    #[test]
+    fn empty_rank_is_fine() {
+        // 3 vertices, 4 ranks: one rank owns nothing.
+        let g = grid2d(1, 3);
+        let p = block_partition(3, 4);
+        let parts = DistGraph::build_all(&g, &p);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts[3].n_local, 0);
+        assert_eq!(parts[3].n_ghost(), 0);
+        validate_distribution(&g, &parts).unwrap();
+    }
+
+    #[test]
+    fn single_rank_has_no_ghosts() {
+        let g = grid2d(4, 4);
+        let p = Partition::single(16);
+        let parts = DistGraph::build_all(&g, &p);
+        assert_eq!(parts[0].n_ghost(), 0);
+        assert_eq!(parts[0].num_boundary(), 0);
+        assert!(parts[0].neighbor_ranks.is_empty());
+    }
+}

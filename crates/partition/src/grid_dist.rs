@@ -1,0 +1,226 @@
+//! Implicit distributed construction of 5-point grid graphs.
+//!
+//! §5.1 of the paper: "The grid graphs were generated in parallel,
+//! distributed in a two-dimensional fashion among the available
+//! processors. Each processor owns a subgraph corresponding to an
+//! appropriate portion of the grid." This module does exactly that: it
+//! builds every rank's [`DistGraph`] analytically from the grid geometry,
+//! never materializing the global graph — which is what makes the
+//! paper-scale weak-scaling inputs fit in one host's memory.
+//!
+//! The construction is bit-identical to
+//! `DistGraph::build_all(assign_weights(grid2d(..)), grid2d_partition(..))`
+//! (verified by tests), including the ghost discovery order and the
+//! deterministic edge weights.
+
+use crate::dist::{DistGraph, Rank};
+use cmg_graph::util::FxHashMap;
+use cmg_graph::weights::edge_unit_random;
+use cmg_graph::VertexId;
+
+/// Block boundaries used by `grid2d_partition`: index range owned by block
+/// `b` out of `nb` blocks over `n` items.
+fn block_range(n: usize, nb: u32, b: u32) -> (usize, usize) {
+    let per = n.div_ceil(nb as usize).max(1);
+    let lo = (b as usize * per).min(n);
+    let hi = if b == nb - 1 { n } else { ((b as usize + 1) * per).min(n) };
+    (lo, hi)
+}
+
+/// Owner rank of grid vertex `(i, j)` under the `pr × pc` uniform 2-D
+/// distribution (identical to `grid2d_partition`).
+#[inline]
+fn owner_of(i: usize, j: usize, rows: usize, cols: usize, pr: u32, pc: u32) -> Rank {
+    let block_r = rows.div_ceil(pr as usize).max(1);
+    let block_c = cols.div_ceil(pc as usize).max(1);
+    let bi = ((i / block_r) as u32).min(pr - 1);
+    let bj = ((j / block_c) as u32).min(pc - 1);
+    bi * pc + bj
+}
+
+/// Builds all ranks' local graphs of a `rows × cols` 5-point grid
+/// distributed over a `pr × pc` processor grid, with uniform-random edge
+/// weights in `(0, 1)` drawn deterministically from `weight_seed` (pass
+/// `None` for an unweighted grid, as the coloring experiments use).
+///
+/// Equivalent to — but far cheaper than — building the global
+/// [`cmg_graph::generators::grid2d`] graph, weighting it with
+/// [`cmg_graph::weights::assign_weights`], and distributing it with
+/// [`DistGraph::build_all`] under
+/// [`crate::simple::grid2d_partition`].
+pub fn grid2d_dist(
+    rows: usize,
+    cols: usize,
+    pr: u32,
+    pc: u32,
+    weight_seed: Option<u64>,
+) -> Vec<DistGraph> {
+    assert!(pr > 0 && pc > 0);
+    let num_ranks = pr * pc;
+    (0..num_ranks)
+        .map(|rank| build_rank(rows, cols, pr, pc, rank, weight_seed))
+        .collect()
+}
+
+/// Builds one rank's local graph (see [`grid2d_dist`]); usable on its own
+/// for truly rank-local construction.
+pub fn build_rank(
+    rows: usize,
+    cols: usize,
+    pr: u32,
+    pc: u32,
+    rank: Rank,
+    weight_seed: Option<u64>,
+) -> DistGraph {
+    let (bi, bj) = (rank / pc, rank % pc);
+    let (r0, r1) = block_range(rows, pr, bi);
+    let (c0, c1) = block_range(cols, pc, bj);
+    let n_local = (r1 - r0) * (c1 - c0);
+    let id = |i: usize, j: usize| (i * cols + j) as VertexId;
+
+    let mut global_ids: Vec<VertexId> = Vec::with_capacity(n_local);
+    let mut global_to_local: FxHashMap<VertexId, u32> = FxHashMap::default();
+    for i in r0..r1 {
+        for j in c0..c1 {
+            global_to_local.insert(id(i, j), global_ids.len() as u32);
+            global_ids.push(id(i, j));
+        }
+    }
+
+    // Neighbors of (i, j) in ascending global-id order: N, W, E, S.
+    let neighbors_of = |i: usize, j: usize| {
+        let mut out: [Option<(usize, usize)>; 4] = [None; 4];
+        if i > 0 {
+            out[0] = Some((i - 1, j));
+        }
+        if j > 0 {
+            out[1] = Some((i, j - 1));
+        }
+        if j + 1 < cols {
+            out[2] = Some((i, j + 1));
+        }
+        if i + 1 < rows {
+            out[3] = Some((i + 1, j));
+        }
+        out
+    };
+    let in_block = |i: usize, j: usize| i >= r0 && i < r1 && j >= c0 && j < c1;
+
+    // Ghost discovery in the same order `DistGraph::build_all` uses.
+    let mut ghost_owner: Vec<Rank> = Vec::new();
+    for i in r0..r1 {
+        for j in c0..c1 {
+            for (ni, nj) in neighbors_of(i, j).into_iter().flatten() {
+                if !in_block(ni, nj) && !global_to_local.contains_key(&id(ni, nj)) {
+                    let idx = (n_local + ghost_owner.len()) as u32;
+                    global_to_local.insert(id(ni, nj), idx);
+                    global_ids.push(id(ni, nj));
+                    ghost_owner.push(owner_of(ni, nj, rows, cols, pr, pc));
+                }
+            }
+        }
+    }
+
+    // Local CSR.
+    let mut xadj = Vec::with_capacity(n_local + 1);
+    xadj.push(0usize);
+    let mut adj = Vec::with_capacity(4 * n_local);
+    let weighted = weight_seed.is_some();
+    let mut weights = Vec::with_capacity(if weighted { 4 * n_local } else { 0 });
+    let mut is_boundary = vec![false; n_local];
+    for i in r0..r1 {
+        for j in c0..c1 {
+            let v = id(i, j);
+            let vl = global_to_local[&v] as usize;
+            for (ni, nj) in neighbors_of(i, j).into_iter().flatten() {
+                let u = id(ni, nj);
+                let ul = global_to_local[&u];
+                adj.push(ul);
+                if let Some(seed) = weight_seed {
+                    let (a, b) = if v < u { (v, u) } else { (u, v) };
+                    weights.push(edge_unit_random(a, b, seed));
+                }
+                if ul as usize >= n_local {
+                    is_boundary[vl] = true;
+                }
+            }
+            xadj.push(adj.len());
+        }
+    }
+
+    let mut neighbor_ranks: Vec<Rank> = ghost_owner.clone();
+    neighbor_ranks.sort_unstable();
+    neighbor_ranks.dedup();
+
+    DistGraph {
+        rank,
+        num_ranks: pr * pc,
+        n_local,
+        xadj,
+        adj,
+        weights,
+        global_ids,
+        ghost_owner,
+        global_to_local,
+        is_boundary,
+        neighbor_ranks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simple::grid2d_partition;
+    use cmg_graph::generators::grid2d;
+    use cmg_graph::weights::{assign_weights, WeightScheme};
+
+    fn explicit(rows: usize, cols: usize, pr: u32, pc: u32, seed: Option<u64>) -> Vec<DistGraph> {
+        let g = grid2d(rows, cols);
+        let g = match seed {
+            Some(s) => assign_weights(&g, WeightScheme::Uniform { lo: 0.0, hi: 1.0 }, s),
+            None => g,
+        };
+        DistGraph::build_all(&g, &grid2d_partition(rows, cols, pr, pc))
+    }
+
+    #[test]
+    fn matches_explicit_construction_unweighted() {
+        for (rows, cols, pr, pc) in [(8usize, 8usize, 2u32, 2u32), (9, 7, 3, 2), (5, 5, 1, 1)] {
+            let implicit = grid2d_dist(rows, cols, pr, pc, None);
+            let expected = explicit(rows, cols, pr, pc, None);
+            assert_eq!(implicit, expected, "{rows}x{cols} on {pr}x{pc}");
+        }
+    }
+
+    #[test]
+    fn matches_explicit_construction_weighted() {
+        let implicit = grid2d_dist(10, 12, 2, 3, Some(42));
+        let expected = explicit(10, 12, 2, 3, Some(42));
+        assert_eq!(implicit, expected);
+    }
+
+    #[test]
+    fn uneven_blocks_match() {
+        // 7 rows over 3 block-rows: blocks of 3, 3, 1.
+        let implicit = grid2d_dist(7, 7, 3, 3, Some(1));
+        let expected = explicit(7, 7, 3, 3, Some(1));
+        assert_eq!(implicit, expected);
+    }
+
+    #[test]
+    fn single_rank_has_everything() {
+        let parts = grid2d_dist(6, 6, 1, 1, None);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].n_local, 36);
+        assert_eq!(parts[0].n_ghost(), 0);
+    }
+
+    #[test]
+    fn rank_local_build_matches_batch() {
+        let all = grid2d_dist(12, 12, 2, 2, Some(7));
+        for rank in 0..4u32 {
+            let one = build_rank(12, 12, 2, 2, rank, Some(7));
+            assert_eq!(one, all[rank as usize]);
+        }
+    }
+}

@@ -1,0 +1,436 @@
+//! Multilevel recursive-bisection partitioner — the METIS-like tool of the
+//! workspace (Karypis–Kumar scheme: heavy-edge-matching coarsening, greedy
+//! graph-growing initial bisection, FM-style boundary refinement).
+//!
+//! Interestingly, the coarsening phase is itself an application of the
+//! paper's subject matter: METIS's heavy-edge matching is one of the
+//! motivating uses of matching the introduction lists ("the coarsening
+//! phase of multilevel algorithms for graph partitioning").
+
+use crate::Partition;
+use cmg_graph::{CsrGraph, VertexId};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Allowed deviation of a side's weight from its target, as a fraction of
+/// total weight.
+const BALANCE_TOL: f64 = 0.03;
+/// Stop coarsening below this many vertices.
+const COARSE_TARGET: usize = 64;
+/// Refinement passes per level.
+const REFINE_PASSES: usize = 4;
+/// Initial-bisection attempts (best cut wins).
+const INIT_ATTEMPTS: u64 = 4;
+
+/// Internal working graph: structural (unit) edge weights that accumulate
+/// during contraction, plus vertex weights.
+#[derive(Clone)]
+struct WorkGraph {
+    xadj: Vec<usize>,
+    adj: Vec<u32>,
+    ew: Vec<u64>,
+    vw: Vec<u64>,
+}
+
+impl WorkGraph {
+    fn n(&self) -> usize {
+        self.vw.len()
+    }
+
+    fn from_csr(g: &CsrGraph) -> Self {
+        let n = g.num_vertices();
+        let mut xadj = Vec::with_capacity(n + 1);
+        xadj.push(0);
+        let mut adj = Vec::with_capacity(2 * g.num_edges());
+        for v in 0..n as VertexId {
+            adj.extend_from_slice(g.neighbors(v));
+            xadj.push(adj.len());
+        }
+        WorkGraph {
+            ew: vec![1; adj.len()],
+            adj,
+            xadj,
+            vw: vec![1; n],
+        }
+    }
+
+    fn neighbors(&self, v: u32) -> impl Iterator<Item = (u32, u64)> + '_ {
+        let lo = self.xadj[v as usize];
+        let hi = self.xadj[v as usize + 1];
+        (lo..hi).map(move |i| (self.adj[i], self.ew[i]))
+    }
+
+    fn total_vw(&self) -> u64 {
+        self.vw.iter().sum()
+    }
+}
+
+/// Partitions `g` into `k` parts by multilevel recursive bisection.
+///
+/// Edge weights of `g` are ignored: the partitioner minimizes the *edge
+/// cut* of the structure (the quantity that determines communication
+/// volume), not the matching objective.
+pub fn multilevel_partition(g: &CsrGraph, k: u32, seed: u64) -> Partition {
+    assert!(k > 0);
+    let n = g.num_vertices();
+    let mut assignment = vec![0u32; n];
+    if k > 1 && n > 0 {
+        let wg = WorkGraph::from_csr(g);
+        let ids: Vec<u32> = (0..n as u32).collect();
+        split(wg, ids, k, 0, &mut assignment, seed);
+    }
+    Partition::new(assignment, k)
+}
+
+/// Recursively bisects `wg` (whose vertices map to original ids via `ids`)
+/// into `k` parts numbered from `first_part`.
+fn split(wg: WorkGraph, ids: Vec<u32>, k: u32, first_part: u32, assignment: &mut [u32], seed: u64) {
+    if k == 1 {
+        for &orig in &ids {
+            assignment[orig as usize] = first_part;
+        }
+        return;
+    }
+    let k0 = k / 2;
+    let k1 = k - k0;
+    // Side 0 receives k0/k of the weight.
+    let frac = k0 as f64 / k as f64;
+    let side = bisect(&wg, frac, seed);
+
+    // Extract the two induced subgraphs.
+    let (sub0, ids0) = extract(&wg, &ids, &side, false);
+    let (sub1, ids1) = extract(&wg, &ids, &side, true);
+    split(sub0, ids0, k0, first_part, assignment, seed.wrapping_add(1));
+    split(sub1, ids1, k1, first_part + k0, assignment, seed.wrapping_add(2));
+}
+
+/// Induced subgraph of the vertices on `which` side.
+fn extract(wg: &WorkGraph, ids: &[u32], side: &[bool], which: bool) -> (WorkGraph, Vec<u32>) {
+    let mut remap = vec![u32::MAX; wg.n()];
+    let mut sub_ids = Vec::new();
+    for v in 0..wg.n() {
+        if side[v] == which {
+            remap[v] = sub_ids.len() as u32;
+            sub_ids.push(ids[v]);
+        }
+    }
+    let mut xadj = Vec::with_capacity(sub_ids.len() + 1);
+    xadj.push(0usize);
+    let mut adj = Vec::new();
+    let mut ew = Vec::new();
+    let mut vw = Vec::with_capacity(sub_ids.len());
+    for v in 0..wg.n() {
+        if side[v] != which {
+            continue;
+        }
+        for (u, w) in wg.neighbors(v as u32) {
+            if side[u as usize] == which {
+                adj.push(remap[u as usize]);
+                ew.push(w);
+            }
+        }
+        xadj.push(adj.len());
+        vw.push(wg.vw[v]);
+    }
+    (WorkGraph { xadj, adj, ew, vw }, sub_ids)
+}
+
+/// Multilevel bisection of `wg`: side 0 targets `frac` of the weight.
+fn bisect(wg: &WorkGraph, frac: f64, seed: u64) -> Vec<bool> {
+    // Coarsen.
+    let mut levels: Vec<(WorkGraph, Vec<u32>)> = Vec::new();
+    let mut cur = wg.clone();
+    while cur.n() > COARSE_TARGET {
+        let (coarse, map) = coarsen(&cur, seed ^ levels.len() as u64);
+        if coarse.n() as f64 > 0.95 * cur.n() as f64 {
+            break; // contraction stalled (e.g. star graphs)
+        }
+        levels.push((std::mem::replace(&mut cur, coarse), map));
+    }
+
+    // Initial bisection on the coarsest graph: best of a few seeds.
+    let mut best: Option<(u64, Vec<bool>)> = None;
+    for attempt in 0..INIT_ATTEMPTS {
+        let mut side = grow_bisection(&cur, frac, seed.wrapping_add(attempt));
+        refine(&cur, &mut side, frac);
+        let cut = cut_weight(&cur, &side);
+        if best.as_ref().is_none_or(|(c, _)| cut < *c) {
+            best = Some((cut, side));
+        }
+    }
+    let mut side = best.expect("at least one attempt").1;
+
+    // Uncoarsen: project and refine at each level.
+    while let Some((fine, map)) = levels.pop() {
+        let mut fine_side: Vec<bool> = map.iter().map(|&c| side[c as usize]).collect();
+        refine(&fine, &mut fine_side, frac);
+        side = fine_side;
+    }
+    side
+}
+
+/// One heavy-edge-matching contraction step. Returns the coarse graph and
+/// the fine→coarse vertex map.
+fn coarsen(wg: &WorkGraph, seed: u64) -> (WorkGraph, Vec<u32>) {
+    let n = wg.n();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(&mut rng);
+
+    let mut mate = vec![u32::MAX; n];
+    for &v in &order {
+        if mate[v as usize] != u32::MAX {
+            continue;
+        }
+        let mut best: Option<(u64, u32)> = None;
+        for (u, w) in wg.neighbors(v) {
+            if u != v && mate[u as usize] == u32::MAX {
+                match best {
+                    Some((bw, bu)) if (w, std::cmp::Reverse(u)) <= (bw, std::cmp::Reverse(bu)) => {}
+                    _ => best = Some((w, u)),
+                }
+            }
+        }
+        match best {
+            Some((_, u)) => {
+                mate[v as usize] = u;
+                mate[u as usize] = v;
+            }
+            None => mate[v as usize] = v,
+        }
+    }
+
+    // Coarse ids in order of the smaller endpoint.
+    let mut map = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for v in 0..n as u32 {
+        if map[v as usize] == u32::MAX {
+            map[v as usize] = next;
+            let m = mate[v as usize];
+            if m != v {
+                map[m as usize] = next;
+            }
+            next += 1;
+        }
+    }
+    let coarse_n = next as usize;
+
+    // Aggregate coarse edges by triple sort-merge.
+    let mut triples: Vec<(u32, u32, u64)> = Vec::with_capacity(wg.adj.len());
+    for v in 0..n as u32 {
+        let cv = map[v as usize];
+        for (u, w) in wg.neighbors(v) {
+            let cu = map[u as usize];
+            if cu != cv {
+                triples.push((cv, cu, w));
+            }
+        }
+    }
+    triples.sort_unstable();
+    let mut xadj = vec![0usize; coarse_n + 1];
+    let mut adj = Vec::new();
+    let mut ew = Vec::new();
+    let mut prev: Option<(u32, u32)> = None;
+    for (cv, cu, w) in triples {
+        if prev == Some((cv, cu)) {
+            // Parallel coarse edge: accumulate its weight.
+            *ew.last_mut().unwrap() += w;
+        } else {
+            adj.push(cu);
+            ew.push(w);
+            xadj[cv as usize + 1] = adj.len();
+            prev = Some((cv, cu));
+        }
+    }
+    // Make xadj cumulative (rows with no edges inherit the previous end).
+    for i in 1..=coarse_n {
+        if xadj[i] == 0 {
+            xadj[i] = xadj[i - 1];
+        }
+    }
+    let mut vw = vec![0u64; coarse_n];
+    for v in 0..n {
+        vw[map[v] as usize] += wg.vw[v];
+    }
+    (WorkGraph { xadj, adj, ew, vw }, map)
+}
+
+/// Greedy graph-growing bisection: BFS from a random start until side 0
+/// holds `frac` of the total weight.
+fn grow_bisection(wg: &WorkGraph, frac: f64, seed: u64) -> Vec<bool> {
+    let n = wg.n();
+    let total = wg.total_vw();
+    let target0 = (frac * total as f64).round() as u64;
+    let mut side = vec![true; n]; // true = side 1; we grow side 0
+    if n == 0 {
+        return side;
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut in0: u64 = 0;
+    let mut visited = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    let mut starts: Vec<u32> = (0..n as u32).collect();
+    starts.shuffle(&mut rng);
+    let mut start_iter = starts.into_iter();
+
+    while in0 < target0 {
+        if queue.is_empty() {
+            // New component (or first start).
+            match start_iter.find(|&s| !visited[s as usize]) {
+                Some(s) => {
+                    visited[s as usize] = true;
+                    queue.push_back(s);
+                }
+                None => break,
+            }
+        }
+        let v = queue.pop_front().unwrap();
+        side[v as usize] = false;
+        in0 += wg.vw[v as usize];
+        for (u, _) in wg.neighbors(v) {
+            if !visited[u as usize] {
+                visited[u as usize] = true;
+                queue.push_back(u);
+            }
+        }
+    }
+    side
+}
+
+/// Total weight of cut edges.
+fn cut_weight(wg: &WorkGraph, side: &[bool]) -> u64 {
+    let mut cut = 0;
+    for v in 0..wg.n() as u32 {
+        for (u, w) in wg.neighbors(v) {
+            if u > v && side[u as usize] != side[v as usize] {
+                cut += w;
+            }
+        }
+    }
+    cut
+}
+
+/// Greedy FM-style refinement: repeatedly flip positive-gain boundary
+/// vertices while staying within the balance tolerance.
+fn refine(wg: &WorkGraph, side: &mut [bool], frac: f64) {
+    let total = wg.total_vw() as f64;
+    let target0 = frac * total;
+    let tol = BALANCE_TOL * total;
+    let mut w0: f64 = (0..wg.n()).filter(|&v| !side[v]).map(|v| wg.vw[v] as f64).sum();
+
+    for _ in 0..REFINE_PASSES {
+        let mut moved = false;
+        for v in 0..wg.n() {
+            let mut internal = 0i64;
+            let mut external = 0i64;
+            for (u, w) in wg.neighbors(v as u32) {
+                if side[u as usize] == side[v] {
+                    internal += w as i64;
+                } else {
+                    external += w as i64;
+                }
+            }
+            let gain = external - internal;
+            if gain <= 0 {
+                continue;
+            }
+            // Weight of side 0 after flipping v.
+            let delta = wg.vw[v] as f64;
+            let new_w0 = if side[v] { w0 + delta } else { w0 - delta };
+            let old_dev = (w0 - target0).abs();
+            let new_dev = (new_w0 - target0).abs();
+            if new_dev <= tol.max(old_dev) {
+                side[v] = !side[v];
+                w0 = new_w0;
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmg_graph::generators::{circuit_like, grid2d, star};
+    use crate::simple::random_partition;
+
+    #[test]
+    fn bisection_of_grid_is_near_optimal() {
+        let g = grid2d(16, 16);
+        let p = multilevel_partition(&g, 2, 42);
+        let q = p.quality(&g);
+        assert!(q.imbalance <= 1.05, "imbalance {}", q.imbalance);
+        // Optimal bisection cut of a 16x16 grid is 16; allow 2x slack.
+        assert!(q.edge_cut <= 32, "cut {}", q.edge_cut);
+    }
+
+    #[test]
+    fn kway_partition_is_balanced_and_low_cut() {
+        let g = grid2d(24, 24);
+        let p = multilevel_partition(&g, 8, 1);
+        let q = p.quality(&g);
+        assert_eq!(p.part_sizes().iter().sum::<usize>(), 576);
+        assert!(q.imbalance <= 1.15, "imbalance {}", q.imbalance);
+        let rnd = random_partition(576, 8, 1).quality(&g);
+        assert!(
+            q.edge_cut * 4 < rnd.edge_cut,
+            "ml cut {} vs random cut {}",
+            q.edge_cut,
+            rnd.edge_cut
+        );
+    }
+
+    #[test]
+    fn circuit_graph_cut_lands_in_low_regime() {
+        let g = circuit_like(4_000, 2);
+        let p = multilevel_partition(&g, 16, 3);
+        let q = p.quality(&g);
+        assert!(q.cut_fraction < 0.15, "cut fraction {}", q.cut_fraction);
+        assert!(q.imbalance < 1.2, "imbalance {}", q.imbalance);
+    }
+
+    #[test]
+    fn non_power_of_two_parts() {
+        let g = grid2d(15, 15);
+        let p = multilevel_partition(&g, 5, 9);
+        assert_eq!(p.num_parts(), 5);
+        let sizes = p.part_sizes();
+        assert!(sizes.iter().all(|&s| s > 0), "empty part: {sizes:?}");
+        let q = p.quality(&g);
+        assert!(q.imbalance <= 1.25, "imbalance {}", q.imbalance);
+    }
+
+    #[test]
+    fn star_graph_does_not_stall() {
+        let g = star(500);
+        let p = multilevel_partition(&g, 4, 5);
+        assert_eq!(p.num_vertices(), 500);
+        assert!(p.quality(&g).imbalance < 1.5);
+    }
+
+    #[test]
+    fn single_part_is_trivial() {
+        let g = grid2d(5, 5);
+        let p = multilevel_partition(&g, 1, 0);
+        assert!(p.assignment().iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = cmg_graph::CsrGraph::empty(0);
+        let p = multilevel_partition(&g, 4, 0);
+        assert_eq!(p.num_vertices(), 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = circuit_like(1_000, 7);
+        let a = multilevel_partition(&g, 8, 11);
+        let b = multilevel_partition(&g, 8, 11);
+        assert_eq!(a, b);
+    }
+}

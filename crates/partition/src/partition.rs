@@ -1,0 +1,188 @@
+//! The partition type and its quality metrics.
+
+use cmg_graph::{CsrGraph, VertexId};
+
+/// A `k`-way vertex partition: `assignment[v]` is the part (rank) owning
+/// vertex `v`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    assignment: Vec<u32>,
+    num_parts: u32,
+}
+
+impl Partition {
+    /// Wraps an assignment vector.
+    ///
+    /// # Panics
+    /// Panics if any entry is `>= num_parts` or `num_parts == 0`.
+    pub fn new(assignment: Vec<u32>, num_parts: u32) -> Self {
+        assert!(num_parts > 0, "need at least one part");
+        assert!(
+            assignment.iter().all(|&p| p < num_parts),
+            "part id out of range"
+        );
+        Partition {
+            assignment,
+            num_parts,
+        }
+    }
+
+    /// The trivial 1-part partition.
+    pub fn single(n: usize) -> Self {
+        Partition {
+            assignment: vec![0; n],
+            num_parts: 1,
+        }
+    }
+
+    /// Number of parts (ranks).
+    #[inline]
+    pub fn num_parts(&self) -> u32 {
+        self.num_parts
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Owner of vertex `v`.
+    #[inline]
+    pub fn owner(&self, v: VertexId) -> u32 {
+        self.assignment[v as usize]
+    }
+
+    /// The raw assignment slice.
+    pub fn assignment(&self) -> &[u32] {
+        &self.assignment
+    }
+
+    /// Part sizes (vertices per part).
+    pub fn part_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_parts as usize];
+        for &p in &self.assignment {
+            sizes[p as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Computes quality metrics against `g`.
+    pub fn quality(&self, g: &CsrGraph) -> PartitionQuality {
+        assert_eq!(g.num_vertices(), self.assignment.len(), "graph/partition mismatch");
+        let mut cut = 0usize;
+        let mut boundary = 0usize;
+        for v in 0..g.num_vertices() as VertexId {
+            let pv = self.owner(v);
+            let mut is_boundary = false;
+            for &u in g.neighbors(v) {
+                if self.owner(u) != pv {
+                    is_boundary = true;
+                    if u > v {
+                        cut += 1;
+                    }
+                }
+            }
+            if is_boundary {
+                boundary += 1;
+            }
+        }
+        let sizes = self.part_sizes();
+        let max_size = sizes.iter().copied().max().unwrap_or(0);
+        let mean = g.num_vertices() as f64 / self.num_parts as f64;
+        PartitionQuality {
+            edge_cut: cut,
+            cut_fraction: if g.num_edges() == 0 {
+                0.0
+            } else {
+                cut as f64 / g.num_edges() as f64
+            },
+            boundary_vertices: boundary,
+            boundary_fraction: if g.num_vertices() == 0 {
+                0.0
+            } else {
+                boundary as f64 / g.num_vertices() as f64
+            },
+            imbalance: if mean == 0.0 { 1.0 } else { max_size as f64 / mean },
+        }
+    }
+}
+
+/// Quality metrics of a partition (the columns the paper quotes: "edge cut
+/// at 4096 processors: 6 %" / "40 %").
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PartitionQuality {
+    /// Number of cut (cross) edges.
+    pub edge_cut: usize,
+    /// Cut edges ÷ total edges.
+    pub cut_fraction: f64,
+    /// Number of boundary vertices.
+    pub boundary_vertices: usize,
+    /// Boundary vertices ÷ total vertices.
+    pub boundary_fraction: f64,
+    /// Largest part ÷ average part size (1.0 = perfectly balanced).
+    pub imbalance: f64,
+}
+
+impl std::fmt::Display for PartitionQuality {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cut={} ({:.1}%) boundary={} ({:.1}%) imbalance={:.3}",
+            self.edge_cut,
+            100.0 * self.cut_fraction,
+            self.boundary_vertices,
+            100.0 * self.boundary_fraction,
+            self.imbalance
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmg_graph::generators::grid2d;
+
+    #[test]
+    fn single_part_has_no_cut() {
+        let g = grid2d(4, 4);
+        let p = Partition::single(16);
+        let q = p.quality(&g);
+        assert_eq!(q.edge_cut, 0);
+        assert_eq!(q.boundary_vertices, 0);
+        assert_eq!(q.imbalance, 1.0);
+    }
+
+    #[test]
+    fn half_split_of_grid() {
+        let g = grid2d(4, 4); // rows 0-1 -> part 0, rows 2-3 -> part 1
+        let assignment: Vec<u32> = (0..16).map(|v| if v < 8 { 0 } else { 1 }).collect();
+        let p = Partition::new(assignment, 2);
+        let q = p.quality(&g);
+        assert_eq!(q.edge_cut, 4); // the 4 vertical edges between rows 1 and 2
+        assert_eq!(q.boundary_vertices, 8);
+        assert_eq!(q.imbalance, 1.0);
+        assert!((q.cut_fraction - 4.0 / 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn part_sizes_counted() {
+        let p = Partition::new(vec![0, 1, 1, 2], 3);
+        assert_eq!(p.part_sizes(), vec![1, 2, 1]);
+        assert_eq!(p.owner(2), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "part id out of range")]
+    fn out_of_range_part_rejected() {
+        Partition::new(vec![0, 3], 3);
+    }
+
+    #[test]
+    fn imbalance_detected() {
+        let g = grid2d(1, 4);
+        let p = Partition::new(vec![0, 0, 0, 1], 2);
+        let q = p.quality(&g);
+        assert_eq!(q.imbalance, 1.5);
+    }
+}

@@ -1,0 +1,183 @@
+//! Cheap partitioners: block, uniform 2-D grid, random, hash, BFS-grown.
+//!
+//! The uniform 2-D distribution is what the paper uses for its grid-graph
+//! experiments ("the grid graphs were generated in parallel, distributed in
+//! a two-dimensional fashion among the available processors"); random and
+//! hash partitions provide the deliberately-poor baseline, and BFS-grown
+//! blocks sit in between — the "ParMETIS-like" moderate-quality regime of
+//! Figure 5.4.
+
+use crate::Partition;
+use cmg_graph::{traversal, CsrGraph, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Contiguous 1-D block partition: vertex ids split into `k` equal ranges.
+/// Near-optimal for graphs whose ids follow a space-filling order.
+pub fn block_partition(n: usize, k: u32) -> Partition {
+    assert!(k > 0);
+    let per = n.div_ceil(k as usize).max(1);
+    let assignment = (0..n).map(|v| ((v / per) as u32).min(k - 1)).collect();
+    Partition::new(assignment, k)
+}
+
+/// Uniform 2-D distribution of a `rows × cols` grid graph (row-major ids)
+/// over a `pr × pc` processor grid: each rank owns a contiguous subgrid.
+///
+/// This reproduces the paper's grid experiments: an `8000 × 8000` grid on a
+/// `32 × 32` processor grid gives each rank a `250 × 250` subgrid.
+///
+/// # Panics
+/// Panics if `pr` or `pc` is zero.
+pub fn grid2d_partition(rows: usize, cols: usize, pr: u32, pc: u32) -> Partition {
+    assert!(pr > 0 && pc > 0);
+    let block_r = rows.div_ceil(pr as usize).max(1);
+    let block_c = cols.div_ceil(pc as usize).max(1);
+    let mut assignment = Vec::with_capacity(rows * cols);
+    for i in 0..rows {
+        let bi = ((i / block_r) as u32).min(pr - 1);
+        for j in 0..cols {
+            let bj = ((j / block_c) as u32).min(pc - 1);
+            assignment.push(bi * pc + bj);
+        }
+    }
+    Partition::new(assignment, pr * pc)
+}
+
+/// Splits `p` into the most-square processor grid `pr × pc` (`pr ≤ pc`).
+pub fn square_processor_grid(p: u32) -> (u32, u32) {
+    let mut pr = (p as f64).sqrt() as u32;
+    while pr > 1 && !p.is_multiple_of(pr) {
+        pr -= 1;
+    }
+    (pr.max(1), p / pr.max(1))
+}
+
+/// Uniform random assignment (worst-case cut: ~`(1 − 1/k)` of all edges).
+pub fn random_partition(n: usize, k: u32, seed: u64) -> Partition {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let assignment = (0..n).map(|_| rng.random_range(0..k)).collect();
+    Partition::new(assignment, k)
+}
+
+/// Deterministic hash assignment (random-like cut, no RNG state).
+pub fn hash_partition(n: usize, k: u32, seed: u64) -> Partition {
+    let assignment = (0..n)
+        .map(|v| (cmg_graph::util::splitmix64(v as u64 ^ seed) % k as u64) as u32)
+        .collect();
+    Partition::new(assignment, k)
+}
+
+/// BFS-grown blocks: runs a BFS from a pseudo-peripheral vertex and chops
+/// the visit order into `k` equal blocks. Produces locality-respecting but
+/// unrefined parts — a moderate edge cut, our "ParMETIS-like" stand-in for
+/// the high-cut regime of Figure 5.4 when combined with many parts.
+pub fn bfs_partition(g: &CsrGraph, k: u32) -> Partition {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Partition::new(Vec::new(), k);
+    }
+    let mut assignment = vec![u32::MAX; n];
+    let mut order = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    // Cover all components.
+    for s in 0..n as VertexId {
+        if visited[s as usize] {
+            continue;
+        }
+        let seed = traversal::pseudo_peripheral(g, s);
+        let comp = if visited[seed as usize] {
+            traversal::bfs_order(g, s)
+        } else {
+            traversal::bfs_order(g, seed)
+        };
+        for v in comp {
+            if !visited[v as usize] {
+                visited[v as usize] = true;
+                order.push(v);
+            }
+        }
+    }
+    let per = n.div_ceil(k as usize).max(1);
+    for (i, v) in order.into_iter().enumerate() {
+        assignment[v as usize] = ((i / per) as u32).min(k - 1);
+    }
+    Partition::new(assignment, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmg_graph::generators::{circuit_like, grid2d};
+
+    #[test]
+    fn block_partition_balanced() {
+        let p = block_partition(10, 3);
+        assert_eq!(p.part_sizes(), vec![4, 4, 2]);
+        assert_eq!(p.owner(0), 0);
+        assert_eq!(p.owner(9), 2);
+    }
+
+    #[test]
+    fn grid2d_partition_exact_blocks() {
+        // 4x4 grid on 2x2 ranks: each rank owns a 2x2 subgrid.
+        let p = grid2d_partition(4, 4, 2, 2);
+        assert_eq!(p.num_parts(), 4);
+        assert_eq!(p.part_sizes(), vec![4, 4, 4, 4]);
+        assert_eq!(p.owner(0), 0);
+        assert_eq!(p.owner(3), 1);
+        assert_eq!(p.owner(12), 2);
+        assert_eq!(p.owner(15), 3);
+        // Cut of the 4x4 grid into 2x2 blocks: 8 edges.
+        let q = p.quality(&grid2d(4, 4));
+        assert_eq!(q.edge_cut, 8);
+    }
+
+    #[test]
+    fn square_grid_factors() {
+        assert_eq!(square_processor_grid(16), (4, 4));
+        assert_eq!(square_processor_grid(8), (2, 4));
+        assert_eq!(square_processor_grid(7), (1, 7));
+        assert_eq!(square_processor_grid(1), (1, 1));
+    }
+
+    #[test]
+    fn random_and_hash_partitions_are_deterministic() {
+        assert_eq!(random_partition(100, 4, 7), random_partition(100, 4, 7));
+        assert_eq!(hash_partition(100, 4, 7), hash_partition(100, 4, 7));
+        assert_ne!(
+            hash_partition(100, 4, 7).assignment(),
+            hash_partition(100, 4, 8).assignment()
+        );
+    }
+
+    #[test]
+    fn bfs_partition_beats_random_on_grid() {
+        let g = grid2d(20, 20);
+        let bfs = bfs_partition(&g, 4).quality(&g);
+        let rnd = random_partition(400, 4, 1).quality(&g);
+        assert!(bfs.edge_cut < rnd.edge_cut / 2, "bfs {} rnd {}", bfs.edge_cut, rnd.edge_cut);
+        assert!(bfs.imbalance <= 1.01);
+    }
+
+    #[test]
+    fn bfs_partition_handles_disconnected() {
+        let mut b = cmg_graph::GraphBuilder::new(6);
+        b.add_edge_unweighted(0, 1);
+        b.add_edge_unweighted(4, 5);
+        let g = b.build();
+        let p = bfs_partition(&g, 2);
+        assert_eq!(p.num_vertices(), 6);
+        assert_eq!(p.part_sizes().iter().sum::<usize>(), 6);
+    }
+
+    #[test]
+    fn partitions_on_circuit_graph_cover_cut_spectrum() {
+        let g = circuit_like(2_000, 1);
+        let n = g.num_vertices();
+        let good = bfs_partition(&g, 16).quality(&g);
+        let bad = hash_partition(n, 16, 1).quality(&g);
+        assert!(good.cut_fraction < bad.cut_fraction);
+        assert!(bad.cut_fraction > 0.5);
+    }
+}

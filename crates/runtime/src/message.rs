@@ -1,0 +1,116 @@
+//! Wire encoding of messages.
+//!
+//! Bundles are byte buffers, so the engines account communication volume in
+//! *bytes* — the unit the cost model (and the real machine) cares about.
+
+use bytes::{Buf, BufMut};
+
+/// A message that can be packed into / unpacked from a wire bundle.
+///
+/// Implementations must be self-delimiting: `decode` consumes exactly the
+/// bytes `encode` produced, so messages concatenate into bundles without
+/// separators.
+pub trait WireMessage: Send + Sized + 'static {
+    /// Appends this message's encoding to `buf`.
+    fn encode(&self, buf: &mut impl BufMut);
+
+    /// Decodes one message from the front of `buf`, or `None` if the bytes
+    /// are malformed/truncated.
+    fn decode(buf: &mut impl Buf) -> Option<Self>;
+
+    /// Exact number of bytes [`Self::encode`] writes.
+    fn encoded_len(&self) -> usize;
+}
+
+/// Decodes a whole bundle into its constituent messages.
+pub fn decode_all<M: WireMessage>(mut buf: impl Buf) -> Option<Vec<M>> {
+    let mut out = Vec::new();
+    while buf.has_remaining() {
+        out.push(M::decode(&mut buf)?);
+    }
+    Some(out)
+}
+
+impl WireMessage for u32 {
+    fn encode(&self, buf: &mut impl BufMut) {
+        buf.put_u32_le(*self);
+    }
+
+    fn decode(buf: &mut impl Buf) -> Option<Self> {
+        (buf.remaining() >= 4).then(|| buf.get_u32_le())
+    }
+
+    fn encoded_len(&self) -> usize {
+        4
+    }
+}
+
+impl WireMessage for u64 {
+    fn encode(&self, buf: &mut impl BufMut) {
+        buf.put_u64_le(*self);
+    }
+
+    fn decode(buf: &mut impl Buf) -> Option<Self> {
+        (buf.remaining() >= 8).then(|| buf.get_u64_le())
+    }
+
+    fn encoded_len(&self) -> usize {
+        8
+    }
+}
+
+impl WireMessage for (u32, u32) {
+    fn encode(&self, buf: &mut impl BufMut) {
+        buf.put_u32_le(self.0);
+        buf.put_u32_le(self.1);
+    }
+
+    fn decode(buf: &mut impl Buf) -> Option<Self> {
+        (buf.remaining() >= 8).then(|| (buf.get_u32_le(), buf.get_u32_le()))
+    }
+
+    fn encoded_len(&self) -> usize {
+        8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    #[test]
+    fn u32_round_trip() {
+        let mut buf = BytesMut::new();
+        42u32.encode(&mut buf);
+        7u32.encode(&mut buf);
+        let msgs: Vec<u32> = decode_all(buf.freeze()).unwrap();
+        assert_eq!(msgs, vec![42, 7]);
+    }
+
+    #[test]
+    fn pair_round_trip() {
+        let mut buf = BytesMut::new();
+        (1u32, 2u32).encode(&mut buf);
+        (3u32, 4u32).encode(&mut buf);
+        assert_eq!(buf.len(), 16);
+        let msgs: Vec<(u32, u32)> = decode_all(buf.freeze()).unwrap();
+        assert_eq!(msgs, vec![(1, 2), (3, 4)]);
+    }
+
+    #[test]
+    fn truncated_bundle_is_rejected() {
+        let mut buf = BytesMut::new();
+        42u32.encode(&mut buf);
+        let bytes = buf.freeze();
+        let truncated = bytes.slice(0..3);
+        assert!(decode_all::<u32>(truncated).is_none());
+    }
+
+    #[test]
+    fn encoded_len_matches_encode() {
+        let mut buf = BytesMut::new();
+        (9u32, 9u32).encode(&mut buf);
+        assert_eq!(buf.len(), (9u32, 9u32).encoded_len());
+    }
+}

@@ -1,0 +1,131 @@
+//! The rank-program abstraction: how distributed algorithms are expressed.
+
+use crate::bundle::OutBox;
+use crate::message::WireMessage;
+
+/// A processor rank (MPI rank equivalent).
+pub type Rank = u32;
+
+/// What a rank reports at the end of a round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Status {
+    /// The rank has local work left and wants another round even without
+    /// incoming messages.
+    Active,
+    /// The rank is quiescent: it only needs another round if messages
+    /// arrive. The run terminates when every rank is `Idle` and no packets
+    /// are in flight.
+    Idle,
+}
+
+/// Per-round context handed to a rank: message sending, work charging,
+/// topology queries.
+pub struct RankCtx<M: WireMessage> {
+    rank: Rank,
+    num_ranks: Rank,
+    round: u64,
+    work: u64,
+    outbox: OutBox<M>,
+}
+
+impl<M: WireMessage> RankCtx<M> {
+    /// Creates a context for one rank (engine-internal).
+    pub(crate) fn new(rank: Rank, num_ranks: Rank, bundling: bool) -> Self {
+        RankCtx {
+            rank,
+            num_ranks,
+            round: 0,
+            work: 0,
+            outbox: OutBox::new(bundling),
+        }
+    }
+
+    /// This rank's id.
+    #[inline]
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// Total number of ranks in the run.
+    #[inline]
+    pub fn num_ranks(&self) -> Rank {
+        self.num_ranks
+    }
+
+    /// Current round number (0 = the `on_start` round).
+    #[inline]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Sends `msg` to `dst`; it is delivered at the start of the next
+    /// round. Self-sends are allowed and also arrive next round.
+    #[inline]
+    pub fn send(&mut self, dst: Rank, msg: &M) {
+        debug_assert!(dst < self.num_ranks, "send to nonexistent rank {dst}");
+        self.outbox.push(dst, msg);
+    }
+
+    /// Charges `units` of compute work against the cost model (one unit ≈
+    /// one adjacency entry touched).
+    #[inline]
+    pub fn charge(&mut self, units: u64) {
+        self.work += units;
+    }
+
+    /// Engine-internal: advances the round counter and drains the round's
+    /// work and packets.
+    pub(crate) fn end_round(&mut self) -> (u64, Vec<crate::bundle::Packet>) {
+        self.round += 1;
+        let work = std::mem::take(&mut self.work);
+        (work, self.outbox.finish())
+    }
+}
+
+/// A distributed algorithm, from one rank's point of view.
+///
+/// The engine calls [`RankProgram::on_start`] once (round 0), then
+/// [`RankProgram::on_round`] every round with the messages delivered to
+/// this rank, until every rank is [`Status::Idle`] and no messages are in
+/// flight.
+pub trait RankProgram: Send {
+    /// The algorithm's message type.
+    type Msg: WireMessage;
+
+    /// Round 0: initialize and send the first messages.
+    fn on_start(&mut self, ctx: &mut RankCtx<Self::Msg>) -> Status;
+
+    /// One round: process `inbox` (messages sent to this rank last round,
+    /// grouped by source and sorted by source rank for determinism), do
+    /// local work, send messages.
+    fn on_round(
+        &mut self,
+        inbox: &mut Vec<(Rank, Vec<Self::Msg>)>,
+        ctx: &mut RankCtx<Self::Msg>,
+    ) -> Status;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_accumulates_work_and_packets() {
+        let mut ctx: RankCtx<u32> = RankCtx::new(2, 4, true);
+        assert_eq!(ctx.rank(), 2);
+        assert_eq!(ctx.num_ranks(), 4);
+        assert_eq!(ctx.round(), 0);
+        ctx.charge(10);
+        ctx.charge(5);
+        ctx.send(0, &1);
+        ctx.send(0, &2);
+        ctx.send(3, &3);
+        let (work, packets) = ctx.end_round();
+        assert_eq!(work, 15);
+        assert_eq!(packets.len(), 2);
+        assert_eq!(ctx.round(), 1);
+        let (work2, packets2) = ctx.end_round();
+        assert_eq!(work2, 0);
+        assert!(packets2.is_empty());
+    }
+}

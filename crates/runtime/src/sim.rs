@@ -1,0 +1,466 @@
+//! Deterministic discrete-event simulation engine.
+//!
+//! Runs any number of ranks on one host, advancing a per-rank virtual clock
+//! according to the [`crate::CostModel`]. This is how the repository
+//! reproduces the paper's 16,384-processor Blue Gene/P experiments: the
+//! algorithms execute for real (producing a real matching / coloring), only
+//! *time* is simulated.
+//!
+//! Timing model, per round and rank:
+//! 1. delivery — the rank's clock jumps to the latest arrival among the
+//!    packets it consumes (asynchronous wait-for-data);
+//! 2. compute — the clock advances by γ · (charged work);
+//! 3. send — each produced packet adds the sender overhead to the clock and
+//!    is timestamped to arrive at `clock + α + β·bytes`;
+//! 4. optionally (sync mode) a barrier max-synchronizes all clocks and adds
+//!    `α·⌈log₂ p⌉`.
+
+use crate::bundle::Packet;
+use crate::message::decode_all;
+use crate::program::{Rank, RankCtx, RankProgram, Status};
+use crate::stats::{RankStats, RunStats};
+use crate::EngineConfig;
+use bytes::Bytes;
+
+/// A packet in flight, with its computed arrival time.
+struct InFlight {
+    src: Rank,
+    arrival: f64,
+    payload: Bytes,
+    logical: u32,
+}
+
+/// Per-rank simulation state.
+struct Slot<P: RankProgram> {
+    program: P,
+    ctx: RankCtx<P::Msg>,
+    status: Status,
+    vtime: f64,
+    stats: RankStats,
+    mailbox: Vec<InFlight>,
+    /// Packets produced this round with their arrival timestamps, drained
+    /// by the (serial, deterministic) routing pass.
+    produced: Vec<(Packet, f64)>,
+}
+
+/// Aggregate counters of one simulation round (recorded when
+/// `EngineConfig::record_trace` is set).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RoundTrace {
+    /// Round number (0 = the `on_start` round).
+    pub round: u64,
+    /// Ranks that actually stepped.
+    pub ranks_stepped: u64,
+    /// Wire packets produced this round.
+    pub packets: u64,
+    /// Logical messages produced this round.
+    pub messages: u64,
+    /// Payload bytes produced this round.
+    pub bytes: u64,
+    /// Maximum per-rank virtual time after the round.
+    pub max_virtual_time: f64,
+}
+
+/// Result of a simulated run: the final rank programs (holding the computed
+/// matching/coloring) plus execution statistics.
+pub struct SimResult<P> {
+    /// Final per-rank program state.
+    pub programs: Vec<P>,
+    /// Execution statistics (virtual times, message counts, …).
+    pub stats: RunStats,
+    /// `true` if the run stopped because it hit `max_rounds` instead of
+    /// quiescing.
+    pub hit_round_cap: bool,
+    /// Per-round trace (empty unless `EngineConfig::record_trace`).
+    pub trace: Vec<RoundTrace>,
+}
+
+/// The simulation engine. See the module docs.
+pub struct SimEngine<P: RankProgram> {
+    slots: Vec<Slot<P>>,
+    config: EngineConfig,
+}
+
+impl<P: RankProgram> SimEngine<P> {
+    /// Creates an engine over one program per rank (rank = index).
+    pub fn new(programs: Vec<P>, config: EngineConfig) -> Self {
+        let p = programs.len() as Rank;
+        let slots = programs
+            .into_iter()
+            .enumerate()
+            .map(|(r, program)| Slot {
+                program,
+                ctx: RankCtx::new(r as Rank, p, config.bundling),
+                status: Status::Active,
+                vtime: 0.0,
+                stats: RankStats::default(),
+                mailbox: Vec::new(),
+                produced: Vec::new(),
+            })
+            .collect();
+        SimEngine { slots, config }
+    }
+
+    /// Runs to quiescence (or the round cap) and returns the result.
+    pub fn run(mut self) -> SimResult<P> {
+        let p = self.slots.len();
+        let mut rounds: u64 = 0;
+        let mut hit_round_cap = false;
+        let mut trace: Vec<RoundTrace> = Vec::new();
+
+        if p > 0 {
+            loop {
+                let first = rounds == 0;
+                let before: (u64, u64, u64, u64) = if self.config.record_trace {
+                    self.slots.iter().fold((0, 0, 0, 0), |acc, s| {
+                        (
+                            acc.0 + s.stats.rounds_active,
+                            acc.1 + s.stats.packets_sent,
+                            acc.2 + s.stats.messages_sent,
+                            acc.3 + s.stats.bytes_sent,
+                        )
+                    })
+                } else {
+                    (0, 0, 0, 0)
+                };
+                self.step_all(first);
+                if self.config.record_trace {
+                    let after = self.slots.iter().fold((0, 0, 0, 0), |acc, s| {
+                        (
+                            acc.0 + s.stats.rounds_active,
+                            acc.1 + s.stats.packets_sent,
+                            acc.2 + s.stats.messages_sent,
+                            acc.3 + s.stats.bytes_sent,
+                        )
+                    });
+                    trace.push(RoundTrace {
+                        round: rounds,
+                        ranks_stepped: after.0 - before.0,
+                        packets: after.1 - before.1,
+                        messages: after.2 - before.2,
+                        bytes: after.3 - before.3,
+                        max_virtual_time: self
+                            .slots
+                            .iter()
+                            .map(|s| s.vtime)
+                            .fold(0.0, f64::max),
+                    });
+                }
+                rounds += 1;
+
+                if self.config.sync_rounds {
+                    let tmax = self.slots.iter().map(|s| s.vtime).fold(0.0, f64::max)
+                        + self.config.cost.barrier_time(p);
+                    for s in &mut self.slots {
+                        s.vtime = tmax;
+                    }
+                }
+
+                // Route produced packets into destination mailboxes
+                // (rank-ordered: deterministic).
+                let mut any_in_flight = false;
+                for r in 0..p {
+                    let produced = std::mem::take(&mut self.slots[r].produced);
+                    for (packet, arrival) in produced {
+                        any_in_flight = true;
+                        self.slots[packet.dst as usize].mailbox.push(InFlight {
+                            src: r as Rank,
+                            arrival,
+                            payload: packet.payload,
+                            logical: packet.logical,
+                        });
+                    }
+                }
+
+                let all_idle = self.slots.iter().all(|s| s.status == Status::Idle);
+                if all_idle && !any_in_flight {
+                    break;
+                }
+                if rounds >= self.config.max_rounds {
+                    hit_round_cap = true;
+                    break;
+                }
+            }
+        }
+
+        let mut per_rank = Vec::with_capacity(p);
+        let mut programs = Vec::with_capacity(p);
+        for mut s in self.slots {
+            s.stats.virtual_time = s.vtime;
+            per_rank.push(s.stats);
+            programs.push(s.program);
+        }
+        SimResult {
+            programs,
+            stats: RunStats { per_rank, rounds },
+            hit_round_cap,
+            trace,
+        }
+    }
+
+    /// Steps every rank that must run this round.
+    fn step_all(&mut self, first: bool) {
+        let cost = self.config.cost;
+        let step_one = move |slot: &mut Slot<P>| {
+            if !first && slot.status == Status::Idle && slot.mailbox.is_empty() {
+                return;
+            }
+            // Deliver: jump the clock to the latest consumed arrival.
+            let mut inbox: Vec<(Rank, Vec<P::Msg>)> = Vec::new();
+            if !slot.mailbox.is_empty() {
+                let mut mail = std::mem::take(&mut slot.mailbox);
+                mail.sort_by(|a, b| a.src.cmp(&b.src).then(a.arrival.total_cmp(&b.arrival)));
+                for m in &mail {
+                    slot.vtime = slot.vtime.max(m.arrival);
+                }
+                for m in mail {
+                    slot.stats.messages_received += m.logical as u64;
+                    let msgs: Vec<P::Msg> = decode_all(m.payload)
+                        .expect("malformed bundle: WireMessage encode/decode mismatch");
+                    match inbox.last_mut() {
+                        Some((src, list)) if *src == m.src => list.extend(msgs),
+                        _ => inbox.push((m.src, msgs)),
+                    }
+                }
+            }
+            // Compute.
+            slot.status = if first {
+                slot.program.on_start(&mut slot.ctx)
+            } else {
+                slot.program.on_round(&mut inbox, &mut slot.ctx)
+            };
+            let (work, packets) = slot.ctx.end_round();
+            slot.stats.rounds_active += 1;
+            slot.stats.work += work;
+            slot.vtime += cost.compute_time(work);
+            // Send: overhead advances the sender; transfer delays arrival.
+            slot.produced = packets
+                .into_iter()
+                .map(|packet| {
+                    slot.stats.packets_sent += 1;
+                    slot.stats.messages_sent += packet.logical as u64;
+                    slot.stats.bytes_sent += packet.payload.len() as u64;
+                    slot.vtime += cost.send_overhead;
+                    let arrival = slot.vtime + cost.transfer_time(packet.payload.len());
+                    (packet, arrival)
+                })
+                .collect();
+        };
+
+        if self.config.parallel_sim && self.slots.len() >= 4 {
+            let threads = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(self.slots.len());
+            let chunk = self.slots.len().div_ceil(threads);
+            crossbeam::thread::scope(|scope| {
+                for chunk_slots in self.slots.chunks_mut(chunk) {
+                    scope.spawn(move |_| {
+                        for slot in chunk_slots {
+                            step_one(slot);
+                        }
+                    });
+                }
+            })
+            .expect("sim worker panicked");
+        } else {
+            for slot in &mut self.slots {
+                step_one(slot);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Rank 0 sends `hops` tokens around the ring one at a time; every
+    /// other rank forwards. Terminates when the token has moved `hops`
+    /// times.
+    struct RingToken {
+        hops_left: u32,
+        forwarded: u64,
+    }
+
+    impl RankProgram for RingToken {
+        type Msg = u32;
+
+        fn on_start(&mut self, ctx: &mut RankCtx<u32>) -> Status {
+            if ctx.rank() == 0 && self.hops_left > 0 {
+                let next = (ctx.rank() + 1) % ctx.num_ranks();
+                ctx.send(next, &(self.hops_left - 1));
+            }
+            Status::Idle
+        }
+
+        fn on_round(
+            &mut self,
+            inbox: &mut Vec<(Rank, Vec<u32>)>,
+            ctx: &mut RankCtx<u32>,
+        ) -> Status {
+            for (_, msgs) in inbox.drain(..) {
+                for hops in msgs {
+                    self.forwarded += 1;
+                    ctx.charge(1);
+                    if hops > 0 {
+                        let next = (ctx.rank() + 1) % ctx.num_ranks();
+                        ctx.send(next, &(hops - 1));
+                    }
+                }
+            }
+            Status::Idle
+        }
+    }
+
+    fn free_config() -> EngineConfig {
+        EngineConfig {
+            cost: crate::CostModel::compute_only(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn ring_token_terminates_and_counts() {
+        let p = 4;
+        let programs = (0..p).map(|_| RingToken { hops_left: 10, forwarded: 0 }).collect();
+        let result = SimEngine::new(programs, free_config()).run();
+        assert!(!result.hit_round_cap);
+        let total: u64 = result.programs.iter().map(|r| r.forwarded).sum();
+        assert_eq!(total, 10);
+        assert_eq!(result.stats.total_messages(), 10);
+        assert_eq!(result.stats.total_work(), 10);
+    }
+
+    #[test]
+    fn quiescent_program_stops_immediately() {
+        struct Nop;
+        impl RankProgram for Nop {
+            type Msg = u32;
+            fn on_start(&mut self, _: &mut RankCtx<u32>) -> Status {
+                Status::Idle
+            }
+            fn on_round(&mut self, _: &mut Vec<(Rank, Vec<u32>)>, _: &mut RankCtx<u32>) -> Status {
+                panic!("must not be called");
+            }
+        }
+        let result = SimEngine::new(vec![Nop, Nop], free_config()).run();
+        assert_eq!(result.stats.rounds, 1);
+    }
+
+    #[test]
+    fn round_cap_trips_on_livelock() {
+        /// Sends itself a message forever.
+        struct Livelock;
+        impl RankProgram for Livelock {
+            type Msg = u32;
+            fn on_start(&mut self, ctx: &mut RankCtx<u32>) -> Status {
+                ctx.send(ctx.rank(), &0);
+                Status::Idle
+            }
+            fn on_round(
+                &mut self,
+                _: &mut Vec<(Rank, Vec<u32>)>,
+                ctx: &mut RankCtx<u32>,
+            ) -> Status {
+                ctx.send(ctx.rank(), &0);
+                Status::Idle
+            }
+        }
+        let cfg = EngineConfig {
+            max_rounds: 50,
+            ..free_config()
+        };
+        let result = SimEngine::new(vec![Livelock], cfg).run();
+        assert!(result.hit_round_cap);
+        assert_eq!(result.stats.rounds, 50);
+    }
+
+    #[test]
+    fn virtual_time_reflects_cost_model() {
+        let cost = crate::CostModel {
+            alpha: 1.0,
+            beta: 0.5,
+            gamma: 2.0,
+            send_overhead: 0.25,
+        };
+        let cfg = EngineConfig {
+            cost,
+            ..Default::default()
+        };
+        let programs = (0..2).map(|_| RingToken { hops_left: 1, forwarded: 0 }).collect();
+        let result = SimEngine::<RingToken>::new(programs, cfg).run();
+        // Rank 0: one packet of 4 bytes: overhead 0.25 -> t0 = 0.25.
+        // Arrival at rank 1: 0.25 + 1.0 + 0.5·4 = 3.25; + work 1·γ = 5.25.
+        let t1 = result.stats.per_rank[1].virtual_time;
+        assert!((t1 - 5.25).abs() < 1e-12, "t1 = {t1}");
+        assert!((result.stats.makespan() - 5.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sync_rounds_synchronize_clocks() {
+        let cost = crate::CostModel {
+            alpha: 1.0,
+            beta: 0.0,
+            gamma: 1.0,
+            send_overhead: 0.0,
+        };
+        let cfg = EngineConfig {
+            cost,
+            sync_rounds: true,
+            ..Default::default()
+        };
+        let programs = (0..2).map(|_| RingToken { hops_left: 3, forwarded: 0 }).collect();
+        let result = SimEngine::<RingToken>::new(programs, cfg).run();
+        let times: Vec<f64> = result
+            .stats
+            .per_rank
+            .iter()
+            .map(|r| r.virtual_time)
+            .collect();
+        assert_eq!(times[0], times[1], "barrier must equalize clocks");
+    }
+
+    #[test]
+    fn parallel_sim_matches_sequential() {
+        let mk = || (0..8).map(|_| RingToken { hops_left: 40, forwarded: 0 }).collect();
+        let seq = SimEngine::<RingToken>::new(mk(), free_config()).run();
+        let par_cfg = EngineConfig {
+            parallel_sim: true,
+            ..free_config()
+        };
+        let par = SimEngine::<RingToken>::new(mk(), par_cfg).run();
+        assert_eq!(seq.stats.rounds, par.stats.rounds);
+        for (a, b) in seq.stats.per_rank.iter().zip(&par.stats.per_rank) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn trace_records_round_aggregates() {
+        let cfg = EngineConfig {
+            record_trace: true,
+            ..free_config()
+        };
+        let programs = (0..3).map(|_| RingToken { hops_left: 5, forwarded: 0 }).collect();
+        let result = SimEngine::<RingToken>::new(programs, cfg).run();
+        assert_eq!(result.trace.len() as u64, result.stats.rounds);
+        let traced_msgs: u64 = result.trace.iter().map(|t| t.messages).sum();
+        assert_eq!(traced_msgs, result.stats.total_messages());
+        assert_eq!(result.trace[0].round, 0);
+        assert_eq!(result.trace[0].ranks_stepped, 3);
+        // Later rounds only step the rank holding the token.
+        assert_eq!(result.trace[2].ranks_stepped, 1);
+        // The trace is off (and empty) by default.
+        let programs = (0..3).map(|_| RingToken { hops_left: 5, forwarded: 0 }).collect();
+        let silent = SimEngine::<RingToken>::new(programs, free_config()).run();
+        assert!(silent.trace.is_empty());
+    }
+
+    #[test]
+    fn zero_ranks_is_a_noop() {
+        let result = SimEngine::<RingToken>::new(vec![], free_config()).run();
+        assert_eq!(result.stats.rounds, 0);
+        assert!(result.programs.is_empty());
+    }
+}

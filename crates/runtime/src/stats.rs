@@ -1,0 +1,138 @@
+//! Per-rank and run-wide execution statistics: the raw material for every
+//! scalability figure and for the message-count/volume ablations.
+
+/// Counters for one rank.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RankStats {
+    /// Wire packets sent (bundles when bundling is on).
+    pub packets_sent: u64,
+    /// Logical messages sent (independent of bundling).
+    pub messages_sent: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+    /// Logical messages received.
+    pub messages_received: u64,
+    /// Charged compute work units.
+    pub work: u64,
+    /// Rounds in which this rank actually stepped.
+    pub rounds_active: u64,
+    /// Final virtual time (simulation engine only; 0 under the threaded
+    /// engine).
+    pub virtual_time: f64,
+}
+
+/// Aggregated statistics of one run.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Per-rank counters, indexed by rank.
+    pub per_rank: Vec<RankStats>,
+    /// Total number of engine rounds executed.
+    pub rounds: u64,
+}
+
+impl RunStats {
+    /// Total wire packets across all ranks.
+    pub fn total_packets(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.packets_sent).sum()
+    }
+
+    /// Total logical messages across all ranks.
+    pub fn total_messages(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.messages_sent).sum()
+    }
+
+    /// Total payload bytes across all ranks.
+    pub fn total_bytes(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.bytes_sent).sum()
+    }
+
+    /// Total charged work units across all ranks.
+    pub fn total_work(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.work).sum()
+    }
+
+    /// Simulated completion time: the maximum per-rank virtual time (the
+    /// quantity plotted on the y-axis of Figures 5.1–5.4).
+    pub fn makespan(&self) -> f64 {
+        self.per_rank
+            .iter()
+            .map(|r| r.virtual_time)
+            .fold(0.0, f64::max)
+    }
+
+    /// Average per-rank virtual time (load-balance indicator).
+    pub fn mean_virtual_time(&self) -> f64 {
+        if self.per_rank.is_empty() {
+            0.0
+        } else {
+            self.per_rank.iter().map(|r| r.virtual_time).sum::<f64>()
+                / self.per_rank.len() as f64
+        }
+    }
+
+    /// Maximum work assigned to any rank divided by the mean — 1.0 is
+    /// perfectly balanced.
+    pub fn work_imbalance(&self) -> f64 {
+        if self.per_rank.is_empty() {
+            return 1.0;
+        }
+        let max = self.per_rank.iter().map(|r| r.work).max().unwrap_or(0) as f64;
+        let mean = self.total_work() as f64 / self.per_rank.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats2() -> RunStats {
+        RunStats {
+            per_rank: vec![
+                RankStats {
+                    packets_sent: 2,
+                    messages_sent: 10,
+                    bytes_sent: 80,
+                    messages_received: 4,
+                    work: 100,
+                    rounds_active: 3,
+                    virtual_time: 1.5,
+                },
+                RankStats {
+                    packets_sent: 1,
+                    messages_sent: 5,
+                    bytes_sent: 40,
+                    messages_received: 11,
+                    work: 300,
+                    rounds_active: 3,
+                    virtual_time: 2.5,
+                },
+            ],
+            rounds: 3,
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let s = stats2();
+        assert_eq!(s.total_packets(), 3);
+        assert_eq!(s.total_messages(), 15);
+        assert_eq!(s.total_bytes(), 120);
+        assert_eq!(s.total_work(), 400);
+        assert_eq!(s.makespan(), 2.5);
+        assert_eq!(s.mean_virtual_time(), 2.0);
+        assert_eq!(s.work_imbalance(), 1.5);
+    }
+
+    #[test]
+    fn empty_stats_are_sane() {
+        let s = RunStats::default();
+        assert_eq!(s.makespan(), 0.0);
+        assert_eq!(s.work_imbalance(), 1.0);
+        assert_eq!(s.mean_virtual_time(), 0.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! End-to-end distributed matching: graphs × partitioners × engines.
+
+use cmg::prelude::*;
+use cmg_graph::generators;
+use cmg_graph::weights::{assign_weights, WeightScheme};
+use cmg_graph::CsrGraph;
+use cmg_matching::{exact, seq};
+use cmg_partition::simple::{bfs_partition, block_partition, hash_partition};
+use cmg_partition::{multilevel_partition, Partition};
+
+fn uniform(g: &CsrGraph, seed: u64) -> CsrGraph {
+    assign_weights(g, WeightScheme::Uniform { lo: 0.0, hi: 1.0 }, seed)
+}
+
+/// Every partitioner × both engines: result equals the sequential
+/// locally-dominant matching (weights are distinct, so it is unique).
+#[test]
+fn all_partitioners_and_engines_agree_with_sequential() {
+    let g = uniform(&generators::circuit_like(2_000, 1), 2);
+    let expected = seq::local_dominant(&g);
+    let n = g.num_vertices();
+    let partitions: Vec<(&str, Partition)> = vec![
+        ("block", block_partition(n, 7)),
+        ("hash", hash_partition(n, 7, 3)),
+        ("bfs", bfs_partition(&g, 7)),
+        ("multilevel", multilevel_partition(&g, 7, 3)),
+    ];
+    for (name, part) in partitions {
+        for engine in [Engine::default_simulated(), Engine::default_threaded()] {
+            let run = cmg::run_matching(&g, &part, &engine);
+            run.matching.validate(&g).unwrap();
+            assert_eq!(run.matching, expected, "{name} disagrees with sequential");
+        }
+    }
+}
+
+/// §5.2 invariant: matched weight is independent of the rank count.
+#[test]
+fn weight_invariant_across_rank_counts() {
+    let g = uniform(&generators::rmat(10, 8, (0.45, 0.22, 0.22, 0.11), 5), 6);
+    let base = cmg::run_matching(&g, &Partition::single(g.num_vertices()), &Engine::default_simulated());
+    let w0 = base.matching.weight(&g);
+    for p in [2u32, 5, 16, 33] {
+        let part = hash_partition(g.num_vertices(), p, 9);
+        let run = cmg::run_matching(&g, &part, &Engine::default_simulated());
+        let w = run.matching.weight(&g);
+        assert!((w - w0).abs() < 1e-9, "p={p}: {w} != {w0}");
+    }
+}
+
+/// The ½-approximation bound holds against the exact optimum (bipartite).
+#[test]
+fn half_approximation_bound_distributed() {
+    for seed in 0..4 {
+        let bg = generators::random_bipartite(40, 40, 160, seed);
+        let g = bg.to_general();
+        let opt = exact::max_weight_bipartite(&bg).weight;
+        let part = hash_partition(g.num_vertices(), 5, seed);
+        let run = cmg::run_matching(&g, &part, &Engine::default_simulated());
+        let w = run.matching.weight(&g);
+        assert!(w >= 0.5 * opt - 1e-9, "seed {seed}: {w} < half of {opt}");
+        assert!(w <= opt + 1e-9);
+    }
+}
+
+/// Distributed result is maximal (required for the ½ guarantee).
+#[test]
+fn distributed_matching_is_maximal() {
+    let g = uniform(&generators::erdos_renyi(300, 1200, 4), 4);
+    let part = bfs_partition(&g, 6);
+    let run = cmg::run_matching(&g, &part, &Engine::default_simulated());
+    assert!(run.matching.is_maximal(&g));
+}
+
+/// Matching works when the graph is weight-free (all weights equal 1.0).
+#[test]
+fn unweighted_graph_matches_validly() {
+    let g = generators::grid2d(12, 12);
+    let part = block_partition(g.num_vertices(), 4);
+    let run = cmg::run_matching(&g, &part, &Engine::default_simulated());
+    run.matching.validate(&g).unwrap();
+    assert!(run.matching.is_maximal(&g));
+    // Perfect matching exists on an even grid; maximal ≥ half of that.
+    assert!(run.matching.cardinality() >= 36);
+}
+
+/// Sequential algorithms all satisfy the bound against brute force on
+/// small random graphs (cross-crate oracle check).
+#[test]
+fn sequential_algorithms_vs_brute_force() {
+    for seed in 0..6 {
+        let g = uniform(&generators::erdos_renyi(12, 26, seed), seed);
+        let opt = exact::brute_force_weight(&g);
+        for (name, alg) in [
+            ("greedy", seq::greedy as fn(&CsrGraph) -> cmg_matching::Matching),
+            ("local_dominant", seq::local_dominant),
+            ("path_growing", seq::path_growing),
+            ("suitor", seq::suitor),
+        ] {
+            let w = alg(&g).weight(&g);
+            assert!(w >= 0.5 * opt - 1e-9, "{name} seed {seed}: {w} < {opt}/2");
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Adversarial inputs: degenerate graphs, pathological weights, extreme
+//! partitions. Every case must terminate and produce a valid result.
+
+use cmg::prelude::*;
+use cmg_graph::generators;
+use cmg_graph::weights::{assign_weights, WeightScheme};
+use cmg_graph::{CsrGraph, GraphBuilder};
+use cmg_partition::simple::{block_partition, hash_partition};
+use cmg_partition::Partition;
+
+fn check_both(g: &CsrGraph, part: &Partition) {
+    let m = cmg::run_matching(g, part, &Engine::default_simulated());
+    m.matching.validate(g).unwrap();
+    assert!(m.matching.is_maximal(g));
+    if g.is_weighted() {
+        // Unweighted copies drive the coloring below.
+    }
+    let unweighted = g.unweighted();
+    let c = cmg::run_coloring(
+        &unweighted,
+        part,
+        ColoringConfig {
+            superstep_size: 3,
+            ..Default::default()
+        },
+        &Engine::default_simulated(),
+    );
+    c.coloring.validate(&unweighted).unwrap();
+}
+
+#[test]
+fn all_equal_weights_exercise_tie_breaking() {
+    let g = assign_weights(&generators::complete(12), WeightScheme::Equal(1.0), 0);
+    check_both(&g, &hash_partition(12, 5, 1));
+}
+
+#[test]
+fn integer_weights_with_many_ties() {
+    let g = assign_weights(
+        &generators::erdos_renyi(100, 400, 2),
+        WeightScheme::Integer { max: 3 },
+        3,
+    );
+    let part = hash_partition(100, 7, 2);
+    let m = cmg::run_matching(&g, &part, &Engine::default_simulated());
+    m.matching.validate(&g).unwrap();
+    assert!(m.matching.is_maximal(&g));
+    // With ties the distributed matching may differ from the sequential
+    // one, but the weight must still match it (both are maximal local-
+    // dominant matchings under the same deterministic tie-break).
+    let seq = cmg_matching::seq::local_dominant(&g);
+    assert_eq!(m.matching, seq, "deterministic tie-break must make it unique");
+}
+
+#[test]
+fn graph_with_no_edges() {
+    let g = CsrGraph::empty(50);
+    check_both(&g, &block_partition(50, 6));
+}
+
+#[test]
+fn single_vertex_and_single_edge() {
+    check_both(&CsrGraph::empty(1), &Partition::single(1));
+    let mut b = GraphBuilder::new(2);
+    b.add_edge(0, 1, 1.0);
+    let g = b.build();
+    check_both(&g, &Partition::new(vec![0, 1], 2));
+}
+
+#[test]
+fn more_ranks_than_vertices() {
+    let g = assign_weights(
+        &generators::cycle(5),
+        WeightScheme::Uniform { lo: 0.0, hi: 1.0 },
+        1,
+    );
+    check_both(&g, &block_partition(5, 16));
+}
+
+#[test]
+fn star_graph_hammers_one_rank() {
+    // The hub's rank receives messages from everyone.
+    let g = assign_weights(
+        &generators::star(200),
+        WeightScheme::Uniform { lo: 0.0, hi: 1.0 },
+        4,
+    );
+    check_both(&g, &hash_partition(200, 8, 3));
+}
+
+#[test]
+fn disconnected_components_across_ranks() {
+    let mut b = GraphBuilder::new(30);
+    for c in 0..10 {
+        let base = 3 * c;
+        b.add_edge(base, base + 1, 1.0 + c as f64);
+        b.add_edge(base + 1, base + 2, 2.0 + c as f64);
+    }
+    let g = b.build();
+    check_both(&g, &hash_partition(30, 4, 7));
+}
+
+#[test]
+fn path_graph_worst_case_for_propagation() {
+    // Sequential dependence end to end; distributed chain of REQUESTs.
+    let g = assign_weights(
+        &generators::path(400),
+        WeightScheme::Uniform { lo: 0.0, hi: 1.0 },
+        9,
+    );
+    check_both(&g, &block_partition(400, 16));
+}
+
+#[test]
+fn adversarial_increasing_path_weights() {
+    // Strictly increasing weights along a path force the longest
+    // propagation chain in the candidate-mate algorithm.
+    let mut b = GraphBuilder::new(201);
+    for i in 0..200u32 {
+        b.add_edge(i, i + 1, (i + 1) as f64);
+    }
+    let g = b.build();
+    let part = block_partition(201, 8);
+    let m = cmg::run_matching(&g, &part, &Engine::default_simulated());
+    m.matching.validate(&g).unwrap();
+    // Matching must pick edges (199,200), (197,198), … from the top.
+    assert_eq!(m.matching.mate(200), 199);
+    assert_eq!(m.matching.mate(198), 197);
+    assert_eq!(m.matching, cmg_matching::seq::local_dominant(&g));
+}
+
+#[test]
+fn empty_graph_zero_vertices() {
+    let g = CsrGraph::empty(0);
+    let m = cmg::run_matching(&g, &Partition::new(vec![], 3), &Engine::default_simulated());
+    assert_eq!(m.matching.cardinality(), 0);
+}

@@ -1,0 +1,101 @@
+//! Property tests of the wire codecs: arbitrary message sequences must
+//! survive the encode → bundle → decode path bit-exactly, and corrupted
+//! bundles must be rejected rather than misparsed.
+
+use bytes::BytesMut;
+use cmg_coloring::dist2::D2Msg;
+use cmg_coloring::ColorMsg;
+use cmg_matching::MatchMsg;
+use cmg_runtime::message::decode_all;
+use cmg_runtime::WireMessage;
+use proptest::prelude::*;
+
+fn arb_match_msg() -> impl Strategy<Value = MatchMsg> {
+    (0u8..3, any::<u32>(), any::<u32>()).prop_map(|(tag, from, to)| match tag {
+        0 => MatchMsg::Request { from, to },
+        1 => MatchMsg::Succeeded { from, to },
+        _ => MatchMsg::Failed { from, to },
+    })
+}
+
+fn arb_color_msg() -> impl Strategy<Value = ColorMsg> {
+    (0u8..5, any::<u32>(), any::<u32>(), any::<u64>()).prop_map(|(tag, a, b, c)| match tag {
+        0 => ColorMsg::Color { v: a, color: b },
+        1 => ColorMsg::Empty,
+        2 => ColorMsg::Done { phase: a },
+        3 => ColorMsg::Reduce { phase: a, count: c },
+        _ => ColorMsg::Bcast { phase: a, count: c },
+    })
+}
+
+fn arb_d2_msg() -> impl Strategy<Value = D2Msg> {
+    (0u8..6, any::<u32>(), any::<u32>(), any::<u64>()).prop_map(|(tag, a, b, c)| match tag {
+        0 => D2Msg::Color { v: a, color: b },
+        1 => D2Msg::Done { phase: a },
+        2 => D2Msg::Done2 { phase: a },
+        3 => D2Msg::Recolor { v: a, banned: b },
+        4 => D2Msg::Reduce { phase: a, count: c },
+        _ => D2Msg::Bcast { phase: a, count: c },
+    })
+}
+
+fn round_trip<M: WireMessage + PartialEq + std::fmt::Debug + Clone>(msgs: &[M]) {
+    let mut buf = BytesMut::new();
+    let mut expected_len = 0;
+    for m in msgs {
+        m.encode(&mut buf);
+        expected_len += m.encoded_len();
+    }
+    assert_eq!(buf.len(), expected_len, "encoded_len must match encode");
+    let decoded: Vec<M> = decode_all(buf.freeze()).expect("decode failed");
+    assert_eq!(&decoded, msgs);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn match_msgs_round_trip(msgs in proptest::collection::vec(arb_match_msg(), 0..40)) {
+        round_trip(&msgs);
+    }
+
+    #[test]
+    fn color_msgs_round_trip(msgs in proptest::collection::vec(arb_color_msg(), 0..40)) {
+        round_trip(&msgs);
+    }
+
+    #[test]
+    fn d2_msgs_round_trip(msgs in proptest::collection::vec(arb_d2_msg(), 0..40)) {
+        round_trip(&msgs);
+    }
+
+    /// Truncating a non-empty bundle anywhere strictly inside its final
+    /// message makes decoding fail (no silent misparse).
+    #[test]
+    fn truncated_bundles_rejected(
+        msgs in proptest::collection::vec(arb_match_msg(), 1..10),
+        cut in 1usize..9,
+    ) {
+        let mut buf = BytesMut::new();
+        for m in &msgs {
+            m.encode(&mut buf);
+        }
+        let bytes = buf.freeze();
+        let truncated = bytes.slice(0..bytes.len() - cut.min(bytes.len() - 1).max(1));
+        // Either fewer messages decode (clean prefix) or decode fails;
+        // what must NOT happen is decoding the original count.
+        if let Some(decoded) = decode_all::<MatchMsg>(truncated) {
+            prop_assert!(decoded.len() < msgs.len());
+        }
+    }
+
+    /// Garbage tag bytes are rejected.
+    #[test]
+    fn garbage_is_rejected_or_partial(bytes in proptest::collection::vec(any::<u8>(), 1..64)) {
+        // Must not panic; Option result is fine either way.
+        let buf = bytes::Bytes::from(bytes);
+        let _ = decode_all::<MatchMsg>(buf.clone());
+        let _ = decode_all::<ColorMsg>(buf.clone());
+        let _ = decode_all::<D2Msg>(buf);
+    }
+}

@@ -1,0 +1,59 @@
+//! Concurrency stress: repeated threaded-engine runs with more ranks than
+//! host cores must stay deterministic and agree with the simulation. This
+//! hammers the barrier/activity-flag protocol that once harbored a
+//! termination race.
+
+use cmg::prelude::*;
+use cmg_graph::generators;
+use cmg_graph::weights::{assign_weights, WeightScheme};
+use cmg_partition::simple::hash_partition;
+
+#[test]
+fn threaded_matching_is_deterministic_across_repeats() {
+    let g = assign_weights(
+        &generators::erdos_renyi(400, 1600, 1),
+        WeightScheme::Uniform { lo: 0.0, hi: 1.0 },
+        1,
+    );
+    let part = hash_partition(g.num_vertices(), 24, 2);
+    let reference = cmg::run_matching(&g, &part, &Engine::default_simulated());
+    for trial in 0..5 {
+        let run = cmg::run_matching(&g, &part, &Engine::default_threaded());
+        assert_eq!(run.matching, reference.matching, "trial {trial}");
+        assert_eq!(
+            run.stats.total_messages(),
+            reference.stats.total_messages(),
+            "trial {trial}: message counts must be schedule-independent"
+        );
+    }
+}
+
+#[test]
+fn threaded_coloring_is_deterministic_across_repeats() {
+    let g = generators::circuit_like(1_500, 2);
+    let part = hash_partition(g.num_vertices(), 16, 3);
+    let cfg = ColoringConfig {
+        superstep_size: 16,
+        ..Default::default()
+    };
+    let reference = cmg::run_coloring(&g, &part, cfg, &Engine::default_simulated());
+    for trial in 0..5 {
+        let run = cmg::run_coloring(&g, &part, cfg, &Engine::default_threaded());
+        assert_eq!(run.coloring, reference.coloring, "trial {trial}");
+        assert_eq!(run.phases, reference.phases, "trial {trial}");
+    }
+}
+
+#[test]
+fn many_ranks_on_few_cores() {
+    // 64 rank threads on a small host: exercises heavy preemption.
+    let g = assign_weights(
+        &generators::grid2d(32, 32),
+        WeightScheme::Uniform { lo: 0.0, hi: 1.0 },
+        5,
+    );
+    let part = hash_partition(g.num_vertices(), 64, 1);
+    let run = cmg::run_matching(&g, &part, &Engine::default_threaded());
+    run.matching.validate(&g).unwrap();
+    assert_eq!(run.matching, cmg_matching::seq::local_dominant(&g));
+}
