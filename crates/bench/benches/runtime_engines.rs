@@ -12,11 +12,7 @@ use std::hint::black_box;
 
 fn bench_engines(c: &mut Criterion) {
     const K: usize = 128;
-    let grid = assign_weights(
-        &grid2d(K, K),
-        WeightScheme::Uniform { lo: 0.0, hi: 1.0 },
-        7,
-    );
+    let grid = assign_weights(&grid2d(K, K), WeightScheme::Uniform { lo: 0.0, hi: 1.0 }, 7);
     let part = grid2d_partition(K, K, 2, 2);
     let mut group = c.benchmark_group("runtime_engines");
     group.sample_size(10);

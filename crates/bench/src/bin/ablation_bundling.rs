@@ -10,6 +10,8 @@ use cmg_bench::{scale_from_args, setup};
 use cmg_core::prelude::*;
 use cmg_core::report::{fmt_count, fmt_time, Table};
 use cmg_graph::generators::grid2d;
+use cmg_obs::bench::BenchReport;
+use cmg_obs::Json;
 use cmg_partition::multilevel_partition;
 use cmg_partition::simple::{grid2d_partition, square_processor_grid};
 use cmg_runtime::EngineConfig;
@@ -23,16 +25,15 @@ fn main() {
     };
     let ranks = [16u32, 64, 256];
     println!("Ablation A: message bundling in distributed matching\n");
+    let mut report = BenchReport::new("ablation_bundling");
+    report.fact("scale", Json::Str(format!("{scale:?}")));
 
     let mut t = Table::new(&[
         "Input", "Ranks", "Bundling", "Messages", "Packets", "Bytes", "Sim time",
     ]);
     let grid = setup::uniform_weights(&grid2d(k, k), 3);
     let circuit = setup::circuit_matching_graph(scale);
-    for (name, g, parts) in [
-        ("grid", &grid, &ranks),
-        ("circuit", &circuit, &ranks),
-    ] {
+    for (name, g, parts) in [("grid", &grid, &ranks), ("circuit", &circuit, &ranks)] {
         for &p in parts.iter() {
             let part = if name == "grid" {
                 let (pr, pc) = square_processor_grid(p);
@@ -55,10 +56,24 @@ fn main() {
                     fmt_count(run.stats.total_bytes()),
                     fmt_time(run.simulated_time),
                 ]);
+                report.row(Json::obj(vec![
+                    ("input", Json::Str(name.into())),
+                    ("ranks", Json::UInt(p as u64)),
+                    ("bundling", Json::Bool(bundling)),
+                    ("makespan", Json::Float(run.simulated_time)),
+                    ("messages", Json::UInt(run.stats.total_messages())),
+                    ("packets", Json::UInt(run.stats.total_packets())),
+                    ("bytes", Json::UInt(run.stats.total_bytes())),
+                    ("rounds", Json::UInt(run.stats.rounds)),
+                ]));
             }
         }
     }
     println!("{t}");
     println!("Expected: identical messages/bytes, far fewer packets with bundling,");
     println!("and a large simulated-time win (each packet pays the α latency).");
+    match report.write() {
+        Ok(path) => println!("report: {}", path.display()),
+        Err(e) => eprintln!("could not write bench report: {e}"),
+    }
 }

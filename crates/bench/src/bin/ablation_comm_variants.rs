@@ -8,6 +8,8 @@ use cmg_bench::{scale_from_args, setup};
 use cmg_core::prelude::*;
 use cmg_core::report::{fmt_count, fmt_time, Table};
 use cmg_graph::generators::grid2d;
+use cmg_obs::bench::BenchReport;
+use cmg_obs::Json;
 use cmg_partition::simple::{block_partition, grid2d_partition, square_processor_grid};
 
 fn main() {
@@ -18,6 +20,8 @@ fn main() {
         cmg_bench::Scale::Large => 1024,
     };
     println!("Ablation B: coloring communication variants (NEW vs FIAC vs FIAB)\n");
+    let mut report = BenchReport::new("ablation_comm_variants");
+    report.fact("scale", Json::Str(format!("{scale:?}")));
     let grid = grid2d(k, k);
     let circuit = setup::circuit_coloring_graph(scale);
     let mut t = Table::new(&[
@@ -52,10 +56,25 @@ fn main() {
                     fmt_time(run.simulated_time),
                     run.coloring.num_colors().to_string(),
                 ]);
+                report.row(Json::obj(vec![
+                    ("input", Json::Str(name.into())),
+                    ("ranks", Json::UInt(p as u64)),
+                    ("variant", Json::Str(vname.into())),
+                    ("makespan", Json::Float(run.simulated_time)),
+                    ("messages", Json::UInt(run.stats.total_messages())),
+                    ("packets", Json::UInt(run.stats.total_packets())),
+                    ("bytes", Json::UInt(run.stats.total_bytes())),
+                    ("rounds", Json::UInt(run.stats.rounds)),
+                    ("colors", Json::UInt(run.coloring.num_colors() as u64)),
+                ]));
             }
         }
     }
     println!("{t}");
     println!("Expected: NEW < FIAC in messages (same volume); FIAB worst in volume;");
     println!("the gap widens with the rank count — §4.2's scalability argument.");
+    match report.write() {
+        Ok(path) => println!("report: {}", path.display()),
+        Err(e) => eprintln!("could not write bench report: {e}"),
+    }
 }

@@ -7,6 +7,8 @@ use cmg_bench::{scale_from_args, setup};
 use cmg_core::prelude::*;
 use cmg_core::report::{fmt_count, fmt_time, Table};
 use cmg_graph::generators::grid2d;
+use cmg_obs::bench::BenchReport;
+use cmg_obs::Json;
 use cmg_partition::simple::{block_partition, grid2d_partition, square_processor_grid};
 
 fn main() {
@@ -17,11 +19,19 @@ fn main() {
         cmg_bench::Scale::Large => 1024,
     };
     println!("Ablation D: speculative framework vs Jones-Plassmann (MIS)\n");
+    let mut report = BenchReport::new("ablation_jp");
+    report.fact("scale", Json::Str(format!("{scale:?}")));
     let grid = grid2d(k, k);
     let circuit = setup::circuit_coloring_graph(scale);
     let engine = Engine::default_simulated();
     let mut t = Table::new(&[
-        "Input", "Ranks", "Algorithm", "Rounds", "Messages", "Sim time", "Colors",
+        "Input",
+        "Ranks",
+        "Algorithm",
+        "Rounds",
+        "Messages",
+        "Sim time",
+        "Colors",
     ]);
     for (name, g) in [("grid", &grid), ("circuit", &circuit)] {
         for p in [16u32, 64, 256] {
@@ -32,7 +42,9 @@ fn main() {
                 block_partition(g.num_vertices(), p)
             };
             let spec = run_coloring(g, &part, ColoringConfig::default(), &engine);
-            spec.coloring.validate(g).expect("invalid speculative coloring");
+            spec.coloring
+                .validate(g)
+                .expect("invalid speculative coloring");
             let jp = run_jones_plassmann(g, &part, 9, &engine);
             jp.coloring.validate(g).expect("invalid JP coloring");
             t.row(&[
@@ -53,9 +65,26 @@ fn main() {
                 fmt_time(jp.simulated_time),
                 jp.coloring.num_colors().to_string(),
             ]);
+            for (alg, run) in [("speculative", &spec), ("jones-plassmann", &jp)] {
+                report.row(Json::obj(vec![
+                    ("input", Json::Str(name.into())),
+                    ("ranks", Json::UInt(p as u64)),
+                    ("algorithm", Json::Str(alg.into())),
+                    ("phases", Json::UInt(run.phases as u64)),
+                    ("makespan", Json::Float(run.simulated_time)),
+                    ("messages", Json::UInt(run.stats.total_messages())),
+                    ("bytes", Json::UInt(run.stats.total_bytes())),
+                    ("rounds", Json::UInt(run.stats.rounds)),
+                    ("colors", Json::UInt(run.coloring.num_colors() as u64)),
+                ]));
+            }
         }
     }
     println!("{t}");
     println!("Expected: the speculative framework converges in a handful of phases");
     println!("while JP needs rounds proportional to priority-path lengths.");
+    match report.write() {
+        Ok(path) => println!("report: {}", path.display()),
+        Err(e) => eprintln!("could not write bench report: {e}"),
+    }
 }

@@ -8,6 +8,8 @@
 use cmg_bench::{scale_from_args, setup};
 use cmg_core::prelude::*;
 use cmg_core::report::{fmt_count, fmt_time, Table};
+use cmg_obs::bench::BenchReport;
+use cmg_obs::Json;
 use cmg_partition::simple::block_partition;
 use cmg_runtime::{CostModel, EngineConfig, SimEngine};
 
@@ -20,6 +22,9 @@ fn main() {
         "Ablation C: superstep size sweep (circuit-like graph, {p} ranks, {} vertices)\n",
         g.num_vertices()
     );
+    let mut report = BenchReport::new("ablation_superstep");
+    report.fact("scale", Json::Str(format!("{scale:?}")));
+    report.fact("ranks", Json::UInt(p as u64));
     let mut t = Table::new(&["s", "Phases", "Conflicts", "Packets", "Sim time", "Colors"]);
     for s in [1usize, 10, 100, 1000, 10000] {
         let cfg = ColoringConfig {
@@ -57,8 +62,23 @@ fn main() {
             fmt_time(result.stats.makespan()),
             coloring.num_colors().to_string(),
         ]);
+        report.row(Json::obj(vec![
+            ("superstep", Json::UInt(s as u64)),
+            ("phases", Json::UInt(phases as u64)),
+            ("conflicts", Json::UInt(recolored)),
+            ("makespan", Json::Float(result.stats.makespan())),
+            ("messages", Json::UInt(result.stats.total_messages())),
+            ("packets", Json::UInt(result.stats.total_packets())),
+            ("bytes", Json::UInt(result.stats.total_bytes())),
+            ("rounds", Json::UInt(result.stats.rounds)),
+            ("colors", Json::UInt(coloring.num_colors() as u64)),
+        ]));
     }
     println!("{t}");
     println!("Expected: s ≈ 1000 balances packet count against conflict phases —");
     println!("the paper's recommendation for well-partitioned graphs.");
+    match report.write() {
+        Ok(path) => println!("report: {}", path.display()),
+        Err(e) => eprintln!("could not write bench report: {e}"),
+    }
 }

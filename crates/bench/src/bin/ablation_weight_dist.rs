@@ -13,6 +13,8 @@ use cmg_graph::generators::grid2d;
 use cmg_graph::weights::{assign_weights, WeightScheme};
 use cmg_matching::dist::assemble_matching;
 use cmg_matching::DistMatching;
+use cmg_obs::bench::BenchReport;
+use cmg_obs::Json;
 use cmg_partition::simple::grid2d_partition;
 use cmg_partition::DistGraph;
 use cmg_runtime::{EngineConfig, SimEngine};
@@ -32,6 +34,8 @@ fn main() {
     let grid = grid2d(k, k);
     let part = grid2d_partition(k, k, p_side, p_side);
 
+    let mut report = BenchReport::new("ablation_weight_dist");
+    report.fact("scale", Json::Str(format!("{scale:?}")));
     let mut t = Table::new(&["Weights", "Rounds", "Messages", "Sim time", "Weight"]);
     let schemes: [(&str, WeightScheme); 4] = [
         ("uniform", WeightScheme::Uniform { lo: 0.0, hi: 1.0 }),
@@ -54,6 +58,14 @@ fn main() {
             fmt_time(result.stats.makespan()),
             format!("{:.1}", m.weight(&g)),
         ]);
+        report.row(Json::obj(vec![
+            ("weights", Json::Str(name.into())),
+            ("rounds", Json::UInt(result.stats.rounds)),
+            ("makespan", Json::Float(result.stats.makespan())),
+            ("messages", Json::UInt(result.stats.total_messages())),
+            ("bytes", Json::UInt(result.stats.total_bytes())),
+            ("weight", Json::Float(m.weight(&g))),
+        ]));
     }
     println!("{t}");
 
@@ -79,4 +91,8 @@ fn main() {
     println!("{t}");
     println!("Expected: structured/tied weights need more rounds than uniform");
     println!("random weights (which settle most boundary edges immediately).");
+    match report.write() {
+        Ok(path) => println!("report: {}", path.display()),
+        Err(e) => eprintln!("could not write bench report: {e}"),
+    }
 }

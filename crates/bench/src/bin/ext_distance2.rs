@@ -27,7 +27,14 @@ fn main() {
     println!("Extension: distributed distance-2 coloring\n");
 
     let mut t = Table::new(&[
-        "Input", "Ranks", "Colors", "Seq colors", "Phases", "Recolored", "Messages", "Sim time",
+        "Input",
+        "Ranks",
+        "Colors",
+        "Seq colors",
+        "Phases",
+        "Recolored",
+        "Messages",
+        "Sim time",
     ]);
     for (name, g) in [("grid", &grid), ("circuit", &circuit)] {
         let seq_colors = greedy_d2(g, Ordering::Natural).num_colors();

@@ -11,6 +11,8 @@
 use cmg_bench::{scale_from_args, setup};
 use cmg_core::prelude::*;
 use cmg_core::report::{fmt_time, Table};
+use cmg_obs::bench::BenchReport;
+use cmg_obs::Json;
 use cmg_partition::grid2d_dist;
 
 fn main() {
@@ -18,6 +20,8 @@ fn main() {
     let (b, series) = setup::weak_scaling_series(scale);
     println!("Figure 5.1: weak scaling on k×k grids ({b}² per rank, uniform 2D)\n");
     let engine = Engine::default_simulated();
+    let mut report = BenchReport::new("fig5_1");
+    report.fact("scale", Json::Str(format!("{scale:?}")));
 
     let mut match_rows = Vec::new();
     let mut color_rows = Vec::new();
@@ -27,11 +31,32 @@ fn main() {
         let parts = grid2d_dist(k, k, side, side, Some(7));
         let m = run_matching_parts(parts, &engine);
         match_rows.push((k, p, m.simulated_time, m.weight));
+        report.row(Json::obj(vec![
+            ("kind", Json::Str("matching".into())),
+            ("grid", Json::UInt(k as u64)),
+            ("ranks", Json::UInt(p as u64)),
+            ("makespan", Json::Float(m.simulated_time)),
+            ("messages", Json::UInt(m.stats.total_messages())),
+            ("bytes", Json::UInt(m.stats.total_bytes())),
+            ("rounds", Json::UInt(m.stats.rounds)),
+            ("weight", Json::Float(m.weight)),
+        ]));
 
         let parts = grid2d_dist(k, k, side, side, None);
         let c = run_coloring_parts(parts, ColoringConfig::default(), &engine);
         assert_eq!(c.conflicts, 0, "invalid coloring");
         color_rows.push((k, p, c.simulated_time, c.num_colors, c.phases));
+        report.row(Json::obj(vec![
+            ("kind", Json::Str("coloring".into())),
+            ("grid", Json::UInt(k as u64)),
+            ("ranks", Json::UInt(p as u64)),
+            ("makespan", Json::Float(c.simulated_time)),
+            ("messages", Json::UInt(c.stats.total_messages())),
+            ("bytes", Json::UInt(c.stats.total_bytes())),
+            ("rounds", Json::UInt(c.stats.rounds)),
+            ("colors", Json::UInt(c.num_colors as u64)),
+            ("phases", Json::UInt(c.phases as u64)),
+        ]));
     }
 
     println!("Top: matching");
@@ -63,4 +88,8 @@ fn main() {
     }
     println!("{t}");
     println!("Paper: both curves stay within ~2x of flat across 1,024 -> 16,384 ranks.");
+    match report.write() {
+        Ok(path) => println!("report: {}", path.display()),
+        Err(e) => eprintln!("could not write bench report: {e}"),
+    }
 }

@@ -7,6 +7,8 @@
 use cmg_bench::{scale_from_args, setup};
 use cmg_core::prelude::*;
 use cmg_core::report::{fmt_time, Table};
+use cmg_obs::bench::BenchReport;
+use cmg_obs::Json;
 use cmg_partition::grid2d_dist;
 use cmg_partition::simple::square_processor_grid;
 
@@ -15,6 +17,9 @@ fn main() {
     let (k, ranks) = setup::strong_scaling_grid_series(scale);
     println!("Figure 5.2: strong scaling on a {k} x {k} grid (uniform 2D)\n");
     let engine = Engine::default_simulated();
+    let mut report = BenchReport::new("fig5_2");
+    report.fact("scale", Json::Str(format!("{scale:?}")));
+    report.fact("grid", Json::UInt(k as u64));
 
     let mut mt = Table::new(&["Ranks", "Matching actual", "Matching ideal"]);
     let mut ct = Table::new(&["Ranks", "Coloring actual", "Coloring ideal", "Colors"]);
@@ -30,6 +35,15 @@ fn main() {
         assert!((m.weight - w0).abs() < 1e-6, "weight changed with p");
         let im = *ideal_m.get_or_insert(m.simulated_time * ranks[0] as f64) / p as f64;
         mt.row(&[p.to_string(), fmt_time(m.simulated_time), fmt_time(im)]);
+        report.row(Json::obj(vec![
+            ("kind", Json::Str("matching".into())),
+            ("ranks", Json::UInt(p as u64)),
+            ("makespan", Json::Float(m.simulated_time)),
+            ("messages", Json::UInt(m.stats.total_messages())),
+            ("bytes", Json::UInt(m.stats.total_bytes())),
+            ("rounds", Json::UInt(m.stats.rounds)),
+            ("weight", Json::Float(m.weight)),
+        ]));
 
         let c = run_coloring_parts(
             grid2d_dist(k, k, pr, pc, None),
@@ -44,8 +58,21 @@ fn main() {
             fmt_time(ic),
             c.num_colors.to_string(),
         ]);
+        report.row(Json::obj(vec![
+            ("kind", Json::Str("coloring".into())),
+            ("ranks", Json::UInt(p as u64)),
+            ("makespan", Json::Float(c.simulated_time)),
+            ("messages", Json::UInt(c.stats.total_messages())),
+            ("bytes", Json::UInt(c.stats.total_bytes())),
+            ("rounds", Json::UInt(c.stats.rounds)),
+            ("colors", Json::UInt(c.num_colors as u64)),
+        ]));
     }
     println!("Top: matching\n{mt}");
     println!("Bottom: coloring\n{ct}");
     println!("Paper: near-linear decrease (log-log straight line) 512 -> 16,384 ranks.");
+    match report.write() {
+        Ok(path) => println!("report: {}", path.display()),
+        Err(e) => eprintln!("could not write bench report: {e}"),
+    }
 }

@@ -7,6 +7,8 @@
 use cmg_bench::{scale_from_args, setup};
 use cmg_core::prelude::*;
 use cmg_core::report::{fmt_time, Table};
+use cmg_obs::bench::BenchReport;
+use cmg_obs::Json;
 use cmg_partition::simple::block_partition;
 
 fn main() {
@@ -19,6 +21,9 @@ fn main() {
         g.num_edges()
     );
     let engine = Engine::default_simulated();
+    let mut report = BenchReport::new("fig5_4");
+    report.fact("scale", Json::Str(format!("{scale:?}")));
+    report.fact("vertices", Json::UInt(g.num_vertices() as u64));
     let mut t = Table::new(&["Ranks", "Actual", "Ideal", "Cut %", "Colors", "Phases"]);
     let mut ideal = None;
     for &p in &ranks {
@@ -35,8 +40,23 @@ fn main() {
             c.coloring.num_colors().to_string(),
             c.phases.to_string(),
         ]);
+        report.row(Json::obj(vec![
+            ("kind", Json::Str("coloring".into())),
+            ("ranks", Json::UInt(p as u64)),
+            ("makespan", Json::Float(c.simulated_time)),
+            ("messages", Json::UInt(c.stats.total_messages())),
+            ("bytes", Json::UInt(c.stats.total_bytes())),
+            ("rounds", Json::UInt(c.stats.rounds)),
+            ("cut_fraction", Json::Float(q.cut_fraction)),
+            ("colors", Json::UInt(c.coloring.num_colors() as u64)),
+            ("phases", Json::UInt(c.phases as u64)),
+        ]));
     }
     println!("{t}");
     println!("Paper: scaling degrades earlier than Fig 5.3 (40% cut at 4,096 ranks);");
     println!("colors stay near the serial greedy count.");
+    match report.write() {
+        Ok(path) => println!("report: {}", path.display()),
+        Err(e) => eprintln!("could not write bench report: {e}"),
+    }
 }

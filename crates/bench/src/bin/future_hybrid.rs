@@ -25,11 +25,14 @@ fn main() {
         cmg_bench::Scale::Medium => (2048, 4096),
         cmg_bench::Scale::Large => (4096, 16384),
     };
-    println!(
-        "Future work (§6): hybrid MPI+threads on a {k} x {k} grid, {cores}-core budget\n"
-    );
+    println!("Future work (§6): hybrid MPI+threads on a {k} x {k} grid, {cores}-core budget\n");
     let mut t = Table::new(&[
-        "Threads/rank", "Ranks", "Matching", "Coloring", "Messages (match)", "Boundary frac",
+        "Threads/rank",
+        "Ranks",
+        "Matching",
+        "Coloring",
+        "Messages (match)",
+        "Boundary frac",
     ]);
     for threads in [1u32, 2, 4, 8, 16] {
         let ranks = cores / threads;

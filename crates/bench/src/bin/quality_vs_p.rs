@@ -21,7 +21,13 @@ fn main() {
         cmg_coloring::seq::greedy(&gc, cmg_coloring::seq::Ordering::Natural).num_colors();
     let seq_weight = cmg_matching::seq::local_dominant(&gm).weight(&gm);
 
-    let mut t = Table::new(&["Ranks", "Matching W", "= serial?", "Colors", "Serial colors"]);
+    let mut t = Table::new(&[
+        "Ranks",
+        "Matching W",
+        "= serial?",
+        "Colors",
+        "Serial colors",
+    ]);
     for p in [1u32, 4, 16, 64, 256] {
         let pm = multilevel_partition(&gm, p, 3);
         let m = run_matching(&gm, &pm, &engine);
@@ -34,7 +40,12 @@ fn main() {
         t.row(&[
             p.to_string(),
             format!("{w:.4}"),
-            if (w - seq_weight).abs() < 1e-6 { "yes" } else { "NO" }.to_string(),
+            if (w - seq_weight).abs() < 1e-6 {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_string(),
             c.coloring.num_colors().to_string(),
             seq_colors.to_string(),
         ]);

@@ -11,7 +11,14 @@ fn main() {
     let scale = scale_from_args();
     println!("Table 1.1: quality of the half-approximation matching");
     println!("(synthetic stand-ins for the UF matrices; scale {scale:?})\n");
-    let mut table = Table::new(&["Matrix", "#Vertices", "#Edges", "Approx W", "Optimal W", "Quality"]);
+    let mut table = Table::new(&[
+        "Matrix",
+        "#Vertices",
+        "#Edges",
+        "Approx W",
+        "Optimal W",
+        "Quality",
+    ]);
     for inst in setup::table1_instances(scale) {
         let g = inst.graph.to_general();
         let approx = seq::local_dominant(&g);

@@ -12,7 +12,14 @@ use cmg_partition::simple::block_partition;
 fn main() {
     let scale = scale_from_args();
     println!("Table 5.1: experimental setup overview (scale {scale:?})\n");
-    let mut t = Table::new(&["Figure", "Problem", "Scaling", "Input graph", "Distribution", "Max ranks"]);
+    let mut t = Table::new(&[
+        "Figure",
+        "Problem",
+        "Scaling",
+        "Input graph",
+        "Distribution",
+        "Max ranks",
+    ]);
 
     let (b, weak) = setup::weak_scaling_series(scale);
     let (k_small, _) = weak.first().copied().unwrap();
@@ -47,7 +54,10 @@ fn main() {
         "matching".into(),
         "Strong".into(),
         format!("circuit-like [{}]", GraphStats::of(&gm)),
-        format!("multilevel (METIS-like, {:.0}% cut)", 100.0 * qm.cut_fraction),
+        format!(
+            "multilevel (METIS-like, {:.0}% cut)",
+            100.0 * qm.cut_fraction
+        ),
         format!("{p_max}"),
     ]);
 
@@ -59,7 +69,10 @@ fn main() {
         "coloring".into(),
         "Strong".into(),
         format!("circuit-like [{}]", GraphStats::of(&gc)),
-        format!("1-D blocks (ParMETIS-like, {:.0}% cut)", 100.0 * qc.cut_fraction),
+        format!(
+            "1-D blocks (ParMETIS-like, {:.0}% cut)",
+            100.0 * qc.cut_fraction
+        ),
         format!("{p_max}"),
     ]);
 

@@ -49,7 +49,8 @@ impl Args {
 
     /// Required string option.
     pub fn required(&self, key: &str) -> Result<&str, String> {
-        self.get(key).ok_or_else(|| format!("missing required --{key}"))
+        self.get(key)
+            .ok_or_else(|| format!("missing required --{key}"))
     }
 
     /// Numeric option with a default.

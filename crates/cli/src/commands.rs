@@ -5,11 +5,13 @@ use cmg_coloring::{ColoringConfig, CommVariant};
 use cmg_core::{run_coloring, run_matching, Engine};
 use cmg_graph::weights::{assign_weights, WeightScheme};
 use cmg_graph::{generators, io, CsrGraph, GraphStats};
+use cmg_obs::{CollectingRecorder, MetricsRegistry, RecorderHandle, RunReport};
 use cmg_partition::simple as psimple;
 use cmg_partition::{multilevel_partition, Partition};
 use cmg_runtime::EngineConfig;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
+use std::sync::Arc;
 
 /// Runs `f`, mapping an error message to exit code 1.
 fn run(f: impl FnOnce() -> Result<(), String>) -> i32 {
@@ -63,15 +65,97 @@ fn build_partition(g: &CsrGraph, args: &Args) -> Result<Partition, String> {
     })
 }
 
-fn build_engine(args: &Args) -> Result<Engine, String> {
+fn build_engine(args: &Args, recorder: RecorderHandle) -> Result<Engine, String> {
     let cfg = EngineConfig {
         bundling: !args.has_switch("--no-bundling"),
         ..Default::default()
-    };
+    }
+    .with_recorder(recorder);
     match args.get_or("engine", "sim") {
         "sim" => Ok(Engine::Simulated(cfg)),
         "threaded" => Ok(Engine::Threaded(cfg)),
         other => Err(format!("unknown engine: {other}")),
+    }
+}
+
+/// Observability outputs requested via `--trace-out` (Chrome trace JSON),
+/// `--events-out` (JSONL event stream), `--metrics-out` (metrics JSONL)
+/// and `--report-out` (aggregated run report, `.json` or text).
+struct ObsSinks {
+    collector: Arc<CollectingRecorder>,
+    trace_out: Option<String>,
+    events_out: Option<String>,
+    metrics_out: Option<String>,
+    report_out: Option<String>,
+}
+
+impl ObsSinks {
+    /// Returns the sinks plus a live recorder handle when any output flag
+    /// is present; otherwise `None` (the engine keeps the free noop
+    /// recorder).
+    fn from_args(args: &Args) -> Option<(ObsSinks, RecorderHandle)> {
+        let trace_out = args.get("trace-out").map(String::from);
+        let events_out = args.get("events-out").map(String::from);
+        let metrics_out = args.get("metrics-out").map(String::from);
+        let report_out = args.get("report-out").map(String::from);
+        if trace_out.is_none()
+            && events_out.is_none()
+            && metrics_out.is_none()
+            && report_out.is_none()
+        {
+            return None;
+        }
+        let (collector, handle) = CollectingRecorder::shared();
+        let sinks = ObsSinks {
+            collector,
+            trace_out,
+            events_out,
+            metrics_out,
+            report_out,
+        };
+        Some((sinks, handle))
+    }
+
+    /// Drains the collected events and writes every requested file.
+    fn write(&self, name: &str) -> Result<(), String> {
+        let events = self.collector.take();
+        let write = |path: &str, contents: String| {
+            std::fs::write(path, contents).map_err(|e| format!("cannot write {path}: {e}"))
+        };
+        if let Some(p) = &self.trace_out {
+            write(p, cmg_obs::sink::chrome_trace(&events))?;
+            println!("trace written to {p} ({} events)", events.len());
+        }
+        if let Some(p) = &self.events_out {
+            write(p, cmg_obs::sink::events_to_jsonl(&events))?;
+            println!("events written to {p}");
+        }
+        if let Some(p) = &self.metrics_out {
+            let mut reg = MetricsRegistry::new();
+            reg.observe_events(&events);
+            write(p, reg.to_jsonl())?;
+            println!("metrics written to {p}");
+        }
+        if let Some(p) = &self.report_out {
+            let report = RunReport::from_events(name, &events);
+            let out = if p.ends_with(".json") {
+                report.to_json().to_string_pretty() + "\n"
+            } else {
+                report.to_text()
+            };
+            write(p, out)?;
+            println!("report written to {p}");
+        }
+        Ok(())
+    }
+}
+
+/// Splits the optional observability sinks from the recorder handle the
+/// engine should carry.
+fn obs_setup(args: &Args) -> (Option<ObsSinks>, RecorderHandle) {
+    match ObsSinks::from_args(args) {
+        Some((sinks, handle)) => (Some(sinks), handle),
+        None => (None, RecorderHandle::noop()),
     }
 }
 
@@ -165,7 +249,8 @@ pub fn matching(argv: &[String]) -> i32 {
                 "suitor" => cmg_matching::seq::suitor(&g),
                 other => return Err(format!("unknown sequential algorithm: {other}")),
             };
-            m.validate(&g).map_err(|e| format!("invalid matching: {e}"))?;
+            m.validate(&g)
+                .map_err(|e| format!("invalid matching: {e}"))?;
             println!(
                 "sequential {alg}: {} edges, weight {:.4}",
                 m.cardinality(),
@@ -174,7 +259,8 @@ pub fn matching(argv: &[String]) -> i32 {
             return Ok(());
         }
         let part = build_partition(&g, &args)?;
-        let engine = build_engine(&args)?;
+        let (obs, recorder) = obs_setup(&args);
+        let engine = build_engine(&args, recorder)?;
         let runr = run_matching(&g, &part, &engine);
         runr.matching
             .validate(&g)
@@ -196,6 +282,9 @@ pub fn matching(argv: &[String]) -> i32 {
             runr.stats.total_packets(),
             runr.stats.total_bytes()
         );
+        if let Some(obs) = &obs {
+            obs.write("match")?;
+        }
         Ok(())
     })
 }
@@ -207,7 +296,8 @@ pub fn coloring(argv: &[String]) -> i32 {
         let g = load_graph(args.required("input")?)?;
         let g = g.unweighted();
         let part = build_partition(&g, &args)?;
-        let engine = build_engine(&args)?;
+        let (obs, recorder) = obs_setup(&args);
+        let engine = build_engine(&args, recorder)?;
         let distance: u32 = args.num("distance", 1)?;
         let superstep: usize = args.num("superstep", 1000)?;
         match distance {
@@ -245,8 +335,7 @@ pub fn coloring(argv: &[String]) -> i32 {
                     .into_iter()
                     .map(|dg| DistColoring2::new(dg, superstep, 7))
                     .collect();
-                let result =
-                    cmg_runtime::SimEngine::new(programs, EngineConfig::default()).run();
+                let result = cmg_runtime::SimEngine::new(programs, engine.config().clone()).run();
                 if result.hit_round_cap {
                     return Err("distance-2 coloring did not converge".into());
                 }
@@ -261,6 +350,9 @@ pub fn coloring(argv: &[String]) -> i32 {
                 );
             }
             other => return Err(format!("--distance must be 1 or 2, got {other}")),
+        }
+        if let Some(obs) = &obs {
+            obs.write("color")?;
         }
         Ok(())
     })

@@ -55,6 +55,13 @@ COMMANDS
              --input FILE [--parts K] [--method …] [--engine sim|threaded]
              [--distance 1|2] [--superstep S] [--comm new|fiac|fiab]
 
+OBSERVABILITY (match and color)
+  --trace-out FILE    Chrome trace_event JSON (load in Perfetto or
+                      chrome://tracing; one track per rank)
+  --events-out FILE   raw structured event stream, one JSON object per line
+  --metrics-out FILE  aggregated counters/gauges/histograms as JSONL
+  --report-out FILE   run report (.json = machine-readable, else text)
+
 Graphs are read in Matrix Market coordinate format (*.mtx) or whitespace
 edge lists (`u v [w]`, zero-based)."
     );

@@ -111,7 +111,10 @@ mod tests {
             ratio_after <= ratio_before,
             "ratio got worse: {ratio_before} -> {ratio_after}"
         );
-        assert!(moved > 0, "first-fit on ER graphs is skewed; expected moves");
+        assert!(
+            moved > 0,
+            "first-fit on ER graphs is skewed; expected moves"
+        );
     }
 
     #[test]

@@ -66,7 +66,8 @@ impl Coloring {
     pub fn count_conflicts(&self, g: &CsrGraph) -> usize {
         g.edges()
             .filter(|&(u, v, _)| {
-                self.colors[u as usize] != UNCOLORED && self.colors[u as usize] == self.colors[v as usize]
+                self.colors[u as usize] != UNCOLORED
+                    && self.colors[u as usize] == self.colors[v as usize]
             })
             .count()
     }

@@ -325,9 +325,9 @@ impl DistColoring {
     fn scope(&self) -> Vec<Rank> {
         match self.cfg.comm {
             CommVariant::Neighbor => self.dg.neighbor_ranks.clone(),
-            CommVariant::Fiab | CommVariant::Fiac => {
-                (0..self.dg.num_ranks).filter(|&r| r != self.dg.rank).collect()
-            }
+            CommVariant::Fiab | CommVariant::Fiac => (0..self.dg.num_ranks)
+                .filter(|&r| r != self.dg.rank)
+                .collect(),
         }
     }
 
@@ -497,11 +497,29 @@ impl DistColoring {
         }
         self.my_conflicts = r_set.len() as u64;
         self.total_recolored += self.my_conflicts;
+        if ctx.observed() {
+            ctx.emit(cmg_obs::Event::ColoringRound {
+                phase: self.phase,
+                conflicts: self.my_conflicts,
+                colors_used: self.colors_used_so_far(),
+            });
+        }
         self.u_cur = r_set;
         self.u_pos = 0;
         self.detection_done = true;
         self.state = PState::WaitingReduce;
         self.try_send_reduce(ctx);
+    }
+
+    /// Number of distinct color slots this rank's owned vertices occupy so
+    /// far (max assigned color + 1; 0 before anything is colored).
+    fn colors_used_so_far(&self) -> u64 {
+        (0..self.dg.n_local)
+            .map(|v| self.color[v])
+            .filter(|&c| c != UNCOLORED)
+            .map(|c| c as u64 + 1)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Sends the subtree count up (or broadcasts at the root) once this
@@ -511,11 +529,7 @@ impl DistColoring {
             return;
         }
         let want = self.tree_children().count();
-        let (got, sum) = self
-            .reduce_acc
-            .get(&self.phase)
-            .copied()
-            .unwrap_or((0, 0));
+        let (got, sum) = self.reduce_acc.get(&self.phase).copied().unwrap_or((0, 0));
         if got < want {
             return;
         }
@@ -727,8 +741,7 @@ mod tests {
     #[test]
     fn single_rank_colors_like_sequential_greedy_bound() {
         let g = grid2d(10, 10);
-        let (c, _, phases) =
-            run_coloring(&g, &Partition::single(100), ColoringConfig::default());
+        let (c, _, phases) = run_coloring(&g, &Partition::single(100), ColoringConfig::default());
         c.validate(&g).unwrap();
         assert_eq!(c.num_colors(), 2); // grid is bipartite, natural order
         assert_eq!(phases, 1);

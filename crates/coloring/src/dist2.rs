@@ -309,8 +309,8 @@ impl DistColoring2 {
         let mut c = 0u32;
         let mut skipped = 0u64;
         loop {
-            let allowed = (c as usize) >= self.forbidden.len()
-                || self.forbidden[c as usize] != self.stamp;
+            let allowed =
+                (c as usize) >= self.forbidden.len() || self.forbidden[c as usize] != self.stamp;
             if allowed {
                 if skipped == pick {
                     break;
@@ -470,7 +470,28 @@ impl DistColoring2 {
             return;
         }
         self.state = PState::WaitingReduce;
+        // The re-color set is final only now (remote Recolor messages may
+        // grow it until the Done2 wave closes), so this is the earliest
+        // point at which the phase's conflict count is known.
+        if ctx.observed() {
+            ctx.emit(cmg_obs::Event::ColoringRound {
+                phase: self.phase,
+                conflicts: self.r_set.len() as u64,
+                colors_used: self.colors_used_so_far(),
+            });
+        }
         self.try_send_reduce(ctx);
+    }
+
+    /// Number of distinct color slots this rank's owned vertices occupy so
+    /// far (max assigned color + 1; 0 before anything is colored).
+    fn colors_used_so_far(&self) -> u64 {
+        (0..self.dg.n_local)
+            .map(|v| self.color[v])
+            .filter(|&c| c != UNCOLORED)
+            .map(|c| c as u64 + 1)
+            .max()
+            .unwrap_or(0)
     }
 
     fn try_send_reduce(&mut self, ctx: &mut RankCtx<D2Msg>) {

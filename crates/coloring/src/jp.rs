@@ -85,8 +85,7 @@ impl JonesPlassmann {
                 }
             }
             let mut c = 0u32;
-            while (c as usize) < self.forbidden.len() && self.forbidden[c as usize] == self.stamp
-            {
+            while (c as usize) < self.forbidden.len() && self.forbidden[c as usize] == self.stamp {
                 c += 1;
             }
             self.color[v as usize] = c;

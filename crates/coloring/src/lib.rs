@@ -26,8 +26,7 @@ pub mod seq;
 
 pub use coloring::Coloring;
 pub use dist::{
-    assemble_coloring, ColorChoice, ColorMsg, ColoringConfig, CommVariant, DistColoring,
-    LocalOrder,
+    assemble_coloring, ColorChoice, ColorMsg, ColoringConfig, CommVariant, DistColoring, LocalOrder,
 };
 pub use dist2::{assemble_d2, D2Msg, DistColoring2};
 pub use jp::JonesPlassmann;

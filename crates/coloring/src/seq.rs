@@ -142,7 +142,7 @@ pub fn smallest_last_order(g: &CsrGraph) -> Vec<VertexId> {
 /// color count and lower-bounds nothing — but `clique ≥` arguments use it.
 pub fn degeneracy(g: &CsrGraph) -> usize {
     let order = smallest_last_order(g); // coloring order (reverse removal)
-    // Recompute: degeneracy = max back-degree in the coloring order.
+                                        // Recompute: degeneracy = max back-degree in the coloring order.
     let n = g.num_vertices();
     let mut pos = vec![0usize; n];
     for (i, &v) in order.iter().enumerate() {
@@ -150,7 +150,11 @@ pub fn degeneracy(g: &CsrGraph) -> usize {
     }
     let mut k = 0usize;
     for (i, &v) in order.iter().enumerate() {
-        let back = g.neighbors(v).iter().filter(|&&u| pos[u as usize] < i).count();
+        let back = g
+            .neighbors(v)
+            .iter()
+            .filter(|&&u| pos[u as usize] < i)
+            .count();
         k = k.max(back);
     }
     k
@@ -254,8 +258,7 @@ mod tests {
         let g = erdos_renyi(60, 200, 3);
         for order in ALL {
             let c = greedy(&g, order);
-            c.validate(&g)
-                .unwrap_or_else(|e| panic!("{order:?}: {e}"));
+            c.validate(&g).unwrap_or_else(|e| panic!("{order:?}: {e}"));
             assert!(
                 c.num_colors() <= g.max_degree() + 1,
                 "{order:?}: {} colors > Δ+1",

@@ -33,9 +33,8 @@ pub use runner::{
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::runner::{
-        run_coloring, run_coloring_parts, run_jones_plassmann, run_matching,
-        run_matching_parts, ColoringRun, Engine, MatchingRun, PartsColoringRun,
-        PartsMatchingRun,
+        run_coloring, run_coloring_parts, run_jones_plassmann, run_matching, run_matching_parts,
+        ColoringRun, Engine, MatchingRun, PartsColoringRun, PartsMatchingRun,
     };
     pub use cmg_coloring::{ColorChoice, Coloring, ColoringConfig, CommVariant, LocalOrder};
     pub use cmg_graph::{BipartiteGraph, CsrGraph, GraphBuilder, GraphStats};

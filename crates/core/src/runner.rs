@@ -120,7 +120,12 @@ pub fn run_coloring(
         Engine::Simulated(cfg) => {
             let result = SimEngine::new(programs, cfg.clone()).run();
             assert!(!result.hit_round_cap, "coloring hit the round cap");
-            let phases = result.programs.iter().map(|p| p.phases_executed).max().unwrap_or(0);
+            let phases = result
+                .programs
+                .iter()
+                .map(|p| p.phases_executed)
+                .max()
+                .unwrap_or(0);
             ColoringRun {
                 coloring: assemble_coloring(&result.programs, n),
                 simulated_time: result.stats.makespan(),
@@ -132,7 +137,12 @@ pub fn run_coloring(
         Engine::Threaded(cfg) => {
             let result = ThreadedEngine::new(programs, cfg.clone()).run();
             assert!(!result.hit_round_cap, "coloring hit the round cap");
-            let phases = result.programs.iter().map(|p| p.phases_executed).max().unwrap_or(0);
+            let phases = result
+                .programs
+                .iter()
+                .map(|p| p.phases_executed)
+                .max()
+                .unwrap_or(0);
             ColoringRun {
                 coloring: assemble_coloring(&result.programs, n),
                 simulated_time: 0.0,
@@ -278,7 +288,11 @@ pub fn run_coloring_parts(
             .max()
             .map_or(0, |c| c as usize + 1),
         conflicts: programs.iter().map(|p| p.local_conflict_count()).sum(),
-        phases: programs.iter().map(|p| p.phases_executed).max().unwrap_or(0),
+        phases: programs
+            .iter()
+            .map(|p| p.phases_executed)
+            .max()
+            .unwrap_or(0),
         stats,
         simulated_time,
         wall_time,
@@ -294,11 +308,7 @@ mod tests {
     use cmg_partition::simple::grid2d_partition;
 
     fn weighted_grid() -> CsrGraph {
-        assign_weights(
-            &grid2d(8, 8),
-            WeightScheme::Uniform { lo: 0.0, hi: 1.0 },
-            1,
-        )
+        assign_weights(&grid2d(8, 8), WeightScheme::Uniform { lo: 0.0, hi: 1.0 }, 1)
     }
 
     #[test]

@@ -57,7 +57,10 @@ impl GraphBuilder {
     /// # Panics
     /// Panics if `u` or `v` is out of range.
     pub fn add_edge(&mut self, u: VertexId, v: VertexId, w: Weight) {
-        assert!((u as usize) < self.n && (v as usize) < self.n, "vertex out of range");
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "vertex out of range"
+        );
         if u == v {
             return;
         }
@@ -69,7 +72,10 @@ impl GraphBuilder {
     /// Adds an unweighted undirected edge (weight `1.0` if the graph ends up
     /// weighted because other edges carry weights).
     pub fn add_edge_unweighted(&mut self, u: VertexId, v: VertexId) {
-        assert!((u as usize) < self.n && (v as usize) < self.n, "vertex out of range");
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "vertex out of range"
+        );
         if u == v {
             return;
         }

@@ -95,10 +95,7 @@ impl CsrGraph {
 
     /// Iterates `(neighbor, weight)` pairs of `v` (weight `1.0` if
     /// unweighted).
-    pub fn neighbors_weighted(
-        &self,
-        v: VertexId,
-    ) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+    pub fn neighbors_weighted(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
         let lo = self.xadj[v as usize];
         let hi = self.xadj[v as usize + 1];
         let weighted = !self.weights.is_empty();

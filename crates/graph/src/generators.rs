@@ -132,7 +132,10 @@ pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> CsrGraph {
 /// stress the boundary-heavy code paths.
 pub fn rmat(scale: u32, edge_factor: usize, probs: (f64, f64, f64, f64), seed: u64) -> CsrGraph {
     let (a, b_, c, _d) = probs;
-    assert!(a + b_ + c <= 1.0 + 1e-9, "R-MAT probabilities must sum to <= 1");
+    assert!(
+        a + b_ + c <= 1.0 + 1e-9,
+        "R-MAT probabilities must sum to <= 1"
+    );
     let n = 1usize << scale;
     let samples = edge_factor * n;
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -301,12 +304,7 @@ pub fn random_geometric(n: usize, radius: f64, seed: u64) -> (CsrGraph, Vec<(u32
     }
     let coords = points
         .iter()
-        .map(|&(x, y)| {
-            (
-                (x * u16::MAX as f64) as u32,
-                (y * u16::MAX as f64) as u32,
-            )
-        })
+        .map(|&(x, y)| ((x * u16::MAX as f64) as u32, (y * u16::MAX as f64) as u32))
         .collect();
     (b.build(), coords)
 }

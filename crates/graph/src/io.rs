@@ -67,7 +67,10 @@ impl CoordinateMatrix {
     /// # Panics
     /// Panics if the matrix is not square.
     pub fn to_adjacency(&self) -> CsrGraph {
-        assert_eq!(self.rows, self.cols, "adjacency graph needs a square matrix");
+        assert_eq!(
+            self.rows, self.cols,
+            "adjacency graph needs a square matrix"
+        );
         let mut b = GraphBuilder::with_capacity(self.rows, self.entries.len());
         for &(r, c, v) in &self.entries {
             if r != c {
@@ -115,7 +118,10 @@ pub fn read_matrix_market(reader: impl Read) -> Result<CoordinateMatrix, IoError
     };
     let dims: Vec<usize> = size_line
         .split_whitespace()
-        .map(|t| t.parse().map_err(|_| parse_err(format!("bad size line: {size_line}"))))
+        .map(|t| {
+            t.parse()
+                .map_err(|_| parse_err(format!("bad size line: {size_line}")))
+        })
         .collect::<Result<_, _>>()?;
     if dims.len() != 3 {
         return Err(parse_err(format!("bad size line: {size_line}")));
@@ -164,7 +170,13 @@ pub fn read_matrix_market(reader: impl Read) -> Result<CoordinateMatrix, IoError
 /// Writes a graph as a Matrix Market symmetric coordinate file.
 pub fn write_matrix_market(g: &CsrGraph, mut w: impl Write) -> Result<(), IoError> {
     writeln!(w, "%%MatrixMarket matrix coordinate real symmetric")?;
-    writeln!(w, "{} {} {}", g.num_vertices(), g.num_vertices(), g.num_edges())?;
+    writeln!(
+        w,
+        "{} {} {}",
+        g.num_vertices(),
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     for (u, v, wt) in g.edges() {
         // Lower triangle, 1-based: row > col.
         writeln!(w, "{} {} {}", v + 1, u + 1, wt)?;
@@ -193,7 +205,9 @@ pub fn read_edge_list(reader: impl Read) -> Result<CsrGraph, IoError> {
             .and_then(|t| t.parse().ok())
             .ok_or_else(|| parse_err(format!("bad line: {trimmed}")))?;
         let w: Weight = match toks.next() {
-            Some(t) => t.parse().map_err(|_| parse_err(format!("bad weight: {trimmed}")))?,
+            Some(t) => t
+                .parse()
+                .map_err(|_| parse_err(format!("bad weight: {trimmed}")))?,
             None => 1.0,
         };
         max_id = max_id.max(u as i64).max(v as i64);
@@ -266,10 +280,10 @@ mod tests {
     #[test]
     fn reject_bad_header() {
         assert!(read_matrix_market("hello\n1 1 0\n".as_bytes()).is_err());
-        assert!(read_matrix_market(
-            "%%MatrixMarket matrix array real general\n1 1 0\n".as_bytes()
-        )
-        .is_err());
+        assert!(
+            read_matrix_market("%%MatrixMarket matrix array real general\n1 1 0\n".as_bytes())
+                .is_err()
+        );
     }
 
     #[test]

@@ -42,7 +42,10 @@ pub fn read_metis(reader: impl Read) -> Result<CsrGraph, IoError> {
         .map_err(|_| parse_err(format!("bad edge count: {}", fields[1])))?;
     let fmt = fields.get(2).copied().unwrap_or("0");
     let weighted = fmt.ends_with('1');
-    if fmt.len() > 3 || fmt.chars().any(|c| c != '0' && c != '1') || fmt.starts_with("1") && fmt.len() == 3 {
+    if fmt.len() > 3
+        || fmt.chars().any(|c| c != '0' && c != '1')
+        || fmt.starts_with("1") && fmt.len() == 3
+    {
         // Vertex weights/sizes (fmt 10x/1xx) are not supported here.
         if fmt != "1" && fmt != "001" && fmt != "0" && fmt != "000" {
             return Err(parse_err(format!("unsupported fmt field: {fmt}")));

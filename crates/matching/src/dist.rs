@@ -27,6 +27,14 @@ use std::collections::VecDeque;
 /// Local-index sentinel.
 const NONE: u32 = u32::MAX;
 
+/// Per-round message counters feeding [`cmg_obs::Event::MatchRound`].
+#[derive(Clone, Copy, Default, Debug)]
+struct RoundCounts {
+    requests: u64,
+    succeeded: u64,
+    failed: u64,
+}
+
 /// Per-vertex availability from this rank's point of view.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum VState {
@@ -119,6 +127,8 @@ pub struct DistMatching {
     ghost_adj: Vec<u32>,
     /// Inner-loop queue of newly unavailable local indices.
     queue: VecDeque<u32>,
+    /// Messages sent this round, by type (observability only).
+    counts: RoundCounts,
 }
 
 impl DistMatching {
@@ -181,7 +191,23 @@ impl DistMatching {
             ghost_adj_x,
             ghost_adj,
             queue: VecDeque::new(),
+            counts: RoundCounts::default(),
             dg,
+        }
+    }
+
+    /// Emits the round's REQUEST/SUCCEEDED/FAILED tallies as a
+    /// [`cmg_obs::Event::MatchRound`] and resets them. Free when no
+    /// recorder is attached.
+    fn emit_round_counts(&mut self, ctx: &RankCtx<MatchMsg>) {
+        let c = std::mem::take(&mut self.counts);
+        if ctx.observed() {
+            ctx.emit(cmg_obs::Event::MatchRound {
+                round: ctx.round() as u32,
+                requests: c.requests,
+                succeeded: c.succeeded,
+                failed: c.failed,
+            });
         }
     }
 
@@ -266,6 +292,7 @@ impl DistMatching {
             }
         } else {
             // Ghost candidate: propose across the cross edge.
+            self.counts.requests += 1;
             ctx.send(
                 self.dg.owner(c),
                 &MatchMsg::Request {
@@ -300,12 +327,13 @@ impl DistMatching {
 
     /// Sends SUCCEEDED for owned vertex `v` to every ghost neighbor except
     /// its mate `m`.
-    fn announce_matched(&self, v: u32, m: u32, ctx: &mut RankCtx<MatchMsg>) {
+    fn announce_matched(&mut self, v: u32, m: u32, ctx: &mut RankCtx<MatchMsg>) {
         let vg = self.dg.global_ids[v as usize];
         for i in self.sxadj[v as usize]..self.sxadj[v as usize + 1] {
             let u = self.sadj[i];
             if u != m && self.dg.is_ghost(u) && self.state[u as usize] == VState::Free {
                 ctx.charge(1);
+                self.counts.succeeded += 1;
                 ctx.send(
                     self.dg.owner(u),
                     &MatchMsg::Succeeded {
@@ -326,6 +354,7 @@ impl DistMatching {
             let u = self.sadj[i];
             if self.dg.is_ghost(u) && self.state[u as usize] == VState::Free {
                 ctx.charge(1);
+                self.counts.failed += 1;
                 ctx.send(
                     self.dg.owner(u),
                     &MatchMsg::Failed {
@@ -427,6 +456,7 @@ impl RankProgram for DistMatching {
                     self.match_pair(v, c, ctx);
                 }
             } else {
+                self.counts.requests += 1;
                 ctx.send(
                     self.dg.owner(c),
                     &MatchMsg::Request {
@@ -437,6 +467,7 @@ impl RankProgram for DistMatching {
             }
         }
         self.drain_queue(ctx);
+        self.emit_round_counts(ctx);
         Status::Idle
     }
 
@@ -451,6 +482,7 @@ impl RankProgram for DistMatching {
             }
         }
         self.drain_queue(ctx);
+        self.emit_round_counts(ctx);
         Status::Idle
     }
 }
@@ -520,8 +552,7 @@ mod tests {
         for m in &msgs {
             m.encode(&mut buf);
         }
-        let decoded: Vec<MatchMsg> =
-            cmg_runtime::message::decode_all(buf.freeze()).unwrap();
+        let decoded: Vec<MatchMsg> = cmg_runtime::message::decode_all(buf.freeze()).unwrap();
         assert_eq!(decoded, msgs);
     }
 
@@ -574,7 +605,9 @@ mod tests {
             WeightScheme::Uniform { lo: 0.0, hi: 1.0 },
             3,
         );
-        let w1 = run_dist(&g, &Partition::single(g.num_vertices())).0.weight(&g);
+        let w1 = run_dist(&g, &Partition::single(g.num_vertices()))
+            .0
+            .weight(&g);
         for parts in [2u32, 3, 6, 12] {
             let p = block_partition(g.num_vertices(), parts);
             let w = run_dist(&g, &p).0.weight(&g);

@@ -254,11 +254,7 @@ mod tests {
         // Both give 5... make it sharper: (0,r0)=5, (0,r1)=1, (1,r0)=4.9:
         // greedy takes 5 → total 6 with (0,r0)+(1,?) none = 5? (0,r0)+nothing=5,
         // alternative (0,r1)+(1,r0)=5.9 → optimum 5.9.
-        let g = BipartiteGraph::from_edges(
-            2,
-            2,
-            vec![(0, 0, 5.0), (0, 1, 1.0), (1, 0, 4.9)],
-        );
+        let g = BipartiteGraph::from_edges(2, 2, vec![(0, 0, 5.0), (0, 1, 1.0), (1, 0, 4.9)]);
         let opt = max_weight_bipartite(&g);
         assert!((opt.weight - 5.9).abs() < 1e-9, "weight {}", opt.weight);
         let mut pairs = opt.pairs.clone();
@@ -307,7 +303,12 @@ mod tests {
             let bg = random_bipartite(8, 8, 24, 50 + seed);
             let g = bg.to_general();
             let opt = max_weight_bipartite(&bg).weight;
-            for alg in [seq::greedy, seq::local_dominant, seq::path_growing, seq::suitor] {
+            for alg in [
+                seq::greedy,
+                seq::local_dominant,
+                seq::path_growing,
+                seq::suitor,
+            ] {
                 let w = alg(&g).weight(&g);
                 assert!(
                     w >= 0.5 * opt - 1e-9,

@@ -126,9 +126,9 @@ pub fn b_suitor(g: &CsrGraph, b: impl Fn(VertexId) -> usize) -> BMatching {
                 }
                 let cap = b(u);
                 let admissible = suitors[u as usize].len() < cap
-                    || suitors[u as usize]
-                        .peek()
-                        .is_some_and(|weakest| (w, std::cmp::Reverse(v)) > (weakest.0, std::cmp::Reverse(weakest.1)));
+                    || suitors[u as usize].peek().is_some_and(|weakest| {
+                        (w, std::cmp::Reverse(v)) > (weakest.0, std::cmp::Reverse(weakest.1))
+                    });
                 if admissible {
                     let better = match best {
                         None => true,
@@ -174,9 +174,7 @@ pub fn b_suitor(g: &CsrGraph, b: impl Fn(VertexId) -> usize) -> BMatching {
         l.sort_unstable();
         l.dedup();
     }
-    BMatching {
-        partners: mirrored,
-    }
+    BMatching { partners: mirrored }
 }
 
 /// Greedy vertex-weighted matching: maximize the total *vertex* weight

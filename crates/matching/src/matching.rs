@@ -73,10 +73,9 @@ impl Matching {
 
     /// Iterates matched edges `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
-        self.mate
-            .iter()
-            .enumerate()
-            .filter_map(|(v, &m)| (m != NO_VERTEX && (v as VertexId) < m).then_some((v as VertexId, m)))
+        self.mate.iter().enumerate().filter_map(|(v, &m)| {
+            (m != NO_VERTEX && (v as VertexId) < m).then_some((v as VertexId, m))
+        })
     }
 
     /// Checks structural validity against `g`: symmetry (`mate[mate[v]] ==

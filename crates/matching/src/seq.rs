@@ -321,7 +321,11 @@ mod tests {
             let m = alg(&g);
             m.validate(&g).unwrap();
             assert!(m.is_maximal(&g), "{name}");
-            assert!(m.cardinality() >= 34, "{name}: cardinality {}", m.cardinality());
+            assert!(
+                m.cardinality() >= 34,
+                "{name}: cardinality {}",
+                m.cardinality()
+            );
         }
     }
 

@@ -1,0 +1,123 @@
+//! Machine-readable bench reports: `BENCH_<name>.json` files.
+//!
+//! Every `fig5_*`/`ablation_*` binary builds a [`BenchReport`] and
+//! calls [`BenchReport::write`], which drops the file into
+//! `$CMG_BENCH_DIR` (or the current directory). The `repro_all` driver
+//! sets that variable, runs the figure binaries, then merges their
+//! files into one consolidated `BENCH_repro.json`.
+
+use crate::json::Json;
+use std::path::{Path, PathBuf};
+
+/// Environment variable naming the directory bench reports land in.
+pub const BENCH_DIR_ENV: &str = "CMG_BENCH_DIR";
+
+/// The directory bench reports are written to: `$CMG_BENCH_DIR` if set,
+/// otherwise the current directory.
+pub fn bench_dir() -> PathBuf {
+    std::env::var_os(BENCH_DIR_ENV)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// One bench binary's machine-readable result set.
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    name: String,
+    rows: Vec<Json>,
+    facts: Vec<(String, Json)>,
+}
+
+impl BenchReport {
+    /// A report for the bench called `name` (e.g. `fig5_1`).
+    pub fn new(name: &str) -> Self {
+        BenchReport {
+            name: name.to_string(),
+            rows: Vec::new(),
+            facts: Vec::new(),
+        }
+    }
+
+    /// Attaches a top-level fact (scale, seed, ...).
+    pub fn fact(&mut self, key: &str, value: Json) -> &mut Self {
+        self.facts.push((key.to_string(), value));
+        self
+    }
+
+    /// Appends one result row (one configuration / data point).
+    pub fn row(&mut self, row: Json) -> &mut Self {
+        self.rows.push(row);
+        self
+    }
+
+    /// The report as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![("bench".to_string(), Json::Str(self.name.clone()))];
+        pairs.extend(self.facts.iter().cloned());
+        pairs.push(("rows".to_string(), Json::Arr(self.rows.clone())));
+        Json::Obj(pairs)
+    }
+
+    /// The file this report writes to, under `dir`.
+    pub fn path_in(&self, dir: &Path) -> PathBuf {
+        dir.join(format!("BENCH_{}.json", self.name))
+    }
+
+    /// Writes `BENCH_<name>.json` into [`bench_dir`]. Returns the path
+    /// written.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let path = self.path_in(&bench_dir());
+        std::fs::write(&path, self.to_json().to_string_pretty() + "\n")?;
+        Ok(path)
+    }
+}
+
+/// Reads every `BENCH_<name>.json` in `dir` for the given names,
+/// skipping missing or unparseable files, and returns `(name, report)`
+/// pairs in input order.
+pub fn read_reports(dir: &Path, names: &[&str]) -> Vec<(String, Json)> {
+    let mut out = Vec::new();
+    for name in names {
+        let path = dir.join(format!("BENCH_{name}.json"));
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        if let Ok(v) = Json::parse(&text) {
+            out.push((name.to_string(), v));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_shape_and_parse() {
+        let mut r = BenchReport::new("unit_test");
+        r.fact("scale", Json::Str("small".into()));
+        r.row(Json::obj(vec![
+            ("ranks", Json::UInt(4)),
+            ("makespan", Json::Float(0.25)),
+        ]));
+        let v = r.to_json();
+        assert_eq!(v.get("bench").unwrap().as_str(), Some("unit_test"));
+        assert_eq!(v.get("rows").unwrap().as_arr().unwrap().len(), 1);
+        assert!(Json::parse(&v.to_string_pretty()).is_ok());
+    }
+
+    #[test]
+    fn write_and_read_back() {
+        let dir = std::env::temp_dir().join(format!("cmg_obs_bench_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut r = BenchReport::new("roundtrip");
+        r.row(Json::obj(vec![("x", Json::UInt(1))]));
+        let path = r.path_in(&dir);
+        std::fs::write(&path, r.to_json().to_string_pretty()).unwrap();
+        let found = read_reports(&dir, &["roundtrip", "missing"]);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].0, "roundtrip");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

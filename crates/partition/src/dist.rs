@@ -67,12 +67,7 @@ impl DistGraph {
             .collect()
     }
 
-    fn build_one(
-        g: &CsrGraph,
-        partition: &Partition,
-        rank: Rank,
-        owned: &[VertexId],
-    ) -> DistGraph {
+    fn build_one(g: &CsrGraph, partition: &Partition, rank: Rank, owned: &[VertexId]) -> DistGraph {
         let n_local = owned.len();
         let mut global_ids: Vec<VertexId> = owned.to_vec();
         let mut global_to_local: FxHashMap<VertexId, u32> = FxHashMap::default();

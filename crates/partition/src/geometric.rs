@@ -36,7 +36,10 @@ pub fn morton_partition(coords: &[(u32, u32)], k: u32) -> Partition {
         .iter()
         .enumerate()
         .map(|(v, &(x, y))| {
-            assert!(x <= u16::MAX as u32 && y <= u16::MAX as u32, "coordinate too large");
+            assert!(
+                x <= u16::MAX as u32 && y <= u16::MAX as u32,
+                "coordinate too large"
+            );
             (morton2d(x as u16, y as u16), v as VertexId)
         })
         .collect();

@@ -23,7 +23,11 @@ use cmg_graph::VertexId;
 fn block_range(n: usize, nb: u32, b: u32) -> (usize, usize) {
     let per = n.div_ceil(nb as usize).max(1);
     let lo = (b as usize * per).min(n);
-    let hi = if b == nb - 1 { n } else { ((b as usize + 1) * per).min(n) };
+    let hi = if b == nb - 1 {
+        n
+    } else {
+        ((b as usize + 1) * per).min(n)
+    };
     (lo, hi)
 }
 

@@ -14,14 +14,16 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 /// Allowed deviation of a side's weight from its target, as a fraction of
-/// total weight.
-const BALANCE_TOL: f64 = 0.03;
+/// total weight. Must stay tight: recursive bisection compounds the
+/// per-level tolerance (k = 16 means four levels, so worst-case part
+/// imbalance is roughly `(1 + 2·tol)^4`).
+const BALANCE_TOL: f64 = 0.015;
 /// Stop coarsening below this many vertices.
 const COARSE_TARGET: usize = 64;
 /// Refinement passes per level.
 const REFINE_PASSES: usize = 4;
 /// Initial-bisection attempts (best cut wins).
-const INIT_ATTEMPTS: u64 = 4;
+const INIT_ATTEMPTS: u64 = 8;
 
 /// Internal working graph: structural (unit) edge weights that accumulate
 /// during contraction, plus vertex weights.
@@ -102,7 +104,14 @@ fn split(wg: WorkGraph, ids: Vec<u32>, k: u32, first_part: u32, assignment: &mut
     let (sub0, ids0) = extract(&wg, &ids, &side, false);
     let (sub1, ids1) = extract(&wg, &ids, &side, true);
     split(sub0, ids0, k0, first_part, assignment, seed.wrapping_add(1));
-    split(sub1, ids1, k1, first_part + k0, assignment, seed.wrapping_add(2));
+    split(
+        sub1,
+        ids1,
+        k1,
+        first_part + k0,
+        assignment,
+        seed.wrapping_add(2),
+    );
 }
 
 /// Induced subgraph of the vertices on `which` side.
@@ -311,13 +320,25 @@ fn cut_weight(wg: &WorkGraph, side: &[bool]) -> u64 {
     cut
 }
 
-/// Greedy FM-style refinement: repeatedly flip positive-gain boundary
-/// vertices while staying within the balance tolerance.
+/// Greedy FM-style refinement: positive-gain passes, an explicit
+/// rebalance, then more passes to repair any cut damage the rebalance
+/// introduced.
 fn refine(wg: &WorkGraph, side: &mut [bool], frac: f64) {
+    refine_passes(wg, side, frac);
+    rebalance(wg, side, frac);
+    refine_passes(wg, side, frac);
+}
+
+/// Repeatedly flips positive-gain boundary vertices while staying within
+/// the balance tolerance.
+fn refine_passes(wg: &WorkGraph, side: &mut [bool], frac: f64) {
     let total = wg.total_vw() as f64;
     let target0 = frac * total;
     let tol = BALANCE_TOL * total;
-    let mut w0: f64 = (0..wg.n()).filter(|&v| !side[v]).map(|v| wg.vw[v] as f64).sum();
+    let mut w0: f64 = (0..wg.n())
+        .filter(|&v| !side[v])
+        .map(|v| wg.vw[v] as f64)
+        .sum();
 
     for _ in 0..REFINE_PASSES {
         let mut moved = false;
@@ -352,11 +373,71 @@ fn refine(wg: &WorkGraph, side: &mut [bool], frac: f64) {
     }
 }
 
+/// Restores the balance constraint. Greedy refinement only flips
+/// positive-gain vertices, so it cannot repair an unbalanced start (a
+/// graph-growing overshoot on a coarse graph, or drift introduced by
+/// projecting a coarse bisection down a level). While the deviation
+/// exceeds the tolerance, this moves the cheapest boundary-gain vertex
+/// from the heavy side to the light side; each move strictly shrinks
+/// the deviation, so the loop terminates.
+fn rebalance(wg: &WorkGraph, side: &mut [bool], frac: f64) {
+    let total = wg.total_vw() as f64;
+    let target0 = frac * total;
+    let tol = BALANCE_TOL * total;
+    let mut w0: f64 = (0..wg.n())
+        .filter(|&v| !side[v])
+        .map(|v| wg.vw[v] as f64)
+        .sum();
+
+    loop {
+        let dev = w0 - target0;
+        if dev.abs() <= tol {
+            break;
+        }
+        // The heavy side: side 0 if dev > 0 (side[v] == false), else side 1.
+        let heavy = dev < 0.0;
+        let mut best: Option<(i64, usize)> = None;
+        for v in 0..wg.n() {
+            if side[v] != heavy {
+                continue;
+            }
+            let delta = wg.vw[v] as f64;
+            let new_dev = if heavy { dev + delta } else { dev - delta };
+            if new_dev.abs() >= dev.abs() {
+                continue; // the move must strictly improve balance
+            }
+            let mut gain = 0i64;
+            for (u, w) in wg.neighbors(v as u32) {
+                if side[u as usize] == side[v] {
+                    gain -= w as i64;
+                } else {
+                    gain += w as i64;
+                }
+            }
+            if best.is_none_or(|(bg, _)| gain > bg) {
+                best = Some((gain, v));
+            }
+        }
+        match best {
+            Some((_, v)) => {
+                let delta = wg.vw[v] as f64;
+                if side[v] {
+                    w0 += delta;
+                } else {
+                    w0 -= delta;
+                }
+                side[v] = !side[v];
+            }
+            None => break, // no single vertex can improve balance further
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cmg_graph::generators::{circuit_like, grid2d, star};
     use crate::simple::random_partition;
+    use cmg_graph::generators::{circuit_like, grid2d, star};
 
     #[test]
     fn bisection_of_grid_is_near_optimal() {

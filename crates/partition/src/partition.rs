@@ -69,7 +69,11 @@ impl Partition {
 
     /// Computes quality metrics against `g`.
     pub fn quality(&self, g: &CsrGraph) -> PartitionQuality {
-        assert_eq!(g.num_vertices(), self.assignment.len(), "graph/partition mismatch");
+        assert_eq!(
+            g.num_vertices(),
+            self.assignment.len(),
+            "graph/partition mismatch"
+        );
         let mut cut = 0usize;
         let mut boundary = 0usize;
         for v in 0..g.num_vertices() as VertexId {
@@ -103,7 +107,11 @@ impl Partition {
             } else {
                 boundary as f64 / g.num_vertices() as f64
             },
-            imbalance: if mean == 0.0 { 1.0 } else { max_size as f64 / mean },
+            imbalance: if mean == 0.0 {
+                1.0
+            } else {
+                max_size as f64 / mean
+            },
         }
     }
 }

@@ -156,7 +156,12 @@ mod tests {
         let g = grid2d(20, 20);
         let bfs = bfs_partition(&g, 4).quality(&g);
         let rnd = random_partition(400, 4, 1).quality(&g);
-        assert!(bfs.edge_cut < rnd.edge_cut / 2, "bfs {} rnd {}", bfs.edge_cut, rnd.edge_cut);
+        assert!(
+            bfs.edge_cut < rnd.edge_cut / 2,
+            "bfs {} rnd {}",
+            bfs.edge_cut,
+            rnd.edge_cut
+        );
         assert!(bfs.imbalance <= 1.01);
     }
 

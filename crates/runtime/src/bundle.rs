@@ -20,6 +20,30 @@ pub struct Packet {
     pub logical: u32,
 }
 
+/// Cumulative logical-vs-wire accounting for one outbox's lifetime:
+/// quantifies what bundling saved (the paper's aggregation win).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BundleStats {
+    /// Logical messages pushed.
+    pub logical_messages: u64,
+    /// Wire packets produced by `finish`.
+    pub wire_packets: u64,
+    /// Payload bytes across all produced packets.
+    pub wire_bytes: u64,
+}
+
+impl BundleStats {
+    /// Logical messages carried per wire packet (1.0 when unbundled;
+    /// 0.0 before any packet was produced).
+    pub fn aggregation_ratio(&self) -> f64 {
+        if self.wire_packets == 0 {
+            0.0
+        } else {
+            self.logical_messages as f64 / self.wire_packets as f64
+        }
+    }
+}
+
 /// Outgoing-message buffer for one rank and one round.
 #[derive(Debug)]
 pub struct OutBox<M: WireMessage> {
@@ -29,6 +53,7 @@ pub struct OutBox<M: WireMessage> {
     bundles: Vec<(Rank, BytesMut, u32)>,
     /// Finished packets (used directly in non-bundling mode).
     packets: Vec<Packet>,
+    stats: BundleStats,
     _marker: std::marker::PhantomData<M>,
 }
 
@@ -40,12 +65,19 @@ impl<M: WireMessage> OutBox<M> {
             bundling,
             bundles: Vec::new(),
             packets: Vec::new(),
+            stats: BundleStats::default(),
             _marker: std::marker::PhantomData,
         }
     }
 
+    /// Cumulative logical-vs-wire accounting since construction.
+    pub fn stats(&self) -> BundleStats {
+        self.stats
+    }
+
     /// Queues `msg` for delivery to `dst` next round.
     pub fn push(&mut self, dst: Rank, msg: &M) {
+        self.stats.logical_messages += 1;
         if self.bundling {
             match self.bundles.iter_mut().find(|(d, _, _)| *d == dst) {
                 Some((_, buf, n)) => {
@@ -86,6 +118,8 @@ impl<M: WireMessage> OutBox<M> {
             });
         }
         packets.sort_by_key(|p| p.dst);
+        self.stats.wire_packets += packets.len() as u64;
+        self.stats.wire_bytes += packets.iter().map(|p| p.payload.len() as u64).sum::<u64>();
         packets
     }
 }
@@ -127,5 +161,28 @@ mod tests {
         assert!(ob.finish().is_empty());
         ob.push(1, &2);
         assert_eq!(ob.finish().len(), 1);
+    }
+
+    #[test]
+    fn stats_track_logical_vs_wire() {
+        let mut bundled: OutBox<u32> = OutBox::new(true);
+        for _ in 0..6 {
+            bundled.push(3, &7);
+        }
+        bundled.push(1, &7);
+        bundled.finish();
+        let s = bundled.stats();
+        assert_eq!(s.logical_messages, 7);
+        assert_eq!(s.wire_packets, 2);
+        assert_eq!(s.wire_bytes, 7 * 4);
+        assert_eq!(s.aggregation_ratio(), 3.5);
+
+        let mut flat: OutBox<u32> = OutBox::new(false);
+        for _ in 0..7 {
+            flat.push(3, &7);
+        }
+        flat.finish();
+        assert_eq!(flat.stats().wire_packets, 7);
+        assert_eq!(flat.stats().aggregation_ratio(), 1.0);
     }
 }

@@ -64,6 +64,10 @@ pub struct EngineConfig {
     /// Record a per-round trace (rounds × aggregate counters) in the
     /// simulation result — the raw material for time-breakdown plots.
     pub record_trace: bool,
+    /// Structured event recorder (see `cmg-obs`). Defaults to the
+    /// no-op recorder: engines check one cached bool and skip all event
+    /// construction, so uninstrumented runs pay nothing.
+    pub recorder: cmg_obs::RecorderHandle,
 }
 
 impl Default for EngineConfig {
@@ -75,6 +79,7 @@ impl Default for EngineConfig {
             parallel_sim: false,
             max_rounds: 1_000_000,
             record_trace: false,
+            recorder: cmg_obs::RecorderHandle::noop(),
         }
     }
 }
@@ -86,5 +91,11 @@ impl EngineConfig {
             cost: CostModel::preset(preset),
             ..Default::default()
         }
+    }
+
+    /// The same config with events routed to `recorder`.
+    pub fn with_recorder(mut self, recorder: cmg_obs::RecorderHandle) -> Self {
+        self.recorder = recorder;
+        self
     }
 }

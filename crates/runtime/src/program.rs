@@ -19,24 +19,36 @@ pub enum Status {
 }
 
 /// Per-round context handed to a rank: message sending, work charging,
-/// topology queries.
+/// topology queries, and structured event emission.
 pub struct RankCtx<M: WireMessage> {
     rank: Rank,
     num_ranks: Rank,
     round: u64,
     work: u64,
     outbox: OutBox<M>,
+    recorder: cmg_obs::RecorderHandle,
+    /// Current timestamp for emitted events: virtual seconds under the
+    /// simulation engine, wall seconds since run start under the
+    /// threaded engine. Engine-maintained via [`RankCtx::set_now`].
+    now: f64,
 }
 
 impl<M: WireMessage> RankCtx<M> {
     /// Creates a context for one rank (engine-internal).
-    pub(crate) fn new(rank: Rank, num_ranks: Rank, bundling: bool) -> Self {
+    pub(crate) fn new(
+        rank: Rank,
+        num_ranks: Rank,
+        bundling: bool,
+        recorder: cmg_obs::RecorderHandle,
+    ) -> Self {
         RankCtx {
             rank,
             num_ranks,
             round: 0,
             work: 0,
             outbox: OutBox::new(bundling),
+            recorder,
+            now: 0.0,
         }
     }
 
@@ -71,6 +83,26 @@ impl<M: WireMessage> RankCtx<M> {
     #[inline]
     pub fn charge(&mut self, units: u64) {
         self.work += units;
+    }
+
+    /// Whether an event recorder is attached (one cached-bool check).
+    /// Programs can use this to skip counter bookkeeping that only
+    /// feeds events.
+    #[inline]
+    pub fn observed(&self) -> bool {
+        self.recorder.enabled()
+    }
+
+    /// Emits a structured event from this rank at the current engine
+    /// time. Free (a single branch) when no recorder is attached.
+    #[inline]
+    pub fn emit(&self, event: cmg_obs::Event) {
+        self.recorder.emit(self.rank, self.now, event);
+    }
+
+    /// Engine-internal: updates the timestamp used for emitted events.
+    pub(crate) fn set_now(&mut self, now: f64) {
+        self.now = now;
     }
 
     /// Engine-internal: advances the round counter and drains the round's
@@ -111,7 +143,7 @@ mod tests {
 
     #[test]
     fn ctx_accumulates_work_and_packets() {
-        let mut ctx: RankCtx<u32> = RankCtx::new(2, 4, true);
+        let mut ctx: RankCtx<u32> = RankCtx::new(2, 4, true, cmg_obs::RecorderHandle::noop());
         assert_eq!(ctx.rank(), 2);
         assert_eq!(ctx.num_ranks(), 4);
         assert_eq!(ctx.round(), 0);

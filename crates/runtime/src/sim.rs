@@ -21,6 +21,7 @@ use crate::program::{Rank, RankCtx, RankProgram, Status};
 use crate::stats::{RankStats, RunStats};
 use crate::EngineConfig;
 use bytes::Bytes;
+use cmg_obs::{Event, PhaseName, ENGINE_RANK};
 
 /// A packet in flight, with its computed arrival time.
 struct InFlight {
@@ -90,7 +91,7 @@ impl<P: RankProgram> SimEngine<P> {
             .enumerate()
             .map(|(r, program)| Slot {
                 program,
-                ctx: RankCtx::new(r as Rank, p, config.bundling),
+                ctx: RankCtx::new(r as Rank, p, config.bundling, config.recorder.clone()),
                 status: Status::Active,
                 vtime: 0.0,
                 stats: RankStats::default(),
@@ -108,9 +109,23 @@ impl<P: RankProgram> SimEngine<P> {
         let mut hit_round_cap = false;
         let mut trace: Vec<RoundTrace> = Vec::new();
 
+        let recorder = self.config.recorder.clone();
         if p > 0 {
             loop {
                 let first = rounds == 0;
+                let active_before: u64 = if recorder.enabled() {
+                    let t = self.slots.iter().map(|s| s.vtime).fold(0.0, f64::max);
+                    recorder.emit(
+                        ENGINE_RANK,
+                        t,
+                        Event::RoundStart {
+                            round: rounds as u32,
+                        },
+                    );
+                    self.slots.iter().map(|s| s.stats.rounds_active).sum()
+                } else {
+                    0
+                };
                 let before: (u64, u64, u64, u64) = if self.config.record_trace {
                     self.slots.iter().fold((0, 0, 0, 0), |acc, s| {
                         (
@@ -139,11 +154,7 @@ impl<P: RankProgram> SimEngine<P> {
                         packets: after.1 - before.1,
                         messages: after.2 - before.2,
                         bytes: after.3 - before.3,
-                        max_virtual_time: self
-                            .slots
-                            .iter()
-                            .map(|s| s.vtime)
-                            .fold(0.0, f64::max),
+                        max_virtual_time: self.slots.iter().map(|s| s.vtime).fold(0.0, f64::max),
                     });
                 }
                 rounds += 1;
@@ -170,6 +181,24 @@ impl<P: RankProgram> SimEngine<P> {
                             logical: packet.logical,
                         });
                     }
+                }
+
+                if recorder.enabled() {
+                    let stepped: u64 = self
+                        .slots
+                        .iter()
+                        .map(|s| s.stats.rounds_active)
+                        .sum::<u64>()
+                        - active_before;
+                    let t = self.slots.iter().map(|s| s.vtime).fold(0.0, f64::max);
+                    recorder.emit(
+                        ENGINE_RANK,
+                        t,
+                        Event::RoundEnd {
+                            round: rounds as u32 - 1,
+                            active_ranks: stepped as u32,
+                        },
+                    );
                 }
 
                 let all_idle = self.slots.iter().all(|s| s.status == Status::Idle);
@@ -201,20 +230,38 @@ impl<P: RankProgram> SimEngine<P> {
     /// Steps every rank that must run this round.
     fn step_all(&mut self, first: bool) {
         let cost = self.config.cost;
+        let recorder = self.config.recorder.clone();
         let step_one = move |slot: &mut Slot<P>| {
             if !first && slot.status == Status::Idle && slot.mailbox.is_empty() {
                 return;
             }
+            let rank = slot.ctx.rank();
+            let observed = recorder.enabled();
             // Deliver: jump the clock to the latest consumed arrival.
+            let delivery_start = slot.vtime;
             let mut inbox: Vec<(Rank, Vec<P::Msg>)> = Vec::new();
-            if !slot.mailbox.is_empty() {
+            let had_mail = !slot.mailbox.is_empty();
+            if had_mail {
                 let mut mail = std::mem::take(&mut slot.mailbox);
                 mail.sort_by(|a, b| a.src.cmp(&b.src).then(a.arrival.total_cmp(&b.arrival)));
                 for m in &mail {
                     slot.vtime = slot.vtime.max(m.arrival);
                 }
                 for m in mail {
+                    slot.stats.packets_received += 1;
+                    slot.stats.bytes_received += m.payload.len() as u64;
                     slot.stats.messages_received += m.logical as u64;
+                    if observed {
+                        recorder.emit(
+                            rank,
+                            m.arrival,
+                            Event::PacketRecv {
+                                src: m.src,
+                                bytes: m.payload.len() as u64,
+                                logical: m.logical,
+                            },
+                        );
+                    }
                     let msgs: Vec<P::Msg> = decode_all(m.payload)
                         .expect("malformed bundle: WireMessage encode/decode mismatch");
                     match inbox.last_mut() {
@@ -222,8 +269,21 @@ impl<P: RankProgram> SimEngine<P> {
                         _ => inbox.push((m.src, msgs)),
                     }
                 }
+                if observed {
+                    recorder.emit(
+                        rank,
+                        slot.vtime,
+                        Event::Phase {
+                            name: PhaseName::Delivery,
+                            start: delivery_start,
+                            dur: slot.vtime - delivery_start,
+                        },
+                    );
+                }
             }
             // Compute.
+            let compute_start = slot.vtime;
+            slot.ctx.set_now(compute_start);
             slot.status = if first {
                 slot.program.on_start(&mut slot.ctx)
             } else {
@@ -233,7 +293,19 @@ impl<P: RankProgram> SimEngine<P> {
             slot.stats.rounds_active += 1;
             slot.stats.work += work;
             slot.vtime += cost.compute_time(work);
+            if observed {
+                recorder.emit(
+                    rank,
+                    slot.vtime,
+                    Event::Phase {
+                        name: PhaseName::Compute,
+                        start: compute_start,
+                        dur: slot.vtime - compute_start,
+                    },
+                );
+            }
             // Send: overhead advances the sender; transfer delays arrival.
+            let send_start = slot.vtime;
             slot.produced = packets
                 .into_iter()
                 .map(|packet| {
@@ -241,10 +313,32 @@ impl<P: RankProgram> SimEngine<P> {
                     slot.stats.messages_sent += packet.logical as u64;
                     slot.stats.bytes_sent += packet.payload.len() as u64;
                     slot.vtime += cost.send_overhead;
+                    if observed {
+                        recorder.emit(
+                            rank,
+                            slot.vtime,
+                            Event::PacketSent {
+                                dst: packet.dst,
+                                bytes: packet.payload.len() as u64,
+                                logical: packet.logical,
+                            },
+                        );
+                    }
                     let arrival = slot.vtime + cost.transfer_time(packet.payload.len());
                     (packet, arrival)
                 })
                 .collect();
+            if observed && !slot.produced.is_empty() {
+                recorder.emit(
+                    rank,
+                    slot.vtime,
+                    Event::Phase {
+                        name: PhaseName::Send,
+                        start: send_start,
+                        dur: slot.vtime - send_start,
+                    },
+                );
+            }
         };
 
         if self.config.parallel_sim && self.slots.len() >= 4 {
@@ -253,6 +347,7 @@ impl<P: RankProgram> SimEngine<P> {
                 .unwrap_or(1)
                 .min(self.slots.len());
             let chunk = self.slots.len().div_ceil(threads);
+            let step_one = &step_one;
             crossbeam::thread::scope(|scope| {
                 for chunk_slots in self.slots.chunks_mut(chunk) {
                     scope.spawn(move |_| {
@@ -323,13 +418,20 @@ mod tests {
     #[test]
     fn ring_token_terminates_and_counts() {
         let p = 4;
-        let programs = (0..p).map(|_| RingToken { hops_left: 10, forwarded: 0 }).collect();
+        let programs = (0..p)
+            .map(|_| RingToken {
+                hops_left: 10,
+                forwarded: 0,
+            })
+            .collect();
         let result = SimEngine::new(programs, free_config()).run();
         assert!(!result.hit_round_cap);
         let total: u64 = result.programs.iter().map(|r| r.forwarded).sum();
         assert_eq!(total, 10);
         assert_eq!(result.stats.total_messages(), 10);
         assert_eq!(result.stats.total_work(), 10);
+        // Every packet injected into a mailbox was delivered.
+        result.stats.assert_conservation();
     }
 
     #[test]
@@ -388,7 +490,12 @@ mod tests {
             cost,
             ..Default::default()
         };
-        let programs = (0..2).map(|_| RingToken { hops_left: 1, forwarded: 0 }).collect();
+        let programs = (0..2)
+            .map(|_| RingToken {
+                hops_left: 1,
+                forwarded: 0,
+            })
+            .collect();
         let result = SimEngine::<RingToken>::new(programs, cfg).run();
         // Rank 0: one packet of 4 bytes: overhead 0.25 -> t0 = 0.25.
         // Arrival at rank 1: 0.25 + 1.0 + 0.5·4 = 3.25; + work 1·γ = 5.25.
@@ -410,7 +517,12 @@ mod tests {
             sync_rounds: true,
             ..Default::default()
         };
-        let programs = (0..2).map(|_| RingToken { hops_left: 3, forwarded: 0 }).collect();
+        let programs = (0..2)
+            .map(|_| RingToken {
+                hops_left: 3,
+                forwarded: 0,
+            })
+            .collect();
         let result = SimEngine::<RingToken>::new(programs, cfg).run();
         let times: Vec<f64> = result
             .stats
@@ -423,7 +535,14 @@ mod tests {
 
     #[test]
     fn parallel_sim_matches_sequential() {
-        let mk = || (0..8).map(|_| RingToken { hops_left: 40, forwarded: 0 }).collect();
+        let mk = || {
+            (0..8)
+                .map(|_| RingToken {
+                    hops_left: 40,
+                    forwarded: 0,
+                })
+                .collect()
+        };
         let seq = SimEngine::<RingToken>::new(mk(), free_config()).run();
         let par_cfg = EngineConfig {
             parallel_sim: true,
@@ -442,7 +561,12 @@ mod tests {
             record_trace: true,
             ..free_config()
         };
-        let programs = (0..3).map(|_| RingToken { hops_left: 5, forwarded: 0 }).collect();
+        let programs = (0..3)
+            .map(|_| RingToken {
+                hops_left: 5,
+                forwarded: 0,
+            })
+            .collect();
         let result = SimEngine::<RingToken>::new(programs, cfg).run();
         assert_eq!(result.trace.len() as u64, result.stats.rounds);
         let traced_msgs: u64 = result.trace.iter().map(|t| t.messages).sum();
@@ -452,7 +576,12 @@ mod tests {
         // Later rounds only step the rank holding the token.
         assert_eq!(result.trace[2].ranks_stepped, 1);
         // The trace is off (and empty) by default.
-        let programs = (0..3).map(|_| RingToken { hops_left: 5, forwarded: 0 }).collect();
+        let programs = (0..3)
+            .map(|_| RingToken {
+                hops_left: 5,
+                forwarded: 0,
+            })
+            .collect();
         let silent = SimEngine::<RingToken>::new(programs, free_config()).run();
         assert!(silent.trace.is_empty());
     }

@@ -6,10 +6,14 @@
 pub struct RankStats {
     /// Wire packets sent (bundles when bundling is on).
     pub packets_sent: u64,
+    /// Wire packets received.
+    pub packets_received: u64,
     /// Logical messages sent (independent of bundling).
     pub messages_sent: u64,
     /// Payload bytes sent.
     pub bytes_sent: u64,
+    /// Payload bytes received.
+    pub bytes_received: u64,
     /// Logical messages received.
     pub messages_received: u64,
     /// Charged compute work units.
@@ -19,6 +23,22 @@ pub struct RankStats {
     /// Final virtual time (simulation engine only; 0 under the threaded
     /// engine).
     pub virtual_time: f64,
+}
+
+impl RankStats {
+    /// Element-wise accumulation of another rank's counters into this
+    /// one (virtual time takes the max, matching makespan semantics).
+    pub fn merge(&mut self, other: &RankStats) {
+        self.packets_sent += other.packets_sent;
+        self.packets_received += other.packets_received;
+        self.messages_sent += other.messages_sent;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
+        self.messages_received += other.messages_received;
+        self.work += other.work;
+        self.rounds_active += other.rounds_active;
+        self.virtual_time = self.virtual_time.max(other.virtual_time);
+    }
 }
 
 /// Aggregated statistics of one run.
@@ -46,6 +66,63 @@ impl RunStats {
         self.per_rank.iter().map(|r| r.bytes_sent).sum()
     }
 
+    /// Total wire packets received across all ranks.
+    pub fn total_packets_received(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.packets_received).sum()
+    }
+
+    /// Total payload bytes received across all ranks.
+    pub fn total_bytes_received(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.bytes_received).sum()
+    }
+
+    /// Merges another run's stats into this one: per-rank counters add
+    /// element-wise (the rank vector grows to the longer of the two),
+    /// rounds add. Useful for aggregating the phases of a multi-stage
+    /// run (e.g. matching followed by coloring) into one ledger.
+    pub fn merge(&mut self, other: &RunStats) {
+        if self.per_rank.len() < other.per_rank.len() {
+            self.per_rank
+                .resize(other.per_rank.len(), RankStats::default());
+        }
+        for (mine, theirs) in self.per_rank.iter_mut().zip(&other.per_rank) {
+            mine.merge(theirs);
+        }
+        self.rounds += other.rounds;
+    }
+
+    /// Checks send/receive conservation: every wire packet (and byte)
+    /// sent by some rank must have been received by some rank. Both
+    /// engines deliver all traffic before returning, so any imbalance
+    /// is an engine accounting bug.
+    ///
+    /// # Panics
+    /// Panics with a diagnostic if the ledgers do not balance.
+    pub fn assert_conservation(&self) {
+        assert_eq!(
+            self.total_packets(),
+            self.total_packets_received(),
+            "wire packet conservation violated: {} sent vs {} received",
+            self.total_packets(),
+            self.total_packets_received(),
+        );
+        assert_eq!(
+            self.total_bytes(),
+            self.total_bytes_received(),
+            "payload byte conservation violated: {} sent vs {} received",
+            self.total_bytes(),
+            self.total_bytes_received(),
+        );
+        let received: u64 = self.per_rank.iter().map(|r| r.messages_received).sum();
+        assert_eq!(
+            self.total_messages(),
+            received,
+            "logical message conservation violated: {} sent vs {} received",
+            self.total_messages(),
+            received,
+        );
+    }
+
     /// Total charged work units across all ranks.
     pub fn total_work(&self) -> u64 {
         self.per_rank.iter().map(|r| r.work).sum()
@@ -65,8 +142,7 @@ impl RunStats {
         if self.per_rank.is_empty() {
             0.0
         } else {
-            self.per_rank.iter().map(|r| r.virtual_time).sum::<f64>()
-                / self.per_rank.len() as f64
+            self.per_rank.iter().map(|r| r.virtual_time).sum::<f64>() / self.per_rank.len() as f64
         }
     }
 
@@ -95,8 +171,10 @@ mod tests {
             per_rank: vec![
                 RankStats {
                     packets_sent: 2,
+                    packets_received: 1,
                     messages_sent: 10,
                     bytes_sent: 80,
+                    bytes_received: 40,
                     messages_received: 4,
                     work: 100,
                     rounds_active: 3,
@@ -104,8 +182,10 @@ mod tests {
                 },
                 RankStats {
                     packets_sent: 1,
+                    packets_received: 2,
                     messages_sent: 5,
                     bytes_sent: 40,
+                    bytes_received: 80,
                     messages_received: 11,
                     work: 300,
                     rounds_active: 3,
@@ -134,5 +214,34 @@ mod tests {
         assert_eq!(s.makespan(), 0.0);
         assert_eq!(s.work_imbalance(), 1.0);
         assert_eq!(s.mean_virtual_time(), 0.0);
+        s.assert_conservation();
+    }
+
+    #[test]
+    fn conservation_accepts_balanced_ledgers() {
+        // stats2 is balanced by construction: 3 packets / 120 bytes /
+        // 15 messages each way.
+        stats2().assert_conservation();
+    }
+
+    #[test]
+    #[should_panic(expected = "wire packet conservation violated")]
+    fn conservation_rejects_lost_packets() {
+        let mut s = stats2();
+        s.per_rank[0].packets_received = 0;
+        s.assert_conservation();
+    }
+
+    #[test]
+    fn merge_adds_counters_and_grows() {
+        let mut a = RunStats::default();
+        a.merge(&stats2());
+        a.merge(&stats2());
+        assert_eq!(a.per_rank.len(), 2);
+        assert_eq!(a.total_packets(), 6);
+        assert_eq!(a.total_bytes(), 240);
+        assert_eq!(a.rounds, 6);
+        assert_eq!(a.per_rank[1].virtual_time, 2.5, "virtual time maxes");
+        a.assert_conservation();
     }
 }

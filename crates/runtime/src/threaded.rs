@@ -12,6 +12,7 @@ use crate::program::{Rank, RankCtx, RankProgram, Status};
 use crate::stats::{RankStats, RunStats};
 use crate::EngineConfig;
 use bytes::Bytes;
+use cmg_obs::{Event, PhaseName, ENGINE_RANK};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Barrier;
@@ -72,11 +73,7 @@ impl<P: RankProgram> ThreadedEngine<P> {
         let mut results: Vec<Option<(P, RankStats, u64)>> = (0..p).map(|_| None).collect();
         crossbeam::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(p);
-            for (rank, (program, receiver)) in self
-                .programs
-                .into_iter()
-                .zip(receivers)
-                .enumerate()
+            for (rank, (program, receiver)) in self.programs.into_iter().zip(receivers).enumerate()
             {
                 let senders = senders.clone();
                 let barrier = &barrier;
@@ -94,6 +91,7 @@ impl<P: RankProgram> ThreadedEngine<P> {
                         activity,
                         cap_hit,
                         config,
+                        start,
                     )
                 }));
             }
@@ -142,22 +140,54 @@ fn run_rank<P: RankProgram>(
     activity: &[AtomicBool; 2],
     cap_hit: &AtomicBool,
     config: &EngineConfig,
+    start: Instant,
 ) -> (P, RankStats, u64) {
-    let mut ctx: RankCtx<P::Msg> = RankCtx::new(rank, num_ranks, config.bundling);
+    let recorder = config.recorder.clone();
+    let observed = recorder.enabled();
+    // Event timestamps: wall seconds since the run started (shared
+    // epoch across ranks, so the trace tracks line up).
+    let now = move || start.elapsed().as_secs_f64();
+    let mut ctx: RankCtx<P::Msg> = RankCtx::new(rank, num_ranks, config.bundling, recorder.clone());
     let mut stats = RankStats::default();
     let mut inbox_raw: Vec<WirePacket> = Vec::new();
     let mut seq: u64 = 0;
     let mut round: u64 = 0;
 
     loop {
+        if observed && rank == 0 {
+            recorder.emit(
+                ENGINE_RANK,
+                now(),
+                Event::RoundStart {
+                    round: round as u32,
+                },
+            );
+        }
         // 1. Step.
+        let delivery_start = now();
+        let mut compute_begin = delivery_start;
         let status = if round == 0 {
+            ctx.set_now(delivery_start);
             program.on_start(&mut ctx)
         } else {
             let mut inbox: Vec<(Rank, Vec<P::Msg>)> = Vec::new();
             inbox_raw.sort_by_key(|&(src, sq, _, _)| (src, sq));
+            let had_mail = !inbox_raw.is_empty();
             for (src, _, payload, logical) in inbox_raw.drain(..) {
+                stats.packets_received += 1;
+                stats.bytes_received += payload.len() as u64;
                 stats.messages_received += logical as u64;
+                if observed {
+                    recorder.emit(
+                        rank,
+                        now(),
+                        Event::PacketRecv {
+                            src,
+                            bytes: payload.len() as u64,
+                            logical,
+                        },
+                    );
+                }
                 let msgs: Vec<P::Msg> = decode_all(payload)
                     .expect("malformed bundle: WireMessage encode/decode mismatch");
                 match inbox.last_mut() {
@@ -165,22 +195,72 @@ fn run_rank<P: RankProgram>(
                     _ => inbox.push((src, msgs)),
                 }
             }
+            if observed && had_mail {
+                let t = now();
+                recorder.emit(
+                    rank,
+                    t,
+                    Event::Phase {
+                        name: PhaseName::Delivery,
+                        start: delivery_start,
+                        dur: t - delivery_start,
+                    },
+                );
+            }
+            compute_begin = now();
+            ctx.set_now(compute_begin);
             program.on_round(&mut inbox, &mut ctx)
         };
+        let compute_end = now();
         let (work, packets) = ctx.end_round();
+        if observed {
+            recorder.emit(
+                rank,
+                compute_end,
+                Event::Phase {
+                    name: PhaseName::Compute,
+                    start: compute_begin,
+                    dur: compute_end - compute_begin,
+                },
+            );
+        }
         stats.rounds_active += 1;
         stats.work += work;
 
         // 2. Send.
+        let send_start = now();
         let sent_any = !packets.is_empty();
         for packet in packets {
             stats.packets_sent += 1;
             stats.messages_sent += packet.logical as u64;
             stats.bytes_sent += packet.payload.len() as u64;
+            if observed {
+                recorder.emit(
+                    rank,
+                    now(),
+                    Event::PacketSent {
+                        dst: packet.dst,
+                        bytes: packet.payload.len() as u64,
+                        logical: packet.logical,
+                    },
+                );
+            }
             seq += 1;
             senders[packet.dst as usize]
                 .send((rank, seq, packet.payload, packet.logical))
                 .expect("receiver dropped");
+        }
+        if observed && sent_any {
+            let t = now();
+            recorder.emit(
+                rank,
+                t,
+                Event::Phase {
+                    name: PhaseName::Send,
+                    start: send_start,
+                    dur: t - send_start,
+                },
+            );
         }
         let parity = (round % 2) as usize;
         if status == Status::Active || sent_any {
@@ -200,6 +280,19 @@ fn run_rank<P: RankProgram>(
         // the reset cannot race with a future set).
         barrier.wait();
         activity[parity].store(false, Ordering::SeqCst);
+
+        if observed && rank == 0 {
+            // Every rank steps every round in this engine, so all ranks
+            // count as active.
+            recorder.emit(
+                ENGINE_RANK,
+                now(),
+                Event::RoundEnd {
+                    round: round as u32,
+                    active_ranks: num_ranks,
+                },
+            );
+        }
 
         round += 1;
         if !keep_going {
@@ -262,6 +355,8 @@ mod tests {
         // p ranks × (p−1) messages, bundled into (p−1) packets each.
         assert_eq!(result.stats.total_messages(), (p * (p - 1)) as u64);
         assert_eq!(result.stats.total_packets(), (p * (p - 1)) as u64);
+        // Everything sent over the channels was received and decoded.
+        result.stats.assert_conservation();
     }
 
     #[test]
@@ -293,9 +388,6 @@ mod tests {
         for r in 0..p as usize {
             assert_eq!(threaded.programs[r].sum, sim.programs[r].sum);
         }
-        assert_eq!(
-            threaded.stats.total_messages(),
-            sim.stats.total_messages()
-        );
+        assert_eq!(threaded.stats.total_messages(), sim.stats.total_messages());
     }
 }

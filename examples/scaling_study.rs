@@ -14,7 +14,10 @@ fn main() {
     let grid = grid2d(K, K);
     let weighted = assign_weights(&grid, WeightScheme::Uniform { lo: 0.0, hi: 1.0 }, 3);
     println!("strong scaling of matching on a {K}x{K} grid (simulated Blue Gene/P)\n");
-    println!("{:>6} {:>14} {:>12} {:>10} {:>9}", "ranks", "sim time", "speedup", "packets", "rounds");
+    println!(
+        "{:>6} {:>14} {:>12} {:>10} {:>9}",
+        "ranks", "sim time", "speedup", "packets", "rounds"
+    );
 
     let mut base = None;
     for p in [1u32, 4, 16, 64, 256, 1024] {

@@ -29,7 +29,9 @@ fn main() {
     // Distance-1 frequencies: adjacent transmitters differ.
     let engine = Engine::default_simulated();
     let d1 = cmg::run_coloring(&network, &partition, ColoringConfig::default(), &engine);
-    d1.coloring.validate(&network).expect("invalid d1 assignment");
+    d1.coloring
+        .validate(&network)
+        .expect("invalid d1 assignment");
     println!(
         "distance-1: {} frequencies in {} phases ({} messages, {:.1} µs simulated)",
         d1.coloring.num_colors(),

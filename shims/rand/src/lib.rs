@@ -1,0 +1,192 @@
+//! Offline vendored subset of the [`rand`](https://docs.rs/rand) 0.9 API.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace ships the slice of `rand` it uses: `SmallRng` seeded from a
+//! `u64`, `Rng::random`/`Rng::random_range`, and `SliceRandom::shuffle`.
+//! The generator is a SplitMix64 stream — statistically solid for test
+//! workloads and, crucially, **deterministic across platforms and runs**,
+//! which the repo's seeded graph generators and golden traces rely on.
+//! Streams differ from upstream `rand`'s, but every consumer in this
+//! workspace only requires seed-stable determinism, not upstream-
+//! compatible streams.
+
+/// Construction of RNGs from seeds.
+pub trait SeedableRng: Sized {
+    /// Creates an RNG seeded from a `u64`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The user-facing random-value API (subset of `rand::Rng`).
+pub trait Rng {
+    /// The raw 64-bit generator step.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly distributed value of `T` (`f64` in `[0, 1)`, full
+    /// range for integers).
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// A uniform value in `[range.start, range.end)`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn random_range<T: UniformSampled>(&mut self, range: std::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range)
+    }
+}
+
+/// Types samplable uniformly over their "standard" domain.
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Integer types samplable uniformly from a half-open range.
+pub trait UniformSampled: Sized {
+    /// Draws one value from `[range.start, range.end)`.
+    fn sample_range<R: Rng>(rng: &mut R, range: std::ops::Range<Self>) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformSampled for $t {
+            fn sample_range<R: Rng>(rng: &mut R, range: std::ops::Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range in random_range");
+                let width = (range.end - range.start) as u64;
+                // Modulo bias is < 2^-32 for all widths used here; the
+                // consumers are test-data generators, not cryptography.
+                range.start + (rng.next_u64() % width) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize);
+
+impl UniformSampled for f64 {
+    fn sample_range<R: Rng>(rng: &mut R, range: std::ops::Range<Self>) -> Self {
+        assert!(range.start < range.end, "empty range in random_range");
+        range.start + f64::sample(rng) * (range.end - range.start)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A small, fast, seedable generator (SplitMix64 stream).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng { state: seed }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Sequence-related helpers (subset of `rand::seq`).
+pub mod seq {
+    use super::Rng;
+
+    /// Random slice operations.
+    pub trait SliceRandom {
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            let n = rng.random_range(3u32..17);
+            assert!((3..17).contains(&n));
+            let m = rng.random_range(0usize..5);
+            assert!(m < 5);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+}

@@ -52,11 +52,18 @@ fn parallel_sim_is_bit_identical() {
 #[test]
 fn simulated_strong_scaling_decreases() {
     let g = weighted_grid(128, 3);
-    let t4 = cmg::run_matching(&g, &grid2d_partition(128, 128, 2, 2), &Engine::default_simulated())
-        .simulated_time;
-    let t64 =
-        cmg::run_matching(&g, &grid2d_partition(128, 128, 8, 8), &Engine::default_simulated())
-            .simulated_time;
+    let t4 = cmg::run_matching(
+        &g,
+        &grid2d_partition(128, 128, 2, 2),
+        &Engine::default_simulated(),
+    )
+    .simulated_time;
+    let t64 = cmg::run_matching(
+        &g,
+        &grid2d_partition(128, 128, 8, 8),
+        &Engine::default_simulated(),
+    )
+    .simulated_time;
     assert!(
         t64 < t4 / 4.0,
         "expected ≥4x speedup from 4→64 ranks: {t4} vs {t64}"

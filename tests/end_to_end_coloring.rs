@@ -56,7 +56,12 @@ fn colors_bounded_by_max_degree_plus_one() {
         ("complete", generators::complete(30)),
     ] {
         let part = bfs_partition(&g, 5);
-        let run = cmg::run_coloring(&g, &part, ColoringConfig::default(), &Engine::default_simulated());
+        let run = cmg::run_coloring(
+            &g,
+            &part,
+            ColoringConfig::default(),
+            &Engine::default_simulated(),
+        );
         run.coloring.validate(&g).unwrap();
         assert!(
             run.coloring.num_colors() <= g.max_degree() + 1,
@@ -72,7 +77,12 @@ fn distributed_color_count_close_to_serial() {
     let serial = seq::greedy(&g, seq::Ordering::Natural).num_colors();
     for p in [4u32, 16, 64] {
         let part = block_partition(g.num_vertices(), p);
-        let run = cmg::run_coloring(&g, &part, ColoringConfig::default(), &Engine::default_simulated());
+        let run = cmg::run_coloring(
+            &g,
+            &part,
+            ColoringConfig::default(),
+            &Engine::default_simulated(),
+        );
         assert!(
             run.coloring.num_colors() <= serial + 3,
             "p={p}: {} vs serial {serial}",
@@ -90,7 +100,12 @@ fn jones_plassmann_baseline_agrees_between_engines_and_needs_more_rounds() {
     assert_eq!(jp_sim.coloring, jp_thr.coloring);
     jp_sim.coloring.validate(&g).unwrap();
 
-    let spec = cmg::run_coloring(&g, &part, ColoringConfig::default(), &Engine::default_simulated());
+    let spec = cmg::run_coloring(
+        &g,
+        &part,
+        ColoringConfig::default(),
+        &Engine::default_simulated(),
+    );
     assert!(
         spec.phases < jp_sim.phases,
         "speculative {} phases vs JP {} rounds",

@@ -38,7 +38,11 @@ fn all_partitioners_and_engines_agree_with_sequential() {
 #[test]
 fn weight_invariant_across_rank_counts() {
     let g = uniform(&generators::rmat(10, 8, (0.45, 0.22, 0.22, 0.11), 5), 6);
-    let base = cmg::run_matching(&g, &Partition::single(g.num_vertices()), &Engine::default_simulated());
+    let base = cmg::run_matching(
+        &g,
+        &Partition::single(g.num_vertices()),
+        &Engine::default_simulated(),
+    );
     let w0 = base.matching.weight(&g);
     for p in [2u32, 5, 16, 33] {
         let part = hash_partition(g.num_vertices(), p, 9);
@@ -92,7 +96,10 @@ fn sequential_algorithms_vs_brute_force() {
         let g = uniform(&generators::erdos_renyi(12, 26, seed), seed);
         let opt = exact::brute_force_weight(&g);
         for (name, alg) in [
-            ("greedy", seq::greedy as fn(&CsrGraph) -> cmg_matching::Matching),
+            (
+                "greedy",
+                seq::greedy as fn(&CsrGraph) -> cmg_matching::Matching,
+            ),
             ("local_dominant", seq::local_dominant),
             ("path_growing", seq::path_growing),
             ("suitor", seq::suitor),

@@ -86,7 +86,12 @@ fn morton_partition_pipeline() {
     let morton = morton_grid_partition(k, k, 64);
     let blocks = cmg_partition::simple::block_partition(k * k, 64);
     assert!(morton.quality(&g).edge_cut < blocks.quality(&g).edge_cut);
-    let run = cmg::run_coloring(&g, &morton, ColoringConfig::default(), &Engine::default_simulated());
+    let run = cmg::run_coloring(
+        &g,
+        &morton,
+        ColoringConfig::default(),
+        &Engine::default_simulated(),
+    );
     run.coloring.validate(&g).unwrap();
 }
 
@@ -98,8 +103,18 @@ fn geometric_graph_with_morton_partition() {
     assert_eq!(part.num_parts(), 8);
     let q = part.quality(&g);
     let rnd = cmg_partition::simple::random_partition(500, 8, 1).quality(&g);
-    assert!(q.edge_cut < rnd.edge_cut, "morton {} vs random {}", q.edge_cut, rnd.edge_cut);
-    let run = cmg::run_coloring(&g, &part, ColoringConfig::default(), &Engine::default_simulated());
+    assert!(
+        q.edge_cut < rnd.edge_cut,
+        "morton {} vs random {}",
+        q.edge_cut,
+        rnd.edge_cut
+    );
+    let run = cmg::run_coloring(
+        &g,
+        &part,
+        ColoringConfig::default(),
+        &Engine::default_simulated(),
+    );
     run.coloring.validate(&g).unwrap();
 }
 
@@ -130,8 +145,10 @@ fn round_trace_is_consistent_with_stats() {
     );
     let part = cmg_partition::simple::grid2d_partition(16, 16, 2, 2);
     let dgs = DistGraph::build_all(&g, &part);
-    let programs: Vec<cmg_matching::DistMatching> =
-        dgs.into_iter().map(cmg_matching::DistMatching::new).collect();
+    let programs: Vec<cmg_matching::DistMatching> = dgs
+        .into_iter()
+        .map(cmg_matching::DistMatching::new)
+        .collect();
     let cfg = EngineConfig {
         record_trace: true,
         ..Default::default()

@@ -49,7 +49,10 @@ fn integer_weights_with_many_ties() {
     // one, but the weight must still match it (both are maximal local-
     // dominant matchings under the same deterministic tie-break).
     let seq = cmg_matching::seq::local_dominant(&g);
-    assert_eq!(m.matching, seq, "deterministic tie-break must make it unique");
+    assert_eq!(
+        m.matching, seq,
+        "deterministic tie-break must make it unique"
+    );
 }
 
 #[test]
