@@ -1,0 +1,64 @@
+//! Criterion bench of the simulation engine's per-round overhead on
+//! mostly-idle rank populations: a two-rank ping-pong inside p − 2
+//! permanently idle ranks, the regime where the active-set scheduler's
+//! O(active) rounds beat the dense O(p) reference sweep.
+
+use cmg_runtime::{EngineConfig, Rank, RankCtx, RankProgram, SimEngine, Status};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// Ranks 0 and 1 bounce a counter for `hops` rounds; everyone else
+/// idles after round 0.
+struct PingPong {
+    hops: u32,
+}
+
+impl RankProgram for PingPong {
+    type Msg = (u32, u32);
+
+    fn on_start(&mut self, ctx: &mut RankCtx<(u32, u32)>) -> Status {
+        if ctx.rank() == 0 {
+            ctx.send(1, &(self.hops, 0));
+        }
+        Status::Idle
+    }
+
+    fn on_round(
+        &mut self,
+        inbox: &mut Vec<(Rank, Vec<(u32, u32)>)>,
+        ctx: &mut RankCtx<(u32, u32)>,
+    ) -> Status {
+        for (_, msgs) in inbox.drain(..) {
+            for (ttl, tag) in msgs {
+                ctx.charge(1);
+                if ttl > 0 {
+                    ctx.send(ctx.rank() ^ 1, &(ttl - 1, tag));
+                }
+            }
+        }
+        Status::Idle
+    }
+}
+
+fn engine(p: u32, hops: u32) -> SimEngine<PingPong> {
+    let programs = (0..p).map(|_| PingPong { hops }).collect();
+    SimEngine::new(programs, EngineConfig::default())
+}
+
+fn bench_mostly_idle(c: &mut Criterion) {
+    const HOPS: u32 = 64;
+    let mut group = c.benchmark_group("engine_overhead");
+    group.sample_size(10);
+    for p in [256u32, 4096, 16384] {
+        group.bench_with_input(BenchmarkId::new("active_set", p), &p, |b, &p| {
+            b.iter(|| black_box(engine(p, HOPS).run()))
+        });
+        group.bench_with_input(BenchmarkId::new("dense_reference", p), &p, |b, &p| {
+            b.iter(|| black_box(engine(p, HOPS).run_dense_reference()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mostly_idle);
+criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! Engine-overhead benchmark: active-set scheduler vs the dense
+//! reference round loop on mostly-idle rank populations.
+//!
+//! This is the regime the paper's matching outer-loop tail and coloring
+//! allreduce tree live in — thousands of ranks, a handful active per
+//! round — and exactly where a dense O(p)-per-round sweep drowns the
+//! simulation. Both paths run the same two-rank ping-pong inside a sea
+//! of idle ranks; virtual times must agree exactly, only host wall time
+//! may differ.
+//!
+//! Usage: `cargo run --release -p cmg-bench --bin engine_overhead
+//! [--ranks 256,4096,16384]`
+
+use cmg_obs::bench::BenchReport;
+use cmg_obs::Json;
+use cmg_runtime::{EngineConfig, Rank, RankCtx, RankProgram, SimEngine, SimResult, Status};
+use std::time::Instant;
+
+/// Ranks 0 and 1 bounce a counter for `hops` rounds; the other p − 2
+/// ranks go idle after round 0 and are never woken again.
+struct PingPong {
+    hops: u32,
+}
+
+impl RankProgram for PingPong {
+    type Msg = (u32, u32);
+
+    fn on_start(&mut self, ctx: &mut RankCtx<(u32, u32)>) -> Status {
+        if ctx.rank() == 0 {
+            ctx.send(1, &(self.hops, 0));
+        }
+        Status::Idle
+    }
+
+    fn on_round(
+        &mut self,
+        inbox: &mut Vec<(Rank, Vec<(u32, u32)>)>,
+        ctx: &mut RankCtx<(u32, u32)>,
+    ) -> Status {
+        for (_, msgs) in inbox.drain(..) {
+            for (ttl, tag) in msgs {
+                ctx.charge(1);
+                if ttl > 0 {
+                    ctx.send(ctx.rank() ^ 1, &(ttl - 1, tag));
+                }
+            }
+        }
+        Status::Idle
+    }
+}
+
+fn engine(p: u32, hops: u32) -> SimEngine<PingPong> {
+    let programs = (0..p).map(|_| PingPong { hops }).collect();
+    SimEngine::new(programs, EngineConfig::default())
+}
+
+fn makespan(r: &SimResult<PingPong>) -> f64 {
+    r.stats.makespan()
+}
+
+/// Parses `--ranks 1024,4096,…` from argv; defaults to the standard
+/// mostly-idle sweep.
+fn rank_counts() -> Vec<u32> {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--ranks") {
+        if let Some(list) = args.get(i + 1) {
+            return list
+                .split(',')
+                .map(|s| s.trim().parse().expect("--ranks wants integers"))
+                .collect();
+        }
+    }
+    vec![256, 4096, 16384]
+}
+
+fn main() {
+    println!("Engine overhead: active-set scheduler vs dense reference (mostly-idle ranks)\n");
+    let mut report = BenchReport::new("engine_overhead");
+    let hops = 512u32;
+    report.fact("hops", Json::UInt(hops as u64));
+    report.fact(
+        "workload",
+        Json::Str("2-rank ping-pong, p-2 idle ranks".into()),
+    );
+
+    println!(
+        "{:>7} {:>8} {:>12} {:>12} {:>9} {:>14} {:>14}",
+        "p", "rounds", "dense ms", "sched ms", "speedup", "dense rnd/s", "sched rnd/s"
+    );
+    let mut speedup_16384 = 0.0;
+    for p in rank_counts() {
+        let t0 = Instant::now();
+        let dense = engine(p, hops).run_dense_reference();
+        let dense_s = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let sched = engine(p, hops).run();
+        let sched_s = t1.elapsed().as_secs_f64();
+
+        // The scheduler must be a pure host-side optimization: simulated
+        // results identical to the reference, bit for bit.
+        assert_eq!(dense.stats.rounds, sched.stats.rounds, "p = {p}");
+        assert_eq!(dense.stats.per_rank, sched.stats.per_rank, "p = {p}");
+        let rounds = sched.stats.rounds;
+        let speedup = dense_s / sched_s;
+        if p == 16384 {
+            speedup_16384 = speedup;
+        }
+        println!(
+            "{:>7} {:>8} {:>12.3} {:>12.3} {:>8.1}x {:>14.0} {:>14.0}",
+            p,
+            rounds,
+            dense_s * 1e3,
+            sched_s * 1e3,
+            speedup,
+            rounds as f64 / dense_s,
+            rounds as f64 / sched_s,
+        );
+        report.row(Json::obj(vec![
+            ("ranks", Json::UInt(p as u64)),
+            ("rounds", Json::UInt(rounds)),
+            ("dense_wall_s", Json::Float(dense_s)),
+            ("sched_wall_s", Json::Float(sched_s)),
+            ("speedup", Json::Float(speedup)),
+            ("dense_rounds_per_s", Json::Float(rounds as f64 / dense_s)),
+            ("sched_rounds_per_s", Json::Float(rounds as f64 / sched_s)),
+            ("makespan", Json::Float(makespan(&sched))),
+            ("sched_stats", sched.sched.to_json()),
+        ]));
+    }
+    println!("\nspeedup at p=16384: {speedup_16384:.1}x (acceptance floor: 5x)");
+    report.fact("speedup_p16384", Json::Float(speedup_16384));
+    match report.write() {
+        Ok(path) => println!("bench report: {}", path.display()),
+        Err(e) => eprintln!("could not write bench report: {e}"),
+    }
+}

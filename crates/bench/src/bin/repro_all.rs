@@ -30,6 +30,7 @@ fn main() {
         "ext_distance2",
         "future_hybrid",
         "quality_vs_p",
+        "engine_overhead",
     ];
     // Children inherit an explicit bench dir so their BENCH_*.json files
     // land where this process will look for them.

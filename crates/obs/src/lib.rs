@@ -31,6 +31,7 @@ pub mod json;
 pub mod metrics;
 pub mod recorder;
 pub mod report;
+pub mod sched;
 pub mod sink;
 
 pub use event::{Event, PhaseName, TimedEvent, ENGINE_RANK};
@@ -38,3 +39,4 @@ pub use json::Json;
 pub use metrics::MetricsRegistry;
 pub use recorder::{CollectingRecorder, NoopRecorder, Recorder, RecorderHandle};
 pub use report::RunReport;
+pub use sched::SchedStats;

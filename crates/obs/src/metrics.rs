@@ -255,6 +255,19 @@ impl MetricsRegistry {
         }
     }
 
+    /// Folds a run's scheduler-occupancy counters (worklist sizes,
+    /// skipped ranks, pool usage) into `sched_*` counters and gauges.
+    pub fn observe_sched(&mut self, sched: &crate::sched::SchedStats) {
+        self.inc("sched_rounds", sched.rounds);
+        self.inc("sched_worklist_total", sched.worklist_total);
+        self.inc("sched_ranks_skipped_total", sched.ranks_skipped_total);
+        self.inc("sched_pool_chunks_claimed", sched.pool_chunks_claimed);
+        self.max_gauge("sched_worklist_max", sched.worklist_max as f64);
+        self.max_gauge("sched_pool_workers", sched.pool_workers as f64);
+        self.set_gauge("sched_mean_worklist", sched.mean_worklist());
+        self.set_gauge("sched_sparsity", sched.sparsity());
+    }
+
     /// One JSONL line per metric, deterministic order (counters, then
     /// gauges, then histograms; each alphabetical).
     pub fn to_jsonl(&self) -> String {

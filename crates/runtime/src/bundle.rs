@@ -44,13 +44,31 @@ impl BundleStats {
     }
 }
 
+/// Open-bundle count at which [`OutBox::push`] switches from linear
+/// search to the dense `dst → bundle index` table. Below this, the scan
+/// touches at most one cache line of `(Rank, _, _)` headers and beats
+/// the table's extra indirection.
+const DENSE_LOOKUP_THRESHOLD: usize = 16;
+
+/// Sentinel in the dense lookup table: "no open bundle for this rank".
+const NO_BUNDLE: u32 = u32::MAX;
+
 /// Outgoing-message buffer for one rank and one round.
 #[derive(Debug)]
 pub struct OutBox<M: WireMessage> {
     bundling: bool,
-    /// One open bundle per destination (small: a rank talks to few
-    /// neighbors, so linear search beats a hash map here).
+    /// One open bundle per destination. A rank usually talks to few
+    /// neighbors, so linear search is the fast path; once the open-bundle
+    /// count crosses [`DENSE_LOOKUP_THRESHOLD`] (the FIAC/FIAB comm
+    /// variants fan out to O(p) destinations) `dst_index` takes over.
     bundles: Vec<(Rank, BytesMut, u32)>,
+    /// Lazily built `dst → index into bundles` table (`NO_BUNDLE` =
+    /// none). Empty until the threshold is first crossed; kept allocated
+    /// across rounds afterwards, with entries reset in `finish`.
+    dst_index: Vec<u32>,
+    /// Total ranks in the run; 0 disables the dense table (standalone
+    /// outboxes constructed via [`OutBox::new`]).
+    num_ranks: Rank,
     /// Finished packets (used directly in non-bundling mode).
     packets: Vec<Packet>,
     stats: BundleStats,
@@ -61,13 +79,42 @@ impl<M: WireMessage> OutBox<M> {
     /// An empty outbox. `bundling` selects aggregation vs one-packet-per-
     /// message behavior.
     pub fn new(bundling: bool) -> Self {
+        OutBox::for_ranks(bundling, 0)
+    }
+
+    /// An empty outbox that knows the run's rank count, enabling the
+    /// dense destination table for wide fan-out rounds.
+    pub fn for_ranks(bundling: bool, num_ranks: Rank) -> Self {
         OutBox {
             bundling,
             bundles: Vec::new(),
+            dst_index: Vec::new(),
+            num_ranks,
             packets: Vec::new(),
             stats: BundleStats::default(),
             _marker: std::marker::PhantomData,
         }
+    }
+
+    /// Index of the open bundle for `dst`, or `None`. O(1) once the
+    /// dense table is live, linear over the (few) open bundles before.
+    #[inline]
+    fn bundle_index(&mut self, dst: Rank) -> Option<usize> {
+        if !self.dst_index.is_empty() {
+            let i = self.dst_index[dst as usize];
+            return (i != NO_BUNDLE).then_some(i as usize);
+        }
+        if self.num_ranks > 0 && self.bundles.len() >= DENSE_LOOKUP_THRESHOLD {
+            // Crossing the threshold for the first time: build the table
+            // and answer from it; stays live for the outbox's lifetime.
+            self.dst_index = vec![NO_BUNDLE; self.num_ranks as usize];
+            for (i, (d, _, _)) in self.bundles.iter().enumerate() {
+                self.dst_index[*d as usize] = i as u32;
+            }
+            let i = self.dst_index[dst as usize];
+            return (i != NO_BUNDLE).then_some(i as usize);
+        }
+        self.bundles.iter().position(|(d, _, _)| *d == dst)
     }
 
     /// Cumulative logical-vs-wire accounting since construction.
@@ -79,14 +126,18 @@ impl<M: WireMessage> OutBox<M> {
     pub fn push(&mut self, dst: Rank, msg: &M) {
         self.stats.logical_messages += 1;
         if self.bundling {
-            match self.bundles.iter_mut().find(|(d, _, _)| *d == dst) {
-                Some((_, buf, n)) => {
+            match self.bundle_index(dst) {
+                Some(i) => {
+                    let (_, buf, n) = &mut self.bundles[i];
                     msg.encode(buf);
                     *n += 1;
                 }
                 None => {
                     let mut buf = BytesMut::with_capacity(64);
                     msg.encode(&mut buf);
+                    if !self.dst_index.is_empty() {
+                        self.dst_index[dst as usize] = self.bundles.len() as u32;
+                    }
                     self.bundles.push((dst, buf, 1));
                 }
             }
@@ -109,18 +160,32 @@ impl<M: WireMessage> OutBox<M> {
     /// Closes the round: returns all packets, sorted by destination for
     /// deterministic routing, leaving the outbox empty for reuse.
     pub fn finish(&mut self) -> Vec<Packet> {
-        let mut packets = std::mem::take(&mut self.packets);
+        let mut packets = Vec::new();
+        self.finish_into(&mut packets);
+        packets
+    }
+
+    /// Closes the round, appending the destination-sorted packets to
+    /// `out` (which must be empty). The allocation-aware variant of
+    /// [`OutBox::finish`]: the caller recycles `out` across rounds, and
+    /// the outbox keeps its own bundle-list and packet-list allocations.
+    pub fn finish_into(&mut self, out: &mut Vec<Packet>) {
+        debug_assert!(out.is_empty(), "finish_into wants a drained buffer");
+        out.append(&mut self.packets);
         for (dst, buf, n) in self.bundles.drain(..) {
-            packets.push(Packet {
+            if !self.dst_index.is_empty() {
+                self.dst_index[dst as usize] = NO_BUNDLE;
+            }
+            out.push(Packet {
                 dst,
                 payload: buf.freeze(),
                 logical: n,
             });
         }
-        packets.sort_by_key(|p| p.dst);
-        self.stats.wire_packets += packets.len() as u64;
-        self.stats.wire_bytes += packets.iter().map(|p| p.payload.len() as u64).sum::<u64>();
-        packets
+        // Stable: non-bundled same-destination packets keep send order.
+        out.sort_by_key(|p| p.dst);
+        self.stats.wire_packets += out.len() as u64;
+        self.stats.wire_bytes += out.iter().map(|p| p.payload.len() as u64).sum::<u64>();
     }
 }
 
@@ -161,6 +226,49 @@ mod tests {
         assert!(ob.finish().is_empty());
         ob.push(1, &2);
         assert_eq!(ob.finish().len(), 1);
+    }
+
+    #[test]
+    fn dense_table_matches_linear_lookup() {
+        // Same pushes through a table-enabled and a linear-only outbox
+        // must produce identical packets, rounds on end.
+        let p: Rank = 200;
+        let mut dense: OutBox<u32> = OutBox::for_ranks(true, p);
+        let mut linear: OutBox<u32> = OutBox::new(true);
+        for round in 0..3 {
+            // Fan out well past DENSE_LOOKUP_THRESHOLD, with repeats.
+            for i in 0..120u32 {
+                let dst = (i * 7 + round) % p;
+                dense.push(dst, &i);
+                linear.push(dst, &i);
+            }
+            let a = dense.finish();
+            let b = linear.finish();
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.dst, y.dst);
+                assert_eq!(x.logical, y.logical);
+                assert_eq!(x.payload, y.payload);
+            }
+        }
+        assert_eq!(dense.stats(), linear.stats());
+    }
+
+    #[test]
+    fn finish_into_recycles_buffer() {
+        let mut ob: OutBox<u32> = OutBox::for_ranks(true, 8);
+        let mut out = Vec::new();
+        ob.push(3, &1);
+        ob.push(1, &2);
+        ob.finish_into(&mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].dst, 1);
+        out.clear();
+        ob.push(5, &7);
+        ob.finish_into(&mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].dst, 5);
+        assert_eq!(ob.stats().wire_packets, 3);
     }
 
     #[test]

@@ -12,8 +12,10 @@
 //! * [`SimEngine`]: a deterministic discrete-event simulation. Every rank's
 //!   compute and communication is charged against an α–β–γ [`CostModel`],
 //!   producing *simulated* times for rank counts far beyond the host's core
-//!   count (the paper runs up to 16,384 processors). Optionally steps ranks
-//!   in parallel with crossbeam while keeping results bit-identical.
+//!   count (the paper runs up to 16,384 processors). The round loop is an
+//!   active-set scheduler — quiet rounds cost O(active ranks), not O(p) —
+//!   and can optionally step runnable ranks on a persistent worker pool
+//!   while keeping results bit-identical.
 //! * [`ThreadedEngine`]: one OS thread per rank with real channels,
 //!   measuring wall-clock time — used to validate that the algorithms are
 //!   correct under true concurrency.
@@ -33,6 +35,7 @@ pub mod stats;
 pub mod threaded;
 
 pub use bundle::OutBox;
+pub use cmg_obs::SchedStats;
 pub use cost::{CostModel, MachinePreset};
 pub use message::WireMessage;
 pub use program::{Rank, RankCtx, RankProgram, Status};
@@ -54,8 +57,9 @@ pub struct EngineConfig {
     /// supersteps). When `false`, ranks progress asynchronously and only
     /// wait for the messages they actually receive.
     pub sync_rounds: bool,
-    /// Step ranks in parallel inside the simulation engine using crossbeam
-    /// scoped threads. Results and virtual times are identical to the
+    /// Step runnable ranks in parallel inside the simulation engine on a
+    /// persistent worker pool (spawned once per run, workers parked
+    /// between rounds). Results and virtual times are identical to the
     /// sequential simulation; only host wall time changes.
     pub parallel_sim: bool,
     /// Safety cap on the number of rounds before the engine aborts

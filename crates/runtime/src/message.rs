@@ -23,12 +23,38 @@ pub trait WireMessage: Send + Sized + 'static {
 }
 
 /// Decodes a whole bundle into its constituent messages.
-pub fn decode_all<M: WireMessage>(mut buf: impl Buf) -> Option<Vec<M>> {
+pub fn decode_all<M: WireMessage>(buf: impl Buf) -> Option<Vec<M>> {
     let mut out = Vec::new();
+    decode_all_into(buf, &mut out)?;
+    Some(out)
+}
+
+/// Decodes a whole bundle, appending the messages to `out`, and returns
+/// how many were appended (`None` on malformed bytes, like
+/// [`decode_all`]).
+///
+/// This is the allocation-aware variant the engine delivery loops use:
+/// `out` can be a recycled buffer, and the expected message count is
+/// estimated up front from the payload size and the first message's
+/// [`WireMessage::encoded_len`], so a bundle of `n` uniform messages
+/// costs at most one `reserve` instead of `log n` doublings.
+pub fn decode_all_into<M: WireMessage>(mut buf: impl Buf, out: &mut Vec<M>) -> Option<usize> {
+    if !buf.has_remaining() {
+        return Some(0);
+    }
+    let total = buf.remaining();
+    let first = M::decode(&mut buf)?;
+    // Capacity hint: uniform-size messages are the overwhelmingly common
+    // case, so size for exactly that; mixed sizes merely over- or
+    // under-reserve, never break correctness.
+    out.reserve(total / first.encoded_len().max(1));
+    out.push(first);
+    let mut n = 1;
     while buf.has_remaining() {
         out.push(M::decode(&mut buf)?);
+        n += 1;
     }
-    Some(out)
+    Some(n)
 }
 
 impl WireMessage for u32 {
@@ -77,7 +103,7 @@ impl WireMessage for (u32, u32) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bytes::BytesMut;
+    use bytes::{Bytes, BytesMut};
 
     #[test]
     fn u32_round_trip() {
@@ -96,6 +122,26 @@ mod tests {
         assert_eq!(buf.len(), 16);
         let msgs: Vec<(u32, u32)> = decode_all(buf.freeze()).unwrap();
         assert_eq!(msgs, vec![(1, 2), (3, 4)]);
+    }
+
+    #[test]
+    fn decode_all_into_appends_and_reserves() {
+        let mut buf = BytesMut::new();
+        for v in 0..100u32 {
+            v.encode(&mut buf);
+        }
+        let mut out: Vec<u32> = vec![999];
+        let n = decode_all_into(buf.freeze(), &mut out).unwrap();
+        assert_eq!(n, 100);
+        assert_eq!(out.len(), 101);
+        assert_eq!(out[0], 999);
+        assert_eq!(out[100], 99);
+        // The capacity hint sized the buffer in one reservation.
+        assert!(out.capacity() >= 101);
+
+        let mut empty_out: Vec<u32> = Vec::new();
+        assert_eq!(decode_all_into(Bytes::new(), &mut empty_out), Some(0));
+        assert!(empty_out.is_empty());
     }
 
     #[test]

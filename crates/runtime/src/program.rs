@@ -46,7 +46,7 @@ impl<M: WireMessage> RankCtx<M> {
             num_ranks,
             round: 0,
             work: 0,
-            outbox: OutBox::new(bundling),
+            outbox: OutBox::for_ranks(bundling, num_ranks),
             recorder,
             now: 0.0,
         }
@@ -108,9 +108,18 @@ impl<M: WireMessage> RankCtx<M> {
     /// Engine-internal: advances the round counter and drains the round's
     /// work and packets.
     pub(crate) fn end_round(&mut self) -> (u64, Vec<crate::bundle::Packet>) {
+        let mut packets = Vec::new();
+        let work = self.end_round_into(&mut packets);
+        (work, packets)
+    }
+
+    /// Engine-internal, allocation-aware twin of [`RankCtx::end_round`]:
+    /// appends the round's packets to the caller's recycled buffer
+    /// (which must be empty) and returns the charged work.
+    pub(crate) fn end_round_into(&mut self, packets: &mut Vec<crate::bundle::Packet>) -> u64 {
         self.round += 1;
-        let work = std::mem::take(&mut self.work);
-        (work, self.outbox.finish())
+        self.outbox.finish_into(packets);
+        std::mem::take(&mut self.work)
     }
 }
 

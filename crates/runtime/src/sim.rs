@@ -14,14 +14,33 @@
 //!    is timestamped to arrive at `clock + α + β·bytes`;
 //! 4. optionally (sync mode) a barrier max-synchronizes all clocks and adds
 //!    `α·⌈log₂ p⌉`.
+//!
+//! # Scheduling
+//!
+//! The round loop is event-driven: the engine keeps an explicit **worklist**
+//! of runnable ranks (status [`Status::Active`] or a non-empty mailbox) and
+//! steps only those, so a quiet round costs O(active), not O(p). Produced
+//! packets are routed straight onto the next round's worklist (deduplicated
+//! by a round-stamped mark table, then rank-sorted so routing order — and
+//! therefore every mailbox, virtual time, and trace byte — matches the
+//! dense 0..p sweep). Round aggregates (stepped ranks, packets, bytes,
+//! max virtual time) are maintained incrementally instead of re-folding all
+//! p slots. Under `parallel_sim` a **persistent worker pool** is spawned
+//! once per run; workers park between rounds and claim worklist chunks via
+//! an atomic cursor, replacing the per-round thread-spawn of the original
+//! implementation. Results are bit-identical across all three paths
+//! (serial, pooled, and the [`SimEngine::run_dense_reference`] baseline);
+//! `tests/scheduler_equivalence.rs` holds the property test pinning this.
 
 use crate::bundle::Packet;
-use crate::message::decode_all;
+use crate::message::{decode_all, decode_all_into};
 use crate::program::{Rank, RankCtx, RankProgram, Status};
 use crate::stats::{RankStats, RunStats};
-use crate::EngineConfig;
+use crate::{CostModel, EngineConfig};
 use bytes::Bytes;
-use cmg_obs::{Event, PhaseName, ENGINE_RANK};
+use cmg_obs::{Event, PhaseName, RecorderHandle, SchedStats, ENGINE_RANK};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 
 /// A packet in flight, with its computed arrival time.
 struct InFlight {
@@ -29,6 +48,10 @@ struct InFlight {
     arrival: f64,
     payload: Bytes,
     logical: u32,
+    /// Mailbox insertion index: makes the delivery sort key
+    /// `(src, arrival, seq)` a total order, so an unstable sort
+    /// reproduces the stable `(src, arrival)` sort exactly.
+    seq: u32,
 }
 
 /// Per-rank simulation state.
@@ -39,6 +62,11 @@ struct Slot<P: RankProgram> {
     vtime: f64,
     stats: RankStats,
     mailbox: Vec<InFlight>,
+    /// Recycled per-source inbox handed to `on_round` (outer vector
+    /// reused across rounds; cleared after each step).
+    inbox: Vec<(Rank, Vec<<P as RankProgram>::Msg>)>,
+    /// Recycled buffer the outbox drains into each round.
+    packet_buf: Vec<Packet>,
     /// Packets produced this round with their arrival timestamps, drained
     /// by the (serial, deterministic) routing pass.
     produced: Vec<(Packet, f64)>,
@@ -74,12 +102,308 @@ pub struct SimResult<P> {
     pub hit_round_cap: bool,
     /// Per-round trace (empty unless `EngineConfig::record_trace`).
     pub trace: Vec<RoundTrace>,
+    /// Scheduler-occupancy counters: worklist sizes, skipped ranks, and
+    /// worker-pool usage (all zero from the dense reference path).
+    pub sched: SchedStats,
 }
 
 /// The simulation engine. See the module docs.
 pub struct SimEngine<P: RankProgram> {
     slots: Vec<Slot<P>>,
     config: EngineConfig,
+}
+
+/// Steps one rank: deliver its mailbox, run the program, timestamp the
+/// produced packets. Pure per-slot work — both the serial scheduler and
+/// the worker pool funnel through this.
+///
+/// `floor` is the synchronized-clock lower bound (the previous round's
+/// barrier time under `sync_rounds`, 0 otherwise): a slot that skipped
+/// rounds while the barrier advanced catches its clock up lazily here.
+fn step_slot<P: RankProgram>(
+    slot: &mut Slot<P>,
+    cost: CostModel,
+    recorder: &RecorderHandle,
+    first: bool,
+    floor: f64,
+) {
+    if floor > slot.vtime {
+        slot.vtime = floor;
+    }
+    let rank = slot.ctx.rank();
+    let observed = recorder.enabled();
+    // Deliver: jump the clock to the latest consumed arrival.
+    let delivery_start = slot.vtime;
+    let had_mail = !slot.mailbox.is_empty();
+    if had_mail {
+        // 0/1-packet mailboxes (the common case on interior-heavy
+        // rounds) skip the sort; larger ones use an unstable sort on
+        // the total (src, arrival, seq) key — see [`InFlight::seq`].
+        if slot.mailbox.len() > 1 {
+            slot.mailbox.sort_unstable_by(|a, b| {
+                a.src
+                    .cmp(&b.src)
+                    .then(a.arrival.total_cmp(&b.arrival))
+                    .then(a.seq.cmp(&b.seq))
+            });
+        }
+        let Slot {
+            mailbox,
+            stats,
+            vtime,
+            inbox,
+            ..
+        } = slot;
+        for m in mailbox.iter() {
+            *vtime = vtime.max(m.arrival);
+        }
+        for m in mailbox.drain(..) {
+            stats.packets_received += 1;
+            stats.bytes_received += m.payload.len() as u64;
+            stats.messages_received += m.logical as u64;
+            if observed {
+                recorder.emit(
+                    rank,
+                    m.arrival,
+                    Event::PacketRecv {
+                        src: m.src,
+                        bytes: m.payload.len() as u64,
+                        logical: m.logical,
+                    },
+                );
+            }
+            // Decode straight into the per-source message list (no
+            // per-packet temporary vector).
+            let list = match inbox.last_mut() {
+                Some((src, list)) if *src == m.src => list,
+                _ => {
+                    inbox.push((m.src, Vec::new()));
+                    &mut inbox.last_mut().expect("just pushed").1
+                }
+            };
+            decode_all_into(m.payload, list)
+                .expect("malformed bundle: WireMessage encode/decode mismatch");
+        }
+        if observed {
+            recorder.emit(
+                rank,
+                slot.vtime,
+                Event::Phase {
+                    name: PhaseName::Delivery,
+                    start: delivery_start,
+                    dur: slot.vtime - delivery_start,
+                },
+            );
+        }
+    }
+    // Compute.
+    let compute_start = slot.vtime;
+    slot.ctx.set_now(compute_start);
+    slot.status = if first {
+        slot.program.on_start(&mut slot.ctx)
+    } else {
+        slot.program.on_round(&mut slot.inbox, &mut slot.ctx)
+    };
+    slot.inbox.clear();
+    let work = slot.ctx.end_round_into(&mut slot.packet_buf);
+    slot.stats.rounds_active += 1;
+    slot.stats.work += work;
+    slot.vtime += cost.compute_time(work);
+    if observed {
+        recorder.emit(
+            rank,
+            slot.vtime,
+            Event::Phase {
+                name: PhaseName::Compute,
+                start: compute_start,
+                dur: slot.vtime - compute_start,
+            },
+        );
+    }
+    // Send: overhead advances the sender; transfer delays arrival.
+    let send_start = slot.vtime;
+    let Slot {
+        packet_buf,
+        produced,
+        stats,
+        vtime,
+        ..
+    } = slot;
+    debug_assert!(produced.is_empty(), "unrouted packets from a prior round");
+    for packet in packet_buf.drain(..) {
+        stats.packets_sent += 1;
+        stats.messages_sent += packet.logical as u64;
+        stats.bytes_sent += packet.payload.len() as u64;
+        *vtime += cost.send_overhead;
+        if observed {
+            recorder.emit(
+                rank,
+                *vtime,
+                Event::PacketSent {
+                    dst: packet.dst,
+                    bytes: packet.payload.len() as u64,
+                    logical: packet.logical,
+                },
+            );
+        }
+        let arrival = *vtime + cost.transfer_time(packet.payload.len());
+        produced.push((packet, arrival));
+    }
+    if observed && !slot.produced.is_empty() {
+        recorder.emit(
+            rank,
+            slot.vtime,
+            Event::Phase {
+                name: PhaseName::Send,
+                start: send_start,
+                dur: slot.vtime - send_start,
+            },
+        );
+    }
+}
+
+/// One round's worth of work published to the worker pool. Raw pointers
+/// instead of borrows because the pool outlives any single round's
+/// worklist; validity is re-established at every dispatch.
+struct PoolJob<P: RankProgram> {
+    generation: u64,
+    shutdown: bool,
+    slots: *mut Slot<P>,
+    worklist: *const Rank,
+    len: usize,
+    chunk: usize,
+    first: bool,
+    floor: f64,
+}
+
+impl<P: RankProgram> Clone for PoolJob<P> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<P: RankProgram> Copy for PoolJob<P> {}
+
+// SAFETY: the pointers are only dereferenced by workers between a
+// dispatch and its completion signal, both of which are mutex-ordered
+// with the driver publishing them.
+unsafe impl<P: RankProgram> Send for PoolJob<P> {}
+
+/// The persistent worker pool: spawned once per [`SimEngine::run`],
+/// workers park on a condvar between rounds and claim disjoint worklist
+/// chunks through an atomic cursor.
+struct WorkerPool<P: RankProgram> {
+    job: Mutex<PoolJob<P>>,
+    start: Condvar,
+    running: Mutex<usize>,
+    done: Condvar,
+    cursor: AtomicUsize,
+    chunks_claimed: AtomicU64,
+    workers: usize,
+}
+
+impl<P: RankProgram> WorkerPool<P> {
+    fn new(workers: usize) -> Self {
+        WorkerPool {
+            job: Mutex::new(PoolJob {
+                generation: 0,
+                shutdown: false,
+                slots: std::ptr::null_mut(),
+                worklist: std::ptr::null(),
+                len: 0,
+                chunk: 1,
+                first: false,
+                floor: 0.0,
+            }),
+            start: Condvar::new(),
+            running: Mutex::new(0),
+            done: Condvar::new(),
+            cursor: AtomicUsize::new(0),
+            chunks_claimed: AtomicU64::new(0),
+            workers,
+        }
+    }
+
+    /// Worker body: park until a new generation (or shutdown) is
+    /// published, then claim and step worklist chunks until the cursor
+    /// runs off the end.
+    fn worker_loop(&self, cost: CostModel, recorder: RecorderHandle) {
+        let mut seen = 0u64;
+        loop {
+            let job = {
+                let mut guard = self.job.lock().expect("pool poisoned");
+                while !guard.shutdown && guard.generation == seen {
+                    guard = self.start.wait(guard).expect("pool poisoned");
+                }
+                if guard.shutdown {
+                    return;
+                }
+                seen = guard.generation;
+                *guard
+            };
+            let mut claimed = 0u64;
+            loop {
+                let begin = self.cursor.fetch_add(job.chunk, Ordering::Relaxed);
+                if begin >= job.len {
+                    break;
+                }
+                claimed += 1;
+                let end = (begin + job.chunk).min(job.len);
+                for i in begin..end {
+                    // SAFETY: the worklist holds deduplicated ranks and
+                    // the atomic cursor hands each index range to exactly
+                    // one worker, so slot accesses are disjoint; the
+                    // driver publishes the pointers before bumping the
+                    // generation and does not touch the slots until every
+                    // worker has signalled completion.
+                    unsafe {
+                        let rank = *job.worklist.add(i) as usize;
+                        step_slot(
+                            &mut *job.slots.add(rank),
+                            cost,
+                            &recorder,
+                            job.first,
+                            job.floor,
+                        );
+                    }
+                }
+            }
+            if claimed > 0 {
+                self.chunks_claimed.fetch_add(claimed, Ordering::Relaxed);
+            }
+            let mut running = self.running.lock().expect("pool poisoned");
+            *running -= 1;
+            if *running == 0 {
+                self.done.notify_one();
+            }
+        }
+    }
+
+    /// Runs one round's worklist on the pool and blocks until every
+    /// worker is parked again.
+    fn dispatch(&self, slots: *mut Slot<P>, worklist: &[Rank], first: bool, floor: f64) {
+        self.cursor.store(0, Ordering::Relaxed);
+        *self.running.lock().expect("pool poisoned") = self.workers;
+        {
+            let mut guard = self.job.lock().expect("pool poisoned");
+            guard.generation += 1;
+            guard.slots = slots;
+            guard.worklist = worklist.as_ptr();
+            guard.len = worklist.len();
+            guard.chunk = (worklist.len() / (self.workers * 4)).clamp(1, 256);
+            guard.first = first;
+            guard.floor = floor;
+        }
+        self.start.notify_all();
+        let mut running = self.running.lock().expect("pool poisoned");
+        while *running > 0 {
+            running = self.done.wait(running).expect("pool poisoned");
+        }
+    }
+
+    fn shutdown(&self) {
+        self.job.lock().expect("pool poisoned").shutdown = true;
+        self.start.notify_all();
+    }
 }
 
 impl<P: RankProgram> SimEngine<P> {
@@ -96,6 +420,8 @@ impl<P: RankProgram> SimEngine<P> {
                 vtime: 0.0,
                 stats: RankStats::default(),
                 mailbox: Vec::new(),
+                inbox: Vec::new(),
+                packet_buf: Vec::new(),
                 produced: Vec::new(),
             })
             .collect();
@@ -103,7 +429,220 @@ impl<P: RankProgram> SimEngine<P> {
     }
 
     /// Runs to quiescence (or the round cap) and returns the result.
-    pub fn run(mut self) -> SimResult<P> {
+    pub fn run(self) -> SimResult<P> {
+        let p = self.slots.len();
+        if self.config.parallel_sim && p >= 4 {
+            let workers = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(p);
+            if workers > 1 {
+                return self.run_with_pool(workers);
+            }
+        }
+        self.run_scheduled(None)
+    }
+
+    /// Spawns the persistent pool, runs the scheduled loop against it,
+    /// then parks and joins the workers.
+    fn run_with_pool(self, workers: usize) -> SimResult<P> {
+        let pool: WorkerPool<P> = WorkerPool::new(workers);
+        let cost = self.config.cost;
+        let recorder = self.config.recorder.clone();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let pool = &pool;
+                let recorder = recorder.clone();
+                scope.spawn(move || pool.worker_loop(cost, recorder));
+            }
+            let result = self.run_scheduled(Some(&pool));
+            pool.shutdown();
+            result
+        })
+    }
+
+    /// The active-set round loop (see the module docs). `pool` is the
+    /// persistent worker pool, or `None` to step on this thread.
+    fn run_scheduled(mut self, pool: Option<&WorkerPool<P>>) -> SimResult<P> {
+        let p = self.slots.len();
+        let mut rounds: u64 = 0;
+        let mut hit_round_cap = false;
+        let mut trace: Vec<RoundTrace> = Vec::new();
+        let mut sched = SchedStats {
+            pool_workers: pool.map_or(0, |pl| pl.workers as u64),
+            ..SchedStats::default()
+        };
+
+        let recorder = self.config.recorder.clone();
+        let cost = self.config.cost;
+
+        // The active set: every rank with status `Active` or a non-empty
+        // mailbox, always sorted ascending (routing order determinism).
+        // Round 0 steps everyone.
+        let mut worklist: Vec<Rank> = (0..p as Rank).collect();
+        let mut next_worklist: Vec<Rank> = Vec::new();
+        // Round-stamped membership marks for O(1) worklist dedup.
+        let mut enqueued: Vec<u64> = vec![0; p];
+        // Incrementally maintained max over all per-rank virtual times
+        // (exact: vtime is monotone per rank, so the max over stepped
+        // ranks folded into the previous max equals the full fold).
+        let mut max_vtime: f64 = 0.0;
+        // Synchronized-clock lower bound under `sync_rounds`.
+        let mut floor: f64 = 0.0;
+        // Routing scratch, swapped with each slot's `produced` so both
+        // allocations survive across rounds.
+        let mut produced_scratch: Vec<(Packet, f64)> = Vec::new();
+
+        if p > 0 {
+            loop {
+                let first = rounds == 0;
+                if recorder.enabled() {
+                    recorder.emit(
+                        ENGINE_RANK,
+                        max_vtime,
+                        Event::RoundStart {
+                            round: rounds as u32,
+                        },
+                    );
+                }
+
+                sched.rounds += 1;
+                sched.worklist_total += worklist.len() as u64;
+                sched.worklist_max = sched.worklist_max.max(worklist.len() as u64);
+                sched.ranks_skipped_total += (p - worklist.len()) as u64;
+                match pool {
+                    Some(pl) if worklist.len() >= 4 => {
+                        sched.pool_parallel_rounds += 1;
+                        pl.dispatch(self.slots.as_mut_ptr(), &worklist, first, floor);
+                    }
+                    _ => {
+                        if pool.is_some() {
+                            sched.pool_serial_rounds += 1;
+                        }
+                        for &r in &worklist {
+                            step_slot(&mut self.slots[r as usize], cost, &recorder, first, floor);
+                        }
+                    }
+                }
+                let stepped = worklist.len() as u64;
+                for &r in &worklist {
+                    let v = self.slots[r as usize].vtime;
+                    if v > max_vtime {
+                        max_vtime = v;
+                    }
+                }
+
+                // Route produced packets into destination mailboxes and
+                // onto the next worklist. Worklist order is ascending, so
+                // mailbox push order matches the dense 0..p sweep.
+                let stamp = rounds + 1;
+                let (mut pkts, mut msgs, mut bytes) = (0u64, 0u64, 0u64);
+                debug_assert!(next_worklist.is_empty());
+                for &r in &worklist {
+                    let src_slot = &mut self.slots[r as usize];
+                    if src_slot.status == Status::Active && enqueued[r as usize] != stamp {
+                        enqueued[r as usize] = stamp;
+                        next_worklist.push(r);
+                    }
+                    if src_slot.produced.is_empty() {
+                        continue;
+                    }
+                    std::mem::swap(&mut produced_scratch, &mut src_slot.produced);
+                    for (packet, arrival) in produced_scratch.drain(..) {
+                        pkts += 1;
+                        msgs += packet.logical as u64;
+                        bytes += packet.payload.len() as u64;
+                        let dst = packet.dst as usize;
+                        if enqueued[dst] != stamp {
+                            enqueued[dst] = stamp;
+                            next_worklist.push(packet.dst);
+                        }
+                        let mailbox = &mut self.slots[dst].mailbox;
+                        let seq = mailbox.len() as u32;
+                        mailbox.push(InFlight {
+                            src: r,
+                            arrival,
+                            payload: packet.payload,
+                            logical: packet.logical,
+                            seq,
+                        });
+                    }
+                    std::mem::swap(&mut produced_scratch, &mut self.slots[r as usize].produced);
+                }
+
+                if self.config.record_trace {
+                    trace.push(RoundTrace {
+                        round: rounds,
+                        ranks_stepped: stepped,
+                        packets: pkts,
+                        messages: msgs,
+                        bytes,
+                        max_virtual_time: max_vtime,
+                    });
+                }
+                rounds += 1;
+
+                if self.config.sync_rounds {
+                    floor = max_vtime + self.config.cost.barrier_time(p);
+                    max_vtime = floor;
+                }
+
+                if recorder.enabled() {
+                    recorder.emit(
+                        ENGINE_RANK,
+                        max_vtime,
+                        Event::RoundEnd {
+                            round: rounds as u32 - 1,
+                            active_ranks: stepped as u32,
+                        },
+                    );
+                }
+
+                // Double-buffer swap; sort restores ascending order.
+                std::mem::swap(&mut worklist, &mut next_worklist);
+                next_worklist.clear();
+                worklist.sort_unstable();
+
+                // Empty worklist ⟺ all ranks idle and nothing in flight.
+                if worklist.is_empty() {
+                    break;
+                }
+                if rounds >= self.config.max_rounds {
+                    hit_round_cap = true;
+                    break;
+                }
+            }
+        }
+        if let Some(pl) = pool {
+            sched.pool_chunks_claimed = pl.chunks_claimed.load(Ordering::Relaxed);
+        }
+
+        let mut per_rank = Vec::with_capacity(p);
+        let mut programs = Vec::with_capacity(p);
+        for mut s in self.slots {
+            // Ranks that skipped the last rounds catch up to the final
+            // barrier time here (no-op when `sync_rounds` is off).
+            s.stats.virtual_time = if floor > s.vtime { floor } else { s.vtime };
+            per_rank.push(s.stats);
+            programs.push(s.program);
+        }
+        SimResult {
+            programs,
+            stats: RunStats { per_rank, rounds },
+            hit_round_cap,
+            trace,
+            sched,
+        }
+    }
+
+    /// The pre-scheduler dense round loop, kept verbatim as the reference
+    /// implementation: every round folds over all `p` slots and respawns
+    /// scoped threads. `tests/scheduler_equivalence.rs` asserts
+    /// [`SimEngine::run`] reproduces its results bit-for-bit, and the
+    /// `engine_overhead` bench measures the speedup against it. Not part
+    /// of the supported API.
+    #[doc(hidden)]
+    pub fn run_dense_reference(mut self) -> SimResult<P> {
         let p = self.slots.len();
         let mut rounds: u64 = 0;
         let mut hit_round_cap = false;
@@ -138,7 +677,7 @@ impl<P: RankProgram> SimEngine<P> {
                 } else {
                     (0, 0, 0, 0)
                 };
-                self.step_all(first);
+                self.dense_step_all(first);
                 if self.config.record_trace {
                     let after = self.slots.iter().fold((0, 0, 0, 0), |acc, s| {
                         (
@@ -174,11 +713,14 @@ impl<P: RankProgram> SimEngine<P> {
                     let produced = std::mem::take(&mut self.slots[r].produced);
                     for (packet, arrival) in produced {
                         any_in_flight = true;
-                        self.slots[packet.dst as usize].mailbox.push(InFlight {
+                        let mailbox = &mut self.slots[packet.dst as usize].mailbox;
+                        let seq = mailbox.len() as u32;
+                        mailbox.push(InFlight {
                             src: r as Rank,
                             arrival,
                             payload: packet.payload,
                             logical: packet.logical,
+                            seq,
                         });
                     }
                 }
@@ -224,11 +766,14 @@ impl<P: RankProgram> SimEngine<P> {
             stats: RunStats { per_rank, rounds },
             hit_round_cap,
             trace,
+            sched: SchedStats::default(),
         }
     }
 
-    /// Steps every rank that must run this round.
-    fn step_all(&mut self, first: bool) {
+    /// Dense-reference step: scans every rank, skipping the quiescent
+    /// ones one by one (the O(p)-per-round pattern the scheduler
+    /// replaces).
+    fn dense_step_all(&mut self, first: bool) {
         let cost = self.config.cost;
         let recorder = self.config.recorder.clone();
         let step_one = move |slot: &mut Slot<P>| {
@@ -552,6 +1097,86 @@ mod tests {
         assert_eq!(seq.stats.rounds, par.stats.rounds);
         for (a, b) in seq.stats.per_rank.iter().zip(&par.stats.per_rank) {
             assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn dense_reference_matches_scheduled_run() {
+        for sync_rounds in [false, true] {
+            let mk = || {
+                (0..6)
+                    .map(|_| RingToken {
+                        hops_left: 25,
+                        forwarded: 0,
+                    })
+                    .collect::<Vec<_>>()
+            };
+            let cfg = EngineConfig {
+                cost: crate::CostModel {
+                    alpha: 1.0,
+                    beta: 0.5,
+                    gamma: 2.0,
+                    send_overhead: 0.25,
+                },
+                sync_rounds,
+                record_trace: true,
+                ..Default::default()
+            };
+            let dense = SimEngine::<RingToken>::new(mk(), cfg.clone()).run_dense_reference();
+            let sparse = SimEngine::<RingToken>::new(mk(), cfg).run();
+            assert_eq!(dense.stats.rounds, sparse.stats.rounds);
+            assert_eq!(dense.stats.per_rank, sparse.stats.per_rank);
+            assert_eq!(dense.trace, sparse.trace);
+            assert_eq!(dense.hit_round_cap, sparse.hit_round_cap);
+        }
+    }
+
+    #[test]
+    fn sched_counters_track_quiet_rounds() {
+        let p = 64;
+        let programs = (0..p)
+            .map(|_| RingToken {
+                hops_left: 10,
+                forwarded: 0,
+            })
+            .collect();
+        let result = SimEngine::<RingToken>::new(programs, free_config()).run();
+        let sched = &result.sched;
+        assert_eq!(sched.rounds, result.stats.rounds);
+        // Round 0 steps everyone; every later round steps exactly the
+        // one rank holding the token.
+        assert_eq!(sched.worklist_max, p as u64);
+        assert_eq!(sched.worklist_total, p as u64 + (sched.rounds - 1));
+        assert_eq!(
+            sched.ranks_skipped_total,
+            (sched.rounds - 1) * (p as u64 - 1)
+        );
+        assert_eq!(sched.pool_workers, 0, "serial run uses no pool");
+    }
+
+    #[test]
+    fn pool_reports_utilization() {
+        let programs = (0..32)
+            .map(|_| RingToken {
+                hops_left: 8,
+                forwarded: 0,
+            })
+            .collect::<Vec<_>>();
+        let cfg = EngineConfig {
+            parallel_sim: true,
+            ..free_config()
+        };
+        let result = SimEngine::new(programs, cfg).run();
+        let sched = &result.sched;
+        if sched.pool_workers > 0 {
+            // Round 0 (32 runnable ranks) goes to the pool; the 1-rank
+            // token rounds stay on the driver thread.
+            assert!(sched.pool_parallel_rounds >= 1);
+            assert_eq!(
+                sched.pool_parallel_rounds + sched.pool_serial_rounds,
+                sched.rounds
+            );
+            assert!(sched.pool_chunks_claimed >= sched.pool_parallel_rounds);
         }
     }
 

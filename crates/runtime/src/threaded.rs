@@ -7,7 +7,7 @@
 //! *t* are delivered in round *t + 1*, rounds are separated by barriers —
 //! so both engines produce identical algorithm results.
 
-use crate::message::decode_all;
+use crate::message::decode_all_into;
 use crate::program::{Rank, RankCtx, RankProgram, Status};
 use crate::stats::{RankStats, RunStats};
 use crate::EngineConfig;
@@ -150,6 +150,11 @@ fn run_rank<P: RankProgram>(
     let mut ctx: RankCtx<P::Msg> = RankCtx::new(rank, num_ranks, config.bundling, recorder.clone());
     let mut stats = RankStats::default();
     let mut inbox_raw: Vec<WirePacket> = Vec::new();
+    // Recycled across rounds: the grouped inbox handed to `on_round`
+    // (outer vec only — message lists move into it each round) and the
+    // packet buffer the outbox drains into.
+    let mut inbox: Vec<(Rank, Vec<P::Msg>)> = Vec::new();
+    let mut packet_buf: Vec<crate::bundle::Packet> = Vec::new();
     let mut seq: u64 = 0;
     let mut round: u64 = 0;
 
@@ -170,8 +175,11 @@ fn run_rank<P: RankProgram>(
             ctx.set_now(delivery_start);
             program.on_start(&mut ctx)
         } else {
-            let mut inbox: Vec<(Rank, Vec<P::Msg>)> = Vec::new();
-            inbox_raw.sort_by_key(|&(src, sq, _, _)| (src, sq));
+            // 0/1-packet inboxes skip the sort; the `(src, seq)` key is
+            // unique, so an unstable sort is deterministic.
+            if inbox_raw.len() > 1 {
+                inbox_raw.sort_unstable_by_key(|&(src, sq, _, _)| (src, sq));
+            }
             let had_mail = !inbox_raw.is_empty();
             for (src, _, payload, logical) in inbox_raw.drain(..) {
                 stats.packets_received += 1;
@@ -188,12 +196,17 @@ fn run_rank<P: RankProgram>(
                         },
                     );
                 }
-                let msgs: Vec<P::Msg> = decode_all(payload)
+                // Decode straight into the per-source list (no per-packet
+                // temporary vector).
+                let list = match inbox.last_mut() {
+                    Some((s, list)) if *s == src => list,
+                    _ => {
+                        inbox.push((src, Vec::new()));
+                        &mut inbox.last_mut().expect("just pushed").1
+                    }
+                };
+                decode_all_into(payload, list)
                     .expect("malformed bundle: WireMessage encode/decode mismatch");
-                match inbox.last_mut() {
-                    Some((s, list)) if *s == src => list.extend(msgs),
-                    _ => inbox.push((src, msgs)),
-                }
             }
             if observed && had_mail {
                 let t = now();
@@ -209,10 +222,12 @@ fn run_rank<P: RankProgram>(
             }
             compute_begin = now();
             ctx.set_now(compute_begin);
-            program.on_round(&mut inbox, &mut ctx)
+            let status = program.on_round(&mut inbox, &mut ctx);
+            inbox.clear();
+            status
         };
         let compute_end = now();
-        let (work, packets) = ctx.end_round();
+        let work = ctx.end_round_into(&mut packet_buf);
         if observed {
             recorder.emit(
                 rank,
@@ -229,8 +244,8 @@ fn run_rank<P: RankProgram>(
 
         // 2. Send.
         let send_start = now();
-        let sent_any = !packets.is_empty();
-        for packet in packets {
+        let sent_any = !packet_buf.is_empty();
+        for packet in packet_buf.drain(..) {
             stats.packets_sent += 1;
             stats.messages_sent += packet.logical as u64;
             stats.bytes_sent += packet.payload.len() as u64;
