@@ -1,0 +1,54 @@
+//! `cmg-lint` — the workspace's repo-specific lint pass.
+//!
+//! Walks `crates/*/src` under the repo root (default: the current
+//! directory), applies the three rules in [`cmg_check::lint`] minus the
+//! vetted allowlist, prints every violation, and exits non-zero when
+//! any remain. Run from CI as:
+//!
+//! ```text
+//! cargo run -p cmg-check --bin cmg-lint
+//! ```
+
+use cmg_check::lint::{lint_tree, Allowlist};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut show_allowlist = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--allowlist" => show_allowlist = true,
+            "--help" | "-h" => {
+                println!("usage: cmg-lint [REPO_ROOT] [--allowlist]");
+                println!("  lints crates/*/src; exits 1 on violations, 2 on I/O errors");
+                return ExitCode::SUCCESS;
+            }
+            other => root = PathBuf::from(other),
+        }
+    }
+    let allow = Allowlist::workspace();
+    if show_allowlist {
+        for e in &allow.entries {
+            println!("{} [{}]: {}", e.prefix, e.rule.name(), e.reason);
+        }
+        return ExitCode::SUCCESS;
+    }
+    match lint_tree(&root, &allow) {
+        Ok(violations) if violations.is_empty() => {
+            println!("cmg-lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                eprintln!("{v}");
+            }
+            eprintln!("cmg-lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(why) => {
+            eprintln!("cmg-lint: {why}");
+            ExitCode::from(2)
+        }
+    }
+}

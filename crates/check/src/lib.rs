@@ -1,0 +1,40 @@
+//! # cmg-check
+//!
+//! Correctness machinery for the matching/coloring workspace, in three
+//! layers:
+//!
+//! 1. **Schedule exploration** ([`explore`]) — re-runs the distributed
+//!    programs under adversarial mailbox delivery orders (seeded random
+//!    permutations, reverse-rank, LIFO, per-rank withholding, and a
+//!    bounded-exhaustive scripted search with commuting-delivery
+//!    pruning), exercising the message-race surface that a single
+//!    canonical schedule never touches. All policies preserve per-source
+//!    FIFO — the one ordering guarantee MPI point-to-point actually
+//!    gives — so every explored schedule is one a real cluster could
+//!    produce.
+//! 2. **Protocol-invariant oracles** ([`oracles`]) — evaluated after
+//!    every run: matching validity plus the ½-approximation certificate,
+//!    proper coloring with per-phase conflict counts monotone to zero,
+//!    REQUEST/SUCCEEDED/FAILED ledger consistency, wire-level message
+//!    conservation, and termination (no rank quiesces with protocol
+//!    work outstanding).
+//! 3. **Repo lint** ([`lint`], shipped as the `cmg-lint` binary) — a
+//!    token-level static pass over `crates/*/src` enforcing the
+//!    workspace's own rules: no `unwrap`/`expect`/`panic!` in library
+//!    code outside tests, no allocation inside `// hot-path` fenced
+//!    regions, and no recorder emit without the cached enabled-bool
+//!    guard.
+//!
+//! The exploration layer drives [`cmg_runtime::DeliveryPolicy`]; oracle
+//! tallies aggregate into [`cmg_obs::OracleCounters`].
+
+pub mod explore;
+pub mod lint;
+pub mod observed;
+pub mod oracles;
+
+pub use explore::{
+    explore_coloring, explore_matching, standard_policies, Exploration, ScriptBook, ScriptSearch,
+};
+pub use lint::{lint_file, lint_tree, Allowlist, Rule, Violation};
+pub use observed::ObservedMatching;

@@ -1,0 +1,51 @@
+//! A transparent [`RankProgram`] wrapper that journals protocol traffic.
+//!
+//! The request-ledger oracle (see [`crate::oracles::request_ledger`])
+//! needs the *full multiset* of matching messages each rank received —
+//! information the engines deliberately do not retain. Wrapping each
+//! [`DistMatching`] in an [`ObservedMatching`] records every inbound
+//! `(src, msg)` pair before delegating, without perturbing the protocol
+//! in any way: the wrapper forwards the same inbox, context, and status.
+
+use cmg_matching::{DistMatching, MatchMsg};
+use cmg_runtime::{Rank, RankCtx, RankProgram, Status};
+
+/// [`DistMatching`] plus a journal of every message the rank received.
+pub struct ObservedMatching {
+    /// The wrapped rank program.
+    pub inner: DistMatching,
+    /// Every `(source rank, message)` delivered to this rank, in
+    /// delivery order.
+    pub received: Vec<(Rank, MatchMsg)>,
+}
+
+impl ObservedMatching {
+    /// Wraps a matching program for journaled execution.
+    pub fn new(inner: DistMatching) -> Self {
+        ObservedMatching {
+            inner,
+            received: Vec::new(),
+        }
+    }
+}
+
+impl RankProgram for ObservedMatching {
+    type Msg = MatchMsg;
+
+    fn on_start(&mut self, ctx: &mut RankCtx<MatchMsg>) -> Status {
+        self.inner.on_start(ctx)
+    }
+
+    fn on_round(
+        &mut self,
+        inbox: &mut Vec<(Rank, Vec<MatchMsg>)>,
+        ctx: &mut RankCtx<MatchMsg>,
+    ) -> Status {
+        for (src, msgs) in inbox.iter() {
+            for msg in msgs {
+                self.received.push((*src, *msg));
+            }
+        }
+        self.inner.on_round(inbox, ctx)
+    }
+}

@@ -1,0 +1,72 @@
+//! Acceptance suite for the schedule-exploration harness: on a 4-rank
+//! grid configuration the battery must drive well over 100 observably
+//! distinct delivery interleavings with every protocol oracle holding on
+//! every one of them.
+
+use cmg_check::explore::explore_matching_exhaustive;
+use cmg_check::{explore_coloring, explore_matching, standard_policies};
+use cmg_coloring::ColoringConfig;
+use cmg_graph::generators::grid2d;
+use cmg_graph::weights::{assign_weights, WeightScheme};
+use cmg_graph::CsrGraph;
+use cmg_partition::Partition;
+
+fn four_rank_grid() -> (CsrGraph, Partition) {
+    let g = assign_weights(
+        &grid2d(8, 8),
+        WeightScheme::Uniform { lo: 0.1, hi: 1.0 },
+        0x5eed,
+    );
+    let p = cmg_partition::simple::grid2d_partition(8, 8, 2, 2);
+    (g, p)
+}
+
+#[test]
+fn matching_oracles_hold_on_over_100_interleavings() {
+    let (g, p) = four_rank_grid();
+    let policies = standard_policies(4, 140);
+    let ex = explore_matching(&g, &p, &policies);
+    assert!(ex.ok(), "oracle violations:\n{}", ex.failures.join("\n"));
+    assert_eq!(ex.counters.runs, policies.len() as u64);
+    assert!(
+        ex.counters.distinct_schedules >= 100,
+        "only {} distinct interleavings observed across {} runs",
+        ex.counters.distinct_schedules,
+        ex.counters.runs
+    );
+    assert!(ex.counters.checks >= ex.counters.runs * 6);
+}
+
+#[test]
+fn coloring_oracles_hold_on_over_100_interleavings() {
+    let (g, p) = four_rank_grid();
+    let policies = standard_policies(4, 140);
+    // Sub-phase supersteps maximize mid-drain races; the convergence
+    // oracles (validity, monotone conflicts, conservation, quiescence)
+    // must still hold on every schedule.
+    let cfg = ColoringConfig {
+        superstep_size: 4,
+        ..Default::default()
+    };
+    let ex = explore_coloring(&g, &p, &cfg, &policies);
+    assert!(ex.ok(), "oracle violations:\n{}", ex.failures.join("\n"));
+    assert_eq!(ex.counters.runs, policies.len() as u64);
+    assert!(
+        ex.counters.distinct_schedules >= 100,
+        "only {} distinct interleavings observed across {} runs",
+        ex.counters.distinct_schedules,
+        ex.counters.runs
+    );
+}
+
+#[test]
+fn bounded_exhaustive_exploration_on_small_config() {
+    // 2x2 grid on 4 ranks, one vertex per rank: small enough that the
+    // sleep-set-pruned choice tree drains inside the budget.
+    let g = assign_weights(&grid2d(2, 2), WeightScheme::Uniform { lo: 0.1, hi: 1.0 }, 7);
+    let p = Partition::new(vec![0, 1, 2, 3], 4);
+    let ex = explore_matching_exhaustive(&g, &p, 2_000);
+    assert!(ex.ok(), "oracle violations:\n{}", ex.failures.join("\n"));
+    assert!(ex.exhausted, "choice tree not drained within budget");
+    assert!(ex.counters.runs >= 2, "expected multiple scripted runs");
+}

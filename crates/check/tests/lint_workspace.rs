@@ -1,0 +1,114 @@
+//! The repo lints its own workspace: `cmg-lint` must pass clean with the
+//! curated allowlist, the allowlist must stay minimal (every entry
+//! load-bearing, and none covering the I/O paths the PR-3 bugfix sweep
+//! converted to `Result`), and the binary must exit non-zero on a seeded
+//! violation.
+
+use cmg_check::{lint_tree, Allowlist, Rule};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn repo_root() -> &'static Path {
+    // crates/check -> crates -> repo root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("repo root")
+}
+
+#[test]
+fn workspace_is_clean_under_curated_allowlist() {
+    let violations = lint_tree(repo_root(), &Allowlist::workspace()).expect("lint walk");
+    assert!(
+        violations.is_empty(),
+        "workspace lint violations:\n{}",
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn bugfix_sweep_paths_need_no_allowlist() {
+    // The PR-3 sweep converted the graph/cli input paths to contextual
+    // `Result`s; they must lint clean with NO allowlist at all.
+    let violations = lint_tree(repo_root(), &Allowlist::empty()).expect("lint walk");
+    for v in &violations {
+        let clean = ["crates/graph/src/io.rs", "crates/graph/src/metis_io.rs"];
+        assert!(
+            !clean.contains(&v.path.as_str()) && !v.path.starts_with("crates/cli/"),
+            "bugfix-sweep file regressed: {v}"
+        );
+    }
+}
+
+#[test]
+fn every_allowlist_entry_is_load_bearing() {
+    // An entry nothing matches is stale documentation; force the list to
+    // shrink alongside the code it excuses.
+    let violations = lint_tree(repo_root(), &Allowlist::empty()).expect("lint walk");
+    for entry in &Allowlist::workspace().entries {
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.rule == entry.rule && v.path.starts_with(entry.prefix)),
+            "allowlist entry ({}, {}) matches nothing — remove it",
+            entry.prefix,
+            entry.rule.name()
+        );
+    }
+}
+
+fn seeded_violation_tree(tag: &str, body: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("cmg-lint-{tag}-{}", std::process::id()));
+    let src = root.join("crates/bad/src");
+    std::fs::create_dir_all(&src).expect("mkdir");
+    std::fs::write(src.join("lib.rs"), body).expect("write");
+    root
+}
+
+#[test]
+fn binary_exits_nonzero_on_seeded_violation() {
+    let root = seeded_violation_tree(
+        "seeded",
+        "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+    );
+    let out = Command::new(env!("CARGO_BIN_EXE_cmg-lint"))
+        .arg(&root)
+        .output()
+        .expect("run cmg-lint");
+    std::fs::remove_dir_all(&root).ok();
+    assert_eq!(out.status.code(), Some(1), "expected lint failure exit");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains(Rule::NoPanicInLib.name()),
+        "missing rule name in diagnostics: {stderr}"
+    );
+}
+
+#[test]
+fn binary_passes_clean_tree_and_real_workspace() {
+    let root = seeded_violation_tree(
+        "clean",
+        "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap_or(0)\n}\n",
+    );
+    let out = Command::new(env!("CARGO_BIN_EXE_cmg-lint"))
+        .arg(&root)
+        .output()
+        .expect("run cmg-lint");
+    std::fs::remove_dir_all(&root).ok();
+    assert_eq!(out.status.code(), Some(0), "clean tree must pass");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_cmg-lint"))
+        .arg(repo_root())
+        .output()
+        .expect("run cmg-lint");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "workspace must lint clean: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

@@ -28,7 +28,7 @@ pub fn balance_ratio(coloring: &Coloring) -> f64 {
     if sizes.is_empty() {
         return 1.0;
     }
-    let max = *sizes.iter().max().unwrap() as f64;
+    let max = sizes.iter().copied().max().unwrap_or(0) as f64;
     let mean = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
     if mean == 0.0 {
         1.0

@@ -296,6 +296,14 @@ impl DistColoring {
         &self.dg
     }
 
+    /// `true` once the rank has passed the final conflict-free allreduce
+    /// and left the phase protocol. A rank that stops stepping while this
+    /// is `false` was abandoned mid-phase (e.g. a lost message); the
+    /// `cmg-check` termination oracle asserts it after every run.
+    pub fn is_finished(&self) -> bool {
+        self.state == PState::Finished
+    }
+
     /// Counts conflict edges visible from this rank, each counted exactly
     /// once globally: owned–owned edges by the smaller local endpoint,
     /// owned–ghost edges by the smaller *global* id. Summing over ranks

@@ -108,21 +108,21 @@ pub fn smallest_last_order(g: &CsrGraph) -> Vec<VertexId> {
     for _ in 0..n {
         // Find the non-empty bucket with smallest degree (entries may be
         // stale; skip those).
-        loop {
+        let v = loop {
             while cur <= maxd && buckets[cur].is_empty() {
                 cur += 1;
             }
-            let v = *buckets[cur].last().unwrap();
-            if removed[v as usize] || deg[v as usize] != cur {
+            let Some(&cand) = buckets[cur].last() else {
+                cur += 1;
+                continue;
+            };
+            if removed[cand as usize] || deg[cand as usize] != cur {
                 buckets[cur].pop();
-                if deg[v as usize] < cur && !removed[v as usize] {
-                    // can't happen: degree only decreases and re-bucketed
-                }
                 continue;
             }
-            break;
-        }
-        let v = buckets[cur].pop().unwrap();
+            buckets[cur].pop();
+            break cand;
+        };
         removed[v as usize] = true;
         removal.push(v);
         for &u in g.neighbors(v) {

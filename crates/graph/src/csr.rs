@@ -30,7 +30,7 @@ impl CsrGraph {
         assert!(!xadj.is_empty(), "xadj must have length n+1 >= 1");
         let n = xadj.len() - 1;
         assert!(n < NO_VERTEX as usize, "too many vertices");
-        assert_eq!(*xadj.last().unwrap(), adj.len(), "xadj/adj mismatch");
+        assert_eq!(xadj.last().copied(), Some(adj.len()), "xadj/adj mismatch");
         assert!(
             weights.is_empty() || weights.len() == adj.len(),
             "weights must be empty or parallel to adj"
@@ -176,9 +176,10 @@ impl CsrGraph {
             for i in self.xadj[u as usize]..self.xadj[u as usize + 1] {
                 let v = self.adj[i];
                 if u > v {
-                    let j = self.xadj[v as usize]
-                        + self.neighbors(v).binary_search(&u).expect("symmetric");
-                    weights[i] = weights[j];
+                    match self.neighbors(v).binary_search(&u) {
+                        Ok(off) => weights[i] = weights[self.xadj[v as usize] + off],
+                        Err(_) => debug_assert!(false, "adjacency not symmetric at ({u},{v})"),
+                    }
                 }
             }
         }
@@ -215,12 +216,8 @@ impl CsrGraph {
                 if !self.has_edge(v, u) {
                     return Err(format!("edge ({u},{v}) not symmetric"));
                 }
-                if self.is_weighted() {
-                    let wuv = self.edge_weight(u, v).unwrap();
-                    let wvu = self.edge_weight(v, u).unwrap();
-                    if wuv != wvu {
-                        return Err(format!("weight of ({u},{v}) not symmetric"));
-                    }
+                if self.is_weighted() && self.edge_weight(u, v) != self.edge_weight(v, u) {
+                    return Err(format!("weight of ({u},{v}) not symmetric"));
                 }
             }
         }

@@ -222,6 +222,15 @@ impl DistMatching {
         &self.dg
     }
 
+    /// `true` once every owned vertex has left the `Free` state (matched
+    /// or failed) — the per-rank quiescence condition. A rank that goes
+    /// `Idle` while this is `false` has dropped protocol work on the
+    /// floor; the `cmg-check` termination oracle asserts it after every
+    /// run.
+    pub fn is_resolved(&self) -> bool {
+        (0..self.dg.n_local).all(|v| self.state[v] != VState::Free)
+    }
+
     /// This rank's contribution to the global matching weight: each
     /// matched edge is counted exactly once, by the owner of its
     /// smaller-id endpoint — so summing over all ranks gives the total

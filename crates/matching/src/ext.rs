@@ -36,7 +36,8 @@ impl BMatching {
         for v in 0..self.partners.len() as VertexId {
             for &u in &self.partners[v as usize] {
                 if v < u {
-                    total += g.edge_weight(v, u).expect("partner must be a neighbor");
+                    debug_assert!(g.has_edge(v, u), "partner {u} of {v} must be a neighbor");
+                    total += g.edge_weight(v, u).unwrap_or_default();
                 }
             }
         }
@@ -143,8 +144,10 @@ pub fn b_suitor(g: &CsrGraph, b: impl Fn(VertexId) -> usize) -> BMatching {
             // Propose; displace the weakest if over capacity.
             suitors[u as usize].push(Prop(w, v));
             made[v as usize] += 1;
-            if suitors[u as usize].len() > b(u) {
-                let Prop(_, displaced) = suitors[u as usize].pop().expect("nonempty");
+            if let Some(Prop(_, displaced)) = (suitors[u as usize].len() > b(u))
+                .then(|| suitors[u as usize].pop())
+                .flatten()
+            {
                 made[displaced as usize] -= 1;
                 stack.push(displaced);
             }

@@ -29,6 +29,7 @@ pub mod bench;
 pub mod event;
 pub mod json;
 pub mod metrics;
+pub mod oracle;
 pub mod recorder;
 pub mod report;
 pub mod sched;
@@ -37,6 +38,7 @@ pub mod sink;
 pub use event::{Event, PhaseName, TimedEvent, ENGINE_RANK};
 pub use json::Json;
 pub use metrics::MetricsRegistry;
+pub use oracle::OracleCounters;
 pub use recorder::{CollectingRecorder, NoopRecorder, Recorder, RecorderHandle};
 pub use report::RunReport;
 pub use sched::SchedStats;

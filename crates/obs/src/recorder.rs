@@ -106,6 +106,17 @@ impl CollectingRecorder {
         Self::default()
     }
 
+    /// Locks the buffers, recovering from poisoning: a panicking
+    /// recording thread must not take trace collection down with it —
+    /// each `record` leaves the per-rank buffers internally consistent,
+    /// so the data under a poisoned lock is still valid.
+    fn lock_buffers(&self) -> std::sync::MutexGuard<'_, BTreeMap<u32, Vec<TimedEvent>>> {
+        match self.buffers.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
     /// Convenience: an `Arc`'d recorder plus a handle onto it. The
     /// caller keeps the `Arc` to drain events after the run.
     pub fn shared() -> (Arc<CollectingRecorder>, RecorderHandle) {
@@ -116,7 +127,7 @@ impl CollectingRecorder {
 
     /// Drains all buffered events, sorted by `(rank, seq)`.
     pub fn take(&self) -> Vec<TimedEvent> {
-        let mut buffers = self.buffers.lock().expect("recorder poisoned");
+        let mut buffers = self.lock_buffers();
         let mut out = Vec::with_capacity(buffers.values().map(Vec::len).sum());
         for (_, events) in std::mem::take(&mut *buffers) {
             out.extend(events);
@@ -127,7 +138,7 @@ impl CollectingRecorder {
     /// Copies all buffered events without draining, sorted by
     /// `(rank, seq)`.
     pub fn snapshot(&self) -> Vec<TimedEvent> {
-        let buffers = self.buffers.lock().expect("recorder poisoned");
+        let buffers = self.lock_buffers();
         let mut out = Vec::with_capacity(buffers.values().map(Vec::len).sum());
         for events in buffers.values() {
             out.extend(events.iter().cloned());
@@ -137,12 +148,7 @@ impl CollectingRecorder {
 
     /// Number of buffered events across all ranks.
     pub fn len(&self) -> usize {
-        self.buffers
-            .lock()
-            .expect("recorder poisoned")
-            .values()
-            .map(Vec::len)
-            .sum()
+        self.lock_buffers().values().map(Vec::len).sum()
     }
 
     /// Whether no events have been recorded.
@@ -157,7 +163,7 @@ impl Recorder for CollectingRecorder {
     }
 
     fn record(&self, rank: u32, time: f64, event: Event) {
-        let mut buffers = self.buffers.lock().expect("recorder poisoned");
+        let mut buffers = self.lock_buffers();
         let buffer = buffers.entry(rank).or_default();
         let seq = buffer.len() as u64;
         buffer.push(TimedEvent {

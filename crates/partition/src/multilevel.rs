@@ -159,16 +159,18 @@ fn bisect(wg: &WorkGraph, frac: f64, seed: u64) -> Vec<bool> {
     }
 
     // Initial bisection on the coarsest graph: best of a few seeds.
-    let mut best: Option<(u64, Vec<bool>)> = None;
-    for attempt in 0..INIT_ATTEMPTS {
-        let mut side = grow_bisection(&cur, frac, seed.wrapping_add(attempt));
-        refine(&cur, &mut side, frac);
-        let cut = cut_weight(&cur, &side);
-        if best.as_ref().is_none_or(|(c, _)| cut < *c) {
-            best = Some((cut, side));
+    let mut side = grow_bisection(&cur, frac, seed);
+    refine(&cur, &mut side, frac);
+    let mut best_cut = cut_weight(&cur, &side);
+    for attempt in 1..INIT_ATTEMPTS {
+        let mut cand = grow_bisection(&cur, frac, seed.wrapping_add(attempt));
+        refine(&cur, &mut cand, frac);
+        let cut = cut_weight(&cur, &cand);
+        if cut < best_cut {
+            best_cut = cut;
+            side = cand;
         }
     }
-    let mut side = best.expect("at least one attempt").1;
 
     // Uncoarsen: project and refine at each level.
     while let Some((fine, map)) = levels.pop() {
@@ -244,7 +246,9 @@ fn coarsen(wg: &WorkGraph, seed: u64) -> (WorkGraph, Vec<u32>) {
     for (cv, cu, w) in triples {
         if prev == Some((cv, cu)) {
             // Parallel coarse edge: accumulate its weight.
-            *ew.last_mut().unwrap() += w;
+            if let Some(last) = ew.last_mut() {
+                *last += w;
+            }
         } else {
             adj.push(cu);
             ew.push(w);
@@ -294,7 +298,7 @@ fn grow_bisection(wg: &WorkGraph, frac: f64, seed: u64) -> Vec<bool> {
                 None => break,
             }
         }
-        let v = queue.pop_front().unwrap();
+        let Some(v) = queue.pop_front() else { break };
         side[v as usize] = false;
         in0 += wg.vw[v as usize];
         for (u, _) in wg.neighbors(v) {

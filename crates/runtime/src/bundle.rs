@@ -128,9 +128,11 @@ impl<M: WireMessage> OutBox<M> {
         if self.bundling {
             match self.bundle_index(dst) {
                 Some(i) => {
+                    // hot-path: begin (append to an open bundle)
                     let (_, buf, n) = &mut self.bundles[i];
                     msg.encode(buf);
                     *n += 1;
+                    // hot-path: end (append to an open bundle)
                 }
                 None => {
                     let mut buf = BytesMut::with_capacity(64);
@@ -171,6 +173,7 @@ impl<M: WireMessage> OutBox<M> {
     /// the outbox keeps its own bundle-list and packet-list allocations.
     pub fn finish_into(&mut self, out: &mut Vec<Packet>) {
         debug_assert!(out.is_empty(), "finish_into wants a drained buffer");
+        // hot-path: begin (packet close-out — freeze moves, no copies)
         out.append(&mut self.packets);
         for (dst, buf, n) in self.bundles.drain(..) {
             if !self.dst_index.is_empty() {
@@ -182,6 +185,7 @@ impl<M: WireMessage> OutBox<M> {
                 logical: n,
             });
         }
+        // hot-path: end (packet close-out)
         // Stable: non-bundled same-destination packets keep send order.
         out.sort_by_key(|p| p.dst);
         self.stats.wire_packets += out.len() as u64;

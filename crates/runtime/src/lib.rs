@@ -28,6 +28,7 @@
 
 pub mod bundle;
 pub mod cost;
+pub mod delivery;
 pub mod message;
 pub mod program;
 pub mod sim;
@@ -37,6 +38,7 @@ pub mod threaded;
 pub use bundle::OutBox;
 pub use cmg_obs::SchedStats;
 pub use cost::{CostModel, MachinePreset};
+pub use delivery::{DeliveryKey, DeliveryPolicy, DeliveryScript};
 pub use message::WireMessage;
 pub use program::{Rank, RankCtx, RankProgram, Status};
 pub use sim::{RoundTrace, SimEngine, SimResult};
@@ -68,6 +70,11 @@ pub struct EngineConfig {
     /// Record a per-round trace (rounds × aggregate counters) in the
     /// simulation result — the raw material for time-breakdown plots.
     pub record_trace: bool,
+    /// Mailbox delivery order (simulation engine only). The default
+    /// canonical order is free; adversarial policies (see
+    /// [`delivery::DeliveryPolicy`]) perturb delivery for correctness
+    /// checking and pay one extra sort per stepped rank.
+    pub delivery: DeliveryPolicy,
     /// Structured event recorder (see `cmg-obs`). Defaults to the
     /// no-op recorder: engines check one cached bool and skip all event
     /// construction, so uninstrumented runs pay nothing.
@@ -83,6 +90,7 @@ impl Default for EngineConfig {
             parallel_sim: false,
             max_rounds: 1_000_000,
             record_trace: false,
+            delivery: DeliveryPolicy::default(),
             recorder: cmg_obs::RecorderHandle::noop(),
         }
     }
@@ -100,6 +108,12 @@ impl EngineConfig {
     /// The same config with events routed to `recorder`.
     pub fn with_recorder(mut self, recorder: cmg_obs::RecorderHandle) -> Self {
         self.recorder = recorder;
+        self
+    }
+
+    /// The same config with the given mailbox delivery policy.
+    pub fn with_delivery(mut self, delivery: DeliveryPolicy) -> Self {
+        self.delivery = delivery;
         self
     }
 }

@@ -42,6 +42,8 @@ pub fn decode_all_into<M: WireMessage>(mut buf: impl Buf, out: &mut Vec<M>) -> O
     if !buf.has_remaining() {
         return Some(0);
     }
+    // hot-path: begin (bundle decode — single up-front reserve, no
+    // per-message allocation)
     let total = buf.remaining();
     let first = M::decode(&mut buf)?;
     // Capacity hint: uniform-size messages are the overwhelmingly common
@@ -54,6 +56,7 @@ pub fn decode_all_into<M: WireMessage>(mut buf: impl Buf, out: &mut Vec<M>) -> O
         out.push(M::decode(&mut buf)?);
         n += 1;
     }
+    // hot-path: end (bundle decode)
     Some(n)
 }
 

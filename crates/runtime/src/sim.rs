@@ -33,6 +33,7 @@
 //! `tests/scheduler_equivalence.rs` holds the property test pinning this.
 
 use crate::bundle::Packet;
+use crate::delivery::{payload_fingerprint, DeliveryKey, DeliveryPolicy};
 use crate::message::{decode_all, decode_all_into};
 use crate::program::{Rank, RankCtx, RankProgram, Status};
 use crate::stats::{RankStats, RunStats};
@@ -62,6 +63,10 @@ struct Slot<P: RankProgram> {
     vtime: f64,
     stats: RankStats,
     mailbox: Vec<InFlight>,
+    /// Packets a delaying [`DeliveryPolicy`] is holding back, paired with
+    /// the round at which they become deliverable. Always empty under the
+    /// default policy.
+    withheld: Vec<(u64, InFlight)>,
     /// Recycled per-source inbox handed to `on_round` (outer vector
     /// reused across rounds; cleared after each step).
     inbox: Vec<(Rank, Vec<<P as RankProgram>::Msg>)>,
@@ -113,6 +118,88 @@ pub struct SimEngine<P: RankProgram> {
     config: EngineConfig,
 }
 
+/// Applies a non-default [`DeliveryPolicy`] to a rank's incoming mail:
+/// withholds newly delayed packets, re-injects ones that have become due,
+/// then permutes delivery order. Leaves `mailbox` in final delivery order
+/// (the caller must not re-sort it). Shared verbatim by the scheduled
+/// loop and the dense reference, so the two stay bit-identical under
+/// every policy.
+fn apply_delivery_policy(
+    policy: &DeliveryPolicy,
+    rank: Rank,
+    round: u64,
+    mailbox: &mut Vec<InFlight>,
+    withheld: &mut Vec<(u64, InFlight)>,
+) {
+    // Withhold before re-injection so a released packet is never
+    // re-delayed (which would starve it forever).
+    let mut i = 0;
+    while i < mailbox.len() {
+        let hold = policy.hold_rounds(rank, round, mailbox[i].src);
+        if hold > 0 {
+            let pkt = mailbox.remove(i);
+            withheld.push((round + hold, pkt));
+        } else {
+            i += 1;
+        }
+    }
+    // Release due packets in withhold order (per-source FIFO: a source's
+    // traffic is delayed uniformly, so hold order is send order).
+    let mut i = 0;
+    while i < withheld.len() {
+        if withheld[i].0 <= round {
+            let (_, pkt) = withheld.remove(i);
+            mailbox.push(pkt);
+        } else {
+            i += 1;
+        }
+    }
+    if mailbox.len() <= 1 {
+        return;
+    }
+    // Canonical baseline order. Merged withheld + fresh packets may carry
+    // colliding `seq` values (each round restarts the counter), so a
+    // stable sort resolves ties by the deterministic merge order above.
+    mailbox.sort_by(|a, b| {
+        a.src
+            .cmp(&b.src)
+            .then(a.arrival.total_cmp(&b.arrival))
+            .then(a.seq.cmp(&b.seq))
+    });
+    let hash_payloads = policy.wants_payload_hash();
+    let keys: Vec<DeliveryKey> = mailbox
+        .iter()
+        .map(|m| DeliveryKey {
+            src: m.src,
+            arrival: m.arrival,
+            seq: m.seq,
+            bytes: m.payload.len() as u64,
+            payload_hash: if hash_payloads {
+                payload_fingerprint(&m.payload)
+            } else {
+                0
+            },
+        })
+        .collect();
+    if let Some(perm) = policy.permutation(rank, round, &keys) {
+        debug_assert!(
+            crate::delivery::preserves_source_fifo(&keys, &perm),
+            "delivery policy broke per-source FIFO (MPI non-overtaking): {perm:?}"
+        );
+        let mut staged: Vec<Option<InFlight>> = mailbox.drain(..).map(Some).collect();
+        for idx in perm {
+            if let Some(pkt) = staged.get_mut(idx).and_then(Option::take) {
+                mailbox.push(pkt);
+            }
+        }
+        // A malformed permutation (release build, asserts off) must not
+        // lose packets: deliver any leftovers in canonical order.
+        for pkt in staged.into_iter().flatten() {
+            mailbox.push(pkt);
+        }
+    }
+}
+
 /// Steps one rank: deliver its mailbox, run the program, timestamp the
 /// produced packets. Pure per-slot work — both the serial scheduler and
 /// the worker pool funnel through this.
@@ -124,6 +211,8 @@ fn step_slot<P: RankProgram>(
     slot: &mut Slot<P>,
     cost: CostModel,
     recorder: &RecorderHandle,
+    policy: &DeliveryPolicy,
+    round: u64,
     first: bool,
     floor: f64,
 ) {
@@ -132,14 +221,20 @@ fn step_slot<P: RankProgram>(
     }
     let rank = slot.ctx.rank();
     let observed = recorder.enabled();
+    if !policy.is_default() && (!slot.mailbox.is_empty() || !slot.withheld.is_empty()) {
+        apply_delivery_policy(policy, rank, round, &mut slot.mailbox, &mut slot.withheld);
+    }
     // Deliver: jump the clock to the latest consumed arrival.
     let delivery_start = slot.vtime;
     let had_mail = !slot.mailbox.is_empty();
     if had_mail {
+        // hot-path: begin (delivery — recycled buffers, no allocation)
         // 0/1-packet mailboxes (the common case on interior-heavy
         // rounds) skip the sort; larger ones use an unstable sort on
         // the total (src, arrival, seq) key — see [`InFlight::seq`].
-        if slot.mailbox.len() > 1 {
+        // Non-default policies already left the mailbox in delivery
+        // order above.
+        if policy.is_default() && slot.mailbox.len() > 1 {
             slot.mailbox.sort_unstable_by(|a, b| {
                 a.src
                     .cmp(&b.src)
@@ -184,6 +279,7 @@ fn step_slot<P: RankProgram>(
             decode_all_into(m.payload, list)
                 .expect("malformed bundle: WireMessage encode/decode mismatch");
         }
+        // hot-path: end (delivery)
         if observed {
             recorder.emit(
                 rank,
@@ -272,6 +368,7 @@ struct PoolJob<P: RankProgram> {
     worklist: *const Rank,
     len: usize,
     chunk: usize,
+    round: u64,
     first: bool,
     floor: f64,
 }
@@ -311,6 +408,7 @@ impl<P: RankProgram> WorkerPool<P> {
                 worklist: std::ptr::null(),
                 len: 0,
                 chunk: 1,
+                round: 0,
                 first: false,
                 floor: 0.0,
             }),
@@ -326,7 +424,7 @@ impl<P: RankProgram> WorkerPool<P> {
     /// Worker body: park until a new generation (or shutdown) is
     /// published, then claim and step worklist chunks until the cursor
     /// runs off the end.
-    fn worker_loop(&self, cost: CostModel, recorder: RecorderHandle) {
+    fn worker_loop(&self, cost: CostModel, recorder: RecorderHandle, policy: DeliveryPolicy) {
         let mut seen = 0u64;
         loop {
             let job = {
@@ -361,6 +459,8 @@ impl<P: RankProgram> WorkerPool<P> {
                             &mut *job.slots.add(rank),
                             cost,
                             &recorder,
+                            &policy,
+                            job.round,
                             job.first,
                             job.floor,
                         );
@@ -380,7 +480,14 @@ impl<P: RankProgram> WorkerPool<P> {
 
     /// Runs one round's worklist on the pool and blocks until every
     /// worker is parked again.
-    fn dispatch(&self, slots: *mut Slot<P>, worklist: &[Rank], first: bool, floor: f64) {
+    fn dispatch(
+        &self,
+        slots: *mut Slot<P>,
+        worklist: &[Rank],
+        round: u64,
+        first: bool,
+        floor: f64,
+    ) {
         self.cursor.store(0, Ordering::Relaxed);
         *self.running.lock().expect("pool poisoned") = self.workers;
         {
@@ -390,6 +497,7 @@ impl<P: RankProgram> WorkerPool<P> {
             guard.worklist = worklist.as_ptr();
             guard.len = worklist.len();
             guard.chunk = (worklist.len() / (self.workers * 4)).clamp(1, 256);
+            guard.round = round;
             guard.first = first;
             guard.floor = floor;
         }
@@ -420,6 +528,7 @@ impl<P: RankProgram> SimEngine<P> {
                 vtime: 0.0,
                 stats: RankStats::default(),
                 mailbox: Vec::new(),
+                withheld: Vec::new(),
                 inbox: Vec::new(),
                 packet_buf: Vec::new(),
                 produced: Vec::new(),
@@ -431,7 +540,9 @@ impl<P: RankProgram> SimEngine<P> {
     /// Runs to quiescence (or the round cap) and returns the result.
     pub fn run(self) -> SimResult<P> {
         let p = self.slots.len();
-        if self.config.parallel_sim && p >= 4 {
+        // Scripted delivery policies may carry interior state whose
+        // consultation order must be deterministic — serial only.
+        if self.config.parallel_sim && p >= 4 && !self.config.delivery.requires_serial() {
             let workers = std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1)
@@ -449,11 +560,13 @@ impl<P: RankProgram> SimEngine<P> {
         let pool: WorkerPool<P> = WorkerPool::new(workers);
         let cost = self.config.cost;
         let recorder = self.config.recorder.clone();
+        let policy = self.config.delivery.clone();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 let pool = &pool;
                 let recorder = recorder.clone();
-                scope.spawn(move || pool.worker_loop(cost, recorder));
+                let policy = policy.clone();
+                scope.spawn(move || pool.worker_loop(cost, recorder, policy));
             }
             let result = self.run_scheduled(Some(&pool));
             pool.shutdown();
@@ -475,6 +588,7 @@ impl<P: RankProgram> SimEngine<P> {
 
         let recorder = self.config.recorder.clone();
         let cost = self.config.cost;
+        let policy = self.config.delivery.clone();
 
         // The active set: every rank with status `Active` or a non-empty
         // mailbox, always sorted ascending (routing order determinism).
@@ -513,14 +627,22 @@ impl<P: RankProgram> SimEngine<P> {
                 match pool {
                     Some(pl) if worklist.len() >= 4 => {
                         sched.pool_parallel_rounds += 1;
-                        pl.dispatch(self.slots.as_mut_ptr(), &worklist, first, floor);
+                        pl.dispatch(self.slots.as_mut_ptr(), &worklist, rounds, first, floor);
                     }
                     _ => {
                         if pool.is_some() {
                             sched.pool_serial_rounds += 1;
                         }
                         for &r in &worklist {
-                            step_slot(&mut self.slots[r as usize], cost, &recorder, first, floor);
+                            step_slot(
+                                &mut self.slots[r as usize],
+                                cost,
+                                &recorder,
+                                &policy,
+                                rounds,
+                                first,
+                                floor,
+                            );
                         }
                     }
                 }
@@ -535,12 +657,17 @@ impl<P: RankProgram> SimEngine<P> {
                 // Route produced packets into destination mailboxes and
                 // onto the next worklist. Worklist order is ascending, so
                 // mailbox push order matches the dense 0..p sweep.
+                // hot-path: begin (routing — recycled scratch, no allocation)
                 let stamp = rounds + 1;
                 let (mut pkts, mut msgs, mut bytes) = (0u64, 0u64, 0u64);
                 debug_assert!(next_worklist.is_empty());
                 for &r in &worklist {
                     let src_slot = &mut self.slots[r as usize];
-                    if src_slot.status == Status::Active && enqueued[r as usize] != stamp {
+                    // A rank stays runnable while it is `Active` or a
+                    // delaying policy still withholds mail for it.
+                    if (src_slot.status == Status::Active || !src_slot.withheld.is_empty())
+                        && enqueued[r as usize] != stamp
+                    {
                         enqueued[r as usize] = stamp;
                         next_worklist.push(r);
                     }
@@ -569,6 +696,7 @@ impl<P: RankProgram> SimEngine<P> {
                     }
                     std::mem::swap(&mut produced_scratch, &mut self.slots[r as usize].produced);
                 }
+                // hot-path: end (routing)
 
                 if self.config.record_trace {
                     trace.push(RoundTrace {
@@ -626,9 +754,17 @@ impl<P: RankProgram> SimEngine<P> {
             per_rank.push(s.stats);
             programs.push(s.program);
         }
+        let stats = RunStats { per_rank, rounds };
+        // Debug builds verify send/receive conservation on every clean
+        // run; a run cut off by the round cap legitimately has packets
+        // still in flight.
+        #[cfg(debug_assertions)]
+        if !hit_round_cap {
+            stats.assert_conservation();
+        }
         SimResult {
             programs,
-            stats: RunStats { per_rank, rounds },
+            stats,
             hit_round_cap,
             trace,
             sched,
@@ -677,7 +813,7 @@ impl<P: RankProgram> SimEngine<P> {
                 } else {
                     (0, 0, 0, 0)
                 };
-                self.dense_step_all(first);
+                self.dense_step_all(rounds, first);
                 if self.config.record_trace {
                     let after = self.slots.iter().fold((0, 0, 0, 0), |acc, s| {
                         (
@@ -707,9 +843,11 @@ impl<P: RankProgram> SimEngine<P> {
                 }
 
                 // Route produced packets into destination mailboxes
-                // (rank-ordered: deterministic).
+                // (rank-ordered: deterministic). Withheld packets count
+                // as in flight: a delaying policy must not fake quiescence.
                 let mut any_in_flight = false;
                 for r in 0..p {
+                    any_in_flight |= !self.slots[r].withheld.is_empty();
                     let produced = std::mem::take(&mut self.slots[r].produced);
                     for (packet, arrival) in produced {
                         any_in_flight = true;
@@ -761,9 +899,14 @@ impl<P: RankProgram> SimEngine<P> {
             per_rank.push(s.stats);
             programs.push(s.program);
         }
+        let stats = RunStats { per_rank, rounds };
+        #[cfg(debug_assertions)]
+        if !hit_round_cap {
+            stats.assert_conservation();
+        }
         SimResult {
             programs,
-            stats: RunStats { per_rank, rounds },
+            stats,
             hit_round_cap,
             trace,
             sched: SchedStats::default(),
@@ -773,22 +916,33 @@ impl<P: RankProgram> SimEngine<P> {
     /// Dense-reference step: scans every rank, skipping the quiescent
     /// ones one by one (the O(p)-per-round pattern the scheduler
     /// replaces).
-    fn dense_step_all(&mut self, first: bool) {
+    fn dense_step_all(&mut self, round: u64, first: bool) {
         let cost = self.config.cost;
         let recorder = self.config.recorder.clone();
+        let policy = self.config.delivery.clone();
         let step_one = move |slot: &mut Slot<P>| {
-            if !first && slot.status == Status::Idle && slot.mailbox.is_empty() {
+            if !first
+                && slot.status == Status::Idle
+                && slot.mailbox.is_empty()
+                && slot.withheld.is_empty()
+            {
                 return;
             }
             let rank = slot.ctx.rank();
             let observed = recorder.enabled();
+            let default_policy = policy.is_default();
+            if !default_policy && (!slot.mailbox.is_empty() || !slot.withheld.is_empty()) {
+                apply_delivery_policy(&policy, rank, round, &mut slot.mailbox, &mut slot.withheld);
+            }
             // Deliver: jump the clock to the latest consumed arrival.
             let delivery_start = slot.vtime;
             let mut inbox: Vec<(Rank, Vec<P::Msg>)> = Vec::new();
             let had_mail = !slot.mailbox.is_empty();
             if had_mail {
                 let mut mail = std::mem::take(&mut slot.mailbox);
-                mail.sort_by(|a, b| a.src.cmp(&b.src).then(a.arrival.total_cmp(&b.arrival)));
+                if default_policy {
+                    mail.sort_by(|a, b| a.src.cmp(&b.src).then(a.arrival.total_cmp(&b.arrival)));
+                }
                 for m in &mail {
                     slot.vtime = slot.vtime.max(m.arrival);
                 }

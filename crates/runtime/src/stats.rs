@@ -94,33 +94,44 @@ impl RunStats {
     /// Checks send/receive conservation: every wire packet (and byte)
     /// sent by some rank must have been received by some rank. Both
     /// engines deliver all traffic before returning, so any imbalance
-    /// is an engine accounting bug.
+    /// is an engine accounting bug. Returns the first imbalance as a
+    /// diagnostic, or `None` when the ledgers balance — the non-panicking
+    /// form the `cmg-check` oracles evaluate.
+    pub fn conservation_violation(&self) -> Option<String> {
+        if self.total_packets() != self.total_packets_received() {
+            return Some(format!(
+                "wire packet conservation violated: {} sent vs {} received",
+                self.total_packets(),
+                self.total_packets_received(),
+            ));
+        }
+        if self.total_bytes() != self.total_bytes_received() {
+            return Some(format!(
+                "payload byte conservation violated: {} sent vs {} received",
+                self.total_bytes(),
+                self.total_bytes_received(),
+            ));
+        }
+        let received: u64 = self.per_rank.iter().map(|r| r.messages_received).sum();
+        if self.total_messages() != received {
+            return Some(format!(
+                "logical message conservation violated: {} sent vs {} received",
+                self.total_messages(),
+                received,
+            ));
+        }
+        None
+    }
+
+    /// Panicking form of [`RunStats::conservation_violation`]; both
+    /// engines call it (debug builds) at the end of every clean run.
     ///
     /// # Panics
     /// Panics with a diagnostic if the ledgers do not balance.
     pub fn assert_conservation(&self) {
-        assert_eq!(
-            self.total_packets(),
-            self.total_packets_received(),
-            "wire packet conservation violated: {} sent vs {} received",
-            self.total_packets(),
-            self.total_packets_received(),
-        );
-        assert_eq!(
-            self.total_bytes(),
-            self.total_bytes_received(),
-            "payload byte conservation violated: {} sent vs {} received",
-            self.total_bytes(),
-            self.total_bytes_received(),
-        );
-        let received: u64 = self.per_rank.iter().map(|r| r.messages_received).sum();
-        assert_eq!(
-            self.total_messages(),
-            received,
-            "logical message conservation violated: {} sent vs {} received",
-            self.total_messages(),
-            received,
-        );
+        if let Some(violation) = self.conservation_violation() {
+            panic!("{violation}");
+        }
     }
 
     /// Total charged work units across all ranks.

@@ -111,11 +111,19 @@ impl<P: RankProgram> ThreadedEngine<P> {
             programs.push(program);
             per_rank.push(stats);
         }
+        let stats = RunStats { per_rank, rounds };
+        let hit_round_cap = cap_hit.load(Ordering::Relaxed);
+        // Debug builds verify send/receive conservation on every clean
+        // run (a capped run may legitimately strand packets in channels).
+        #[cfg(debug_assertions)]
+        if !hit_round_cap {
+            stats.assert_conservation();
+        }
         ThreadedResult {
             programs,
-            stats: RunStats { per_rank, rounds },
+            stats,
             wall_time,
-            hit_round_cap: cap_hit.load(Ordering::Relaxed),
+            hit_round_cap,
         }
     }
 }
@@ -175,6 +183,7 @@ fn run_rank<P: RankProgram>(
             ctx.set_now(delivery_start);
             program.on_start(&mut ctx)
         } else {
+            // hot-path: begin (delivery — recycled buffers, no allocation)
             // 0/1-packet inboxes skip the sort; the `(src, seq)` key is
             // unique, so an unstable sort is deterministic.
             if inbox_raw.len() > 1 {
@@ -208,6 +217,7 @@ fn run_rank<P: RankProgram>(
                 decode_all_into(payload, list)
                     .expect("malformed bundle: WireMessage encode/decode mismatch");
             }
+            // hot-path: end (delivery)
             if observed && had_mail {
                 let t = now();
                 recorder.emit(

@@ -1,0 +1,147 @@
+//! Adversarial delivery schedules must not change the answers.
+//!
+//! The engine's delivery policies permute the mailbox merge order across
+//! sources (per-source FIFO is always preserved, mirroring MPI's
+//! non-overtaking guarantee). Under every such permutation:
+//!
+//! - **Matching is exactly schedule-invariant.** The locally-dominant
+//!   matching is unique given the (weight desc, global-id asc) tie-break,
+//!   so the assembled matching — and therefore its weight — must be
+//!   bit-identical across schedules.
+//! - **Coloring is schedule-invariant in the bulk-synchronous regime**,
+//!   i.e. when `superstep_size >= n` so each phase is one superstep and
+//!   every color decision sees exactly the previous phase's ghost state.
+//!   This is the default configuration, and there the full assignment
+//!   (hence the color count) must match across schedules.
+//! - **Sub-phase supersteps are legitimately schedule-dependent**: a
+//!   `ColorMsg::Bcast` triggers a superstep mid-drain, so which ghost
+//!   colors are visible when a vertex picks depends on merge order. For
+//!   those configs only validity and convergence are guaranteed; the
+//!   convergence oracles live in `cmg-check`'s `explore_coloring`.
+
+use cmg_coloring::{assemble_coloring, ColoringConfig, DistColoring};
+use cmg_graph::generators::erdos_renyi;
+use cmg_graph::weights::{assign_weights, WeightScheme};
+use cmg_graph::CsrGraph;
+use cmg_matching::dist::assemble_matching;
+use cmg_matching::{DistMatching, Matching};
+use cmg_partition::{DistGraph, Partition};
+use cmg_runtime::{CostModel, DeliveryPolicy, EngineConfig, SimEngine};
+use proptest::prelude::*;
+
+fn engine_config(policy: DeliveryPolicy) -> EngineConfig {
+    EngineConfig {
+        cost: CostModel::compute_only(),
+        delivery: policy,
+        ..Default::default()
+    }
+}
+
+/// Baseline order plus ≥16 seeded random permutations plus the
+/// structured adversaries (reverse-rank, newest-first, one lagging rank).
+fn adversarial_policies(num_ranks: u32, seed: u64) -> Vec<DeliveryPolicy> {
+    let mut policies = vec![
+        DeliveryPolicy::Arrival,
+        DeliveryPolicy::ReverseRank,
+        DeliveryPolicy::Lifo,
+    ];
+    for src in 0..num_ranks {
+        policies.push(DeliveryPolicy::DelayRank { src, rounds: 2 });
+    }
+    for i in 0..16u64 {
+        let s = seed.wrapping_add(i + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        policies.push(DeliveryPolicy::RandomPermutation { seed: s });
+    }
+    policies
+}
+
+fn run_matching(g: &CsrGraph, p: &Partition, policy: DeliveryPolicy) -> Matching {
+    let programs: Vec<DistMatching> = DistGraph::build_all(g, p)
+        .into_iter()
+        .map(DistMatching::new)
+        .collect();
+    let result = SimEngine::new(programs, engine_config(policy)).run();
+    assert!(!result.hit_round_cap, "matching failed to quiesce");
+    assemble_matching(&result.programs, g.num_vertices())
+}
+
+fn run_coloring(
+    g: &CsrGraph,
+    p: &Partition,
+    cfg: &ColoringConfig,
+    policy: DeliveryPolicy,
+) -> cmg_coloring::Coloring {
+    let programs: Vec<DistColoring> = DistGraph::build_all(g, p)
+        .into_iter()
+        .map(|dg| DistColoring::new(dg, *cfg))
+        .collect();
+    let result = SimEngine::new(programs, engine_config(policy)).run();
+    assert!(!result.hit_round_cap, "coloring failed to quiesce");
+    assemble_coloring(&result.programs, g.num_vertices())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random graphs through every adversarial schedule: the matching is
+    /// bit-identical (so its weight is too), and the bulk-synchronous
+    /// coloring assignment is bit-identical (so its color count is too).
+    #[test]
+    fn answers_survive_adversarial_schedules(
+        n in 24usize..64,
+        edge_factor in 2usize..5,
+        parts in 2u32..6,
+        gseed in 0u64..1_000_000,
+    ) {
+        let g = assign_weights(
+            &erdos_renyi(n, n * edge_factor, gseed),
+            WeightScheme::Uniform { lo: 0.1, hi: 1.0 },
+            gseed ^ 0xDEAD,
+        );
+        let p = cmg_partition::simple::hash_partition(n, parts, gseed);
+        let policies = adversarial_policies(parts, gseed);
+
+        let base_m = run_matching(&g, &p, policies[0].clone());
+        base_m.validate(&g).unwrap();
+        let ccfg = ColoringConfig::default();
+        prop_assert!(ccfg.superstep_size >= n, "default config must be bulk-synchronous here");
+        let base_c = run_coloring(&g, &p, &ccfg, policies[0].clone());
+        base_c.validate(&g).unwrap();
+
+        for policy in &policies[1..] {
+            let m = run_matching(&g, &p, policy.clone());
+            prop_assert_eq!(&m, &base_m, "matching diverged under {:?}", policy);
+            prop_assert_eq!(m.weight(&g), base_m.weight(&g));
+
+            let c = run_coloring(&g, &p, &ccfg, policy.clone());
+            prop_assert_eq!(c.colors(), base_c.colors(), "coloring diverged under {:?}", policy);
+            prop_assert_eq!(c.num_colors(), base_c.num_colors());
+        }
+    }
+
+    /// Sub-phase supersteps race by design (Bcast-triggered supersteps
+    /// mid-drain), so only validity is asserted — the assignment may
+    /// differ per schedule. Convergence oracles for this regime are
+    /// exercised by `cmg-check`'s exploration suite.
+    #[test]
+    fn subphase_supersteps_stay_valid_under_adversarial_schedules(
+        n in 24usize..48,
+        gseed in 0u64..1_000_000,
+    ) {
+        let g = assign_weights(
+            &erdos_renyi(n, n * 3, gseed),
+            WeightScheme::Uniform { lo: 0.1, hi: 1.0 },
+            gseed,
+        );
+        let parts = 4;
+        let p = cmg_partition::simple::hash_partition(n, parts, gseed);
+        let ccfg = ColoringConfig {
+            superstep_size: 1,
+            ..Default::default()
+        };
+        for policy in adversarial_policies(parts, gseed).into_iter().take(12) {
+            let c = run_coloring(&g, &p, &ccfg, policy);
+            c.validate(&g).unwrap();
+        }
+    }
+}

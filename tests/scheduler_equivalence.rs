@@ -1,11 +1,13 @@
 //! The active-set scheduler must be indistinguishable from the dense
 //! reference round loop it replaced: identical stats, virtual times,
 //! round counts, traces, and event streams — under every engine
-//! configuration — plus the scaling property that motivated it (quiet
-//! rounds cost O(active ranks), independent of p).
+//! configuration and delivery policy — plus the scaling property that
+//! motivated it (quiet rounds cost O(active ranks), independent of p).
 
 use cmg_obs::CollectingRecorder;
-use cmg_runtime::{EngineConfig, Rank, RankCtx, RankProgram, SimEngine, SimResult, Status};
+use cmg_runtime::{
+    DeliveryPolicy, EngineConfig, Rank, RankCtx, RankProgram, SimEngine, SimResult, Status,
+};
 use proptest::prelude::*;
 
 /// A configurable messaging workload: rank `r` starts `start_tokens`
@@ -156,6 +158,8 @@ proptest! {
         sync_rounds in any::<bool>(),
         bundling in any::<bool>(),
         parallel_sim in any::<bool>(),
+        policy_sel in 0u8..5,
+        policy_seed in 0u64..1_000_000,
     ) {
         let w = Workload {
             p,
@@ -166,7 +170,22 @@ proptest! {
             active_rounds,
             quiet_work,
         };
+        // The equivalence must hold under every non-default delivery
+        // policy too: both loops share the same mailbox merge point, so
+        // a permuted or delayed delivery order may change what the
+        // programs do, but never dense-vs-scheduled agreement.
+        let delivery = match policy_sel {
+            0 => DeliveryPolicy::Arrival,
+            1 => DeliveryPolicy::RandomPermutation { seed: policy_seed },
+            2 => DeliveryPolicy::ReverseRank,
+            3 => DeliveryPolicy::Lifo,
+            _ => DeliveryPolicy::DelayRank {
+                src: (policy_seed % p as u64) as Rank,
+                rounds: 1 + policy_seed % 3,
+            },
+        };
         let cfg = EngineConfig {
+            delivery,
             cost: cmg_runtime::CostModel {
                 alpha: 1.0,
                 beta: 0.25,
@@ -198,19 +217,30 @@ fn equal_arrival_times_keep_delivery_order() {
         active_rounds: 0,
         quiet_work: 1,
     };
-    let cfg = EngineConfig {
-        cost: cmg_runtime::CostModel {
-            alpha: 0.0,
-            beta: 0.0,
-            gamma: 1.0,
-            send_overhead: 0.0,
-        },
-        bundling: false,
-        max_rounds: 100,
-        record_trace: true,
-        ..Default::default()
-    };
-    assert_equivalent(w, &cfg);
+    // Colliding sort keys are exactly where a permuting policy has the
+    // most freedom, so sweep the non-scripted policies here too.
+    for delivery in [
+        DeliveryPolicy::Arrival,
+        DeliveryPolicy::RandomPermutation { seed: 0xC0FFEE },
+        DeliveryPolicy::ReverseRank,
+        DeliveryPolicy::Lifo,
+        DeliveryPolicy::DelayRank { src: 2, rounds: 2 },
+    ] {
+        let cfg = EngineConfig {
+            cost: cmg_runtime::CostModel {
+                alpha: 0.0,
+                beta: 0.0,
+                gamma: 1.0,
+                send_overhead: 0.0,
+            },
+            bundling: false,
+            max_rounds: 100,
+            record_trace: true,
+            delivery,
+            ..Default::default()
+        };
+        assert_equivalent(w, &cfg);
+    }
 }
 
 /// The scaling property the scheduler exists for: a run where only two
