@@ -1,7 +1,7 @@
 //! `cmg-lint` — the workspace's repo-specific lint pass.
 //!
 //! Walks `crates/*/src` under the repo root (default: the current
-//! directory), applies the three rules in [`cmg_check::lint`] minus the
+//! directory), applies the four rules in [`cmg_check::lint`] minus the
 //! vetted allowlist, prints every violation, and exits non-zero when
 //! any remain. Run from CI as:
 //!

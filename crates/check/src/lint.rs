@@ -1,6 +1,6 @@
 //! The repo-specific lint pass behind the `cmg-lint` binary.
 //!
-//! Three rules, each encoding a convention this workspace already
+//! Four rules, each encoding a convention this workspace already
 //! follows on purpose:
 //!
 //! * [`Rule::NoPanicInLib`] — library code must not `unwrap()`,
@@ -16,6 +16,12 @@
 //!   must sit under an `if` testing the cached enabled-bool
 //!   (`observed`/`enabled(`), so uninstrumented runs never construct
 //!   events.
+//! * [`Rule::HandRolledCollective`] — library code outside
+//!   `crates/runtime/src/collectives*` may not rebuild allreduce tree
+//!   topology by hand (a fn mentioning `parent` *and* `children` *and*
+//!   doing rank arithmetic): the shared `TreeAllreduce`/`DoneWave`/
+//!   `NeighborExchange` in `cmg_runtime::collectives` are the single
+//!   implementations.
 //!
 //! The pass is token-level on a *masked* copy of each file: comments and
 //! string/char literals are blanked (byte positions preserved) so the
@@ -37,6 +43,9 @@ pub enum Rule {
     HotPathAlloc,
     /// `.emit(` not under an `observed`/`enabled(` guard.
     UnguardedEmit,
+    /// Hand-built allreduce tree topology (parent/children rank
+    /// arithmetic) outside `cmg_runtime::collectives`.
+    HandRolledCollective,
 }
 
 impl Rule {
@@ -46,6 +55,7 @@ impl Rule {
             Rule::NoPanicInLib => "no-panic-in-lib",
             Rule::HotPathAlloc => "hot-path-alloc",
             Rule::UnguardedEmit => "unguarded-emit",
+            Rule::HandRolledCollective => "no-hand-rolled-collective",
         }
     }
 }
@@ -123,12 +133,6 @@ impl Allowlist {
                 rule: Rule::NoPanicInLib,
                 reason: "assert_conservation is an intentional invariant panic (documented, \
                          with a non-panicking conservation_violation twin)",
-            },
-            AllowEntry {
-                prefix: "crates/matching/src/dist.rs",
-                rule: Rule::NoPanicInLib,
-                reason: "assemble_matching panics on cross-rank disagreement by documented \
-                         contract; local_matched_weight's expect states a graph invariant",
             },
             AllowEntry {
                 prefix: "crates/matching/src/matching.rs",
@@ -358,6 +362,64 @@ const ALLOC_TOKENS: &[&str] = &[
 /// Panic-shaped tokens disallowed in library code.
 const PANIC_TOKENS: &[&str] = &[".unwrap()", ".expect(", "panic!"];
 
+/// Rank-arithmetic shapes that mark tree-topology construction when
+/// they appear next to `parent`/`children` bookkeeping.
+const RANK_ARITH_TOKENS: &[&str] = &[
+    "rank *", "* rank", "rank +", "+ rank", "rank -", "- rank", "rank /", "/ rank", "rank %",
+    "% rank",
+];
+
+/// The only place allowed to build collective topology by hand.
+const COLLECTIVES_HOME: &str = "crates/runtime/src/collectives";
+
+/// Start lines (1-based) of fns that hand-roll collective topology:
+/// the masked body mentions both `parent` and `children` *and* performs
+/// rank arithmetic. Nested fns are scanned independently (an outer fn
+/// is reported too if its body — which includes the inner — matches).
+fn hand_rolled_collective_sites(masked: &str) -> Vec<usize> {
+    let bytes = masked.as_bytes();
+    let mut out = Vec::new();
+    let mut search = 0usize;
+    while let Some(pos) = masked[search..].find("fn ") {
+        let at = search + pos;
+        search = at + 3;
+        // Word boundary: don't fire inside identifiers like `infn `.
+        if at > 0 {
+            let prev = bytes[at - 1];
+            if prev.is_ascii_alphanumeric() || prev == b'_' {
+                continue;
+            }
+        }
+        let Some(open_rel) = masked[at..].find('{') else {
+            continue; // trait method signature without a body
+        };
+        let open = at + open_rel;
+        let mut depth = 0usize;
+        let mut end = masked.len();
+        for (off, &b) in bytes[open..].iter().enumerate() {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        end = open + off + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let body = &masked[open..end];
+        if body.contains("parent")
+            && body.contains("children")
+            && RANK_ARITH_TOKENS.iter().any(|t| body.contains(t))
+        {
+            out.push(masked[..at].matches('\n').count() + 1);
+        }
+    }
+    out
+}
+
 /// `.emit(` callsites with the innermost-guard answer for each: `true`
 /// when some enclosing brace scope was opened under an
 /// `observed`/`enabled(` condition.
@@ -440,6 +502,19 @@ pub fn lint_file(path: &str, src: &str) -> Vec<Violation> {
                 rule: Rule::UnguardedEmit,
                 excerpt: excerpt_at(lineno),
             });
+        }
+    }
+
+    if !path.starts_with(COLLECTIVES_HOME) {
+        for lineno in hand_rolled_collective_sites(&masked) {
+            if !in_spans(lineno, &tests) {
+                out.push(Violation {
+                    path: path.to_string(),
+                    line: lineno,
+                    rule: Rule::HandRolledCollective,
+                    excerpt: excerpt_at(lineno),
+                });
+            }
         }
     }
 
@@ -616,6 +691,46 @@ fn bad(ctx: &Ctx) {
                 assert!(!allow.allows(path, rule), "{path} must not be exempt");
             }
         }
+    }
+
+    #[test]
+    fn hand_rolled_collective_flagged_outside_collectives_home() {
+        let src = "
+pub fn topology(rank: u32, num_ranks: u32) -> (u32, Vec<u32>) {
+    let parent = (rank - 1) / 8;
+    let children: Vec<u32> = (0..8)
+        .map(|i| rank * 8 + i + 1)
+        .filter(|&c| c < num_ranks)
+        .collect();
+    (parent, children)
+}
+";
+        let v = lint_file("crates/coloring/src/dist.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::HandRolledCollective);
+        assert_eq!(v[0].line, 2);
+        // The identical source is legal inside the collectives home.
+        assert!(lint_file("crates/runtime/src/collectives.rs", src).is_empty());
+        assert!(lint_file("crates/runtime/src/collectives_ext.rs", src).is_empty());
+    }
+
+    #[test]
+    fn substrate_consumers_do_not_trip_collective_rule() {
+        // Using TreeAllreduce mentions parent/children but performs no
+        // rank arithmetic — must not fire.
+        let src = "
+fn try_send_reduce(&mut self) {
+    match self.allreduce.try_complete(self.phase, self.own) {
+        None => {}
+        Some(ReduceOutcome::ToParent { parent, value }) => self.send(parent, value),
+        Some(ReduceOutcome::Root { value }) => self.broadcast(value),
+    }
+}
+fn broadcast(&mut self) {
+    fan_out(self.ctx, self.allreduce.children(), &self.msg);
+}
+";
+        assert!(lint_file("crates/coloring/src/dist.rs", src).is_empty());
     }
 
     #[test]

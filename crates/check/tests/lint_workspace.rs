@@ -89,6 +89,31 @@ fn binary_exits_nonzero_on_seeded_violation() {
 }
 
 #[test]
+fn binary_flags_seeded_hand_rolled_collective() {
+    let root = seeded_violation_tree(
+        "collective",
+        "pub fn topo(rank: u32, num_ranks: u32) -> (u32, Vec<u32>) {\n    \
+         let parent = (rank - 1) / 8;\n    \
+         let children: Vec<u32> = (0..8u32)\n        \
+         .map(|i| rank * 8 + i + 1)\n        \
+         .filter(|&c| c < num_ranks)\n        \
+         .collect();\n    \
+         (parent, children)\n}\n",
+    );
+    let out = Command::new(env!("CARGO_BIN_EXE_cmg-lint"))
+        .arg(&root)
+        .output()
+        .expect("run cmg-lint");
+    std::fs::remove_dir_all(&root).ok();
+    assert_eq!(out.status.code(), Some(1), "expected lint failure exit");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains(Rule::HandRolledCollective.name()),
+        "missing rule name in diagnostics: {stderr}"
+    );
+}
+
+#[test]
 fn binary_passes_clean_tree_and_real_workspace() {
     let root = seeded_violation_tree(
         "clean",

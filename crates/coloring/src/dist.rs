@@ -20,11 +20,13 @@
 //! recommendation of Bozdağ et al. that the paper adopts.
 
 use crate::coloring::{Coloring, UNCOLORED};
-use bytes::{Buf, BufMut};
-use cmg_graph::util::{vertex_priority, FxHashMap};
+use cmg_graph::util::vertex_priority;
 use cmg_graph::VertexId;
-use cmg_partition::DistGraph;
-use cmg_runtime::{Rank, RankCtx, RankProgram, Status, WireMessage};
+use cmg_partition::{ghost_neighbor_owners, DistGraph, HaloView};
+use cmg_runtime::{
+    fan_out, wire_codec, DoneWave, FanoutScheme, NeighborExchange, Rank, RankCtx, RankProgram,
+    ReduceOutcome, Status, TreeAllreduce,
+};
 
 /// Communication variant for boundary-color exchange (§4.2).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -37,6 +39,17 @@ pub enum CommVariant {
     /// The paper's new scheme: customized messages to neighbor ranks only
     /// — fewer messages *and* less volume.
     Neighbor,
+}
+
+impl CommVariant {
+    /// The substrate fan-out scheme this variant maps to.
+    fn fanout(self) -> FanoutScheme {
+        match self {
+            CommVariant::Fiab => FanoutScheme::Fiab,
+            CommVariant::Fiac => FanoutScheme::Fiac,
+            CommVariant::Neighbor => FanoutScheme::Neighbor,
+        }
+    }
 }
 
 /// How a processor chooses a color for a vertex (§4.1's design question).
@@ -88,97 +101,38 @@ impl Default for ColoringConfig {
     }
 }
 
-/// Wire messages of the coloring algorithm.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum ColorMsg {
-    /// Vertex `v` (global id) now has `color`.
-    Color {
-        /// Recolored vertex.
-        v: VertexId,
-        /// Its new color.
-        color: u32,
-    },
-    /// FIAC's customized-but-empty message.
-    Empty,
-    /// Sender finished coloring phase `phase`.
-    Done {
-        /// Phase number.
-        phase: u32,
-    },
-    /// Allreduce: subtree conflict count flowing up.
-    Reduce {
-        /// Phase number.
-        phase: u32,
-        /// Conflicts in the sender's subtree.
-        count: u64,
-    },
-    /// Allreduce: global conflict count flowing down.
-    Bcast {
-        /// Phase number.
-        phase: u32,
-        /// Global conflict count.
-        count: u64,
-    },
-}
-
-impl WireMessage for ColorMsg {
-    fn encode(&self, buf: &mut impl BufMut) {
-        match *self {
-            ColorMsg::Color { v, color } => {
-                buf.put_u8(0);
-                buf.put_u32_le(v);
-                buf.put_u32_le(color);
-            }
-            ColorMsg::Empty => buf.put_u8(1),
-            ColorMsg::Done { phase } => {
-                buf.put_u8(2);
-                buf.put_u32_le(phase);
-            }
-            ColorMsg::Reduce { phase, count } => {
-                buf.put_u8(3);
-                buf.put_u32_le(phase);
-                buf.put_u64_le(count);
-            }
-            ColorMsg::Bcast { phase, count } => {
-                buf.put_u8(4);
-                buf.put_u32_le(phase);
-                buf.put_u64_le(count);
-            }
-        }
-    }
-
-    fn decode(buf: &mut impl Buf) -> Option<Self> {
-        if !buf.has_remaining() {
-            return None;
-        }
-        match buf.get_u8() {
-            0 => (buf.remaining() >= 8).then(|| ColorMsg::Color {
-                v: buf.get_u32_le(),
-                color: buf.get_u32_le(),
-            }),
-            1 => Some(ColorMsg::Empty),
-            2 => (buf.remaining() >= 4).then(|| ColorMsg::Done {
-                phase: buf.get_u32_le(),
-            }),
-            3 => (buf.remaining() >= 12).then(|| ColorMsg::Reduce {
-                phase: buf.get_u32_le(),
-                count: buf.get_u64_le(),
-            }),
-            4 => (buf.remaining() >= 12).then(|| ColorMsg::Bcast {
-                phase: buf.get_u32_le(),
-                count: buf.get_u64_le(),
-            }),
-            _ => None,
-        }
-    }
-
-    fn encoded_len(&self) -> usize {
-        match self {
-            ColorMsg::Color { .. } => 9,
-            ColorMsg::Empty => 1,
-            ColorMsg::Done { .. } => 5,
-            ColorMsg::Reduce { .. } | ColorMsg::Bcast { .. } => 13,
-        }
+wire_codec! {
+    /// Wire messages of the coloring algorithm.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum ColorMsg {
+        /// Vertex `v` (global id) now has `color`.
+        0 => Color {
+            /// Recolored vertex.
+            v: VertexId,
+            /// Its new color.
+            color: u32,
+        },
+        /// FIAC's customized-but-empty message.
+        1 => Empty,
+        /// Sender finished coloring phase `phase`.
+        2 => Done {
+            /// Phase number.
+            phase: u32,
+        },
+        /// Allreduce: subtree conflict count flowing up.
+        3 => Reduce {
+            /// Phase number.
+            phase: u32,
+            /// Conflicts in the sender's subtree.
+            count: u64,
+        },
+        /// Allreduce: global conflict count flowing down.
+        4 => Bcast {
+            /// Phase number.
+            phase: u32,
+            /// Global conflict count.
+            count: u64,
+        },
     }
 }
 
@@ -196,14 +150,12 @@ enum PState {
 pub struct DistColoring {
     dg: DistGraph,
     cfg: ColoringConfig,
+    /// Halo structure: interior/boundary split of the owned vertices.
+    halo: HaloView,
     /// Current color per local index (owned + ghost).
     color: Vec<u32>,
     /// Pre-assigned random priority `r(v)` per local index.
     priority: Vec<u64>,
-    /// Owned interior vertices.
-    interior: Vec<u32>,
-    /// Owned boundary vertices.
-    boundary: Vec<u32>,
     /// Vertices to (re)color this phase, and progress within them.
     u_cur: Vec<u32>,
     u_pos: usize,
@@ -213,21 +165,20 @@ pub struct DistColoring {
     pub phases_executed: u32,
     /// Total vertices this rank had to re-color due to conflicts.
     pub total_recolored: u64,
-    /// `Done` counts per phase (ranks may run one phase ahead).
-    done_counts: FxHashMap<u32, usize>,
-    /// Allreduce accumulators per phase: (children heard, subtree count).
-    reduce_acc: FxHashMap<u32, (usize, u64)>,
+    /// Boundary fan-out under the configured communication variant.
+    exchange: NeighborExchange,
+    /// Per-phase DONE wave (ranks may run one phase ahead).
+    done: DoneWave,
+    /// Per-phase conflict-count allreduce (8-ary tree: the shallow
+    /// fan-out mirrors optimized MPI collectives — Blue Gene/P even has
+    /// a dedicated hardware tree network for them).
+    allreduce: TreeAllreduce<u64>,
     detection_done: bool,
     my_conflicts: u64,
     interior_colored: bool,
     /// Scratch: stamp-based forbidden-color set.
     forbidden: Vec<u64>,
     stamp: u64,
-    /// Scratch: per-destination dedup for customized sends.
-    dest_seen: Vec<u32>,
-    dest_stamp: u32,
-    /// FIAC: which ranks got content this superstep.
-    content_sent: Vec<bool>,
     /// LeastUsed: local usage count per color.
     usage: Vec<u64>,
     /// StaggeredFirstFit offset.
@@ -241,44 +192,34 @@ impl DistColoring {
         let priority = (0..n_total)
             .map(|i| vertex_priority(dg.global_ids[i] as u64, cfg.seed))
             .collect();
-        let mut interior = Vec::new();
-        let mut boundary = Vec::new();
-        let mut max_deg = 0usize;
-        for v in 0..dg.n_local as u32 {
-            if dg.is_boundary[v as usize] {
-                boundary.push(v);
-            } else {
-                interior.push(v);
-            }
-            max_deg = max_deg.max(dg.degree(v));
-        }
+        let halo = HaloView::build(&dg);
+        let max_deg = (0..dg.n_local as u32)
+            .map(|v| dg.degree(v))
+            .max()
+            .unwrap_or(0);
         let stagger = if dg.num_ranks <= 1 {
             0
         } else {
             ((dg.rank as u64 * (max_deg as u64 + 1)) / dg.num_ranks as u64) as u32
         };
-        let p = dg.num_ranks as usize;
         DistColoring {
             color: vec![UNCOLORED; n_total],
             priority,
-            interior,
-            boundary,
+            halo,
             u_cur: Vec::new(),
             u_pos: 0,
             phase: 0,
             state: PState::Coloring,
             phases_executed: 0,
             total_recolored: 0,
-            done_counts: FxHashMap::default(),
-            reduce_acc: FxHashMap::default(),
+            exchange: NeighborExchange::new(cfg.comm.fanout(), dg.rank, dg.num_ranks),
+            done: DoneWave::new(),
+            allreduce: TreeAllreduce::new(dg.rank, dg.num_ranks, 8),
             detection_done: false,
             my_conflicts: 0,
             interior_colored: false,
             forbidden: vec![u64::MAX; n_total + 2],
             stamp: 0,
-            dest_seen: vec![u32::MAX; p],
-            dest_stamp: 0,
-            content_sent: vec![false; p],
             usage: Vec::new(),
             stagger,
             cfg,
@@ -331,29 +272,7 @@ impl DistColoring {
 
     /// Ranks in the color/Done communication scope of this rank.
     fn scope(&self) -> Vec<Rank> {
-        match self.cfg.comm {
-            CommVariant::Neighbor => self.dg.neighbor_ranks.clone(),
-            CommVariant::Fiab | CommVariant::Fiac => (0..self.dg.num_ranks)
-                .filter(|&r| r != self.dg.rank)
-                .collect(),
-        }
-    }
-
-    /// Allreduce-tree children of this rank (8-ary tree: the shallow
-    /// fan-out mirrors optimized MPI collectives — Blue Gene/P even has a
-    /// dedicated hardware tree network for them).
-    fn tree_children(&self) -> impl Iterator<Item = Rank> + '_ {
-        const ARITY: u64 = 8;
-        let r = self.dg.rank as u64;
-        (1..=ARITY)
-            .map(move |i| ARITY * r + i)
-            .filter(|&c| c < self.dg.num_ranks as u64)
-            .map(|c| c as Rank)
-    }
-
-    /// Allreduce-tree parent, or `None` at the root.
-    fn tree_parent(&self) -> Option<Rank> {
-        (self.dg.rank > 0).then(|| (self.dg.rank - 1) / 8)
+        self.exchange.scope(&self.dg.neighbor_ranks)
     }
 
     /// Picks a permissible color for owned vertex `v` per the configured
@@ -408,45 +327,24 @@ impl DistColoring {
 
     /// Colors all interior vertices (purely local).
     fn color_interior(&mut self, ctx: &mut RankCtx<ColorMsg>) {
-        let interior = std::mem::take(&mut self.interior);
-        for &v in &interior {
+        for i in 0..self.halo.interior.len() {
+            let v = self.halo.interior[i];
             let c = self.pick_color(v, ctx);
             self.color[v as usize] = c;
         }
-        self.interior = interior;
         self.interior_colored = true;
     }
 
-    /// Sends `(v, color)` per the communication variant.
+    /// Sends `(v, color)` per the communication variant: FIAB broadcasts,
+    /// the customized schemes publish to the owners of `v`'s ghost
+    /// neighbors (once each).
     fn publish_color(&mut self, v: u32, c: u32, ctx: &mut RankCtx<ColorMsg>) {
         let msg = ColorMsg::Color {
             v: self.dg.global_ids[v as usize],
             color: c,
         };
-        match self.cfg.comm {
-            CommVariant::Fiab => {
-                for r in 0..self.dg.num_ranks {
-                    if r != self.dg.rank {
-                        ctx.send(r, &msg);
-                    }
-                }
-            }
-            CommVariant::Fiac | CommVariant::Neighbor => {
-                // Customized: only ranks owning a neighbor of v, once each.
-                self.dest_stamp += 1;
-                for i in self.dg.xadj[v as usize]..self.dg.xadj[v as usize + 1] {
-                    let u = self.dg.adj[i];
-                    if self.dg.is_ghost(u) {
-                        let owner = self.dg.owner(u);
-                        if self.dest_seen[owner as usize] != self.dest_stamp {
-                            self.dest_seen[owner as usize] = self.dest_stamp;
-                            self.content_sent[owner as usize] = true;
-                            ctx.send(owner, &msg);
-                        }
-                    }
-                }
-            }
-        }
+        self.exchange
+            .publish(ctx, ghost_neighbor_owners(&self.dg, v), &msg);
     }
 
     /// Runs one superstep: colors up to `s` vertices of `u_cur` and
@@ -454,7 +352,7 @@ impl DistColoring {
     /// complete.
     fn superstep(&mut self, ctx: &mut RankCtx<ColorMsg>) -> bool {
         let end = (self.u_pos + self.cfg.superstep_size.max(1)).min(self.u_cur.len());
-        self.content_sent.iter_mut().for_each(|b| *b = false);
+        self.exchange.begin_superstep();
         while self.u_pos < end {
             let v = self.u_cur[self.u_pos];
             self.u_pos += 1;
@@ -464,22 +362,14 @@ impl DistColoring {
         }
         // FIAC: every other rank gets a (possibly empty) customized
         // message each superstep.
-        if self.cfg.comm == CommVariant::Fiac {
-            for r in 0..self.dg.num_ranks {
-                if r != self.dg.rank && !self.content_sent[r as usize] {
-                    ctx.send(r, &ColorMsg::Empty);
-                }
-            }
-        }
+        self.exchange.finish_superstep(ctx, &ColorMsg::Empty);
         self.u_pos >= self.u_cur.len()
     }
 
     /// Called when this rank finishes coloring its `u_cur`: announce DONE.
     fn announce_done(&mut self, ctx: &mut RankCtx<ColorMsg>) {
         let msg = ColorMsg::Done { phase: self.phase };
-        for r in self.scope() {
-            ctx.send(r, &msg);
-        }
+        fan_out(ctx, &self.scope(), &msg);
         self.state = PState::WaitingDone;
     }
 
@@ -536,27 +426,21 @@ impl DistColoring {
         if !self.detection_done || self.state != PState::WaitingReduce {
             return;
         }
-        let want = self.tree_children().count();
-        let (got, sum) = self.reduce_acc.get(&self.phase).copied().unwrap_or((0, 0));
-        if got < want {
-            return;
-        }
-        let total = sum + self.my_conflicts;
-        self.reduce_acc.remove(&self.phase);
-        match self.tree_parent() {
-            Some(parent) => {
+        match self.allreduce.try_complete(self.phase, self.my_conflicts) {
+            None => {}
+            Some(ReduceOutcome::ToParent { parent, value }) => {
                 ctx.send(
                     parent,
                     &ColorMsg::Reduce {
                         phase: self.phase,
-                        count: total,
+                        count: value,
                     },
                 );
                 self.state = PState::WaitingBcast;
             }
-            None => {
+            Some(ReduceOutcome::Root { value }) => {
                 // Root: the global count is known; broadcast and act.
-                self.broadcast_and_act(total, ctx);
+                self.broadcast_and_act(value, ctx);
             }
         }
     }
@@ -568,10 +452,8 @@ impl DistColoring {
             phase: self.phase,
             count: total,
         };
-        for c in self.tree_children().collect::<Vec<_>>() {
-            ctx.send(c, &msg);
-        }
-        self.done_counts.remove(&self.phase);
+        fan_out(ctx, self.allreduce.children(), &msg);
+        self.done.clear(self.phase);
         if total == 0 {
             if !self.interior_colored {
                 self.color_interior(ctx);
@@ -596,9 +478,7 @@ impl DistColoring {
         if self.state != PState::WaitingDone {
             return;
         }
-        let want = self.scope().len();
-        let got = self.done_counts.get(&self.phase).copied().unwrap_or(0);
-        if got >= want {
+        if self.done.ready(self.phase, self.scope().len()) {
             self.detect_conflicts(ctx);
         }
     }
@@ -614,13 +494,11 @@ impl DistColoring {
             }
             ColorMsg::Empty => {}
             ColorMsg::Done { phase } => {
-                *self.done_counts.entry(phase).or_insert(0) += 1;
+                self.done.record(phase);
                 self.try_detect(ctx);
             }
             ColorMsg::Reduce { phase, count } => {
-                let e = self.reduce_acc.entry(phase).or_insert((0, 0));
-                e.0 += 1;
-                e.1 += count;
+                self.allreduce.absorb_child(phase, count);
                 self.try_send_reduce(ctx);
             }
             ColorMsg::Bcast { phase, count } => {
@@ -639,7 +517,7 @@ impl RankProgram for DistColoring {
         if self.cfg.order == LocalOrder::InteriorFirst {
             self.color_interior(ctx);
         }
-        self.u_cur = self.boundary.clone();
+        self.u_cur = self.halo.boundary.clone();
         self.u_pos = 0;
         self.phases_executed = 1;
         if self.superstep(ctx) {
@@ -731,6 +609,7 @@ mod tests {
 
     #[test]
     fn message_codec_round_trip() {
+        use cmg_runtime::WireMessage;
         let msgs = [
             ColorMsg::Color { v: 3, color: 9 },
             ColorMsg::Empty,

@@ -20,132 +20,57 @@
 //!   choices forever. Convergence is a handful of phases in practice.
 
 use crate::coloring::UNCOLORED;
-use bytes::{Buf, BufMut};
 use cmg_graph::util::{vertex_priority, FxHashMap, FxHashSet};
 use cmg_graph::VertexId;
-use cmg_partition::DistGraph;
-use cmg_runtime::{Rank, RankCtx, RankProgram, Status, WireMessage};
+use cmg_partition::{ghost_neighbor_owners, DistGraph, HaloView};
+use cmg_runtime::{
+    fan_out, wire_codec, DoneWave, FanoutScheme, NeighborExchange, Rank, RankCtx, RankProgram,
+    ReduceOutcome, Status, TreeAllreduce,
+};
 
-/// Wire messages of the distance-2 coloring algorithm.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum D2Msg {
-    /// Vertex `v` (global id) now has `color`.
-    Color {
-        /// Recolored vertex.
-        v: VertexId,
-        /// Its new color.
-        color: u32,
-    },
-    /// Sender finished coloring its phase-`phase` vertex set.
-    Done {
-        /// Phase number.
-        phase: u32,
-    },
-    /// Sender finished detection (all its `Recolor`s for `phase` are out).
-    Done2 {
-        /// Phase number.
-        phase: u32,
-    },
-    /// `v` (owned by the receiver) lost a conflict and must re-color,
-    /// permanently avoiding `banned`.
-    Recolor {
-        /// Losing vertex.
-        v: VertexId,
-        /// The color it clashed with.
-        banned: u32,
-    },
-    /// Allreduce: subtree conflict count flowing up.
-    Reduce {
-        /// Phase number.
-        phase: u32,
-        /// Conflicts in the sender's subtree.
-        count: u64,
-    },
-    /// Allreduce: global conflict count flowing down.
-    Bcast {
-        /// Phase number.
-        phase: u32,
-        /// Global conflict count.
-        count: u64,
-    },
-}
-
-impl WireMessage for D2Msg {
-    fn encode(&self, buf: &mut impl BufMut) {
-        match *self {
-            D2Msg::Color { v, color } => {
-                buf.put_u8(0);
-                buf.put_u32_le(v);
-                buf.put_u32_le(color);
-            }
-            D2Msg::Done { phase } => {
-                buf.put_u8(1);
-                buf.put_u32_le(phase);
-            }
-            D2Msg::Done2 { phase } => {
-                buf.put_u8(2);
-                buf.put_u32_le(phase);
-            }
-            D2Msg::Recolor { v, banned } => {
-                buf.put_u8(3);
-                buf.put_u32_le(v);
-                buf.put_u32_le(banned);
-            }
-            D2Msg::Reduce { phase, count } => {
-                buf.put_u8(4);
-                buf.put_u32_le(phase);
-                buf.put_u64_le(count);
-            }
-            D2Msg::Bcast { phase, count } => {
-                buf.put_u8(5);
-                buf.put_u32_le(phase);
-                buf.put_u64_le(count);
-            }
-        }
-    }
-
-    fn decode(buf: &mut impl Buf) -> Option<Self> {
-        if !buf.has_remaining() {
-            return None;
-        }
-        let tag = buf.get_u8();
-        match tag {
-            0 | 3 => (buf.remaining() >= 8).then(|| {
-                let v = buf.get_u32_le();
-                let x = buf.get_u32_le();
-                if tag == 0 {
-                    D2Msg::Color { v, color: x }
-                } else {
-                    D2Msg::Recolor { v, banned: x }
-                }
-            }),
-            1 | 2 => (buf.remaining() >= 4).then(|| {
-                let phase = buf.get_u32_le();
-                if tag == 1 {
-                    D2Msg::Done { phase }
-                } else {
-                    D2Msg::Done2 { phase }
-                }
-            }),
-            4 | 5 => (buf.remaining() >= 12).then(|| {
-                let phase = buf.get_u32_le();
-                let count = buf.get_u64_le();
-                if tag == 4 {
-                    D2Msg::Reduce { phase, count }
-                } else {
-                    D2Msg::Bcast { phase, count }
-                }
-            }),
-            _ => None,
-        }
-    }
-
-    fn encoded_len(&self) -> usize {
-        match self {
-            D2Msg::Color { .. } | D2Msg::Recolor { .. } => 9,
-            D2Msg::Done { .. } | D2Msg::Done2 { .. } => 5,
-            D2Msg::Reduce { .. } | D2Msg::Bcast { .. } => 13,
-        }
+wire_codec! {
+    /// Wire messages of the distance-2 coloring algorithm.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum D2Msg {
+        /// Vertex `v` (global id) now has `color`.
+        0 => Color {
+            /// Recolored vertex.
+            v: VertexId,
+            /// Its new color.
+            color: u32,
+        },
+        /// Sender finished coloring its phase-`phase` vertex set.
+        1 => Done {
+            /// Phase number.
+            phase: u32,
+        },
+        /// Sender finished detection (all its `Recolor`s for `phase` are out).
+        2 => Done2 {
+            /// Phase number.
+            phase: u32,
+        },
+        /// `v` (owned by the receiver) lost a conflict and must re-color,
+        /// permanently avoiding `banned`.
+        3 => Recolor {
+            /// Losing vertex.
+            v: VertexId,
+            /// The color it clashed with.
+            banned: u32,
+        },
+        /// Allreduce: subtree conflict count flowing up.
+        4 => Reduce {
+            /// Phase number.
+            phase: u32,
+            /// Conflicts in the sender's subtree.
+            count: u64,
+        },
+        /// Allreduce: global conflict count flowing down.
+        5 => Bcast {
+            /// Phase number.
+            phase: u32,
+            /// Global conflict count.
+            count: u64,
+        },
     }
 }
 
@@ -163,6 +88,8 @@ enum PState {
 pub struct DistColoring2 {
     dg: DistGraph,
     superstep_size: usize,
+    /// Halo structure: interior/boundary split of the owned vertices.
+    halo: HaloView,
     /// Current color per local index.
     color: Vec<u32>,
     /// Random priority per local index.
@@ -183,16 +110,17 @@ pub struct DistColoring2 {
     /// Next phase's re-color set (dedup via `in_r`).
     r_set: Vec<u32>,
     in_r: Vec<bool>,
+    /// Boundary fan-out (the paper's NEW neighbor-customized scheme).
+    exchange: NeighborExchange,
     /// Wave bookkeeping (per phase; ranks may run one phase apart).
-    done_counts: FxHashMap<u32, usize>,
-    done2_counts: FxHashMap<u32, usize>,
-    reduce_acc: FxHashMap<u32, (usize, u64)>,
+    done: DoneWave,
+    done2: DoneWave,
+    /// Per-phase conflict-count allreduce (8-ary tree, as in d1).
+    allreduce: TreeAllreduce<u64>,
     detection_done: bool,
     /// Scratch for forbidden-color computation.
     forbidden: Vec<u64>,
     stamp: u64,
-    dest_seen: Vec<u32>,
-    dest_stamp: u32,
     seed: u64,
 }
 
@@ -204,10 +132,11 @@ impl DistColoring2 {
         let priority = (0..n_total)
             .map(|i| vertex_priority(dg.global_ids[i] as u64, seed))
             .collect();
-        let p = dg.num_ranks as usize;
+        let halo = HaloView::build(&dg);
         DistColoring2 {
             color: vec![UNCOLORED; n_total],
             priority,
+            halo,
             u_cur: Vec::new(),
             u_pos: 0,
             phase: 0,
@@ -218,14 +147,13 @@ impl DistColoring2 {
             dirty_ghosts: Vec::new(),
             r_set: Vec::new(),
             in_r: vec![false; dg.n_local],
-            done_counts: FxHashMap::default(),
-            done2_counts: FxHashMap::default(),
-            reduce_acc: FxHashMap::default(),
+            exchange: NeighborExchange::new(FanoutScheme::Neighbor, dg.rank, dg.num_ranks),
+            done: DoneWave::new(),
+            done2: DoneWave::new(),
+            allreduce: TreeAllreduce::new(dg.rank, dg.num_ranks, 8),
             detection_done: false,
             forbidden: vec![u64::MAX; n_total + 2],
             stamp: 0,
-            dest_seen: vec![u32::MAX; p],
-            dest_stamp: 0,
             superstep_size: superstep_size.max(1),
             seed,
             dg,
@@ -244,19 +172,6 @@ impl DistColoring2 {
 
     fn scope(&self) -> &[Rank] {
         &self.dg.neighbor_ranks
-    }
-
-    fn tree_children(&self) -> impl Iterator<Item = Rank> + '_ {
-        const ARITY: u64 = 8;
-        let r = self.dg.rank as u64;
-        (1..=ARITY)
-            .map(move |i| ARITY * r + i)
-            .filter(|&c| c < self.dg.num_ranks as u64)
-            .map(|c| c as Rank)
-    }
-
-    fn tree_parent(&self) -> Option<Rank> {
-        (self.dg.rank > 0).then(|| (self.dg.rank - 1) / 8)
     }
 
     /// Picks a color for owned `v`: forbid distance-1 colors, distance-2
@@ -329,21 +244,13 @@ impl DistColoring2 {
             v: self.dg.global_ids[v as usize],
             color: c,
         };
-        self.dest_stamp += 1;
-        for i in self.dg.xadj[v as usize]..self.dg.xadj[v as usize + 1] {
-            let u = self.dg.adj[i];
-            if self.dg.is_ghost(u) {
-                let owner = self.dg.owner(u);
-                if self.dest_seen[owner as usize] != self.dest_stamp {
-                    self.dest_seen[owner as usize] = self.dest_stamp;
-                    ctx.send(owner, &msg);
-                }
-            }
-        }
+        self.exchange
+            .publish(ctx, ghost_neighbor_owners(&self.dg, v), &msg);
     }
 
     fn superstep(&mut self, ctx: &mut RankCtx<D2Msg>) -> bool {
         let end = (self.u_pos + self.superstep_size).min(self.u_cur.len());
+        self.exchange.begin_superstep();
         while self.u_pos < end {
             let v = self.u_cur[self.u_pos];
             self.u_pos += 1;
@@ -355,9 +262,7 @@ impl DistColoring2 {
     }
 
     fn announce(&mut self, msg: D2Msg, ctx: &mut RankCtx<D2Msg>) {
-        for &r in self.scope() {
-            ctx.send(r, &msg);
-        }
+        fan_out(ctx, self.scope(), &msg);
     }
 
     /// Adds owned vertex `v` to next phase's re-color set, banning `c`.
@@ -374,22 +279,12 @@ impl DistColoring2 {
     /// touched by this phase's color changes.
     fn detect_conflicts(&mut self, ctx: &mut RankCtx<D2Msg>) {
         // Dirty set: owned vertices colored this phase + updated ghosts.
-        self.stamp += 1;
-        let dirty_stamp = self.stamp;
-        let mut dirty: Vec<u32> = Vec::new();
-        for i in 0..self.u_pos {
-            let v = self.u_cur[i];
-            if self.forbidden[..0].is_empty() {
-                // no-op: keep the scratch untouched; dirty marking below
-            }
-            dirty.push(v);
-        }
+        let mut dirty: Vec<u32> = self.u_cur[..self.u_pos].to_vec();
         dirty.append(&mut self.dirty_ghosts);
         let mut dirty_mark = vec![false; self.dg.n_total()];
         for &d in &dirty {
             dirty_mark[d as usize] = true;
         }
-        let _ = dirty_stamp;
 
         // Distance-1 checks for own colored boundary vertices.
         for i in 0..self.u_pos {
@@ -465,8 +360,7 @@ impl DistColoring2 {
         if self.state != PState::WaitingDone2 {
             return;
         }
-        let got = self.done2_counts.get(&self.phase).copied().unwrap_or(0);
-        if got < self.scope().len() {
+        if !self.done2.ready(self.phase, self.scope().len()) {
             return;
         }
         self.state = PState::WaitingReduce;
@@ -498,25 +392,20 @@ impl DistColoring2 {
         if self.state != PState::WaitingReduce || !self.detection_done {
             return;
         }
-        let want = self.tree_children().count();
-        let (got, sum) = self.reduce_acc.get(&self.phase).copied().unwrap_or((0, 0));
-        if got < want {
-            return;
-        }
-        let total = sum + self.r_set.len() as u64;
-        self.reduce_acc.remove(&self.phase);
-        match self.tree_parent() {
-            Some(parent) => {
+        let own = self.r_set.len() as u64;
+        match self.allreduce.try_complete(self.phase, own) {
+            None => {}
+            Some(ReduceOutcome::ToParent { parent, value }) => {
                 ctx.send(
                     parent,
                     &D2Msg::Reduce {
                         phase: self.phase,
-                        count: total,
+                        count: value,
                     },
                 );
                 self.state = PState::WaitingBcast;
             }
-            None => self.broadcast_and_act(total, ctx),
+            Some(ReduceOutcome::Root { value }) => self.broadcast_and_act(value, ctx),
         }
     }
 
@@ -525,11 +414,9 @@ impl DistColoring2 {
             phase: self.phase,
             count: total,
         };
-        for c in self.tree_children().collect::<Vec<_>>() {
-            ctx.send(c, &msg);
-        }
-        self.done_counts.remove(&self.phase);
-        self.done2_counts.remove(&self.phase);
+        fan_out(ctx, self.allreduce.children(), &msg);
+        self.done.clear(self.phase);
+        self.done2.clear(self.phase);
         if total == 0 {
             self.state = PState::Finished;
             return;
@@ -556,8 +443,7 @@ impl DistColoring2 {
         if self.state != PState::WaitingDone {
             return;
         }
-        let got = self.done_counts.get(&self.phase).copied().unwrap_or(0);
-        if got >= self.scope().len() {
+        if self.done.ready(self.phase, self.scope().len()) {
             self.detect_conflicts(ctx);
         }
     }
@@ -571,11 +457,11 @@ impl DistColoring2 {
                 self.dirty_ghosts.push(local);
             }
             D2Msg::Done { phase } => {
-                *self.done_counts.entry(phase).or_insert(0) += 1;
+                self.done.record(phase);
                 self.try_detect(ctx);
             }
             D2Msg::Done2 { phase } => {
-                *self.done2_counts.entry(phase).or_insert(0) += 1;
+                self.done2.record(phase);
                 self.try_finish_detection(ctx);
             }
             D2Msg::Recolor { v, banned } => {
@@ -584,9 +470,7 @@ impl DistColoring2 {
                 self.mark_loser(local, banned);
             }
             D2Msg::Reduce { phase, count } => {
-                let e = self.reduce_acc.entry(phase).or_insert((0, 0));
-                e.0 += 1;
-                e.1 += count;
+                self.allreduce.absorb_child(phase, count);
                 self.try_send_reduce(ctx);
             }
             D2Msg::Bcast { phase, count } => {
@@ -613,10 +497,15 @@ impl RankProgram for DistColoring2 {
         // interior vertices of different ranks may share a ghost-middle
         // path only if both are boundary — interior vertices are ≥ 2 hops
         // from any cross edge, so they *are* safe: color them first).
-        self.u_cur = (0..self.dg.n_local as u32).collect();
         // Boundary last: their speculative colors settle against fresher
         // interior information.
-        self.u_cur.sort_by_key(|&v| self.dg.is_boundary[v as usize]);
+        self.u_cur = self
+            .halo
+            .interior
+            .iter()
+            .chain(self.halo.boundary.iter())
+            .copied()
+            .collect();
         self.u_pos = 0;
         self.phases_executed = 1;
         if self.superstep(ctx) {
@@ -692,6 +581,7 @@ mod tests {
 
     #[test]
     fn codec_round_trip() {
+        use cmg_runtime::WireMessage;
         let msgs = [
             D2Msg::Color { v: 1, color: 2 },
             D2Msg::Done { phase: 3 },

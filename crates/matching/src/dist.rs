@@ -18,10 +18,9 @@
 //! into one wire packet.
 
 use crate::Matching;
-use bytes::{Buf, BufMut};
 use cmg_graph::{VertexId, Weight, NO_VERTEX};
-use cmg_partition::DistGraph;
-use cmg_runtime::{Rank, RankCtx, RankProgram, Status, WireMessage};
+use cmg_partition::{weight_sorted_csr, DistGraph, HaloView};
+use cmg_runtime::{wire_codec, Rank, RankCtx, RankProgram, Status};
 use std::collections::VecDeque;
 
 /// Local-index sentinel.
@@ -46,62 +45,32 @@ enum VState {
     Failed,
 }
 
-/// The three wire messages of §3.2, each carrying the global ids of the
-/// edge endpoints (`from` = sender's vertex, `to` = addressee's vertex).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum MatchMsg {
-    /// Matching proposal across edge `(from, to)`.
-    Request {
-        /// Proposing vertex (sender side).
-        from: VertexId,
-        /// Proposed-to vertex (receiver side).
-        to: VertexId,
-    },
-    /// `from` has been matched and is no longer available.
-    Succeeded {
-        /// Newly matched vertex (sender side).
-        from: VertexId,
-        /// Neighbor being informed (receiver side).
-        to: VertexId,
-    },
-    /// `from` cannot be matched at all.
-    Failed {
-        /// Failed vertex (sender side).
-        from: VertexId,
-        /// Neighbor being informed (receiver side).
-        to: VertexId,
-    },
-}
-
-impl WireMessage for MatchMsg {
-    fn encode(&self, buf: &mut impl BufMut) {
-        let (tag, from, to) = match *self {
-            MatchMsg::Request { from, to } => (0u8, from, to),
-            MatchMsg::Succeeded { from, to } => (1u8, from, to),
-            MatchMsg::Failed { from, to } => (2u8, from, to),
-        };
-        buf.put_u8(tag);
-        buf.put_u32_le(from);
-        buf.put_u32_le(to);
-    }
-
-    fn decode(buf: &mut impl Buf) -> Option<Self> {
-        if buf.remaining() < 9 {
-            return None;
-        }
-        let tag = buf.get_u8();
-        let from = buf.get_u32_le();
-        let to = buf.get_u32_le();
-        match tag {
-            0 => Some(MatchMsg::Request { from, to }),
-            1 => Some(MatchMsg::Succeeded { from, to }),
-            2 => Some(MatchMsg::Failed { from, to }),
-            _ => None,
-        }
-    }
-
-    fn encoded_len(&self) -> usize {
-        9
+wire_codec! {
+    /// The three wire messages of §3.2, each carrying the global ids of the
+    /// edge endpoints (`from` = sender's vertex, `to` = addressee's vertex).
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum MatchMsg {
+        /// Matching proposal across edge `(from, to)`.
+        0 => Request {
+            /// Proposing vertex (sender side).
+            from: VertexId,
+            /// Proposed-to vertex (receiver side).
+            to: VertexId,
+        },
+        /// `from` has been matched and is no longer available.
+        1 => Succeeded {
+            /// Newly matched vertex (sender side).
+            from: VertexId,
+            /// Neighbor being informed (receiver side).
+            to: VertexId,
+        },
+        /// `from` cannot be matched at all.
+        2 => Failed {
+            /// Failed vertex (sender side).
+            from: VertexId,
+            /// Neighbor being informed (receiver side).
+            to: VertexId,
+        },
     }
 }
 
@@ -122,9 +91,8 @@ pub struct DistMatching {
     candidate: Vec<u32>,
     /// Pending remote proposals per owned vertex (requester local idxs).
     r_set: Vec<Vec<u32>>,
-    /// Owned neighbors of each ghost (reverse cross-adjacency).
-    ghost_adj_x: Vec<usize>,
-    ghost_adj: Vec<u32>,
+    /// Halo structure: the ghost reverse cross-adjacency lives here.
+    halo: HaloView,
     /// Inner-loop queue of newly unavailable local indices.
     queue: VecDeque<u32>,
     /// Messages sent this round, by type (observability only).
@@ -137,48 +105,12 @@ impl DistMatching {
         let n_local = dg.n_local;
         let n_total = dg.n_total();
 
-        // Weight-sorted adjacency. Ties broken by ascending *global* id so
-        // every rank orders shared edges identically.
-        let mut sxadj = Vec::with_capacity(n_local + 1);
-        sxadj.push(0usize);
-        let mut sadj = Vec::with_capacity(dg.adj.len());
-        let mut row: Vec<(Weight, VertexId, u32)> = Vec::new();
-        for v in 0..n_local as u32 {
-            row.clear();
-            row.extend(
-                dg.neighbors_weighted(v)
-                    .map(|(u, w)| (w, dg.global_ids[u as usize], u)),
-            );
-            row.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
-            sadj.extend(row.iter().map(|&(_, _, u)| u));
-            sxadj.push(sadj.len());
-        }
-
-        // Reverse adjacency for ghosts: which owned vertices touch each
-        // ghost (needed to propagate "ghost became unavailable").
-        let n_ghost = n_total - n_local;
-        let mut counts = vec![0usize; n_ghost];
-        for &u in &dg.adj {
-            if u as usize >= n_local {
-                counts[u as usize - n_local] += 1;
-            }
-        }
-        let mut ghost_adj_x = Vec::with_capacity(n_ghost + 1);
-        ghost_adj_x.push(0usize);
-        for c in &counts {
-            ghost_adj_x.push(ghost_adj_x.last().unwrap() + c);
-        }
-        let mut ghost_adj = vec![0u32; *ghost_adj_x.last().unwrap()];
-        let mut cursor = ghost_adj_x.clone();
-        for v in 0..n_local as u32 {
-            for &u in dg.neighbors(v) {
-                if u as usize >= n_local {
-                    let gi = u as usize - n_local;
-                    ghost_adj[cursor[gi]] = v;
-                    cursor[gi] += 1;
-                }
-            }
-        }
+        // Weight-sorted adjacency (ties broken by ascending *global* id so
+        // every rank orders shared edges identically) and the ghost
+        // reverse cross-adjacency both come precomputed from the
+        // partition layer.
+        let (sxadj, sadj, _) = weight_sorted_csr(&dg);
+        let halo = HaloView::build(&dg);
 
         DistMatching {
             ptr: sxadj[..n_local].to_vec(),
@@ -188,8 +120,7 @@ impl DistMatching {
             mate: vec![NO_VERTEX; n_local],
             candidate: vec![NONE; n_local],
             r_set: vec![Vec::new(); n_local],
-            ghost_adj_x,
-            ghost_adj,
+            halo,
             queue: VecDeque::new(),
             counts: RoundCounts::default(),
             dg,
@@ -241,14 +172,16 @@ impl DistMatching {
             let m = self.mate[v as usize];
             let vg = self.dg.global_ids[v as usize];
             if m != NO_VERTEX && vg < m {
-                let ml = self.dg.global_to_local[&m];
-                let w = self
-                    .dg
-                    .neighbors_weighted(v)
-                    .find(|&(u, _)| u == ml)
-                    .map(|(_, w)| w)
-                    .expect("mate must be a neighbor");
-                total += w;
+                // Total by construction: a mate is always a neighbor (the
+                // protocol only ever matches across an adjacency entry),
+                // so the lookup can only succeed — but stay total rather
+                // than assert, per the no-panic policy for library code.
+                let Some(&ml) = self.dg.global_to_local.get(&m) else {
+                    continue;
+                };
+                if let Some((_, w)) = self.dg.neighbors_weighted(v).find(|&(u, _)| u == ml) {
+                    total += w;
+                }
             }
         }
         total
@@ -397,9 +330,9 @@ impl DistMatching {
                 }
             } else {
                 let gi = x as usize - n_local;
-                let (lo, hi) = (self.ghost_adj_x[gi], self.ghost_adj_x[gi + 1]);
+                let (lo, hi) = (self.halo.ghost_adj_x[gi], self.halo.ghost_adj_x[gi + 1]);
                 for i in lo..hi {
-                    let w = self.ghost_adj[i];
+                    let w = self.halo.ghost_adj[i];
                     ctx.charge(1);
                     if self.state[w as usize] == VState::Free && self.candidate[w as usize] == x {
                         self.recompute(w, ctx);

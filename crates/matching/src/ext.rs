@@ -4,6 +4,10 @@
 //!
 //! * [`b_suitor`]: ½-approximate **b-matching** — every vertex `v` may be
 //!   matched to up to `b(v)` partners, maximizing total edge weight;
+//! * [`DistBSuitor`]: the distributed, message-driven form of the same
+//!   algorithm, built on the shared substrate ([`HaloView`],
+//!   [`weight_sorted_csr`], `wire_codec!`) — optimistic cross-rank
+//!   proposals with displacement rejections;
 //! * [`vertex_weighted_greedy`]: greedy **vertex-weighted matching** —
 //!   maximize the sum of *vertex* weights covered by the matching (the
 //!   objective behind block-triangular decompositions and sparse-basis
@@ -11,7 +15,37 @@
 
 use crate::Matching;
 use cmg_graph::{CsrGraph, VertexId, Weight, NO_VERTEX};
+use cmg_partition::{weight_sorted_csr, DistGraph, HaloView};
+use cmg_runtime::{wire_codec, RankCtx, RankProgram, Status};
 use std::collections::BinaryHeap;
+
+/// A proposal held by a vertex: weight and the (global) proposer id.
+/// Ordered as a *min*-heap element — the weakest proposal on top; ties
+/// broken so the larger proposer id is weaker (smallest-label
+/// preference, consistent on every rank because ids are global).
+#[derive(PartialEq)]
+struct Prop(Weight, VertexId);
+impl Eq for Prop {}
+impl Ord for Prop {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Strength is (weight desc, proposer id asc); the heap needs the
+        // *weakest* proposal on top, so compare reversed: lower weight is
+        // greater, and on weight ties the larger proposer id is greater
+        // (= weaker). This matches the admissibility test
+        // `(w, Reverse(p)) > (top.0, Reverse(top.1))` exactly — the two
+        // orders must agree or displacement compares challengers against
+        // the strongest suitor instead of the weakest and ties wedge.
+        other
+            .0
+            .total_cmp(&self.0)
+            .then_with(|| self.1.cmp(&other.1))
+    }
+}
+impl PartialOrd for Prop {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
 
 /// A b-matching: each vertex holds a set of partners.
 #[derive(Clone, Debug)]
@@ -90,25 +124,6 @@ pub fn b_suitor(g: &CsrGraph, b: impl Fn(VertexId) -> usize) -> BMatching {
     let n = g.num_vertices();
     // suitors[u]: min-heap (by (weight, proposer), weakest on top) of
     // current proposals held by u, capacity b(u).
-    #[derive(PartialEq)]
-    struct Prop(Weight, VertexId);
-    impl Eq for Prop {}
-    impl Ord for Prop {
-        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            // Reversed for a min-heap; ties: larger proposer id is weaker
-            // (smallest-label preference).
-            other
-                .0
-                .total_cmp(&self.0)
-                .then_with(|| self.1.cmp(&other.1).reverse())
-        }
-    }
-    impl PartialOrd for Prop {
-        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-            Some(self.cmp(other))
-        }
-    }
-
     let mut suitors: Vec<BinaryHeap<Prop>> = (0..n).map(|_| BinaryHeap::new()).collect();
     // Number of outstanding proposals each vertex has made.
     let mut made: Vec<usize> = vec![0; n];
@@ -178,6 +193,258 @@ pub fn b_suitor(g: &CsrGraph, b: impl Fn(VertexId) -> usize) -> BMatching {
         l.dedup();
     }
     BMatching { partners: mirrored }
+}
+
+wire_codec! {
+    /// Wire messages of the distributed b-suitor program. Both carry
+    /// *global* vertex ids; weights are never shipped because cross
+    /// edges (and their weights) are replicated on both endpoint ranks.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum ExtMsg {
+        /// `from` proposes the edge `(from, to)`; `to` is owned by the
+        /// receiving rank.
+        0 => Propose { from: VertexId, to: VertexId },
+        /// `from`'s proposal to `to` was refused on arrival or later
+        /// displaced by a stronger suitor; `from`'s owner re-proposes.
+        1 => Reject { from: VertexId, to: VertexId },
+    }
+}
+
+/// Distributed b-suitor (Khan–Pothen et al.): each rank runs the
+/// pointer-based suitor scan over its owned vertices, proposing
+/// optimistically across rank boundaries. A remote proposal is judged by
+/// the owner of the target: admissible proposals are accepted (possibly
+/// displacing the weakest current suitor, who is notified and
+/// re-proposes), inadmissible ones are rejected back to the proposer.
+///
+/// Because suitor heaps only ever *strengthen*, rejection is permanent
+/// and the per-vertex pointer never revisits an earlier neighbor — the
+/// algorithm reaches the unique locally-dominant b-matching regardless
+/// of message schedule (for distinct edge weights), so the result equals
+/// sequential [`b_suitor`] on the same graph.
+///
+/// Termination is by engine quiescence: the program is always
+/// [`Status::Idle`]; the run ends when no Propose/Reject is in flight.
+pub struct DistBSuitor {
+    dg: DistGraph,
+    halo: HaloView,
+    /// Weight-sorted adjacency (descending weight, ascending global id)
+    /// — the suitor scan order, identical on every rank.
+    sxadj: Vec<usize>,
+    sadj: Vec<u32>,
+    sweights: Vec<Weight>,
+    /// Capacity per owned vertex.
+    b: Vec<usize>,
+    /// Accepted proposals held by each owned vertex (weakest on top).
+    suitors: Vec<BinaryHeap<Prop>>,
+    /// Outstanding (sent or accepted) proposals per owned vertex.
+    made: Vec<usize>,
+    /// Next slot in `sadj` each owned vertex will consider.
+    ptr: Vec<usize>,
+    /// Owned vertices that still owe proposals.
+    stack: Vec<u32>,
+}
+
+impl DistBSuitor {
+    /// Builds the rank program. `b` takes *global* vertex ids so every
+    /// rank sees the same capacity function.
+    pub fn new(dg: DistGraph, b: impl Fn(VertexId) -> usize) -> Self {
+        let halo = HaloView::build(&dg);
+        let (sxadj, sadj, sweights) = weight_sorted_csr(&dg);
+        let n = dg.n_local;
+        let caps: Vec<usize> = (0..n).map(|v| b(dg.global_ids[v])).collect();
+        let ptr = sxadj[..n].to_vec();
+        // Pop order: boundary ascending first (cross-rank proposals
+        // launch early, overlapping communication with interior work),
+        // then interior ascending. On one rank everything is interior,
+        // so the scan order matches sequential `b_suitor` exactly.
+        let stack: Vec<u32> = halo
+            .interior
+            .iter()
+            .rev()
+            .chain(halo.boundary.iter().rev())
+            .copied()
+            .collect();
+        DistBSuitor {
+            dg,
+            halo,
+            sxadj,
+            sadj,
+            sweights,
+            b: caps,
+            suitors: (0..n).map(|_| BinaryHeap::new()).collect(),
+            made: vec![0; n],
+            ptr,
+            stack,
+        }
+    }
+
+    /// The halo view backing this program (boundary/interior split).
+    pub fn halo(&self) -> &HaloView {
+        &self.halo
+    }
+
+    /// Accepted proposals at this rank as `(target, proposer)` global-id
+    /// pairs — the rank's share of the matching at quiescence.
+    pub fn held_proposals(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.suitors.iter().enumerate().flat_map(move |(ul, heap)| {
+            let ug = self.dg.global_ids[ul];
+            heap.iter().map(move |p| (ug, p.1))
+        })
+    }
+
+    /// Would a proposal `(w, proposer)` enter owned vertex `u`'s heap?
+    fn admissible(&self, u: u32, w: Weight, proposer: VertexId) -> bool {
+        let heap = &self.suitors[u as usize];
+        heap.len() < self.b[u as usize]
+            || heap.peek().is_some_and(|weakest| {
+                (w, std::cmp::Reverse(proposer)) > (weakest.0, std::cmp::Reverse(weakest.1))
+            })
+    }
+
+    /// Accepts an admissible proposal into owned vertex `u`'s heap,
+    /// displacing (and notifying) the weakest suitor if over capacity.
+    fn accept(&mut self, u: u32, proposer: VertexId, w: Weight, ctx: &mut RankCtx<ExtMsg>) {
+        self.suitors[u as usize].push(Prop(w, proposer));
+        if self.suitors[u as usize].len() > self.b[u as usize] {
+            if let Some(Prop(_, displaced)) = self.suitors[u as usize].pop() {
+                let to = self.dg.global_ids[u as usize];
+                self.notify_displaced(displaced, to, ctx);
+            }
+        }
+    }
+
+    /// Routes a displacement: local proposers restack, remote proposers
+    /// get a Reject to their owner.
+    fn notify_displaced(&mut self, from: VertexId, to: VertexId, ctx: &mut RankCtx<ExtMsg>) {
+        let Some(&fl) = self.dg.global_to_local.get(&from) else {
+            return; // unknown proposer: drop (cannot happen in a valid run)
+        };
+        if self.dg.is_ghost(fl) {
+            ctx.send(self.dg.owner(fl), &ExtMsg::Reject { from, to });
+        } else {
+            self.made[fl as usize] = self.made[fl as usize].saturating_sub(1);
+            self.stack.push(fl);
+        }
+    }
+
+    /// Advances owned vertex `v`'s pointer until its proposal budget is
+    /// full or its neighbor list is exhausted.
+    fn advance(&mut self, v: u32, ctx: &mut RankCtx<ExtMsg>) {
+        while self.made[v as usize] < self.b[v as usize] {
+            let i = self.ptr[v as usize];
+            if i >= self.sxadj[v as usize + 1] {
+                break;
+            }
+            self.ptr[v as usize] = i + 1;
+            let u = self.sadj[i];
+            let w = self.sweights[i];
+            ctx.charge(1);
+            if self.dg.is_ghost(u) {
+                // Optimistic: count it made now; a Reject refunds it.
+                self.made[v as usize] += 1;
+                let msg = ExtMsg::Propose {
+                    from: self.dg.global_ids[v as usize],
+                    to: self.dg.global_ids[u as usize],
+                };
+                ctx.send(self.dg.owner(u), &msg);
+            } else {
+                let proposer = self.dg.global_ids[v as usize];
+                if self.admissible(u, w, proposer) {
+                    self.made[v as usize] += 1;
+                    self.accept(u, proposer, w, ctx);
+                }
+                // Inadmissible targets stay inadmissible (heaps only
+                // strengthen): skip forever.
+            }
+        }
+    }
+
+    fn drain(&mut self, ctx: &mut RankCtx<ExtMsg>) {
+        while let Some(v) = self.stack.pop() {
+            self.advance(v, ctx);
+        }
+    }
+
+    fn handle(&mut self, msg: ExtMsg, ctx: &mut RankCtx<ExtMsg>) {
+        match msg {
+            ExtMsg::Propose { from, to } => {
+                ctx.charge(1);
+                let Some(&tl) = self.dg.global_to_local.get(&to) else {
+                    return; // not ours: drop (cannot happen in a valid run)
+                };
+                // The cross edge is replicated locally: recover its weight
+                // from `to`'s row.
+                let w = self
+                    .dg
+                    .neighbors_weighted(tl)
+                    .find(|&(u, _)| self.dg.global_ids[u as usize] == from)
+                    .map(|(_, w)| w);
+                match w {
+                    Some(w) if self.admissible(tl, w, from) => self.accept(tl, from, w, ctx),
+                    _ => {
+                        // Refused (or no such edge): bounce to the
+                        // proposer's owner so it re-proposes elsewhere.
+                        if let Some(&fl) = self.dg.global_to_local.get(&from) {
+                            ctx.send(self.dg.owner(fl), &ExtMsg::Reject { from, to });
+                        }
+                    }
+                }
+            }
+            ExtMsg::Reject { from, to: _ } => {
+                ctx.charge(1);
+                let Some(&fl) = self.dg.global_to_local.get(&from) else {
+                    return;
+                };
+                self.made[fl as usize] = self.made[fl as usize].saturating_sub(1);
+                self.stack.push(fl);
+            }
+        }
+    }
+}
+
+impl RankProgram for DistBSuitor {
+    type Msg = ExtMsg;
+
+    fn on_start(&mut self, ctx: &mut RankCtx<ExtMsg>) -> Status {
+        self.drain(ctx);
+        Status::Idle
+    }
+
+    fn on_round(
+        &mut self,
+        inbox: &mut Vec<(cmg_runtime::Rank, Vec<ExtMsg>)>,
+        ctx: &mut RankCtx<ExtMsg>,
+    ) -> Status {
+        for (_, msgs) in inbox.drain(..) {
+            for m in msgs {
+                self.handle(m, ctx);
+            }
+        }
+        self.drain(ctx);
+        Status::Idle
+    }
+}
+
+/// Assembles the global b-matching from finished rank programs. Each
+/// accepted proposal at quiescence is a matched edge; mirror both
+/// endpoints and dedup, exactly as sequential [`b_suitor`] does.
+pub fn assemble_b_matching(programs: &[DistBSuitor], num_vertices: usize) -> BMatching {
+    let mut partners: Vec<Vec<VertexId>> = vec![Vec::new(); num_vertices];
+    for p in programs {
+        for (ul, heap) in p.suitors.iter().enumerate() {
+            let ug = p.dg.global_ids[ul];
+            for prop in heap.iter() {
+                partners[ug as usize].push(prop.1);
+                partners[prop.1 as usize].push(ug);
+            }
+        }
+    }
+    for l in &mut partners {
+        l.sort_unstable();
+        l.dedup();
+    }
+    BMatching { partners }
 }
 
 /// Greedy vertex-weighted matching: maximize the total *vertex* weight
@@ -310,6 +577,127 @@ mod tests {
         for v in 0..5 {
             assert!(bm.partners(v).is_empty());
         }
+    }
+
+    fn run_dist_b(
+        g: &CsrGraph,
+        partition: &cmg_partition::Partition,
+        b: impl Fn(VertexId) -> usize + Copy,
+    ) -> BMatching {
+        use cmg_runtime::{CostModel, EngineConfig, SimEngine};
+        let parts = DistGraph::build_all(g, partition);
+        let programs: Vec<DistBSuitor> = parts
+            .into_iter()
+            .map(|dg| DistBSuitor::new(dg, b))
+            .collect();
+        let cfg = EngineConfig {
+            cost: CostModel::compute_only(),
+            max_rounds: 100_000,
+            ..Default::default()
+        };
+        let result = SimEngine::new(programs, cfg).run();
+        assert!(
+            !result.hit_round_cap,
+            "distributed b-suitor did not quiesce"
+        );
+        assemble_b_matching(&result.programs, g.num_vertices())
+    }
+
+    fn assert_same_b_matching(a: &BMatching, b: &BMatching, n: usize, what: &str) {
+        for v in 0..n as VertexId {
+            assert_eq!(a.partners(v), b.partners(v), "{what}: vertex {v} differs");
+        }
+    }
+
+    #[test]
+    fn dist_b_suitor_matches_sequential_across_partitions() {
+        use cmg_partition::simple::{block_partition, hash_partition};
+        for seed in 0..4 {
+            let g = uniform(48, 160, seed);
+            for b in [1usize, 2, 3] {
+                let expected = b_suitor(&g, |_| b);
+                for ranks in [1u32, 2, 4] {
+                    let bp = block_partition(48, ranks);
+                    let hp = hash_partition(48, ranks, seed);
+                    for (p, name) in [(bp.clone(), "block"), (hp.clone(), "hash")] {
+                        let got = run_dist_b(&g, &p, |_| b);
+                        got.validate(&g, &|_| b).unwrap();
+                        assert_same_b_matching(
+                            &got,
+                            &expected,
+                            48,
+                            &format!("seed {seed} b {b} ranks {ranks} {name}"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dist_b_suitor_heterogeneous_capacities() {
+        use cmg_partition::simple::block_partition;
+        let g = uniform(30, 90, 7);
+        let b = |v: VertexId| 1 + (v as usize % 3);
+        let expected = b_suitor(&g, b);
+        for ranks in [2u32, 3] {
+            let got = run_dist_b(&g, &block_partition(30, ranks), b);
+            got.validate(&g, &b).unwrap();
+            assert_same_b_matching(&got, &expected, 30, &format!("ranks {ranks}"));
+        }
+    }
+
+    #[test]
+    fn dist_b_suitor_unweighted_ties_match_sequential() {
+        use cmg_partition::simple::block_partition;
+        // Unit weights everywhere: every comparison is a tie, so this
+        // exercises the id tie-breaks. The edge order (weight desc,
+        // smaller endpoint asc) is still strict and globally consistent,
+        // so the distributed run must reach the same fixpoint as the
+        // sequential scan.
+        let g = grid2d(7, 7);
+        let got = run_dist_b(&g, &block_partition(49, 4), |_| 2);
+        got.validate(&g, &|_| 2).unwrap();
+        assert!(got.num_edges() > 0);
+        let expected = b_suitor(&g, |_| 2);
+        assert_same_b_matching(&got, &expected, 49, "unweighted grid");
+    }
+
+    #[test]
+    fn dist_b_suitor_single_rank_uses_no_messages() {
+        use cmg_runtime::{CostModel, EngineConfig, SimEngine};
+        let g = uniform(20, 60, 1);
+        let parts = DistGraph::build_all(&g, &cmg_partition::Partition::single(20));
+        let programs: Vec<DistBSuitor> = parts
+            .into_iter()
+            .map(|dg| DistBSuitor::new(dg, |_| 1))
+            .collect();
+        assert!(programs[0].halo().boundary.is_empty());
+        let cfg = EngineConfig {
+            cost: CostModel::compute_only(),
+            max_rounds: 100,
+            ..Default::default()
+        };
+        let result = SimEngine::new(programs, cfg).run();
+        let got = assemble_b_matching(&result.programs, 20);
+        let expected = b_suitor(&g, |_| 1);
+        assert_same_b_matching(&got, &expected, 20, "single rank");
+    }
+
+    #[test]
+    fn ext_msg_codec_round_trip() {
+        use cmg_runtime::WireMessage;
+        let msgs = [
+            ExtMsg::Propose { from: 3, to: 9 },
+            ExtMsg::Reject { from: 9, to: 3 },
+        ];
+        let mut buf = bytes::BytesMut::new();
+        for m in &msgs {
+            m.encode(&mut buf);
+            assert_eq!(m.encoded_len(), 9);
+        }
+        let decoded: Vec<ExtMsg> = cmg_runtime::message::decode_all(buf.freeze()).unwrap();
+        assert_eq!(decoded, msgs);
     }
 
     #[test]

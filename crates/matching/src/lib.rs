@@ -13,7 +13,9 @@
 //!   brute force for tiny general graphs (property-test oracle);
 //! * [`dist`]: the distributed candidate-mate algorithm with
 //!   `REQUEST`/`SUCCEEDED`/`FAILED` messages and aggressive message
-//!   bundling, as a [`cmg_runtime::RankProgram`].
+//!   bundling, as a [`cmg_runtime::RankProgram`];
+//! * [`ext`]: b-matching (sequential and distributed b-suitor) and
+//!   vertex-weighted extensions.
 
 pub mod dist;
 pub mod exact;
@@ -22,4 +24,5 @@ pub mod matching;
 pub mod seq;
 
 pub use dist::{DistMatching, MatchMsg};
+pub use ext::{assemble_b_matching, BMatching, DistBSuitor, ExtMsg};
 pub use matching::Matching;

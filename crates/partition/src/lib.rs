@@ -20,6 +20,7 @@
 pub mod dist;
 pub mod geometric;
 pub mod grid_dist;
+pub mod halo;
 pub mod multilevel;
 pub mod partition;
 pub mod simple;
@@ -27,5 +28,6 @@ pub mod simple;
 pub use dist::DistGraph;
 pub use geometric::{morton_grid_partition, morton_partition};
 pub use grid_dist::grid2d_dist;
+pub use halo::{ghost_neighbor_owners, weight_sorted_csr, HaloView};
 pub use multilevel::multilevel_partition;
 pub use partition::{Partition, PartitionQuality};

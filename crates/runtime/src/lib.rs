@@ -27,6 +27,8 @@
 //! can be disabled per run for the ablation study.
 
 pub mod bundle;
+pub mod codec;
+pub mod collectives;
 pub mod cost;
 pub mod delivery;
 pub mod message;
@@ -37,6 +39,10 @@ pub mod threaded;
 
 pub use bundle::OutBox;
 pub use cmg_obs::SchedStats;
+pub use codec::WireField;
+pub use collectives::{
+    fan_out, DoneWave, FanoutScheme, Monoid, NeighborExchange, ReduceOutcome, TreeAllreduce,
+};
 pub use cost::{CostModel, MachinePreset};
 pub use delivery::{DeliveryKey, DeliveryPolicy, DeliveryScript};
 pub use message::WireMessage;

@@ -31,6 +31,12 @@ pub struct RankCtx<M: WireMessage> {
     /// simulation engine, wall seconds since run start under the
     /// threaded engine. Engine-maintained via [`RankCtx::set_now`].
     now: f64,
+    /// Messages this rank addressed to itself. Self-sends are legal
+    /// (delivered next round like any other message) but unusual enough
+    /// that exploration harnesses want them visible: a self-send packet
+    /// enters the mailbox schedule and must be fingerprinted like any
+    /// other delivery.
+    self_sends: u64,
 }
 
 impl<M: WireMessage> RankCtx<M> {
@@ -49,6 +55,7 @@ impl<M: WireMessage> RankCtx<M> {
             outbox: OutBox::for_ranks(bundling, num_ranks),
             recorder,
             now: 0.0,
+            self_sends: 0,
         }
     }
 
@@ -71,11 +78,30 @@ impl<M: WireMessage> RankCtx<M> {
     }
 
     /// Sends `msg` to `dst`; it is delivered at the start of the next
-    /// round. Self-sends are allowed and also arrive next round.
+    /// round. Self-sends (`dst == rank`) are allowed and also arrive
+    /// next round — they are counted in [`RankCtx::self_sends`] so
+    /// exploration harnesses can see they entered the schedule.
     #[inline]
     pub fn send(&mut self, dst: Rank, msg: &M) {
-        debug_assert!(dst < self.num_ranks, "send to nonexistent rank {dst}");
+        debug_assert!(
+            dst < self.num_ranks,
+            "rank {} sent to nonexistent rank {dst} (num_ranks = {})",
+            self.rank,
+            self.num_ranks
+        );
+        if dst == self.rank {
+            self.self_sends += 1;
+        }
         self.outbox.push(dst, msg);
+    }
+
+    /// How many messages this rank has addressed to itself so far.
+    /// Self-sends are legal but rare; the `Scripted` DFS in the
+    /// exploration harness fingerprints their deliveries like any
+    /// other packet, and this counter lets tests assert they occurred.
+    #[inline]
+    pub fn self_sends(&self) -> u64 {
+        self.self_sends
     }
 
     /// Charges `units` of compute work against the cost model (one unit ≈

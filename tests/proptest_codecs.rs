@@ -5,7 +5,7 @@
 use bytes::BytesMut;
 use cmg_coloring::dist2::D2Msg;
 use cmg_coloring::ColorMsg;
-use cmg_matching::MatchMsg;
+use cmg_matching::{ExtMsg, MatchMsg};
 use cmg_runtime::message::decode_all;
 use cmg_runtime::WireMessage;
 use proptest::prelude::*;
@@ -39,6 +39,16 @@ fn arb_d2_msg() -> impl Strategy<Value = D2Msg> {
     })
 }
 
+fn arb_ext_msg() -> impl Strategy<Value = ExtMsg> {
+    (any::<bool>(), any::<u32>(), any::<u32>()).prop_map(|(reject, from, to)| {
+        if reject {
+            ExtMsg::Reject { from, to }
+        } else {
+            ExtMsg::Propose { from, to }
+        }
+    })
+}
+
 fn round_trip<M: WireMessage + PartialEq + std::fmt::Debug + Clone>(msgs: &[M]) {
     let mut buf = BytesMut::new();
     let mut expected_len = 0;
@@ -69,6 +79,11 @@ proptest! {
         round_trip(&msgs);
     }
 
+    #[test]
+    fn ext_msgs_round_trip(msgs in proptest::collection::vec(arb_ext_msg(), 0..40)) {
+        round_trip(&msgs);
+    }
+
     /// Truncating a non-empty bundle anywhere strictly inside its final
     /// message makes decoding fail (no silent misparse).
     #[test]
@@ -96,6 +111,7 @@ proptest! {
         let buf = bytes::Bytes::from(bytes);
         let _ = decode_all::<MatchMsg>(buf.clone());
         let _ = decode_all::<ColorMsg>(buf.clone());
-        let _ = decode_all::<D2Msg>(buf);
+        let _ = decode_all::<D2Msg>(buf.clone());
+        let _ = decode_all::<ExtMsg>(buf);
     }
 }
