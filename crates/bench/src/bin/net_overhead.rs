@@ -1,0 +1,105 @@
+//! Net-transport overhead: the multi-process socket engine vs the
+//! in-process `ThreadedEngine` on the fig5 five-point grid.
+//!
+//! Both engines execute the identical synchronous bundled round
+//! protocol, so results are bit-identical and the delta is pure
+//! transport cost: process spawning, socket framing, and the on-wire
+//! barrier. Reported per rank count: wall time, per-round latency for
+//! both engines, and the net engine's frame throughput (frames/sec)
+//! from its link-layer counters.
+//!
+//! Usage: `cargo run --release -p cmg-bench --bin net_overhead
+//! [--ranks 2,4,8]`
+
+use cmg_core::prelude::*;
+use cmg_graph::generators;
+use cmg_graph::weights::{assign_weights, WeightScheme};
+use cmg_net::NetConfig;
+use cmg_obs::bench::BenchReport;
+use cmg_obs::Json;
+use cmg_partition::simple::block_partition;
+use cmg_partition::DistGraph;
+use std::time::Instant;
+
+/// Parses `--ranks 2,4,8` from argv; defaults to the acceptance sweep.
+fn rank_counts() -> Vec<u32> {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--ranks") {
+        if let Some(list) = args.get(i + 1) {
+            return list
+                .split(',')
+                .map(|s| s.trim().parse().expect("--ranks wants integers"))
+                .collect();
+        }
+    }
+    vec![2, 4, 8]
+}
+
+fn main() {
+    println!("Net transport overhead: per-process socket ranks vs in-process threads\n");
+    let mut report = BenchReport::new("net_overhead");
+    let g = assign_weights(
+        &generators::grid2d(32, 32),
+        WeightScheme::Uniform { lo: 0.0, hi: 1.0 },
+        7,
+    );
+    report.fact(
+        "graph",
+        Json::Str("fig5 grid 32x32, uniform weights".into()),
+    );
+
+    println!(
+        "{:>3} {:>8} {:>12} {:>12} {:>10} {:>12} {:>12} {:>12}",
+        "p", "rounds", "thr ms", "net ms", "net/thr", "thr ms/rnd", "net ms/rnd", "frames/s"
+    );
+    for p in rank_counts() {
+        let part = block_partition(g.num_vertices(), p);
+
+        let t0 = Instant::now();
+        let thr = cmg_core::run_matching(&g, &part, &Engine::default_threaded());
+        let thr_s = t0.elapsed().as_secs_f64();
+
+        let parts = DistGraph::build_all(&g, &part);
+        let t1 = Instant::now();
+        let net = cmg_net::run_matching(parts, &NetConfig::default()).expect("net matching run");
+        let net_s = t1.elapsed().as_secs_f64();
+
+        // The transport must be invisible in the results.
+        assert_eq!(thr.matching, net.matching, "p = {p}: engines disagree");
+        net.stats.assert_conservation();
+
+        let rounds = net.rounds;
+        let frames = net.links.total.frames_sent;
+        let frames_per_s = frames as f64 / net_s;
+        let thr_round_ms = thr_s * 1e3 / rounds as f64;
+        let net_round_ms = net_s * 1e3 / rounds as f64;
+        println!(
+            "{:>3} {:>8} {:>12.3} {:>12.3} {:>9.1}x {:>12.3} {:>12.3} {:>12.0}",
+            p,
+            rounds,
+            thr_s * 1e3,
+            net_s * 1e3,
+            net_s / thr_s,
+            thr_round_ms,
+            net_round_ms,
+            frames_per_s,
+        );
+        report.row(Json::obj(vec![
+            ("ranks", Json::UInt(p as u64)),
+            ("rounds", Json::UInt(rounds)),
+            ("threaded_wall_s", Json::Float(thr_s)),
+            ("net_wall_s", Json::Float(net_s)),
+            ("overhead_ratio", Json::Float(net_s / thr_s)),
+            ("threaded_round_latency_ms", Json::Float(thr_round_ms)),
+            ("net_round_latency_ms", Json::Float(net_round_ms)),
+            ("frames_sent", Json::UInt(frames)),
+            ("frames_per_s", Json::Float(frames_per_s)),
+            ("wire_bytes", Json::UInt(net.links.total.bytes_sent)),
+        ]));
+    }
+    println!("\nresults bit-identical across engines at every rank count");
+    match report.write() {
+        Ok(path) => println!("bench report: {}", path.display()),
+        Err(e) => eprintln!("could not write bench report: {e}"),
+    }
+}

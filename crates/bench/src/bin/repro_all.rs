@@ -31,6 +31,7 @@ fn main() {
         "future_hybrid",
         "quality_vs_p",
         "engine_overhead",
+        "net_overhead",
     ];
     // Children inherit an explicit bench dir so their BENCH_*.json files
     // land where this process will look for them.

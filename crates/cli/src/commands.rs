@@ -74,6 +74,7 @@ fn build_engine(args: &Args, recorder: RecorderHandle) -> Result<Engine, String>
     match args.get_or("engine", "sim") {
         "sim" => Ok(Engine::Simulated(cfg)),
         "threaded" => Ok(Engine::Threaded(cfg)),
+        "net" => Ok(Engine::Net(cfg)),
         other => Err(format!("unknown engine: {other}")),
     }
 }
@@ -353,6 +354,91 @@ pub fn coloring(argv: &[String]) -> i32 {
         }
         if let Some(obs) = &obs {
             obs.write("color")?;
+        }
+        Ok(())
+    })
+}
+
+/// `cmg run` — the one-command demo/acceptance path: matching + coloring
+/// on a fig5-style five-point grid at a chosen rank count, on any of the
+/// three engines (including the multi-process `net` engine, where each
+/// rank is its own OS process over Unix-domain sockets).
+pub fn run_demo(argv: &[String]) -> i32 {
+    run(|| {
+        let args = Args::parse(argv)?;
+        let ranks: u32 = args.num("ranks", 4)?;
+        let rows: usize = args.num("rows", 32)?;
+        let cols: usize = args.num("cols", 32)?;
+        let seed: u64 = args.num("seed", 7)?;
+        let (obs, recorder) = obs_setup(&args);
+        let engine = build_engine(&args, recorder)?;
+        let g = match args.get("input") {
+            Some(path) => load_graph(path)?,
+            None => assign_weights(
+                &generators::grid2d(rows, cols),
+                WeightScheme::Uniform { lo: 0.0, hi: 1.0 },
+                seed,
+            ),
+        };
+        let part = psimple::block_partition(g.num_vertices(), ranks);
+        println!(
+            "{} over {ranks} ranks ({})",
+            GraphStats::of(&g),
+            args.get_or("engine", "sim")
+        );
+
+        let m = run_matching(&g, &part, &engine);
+        m.matching
+            .validate(&g)
+            .map_err(|e| format!("invalid matching: {e}"))?;
+        m.stats.assert_conservation();
+        println!(
+            "matching: {} edges, weight {:.4}, {} rounds",
+            m.matching.cardinality(),
+            m.matching.weight(&g),
+            m.stats.rounds
+        );
+
+        let gu = g.unweighted();
+        let c = run_coloring(&gu, &part, ColoringConfig::default(), &engine);
+        c.coloring
+            .validate(&gu)
+            .map_err(|e| format!("invalid coloring: {e}"))?;
+        c.stats.assert_conservation();
+        println!(
+            "coloring: {} colors in {} phases, {} rounds",
+            c.coloring.num_colors(),
+            c.phases,
+            c.stats.rounds
+        );
+        match m.wall_time {
+            Some(w) => println!(
+                "wall time: {:.2?} + {:.2?}",
+                w,
+                c.wall_time.unwrap_or_default()
+            ),
+            None => println!(
+                "simulated time: {:.3} + {:.3} ms",
+                m.simulated_time * 1e3,
+                c.simulated_time * 1e3
+            ),
+        }
+
+        if args.has_switch("--verify") {
+            let reference = Engine::Simulated(EngineConfig::default());
+            let sm = run_matching(&g, &part, &reference);
+            if sm.matching != m.matching {
+                return Err("matching differs from the simulated engine".into());
+            }
+            let sc = run_coloring(&gu, &part, ColoringConfig::default(), &reference);
+            if sc.coloring != c.coloring || sc.phases != c.phases {
+                return Err("coloring differs from the simulated engine".into());
+            }
+            println!("verified: results bit-identical to the simulated engine");
+        }
+
+        if let Some(obs) = &obs {
+            obs.write("run")?;
         }
         Ok(())
     })

@@ -19,6 +19,7 @@ fn main() {
         Some("partition") => commands::partition(&argv[1..]),
         Some("match") => commands::matching(&argv[1..]),
         Some("color") => commands::coloring(&argv[1..]),
+        Some("run") => commands::run_demo(&argv[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
             0
@@ -49,11 +50,17 @@ COMMANDS
              --input FILE --parts K --method multilevel|block|bfs|random|hash
              [--seed S]
   match      run the distributed ½-approximation matching
-             --input FILE [--parts K] [--method …] [--engine sim|threaded]
+             --input FILE [--parts K] [--method …] [--engine sim|threaded|net]
              [--no-bundling] [--seq greedy|local-dominant|path-growing|suitor]
   color      run the distributed speculative coloring
-             --input FILE [--parts K] [--method …] [--engine sim|threaded]
+             --input FILE [--parts K] [--method …] [--engine sim|threaded|net]
              [--distance 1|2] [--superstep S] [--comm new|fiac|fiab]
+  run        matching + coloring on a fig5-style grid in one command
+             [--engine sim|threaded|net] [--ranks N] [--rows R --cols C]
+             [--seed S] [--input FILE] [--verify]
+             (--engine net runs each rank as its own OS process over
+             Unix-domain sockets; --verify cross-checks the results
+             bit-for-bit against the simulated engine)
 
 OBSERVABILITY (match and color)
   --trace-out FILE    Chrome trace_event JSON (load in Perfetto or

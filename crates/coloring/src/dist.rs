@@ -74,7 +74,7 @@ pub enum LocalOrder {
 }
 
 /// Configuration of the distributed coloring algorithm.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ColoringConfig {
     /// Superstep size `s`: vertices colored between communication steps.
     pub superstep_size: usize,

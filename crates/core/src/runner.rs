@@ -18,6 +18,12 @@ pub enum Engine {
     /// One OS thread per rank; reports wall-clock time. Keep rank counts
     /// near the host's core count.
     Threaded(EngineConfig),
+    /// One OS process per rank over Unix-domain sockets (`cmg-net`);
+    /// reports wall-clock time. The cost model, delivery policy, and
+    /// sync-rounds knobs do not apply — the transport is always the
+    /// synchronous bundled protocol; `max_rounds` and the recorder
+    /// carry over.
+    Net(EngineConfig),
 }
 
 impl Engine {
@@ -31,10 +37,43 @@ impl Engine {
         Engine::Threaded(EngineConfig::default())
     }
 
+    /// Multi-process socket engine with default configuration.
+    pub fn default_net() -> Self {
+        Engine::Net(EngineConfig::default())
+    }
+
+    /// Multi-process socket engine with the given configuration (only
+    /// `max_rounds` and `recorder` apply; see [`Engine::Net`]).
+    pub fn net(cfg: EngineConfig) -> Self {
+        Engine::Net(cfg)
+    }
+
     /// The underlying engine configuration.
     pub fn config(&self) -> &EngineConfig {
         match self {
-            Engine::Simulated(c) | Engine::Threaded(c) => c,
+            Engine::Simulated(c) | Engine::Threaded(c) | Engine::Net(c) => c,
+        }
+    }
+}
+
+/// The subset of an [`EngineConfig`] the net transport honors.
+fn net_config(cfg: &EngineConfig) -> cmg_net::NetConfig {
+    cmg_net::NetConfig {
+        max_rounds: cfg.max_rounds,
+        recorder: cfg.recorder.clone(),
+        ..Default::default()
+    }
+}
+
+/// Unwraps a net-engine result, aborting with the transport diagnosis on
+/// failure (mirrors the round-cap asserts of the in-process engines).
+fn net_ok<T>(result: Result<T, cmg_net::NetError>, what: &str) -> T {
+    let ok = result.is_ok();
+    match result {
+        Ok(v) => v,
+        Err(e) => {
+            assert!(ok, "{what} failed on the net engine: {e}");
+            unreachable!()
         }
     }
 }
@@ -74,6 +113,15 @@ pub struct ColoringRun {
 /// ranks disagree on the result (either would be a bug).
 pub fn run_matching(g: &CsrGraph, partition: &Partition, engine: &Engine) -> MatchingRun {
     let parts = DistGraph::build_all(g, partition);
+    if let Engine::Net(cfg) = engine {
+        let run = net_ok(cmg_net::run_matching(parts, &net_config(cfg)), "matching");
+        return MatchingRun {
+            matching: run.matching,
+            stats: run.stats,
+            simulated_time: 0.0,
+            wall_time: Some(Duration::from_secs_f64(run.wall_time)),
+        };
+    }
     let programs: Vec<DistMatching> = parts.into_iter().map(DistMatching::new).collect();
     let n = g.num_vertices();
     match engine {
@@ -97,6 +145,7 @@ pub fn run_matching(g: &CsrGraph, partition: &Partition, engine: &Engine) -> Mat
                 wall_time: Some(result.wall_time),
             }
         }
+        Engine::Net(_) => unreachable!(),
     }
 }
 
@@ -111,6 +160,19 @@ pub fn run_coloring(
     engine: &Engine,
 ) -> ColoringRun {
     let parts = DistGraph::build_all(g, partition);
+    if let Engine::Net(cfg) = engine {
+        let run = net_ok(
+            cmg_net::run_coloring(parts, config, &net_config(cfg)),
+            "coloring",
+        );
+        return ColoringRun {
+            coloring: run.coloring,
+            stats: run.stats,
+            simulated_time: 0.0,
+            wall_time: Some(Duration::from_secs_f64(run.wall_time)),
+            phases: run.phases,
+        };
+    }
     let programs: Vec<DistColoring> = parts
         .into_iter()
         .map(|dg| DistColoring::new(dg, config))
@@ -151,6 +213,7 @@ pub fn run_coloring(
                 phases,
             }
         }
+        Engine::Net(_) => unreachable!(),
     }
 }
 
@@ -162,6 +225,19 @@ pub fn run_jones_plassmann(
     engine: &Engine,
 ) -> ColoringRun {
     let parts = DistGraph::build_all(g, partition);
+    if let Engine::Net(cfg) = engine {
+        let run = net_ok(
+            cmg_net::run_jones_plassmann(parts, seed, &net_config(cfg)),
+            "Jones-Plassmann",
+        );
+        return ColoringRun {
+            coloring: run.coloring,
+            stats: run.stats,
+            simulated_time: 0.0,
+            wall_time: Some(Duration::from_secs_f64(run.wall_time)),
+            phases: run.phases,
+        };
+    }
     let programs: Vec<JonesPlassmann> = parts
         .into_iter()
         .map(|dg| JonesPlassmann::new(dg, seed))
@@ -192,6 +268,7 @@ pub fn run_jones_plassmann(
                 phases: rounds,
             }
         }
+        Engine::Net(_) => unreachable!(),
     }
 }
 
@@ -234,6 +311,9 @@ pub struct PartsColoringRun {
 /// Runs the distributed matching on pre-built rank-local graphs (e.g. from
 /// [`cmg_partition::grid2d_dist`]). See [`PartsMatchingRun`].
 pub fn run_matching_parts(parts: Vec<DistGraph>, engine: &Engine) -> PartsMatchingRun {
+    if let Engine::Net(cfg) = engine {
+        return net_matching_parts(parts, cfg);
+    }
     let programs: Vec<DistMatching> = parts.into_iter().map(DistMatching::new).collect();
     let (programs, stats, simulated_time, wall_time) = match engine {
         Engine::Simulated(cfg) => {
@@ -247,6 +327,7 @@ pub fn run_matching_parts(parts: Vec<DistGraph>, engine: &Engine) -> PartsMatchi
             assert!(!r.hit_round_cap, "matching hit the round cap");
             (r.programs, r.stats, 0.0, Some(r.wall_time))
         }
+        Engine::Net(_) => unreachable!(),
     };
     PartsMatchingRun {
         weight: programs.iter().map(|p| p.local_matched_weight()).sum(),
@@ -264,6 +345,9 @@ pub fn run_coloring_parts(
     config: ColoringConfig,
     engine: &Engine,
 ) -> PartsColoringRun {
+    if let Engine::Net(cfg) = engine {
+        return net_coloring_parts(parts, config, cfg);
+    }
     let programs: Vec<DistColoring> = parts
         .into_iter()
         .map(|dg| DistColoring::new(dg, config))
@@ -280,6 +364,7 @@ pub fn run_coloring_parts(
             assert!(!r.hit_round_cap, "coloring hit the round cap");
             (r.programs, r.stats, 0.0, Some(r.wall_time))
         }
+        Engine::Net(_) => unreachable!(),
     };
     PartsColoringRun {
         num_colors: programs
@@ -296,6 +381,101 @@ pub fn run_coloring_parts(
         stats,
         simulated_time,
         wall_time,
+    }
+}
+
+/// Net-engine body of [`run_matching_parts`]: workers ship mate pairs
+/// home, and the matched weight is recovered from the rank-local
+/// adjacency of the lower endpoint's own part.
+fn net_matching_parts(parts: Vec<DistGraph>, cfg: &EngineConfig) -> PartsMatchingRun {
+    let keep = parts.clone();
+    let out = net_ok(
+        cmg_net::run_task(parts, cmg_net::NetTask::Matching, &net_config(cfg)),
+        "matching",
+    );
+    let mut weight = 0.0;
+    let mut cardinality = 0usize;
+    for (dg, outcome) in keep.iter().zip(&out.outcomes) {
+        let pairs = match outcome {
+            cmg_net::WorkerOutcome::Matching(pairs) => pairs,
+            cmg_net::WorkerOutcome::Coloring { .. } => {
+                let matched = false;
+                assert!(matched, "net matching run returned a coloring outcome");
+                unreachable!()
+            }
+        };
+        for &(v, m) in pairs {
+            if m == cmg_graph::NO_VERTEX || m < v {
+                continue;
+            }
+            cardinality += 1;
+            if let Some(&lv) = dg.global_to_local.get(&v) {
+                let lv = lv as usize;
+                for e in dg.xadj[lv]..dg.xadj[lv + 1] {
+                    if dg.global_ids[dg.adj[e] as usize] == m {
+                        weight += dg.weights[e];
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    PartsMatchingRun {
+        weight,
+        cardinality,
+        stats: out.stats,
+        simulated_time: 0.0,
+        wall_time: Some(Duration::from_secs_f64(out.wall_time)),
+    }
+}
+
+/// Net-engine body of [`run_coloring_parts`]: conflicts are re-counted
+/// from the shipped colors against each part's adjacency, charging every
+/// edge to the owner of its lower endpoint so cross-rank edges count once.
+fn net_coloring_parts(
+    parts: Vec<DistGraph>,
+    config: ColoringConfig,
+    cfg: &EngineConfig,
+) -> PartsColoringRun {
+    let keep = parts.clone();
+    let out = net_ok(
+        cmg_net::run_task(parts, cmg_net::NetTask::Coloring(config), &net_config(cfg)),
+        "coloring",
+    );
+    let mut colors: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    let mut phases = 0u32;
+    for outcome in &out.outcomes {
+        let (pairs, rank_phases) = match outcome {
+            cmg_net::WorkerOutcome::Coloring { pairs, phases } => (pairs, *phases),
+            cmg_net::WorkerOutcome::Matching(_) => {
+                let colored = false;
+                assert!(colored, "net coloring run returned a matching outcome");
+                unreachable!()
+            }
+        };
+        phases = phases.max(rank_phases);
+        colors.extend(pairs.iter().copied());
+    }
+    let num_colors = colors.values().max().map_or(0, |&c| c as usize + 1);
+    let mut conflicts = 0usize;
+    for dg in &keep {
+        for lv in 0..dg.n_local {
+            let v = dg.global_ids[lv];
+            for e in dg.xadj[lv]..dg.xadj[lv + 1] {
+                let u = dg.global_ids[dg.adj[e] as usize];
+                if v < u && colors.get(&v) == colors.get(&u) {
+                    conflicts += 1;
+                }
+            }
+        }
+    }
+    PartsColoringRun {
+        num_colors,
+        conflicts,
+        phases,
+        stats: out.stats,
+        simulated_time: 0.0,
+        wall_time: Some(Duration::from_secs_f64(out.wall_time)),
     }
 }
 
@@ -355,6 +535,38 @@ mod tests {
         let cglobal = run_coloring(&unweighted, &part, cfg, &Engine::default_simulated());
         let cparts = cmg_partition::grid2d_dist(8, 8, 2, 2, None);
         let csummary = run_coloring_parts(cparts, cfg, &Engine::default_simulated());
+        assert_eq!(csummary.num_colors, cglobal.coloring.num_colors());
+        assert_eq!(csummary.conflicts, 0);
+        assert_eq!(csummary.phases, cglobal.phases);
+    }
+
+    #[test]
+    fn net_engine_agrees_with_simulated() {
+        let g = weighted_grid();
+        let p = grid2d_partition(8, 8, 2, 2);
+        let sim = run_matching(&g, &p, &Engine::default_simulated());
+        let net = run_matching(&g, &p, &Engine::default_net());
+        assert_eq!(sim.matching, net.matching);
+        assert!(net.wall_time.is_some());
+        assert_eq!(net.simulated_time, 0.0);
+        assert_eq!(net.stats.per_rank.len(), 4);
+    }
+
+    #[test]
+    fn net_parts_runners_agree_with_global() {
+        let g = weighted_grid();
+        let part = grid2d_partition(8, 8, 2, 2);
+        let global = run_matching(&g, &part, &Engine::default_simulated());
+        let parts = cmg_partition::grid2d_dist(8, 8, 2, 2, Some(1));
+        let summary = run_matching_parts(parts, &Engine::default_net());
+        assert!((summary.weight - global.matching.weight(&g)).abs() < 1e-9);
+        assert_eq!(summary.cardinality, global.matching.cardinality());
+
+        let unweighted = grid2d(8, 8);
+        let cfg = ColoringConfig::default();
+        let cglobal = run_coloring(&unweighted, &part, cfg, &Engine::default_simulated());
+        let cparts = cmg_partition::grid2d_dist(8, 8, 2, 2, None);
+        let csummary = run_coloring_parts(cparts, cfg, &Engine::default_net());
         assert_eq!(csummary.num_colors, cglobal.coloring.num_colors());
         assert_eq!(csummary.conflicts, 0);
         assert_eq!(csummary.phases, cglobal.phases);

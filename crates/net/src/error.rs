@@ -1,0 +1,231 @@
+//! Typed failure values of the net engine.
+//!
+//! Socket errors are values in this crate: every layer returns
+//! [`NetError`] instead of panicking, and the supervisor converts every
+//! way a distributed run can go wrong — a worker that died, a worker
+//! that wedged, a frame lost by the (possibly fault-injected) link
+//! layer — into a diagnosed variant instead of hanging.
+
+use std::fmt;
+use std::process::ExitStatus;
+use std::time::Duration;
+
+/// Everything that can go wrong in a multi-process run.
+#[derive(Debug)]
+pub enum NetError {
+    /// Spawning a rank worker process failed.
+    Spawn {
+        /// The rank whose worker could not be started.
+        rank: u32,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+    /// The handshake (hello / ready waves) did not complete in time.
+    Handshake {
+        /// What the supervisor was still waiting for.
+        waiting_for: String,
+        /// How long it waited.
+        waited: Duration,
+    },
+    /// A rank worker process exited (or was killed) mid-run.
+    RankDied {
+        /// The dead worker's rank.
+        rank: u32,
+        /// Its exit status, if the OS reported one.
+        status: Option<ExitStatus>,
+        /// The signal that killed it, if any (Unix).
+        signal: Option<i32>,
+        /// What the run was doing when death was detected.
+        context: String,
+    },
+    /// A rank stopped making round progress within the deadline while
+    /// its process stayed alive (e.g. a deadlocked or wedged worker).
+    Stalled {
+        /// The stalled rank.
+        rank: u32,
+        /// The last round the rank reported completing.
+        round: u64,
+        /// How long the supervisor waited for progress.
+        waited: Duration,
+    },
+    /// A link's in-order contract was broken and never repaired: a
+    /// frame later in the sequence arrived, but the missing one did not
+    /// show up within the gap deadline (an unrecoverable drop — this
+    /// transport does not retransmit).
+    FrameLoss {
+        /// Rank on the receiving end of the lossy link.
+        rank: u32,
+        /// Rank on the sending end.
+        from: u32,
+        /// First missing sequence number.
+        expected_seq: u64,
+        /// How long the receiver waited for the gap to fill.
+        waited: Duration,
+    },
+    /// A worker diagnosed a fatal condition itself and reported it
+    /// before exiting.
+    WorkerFatal {
+        /// The reporting rank.
+        rank: u32,
+        /// The worker's diagnostic message.
+        message: String,
+    },
+    /// A malformed or out-of-place frame (protocol bug or corruption).
+    Protocol {
+        /// Human-readable description of what was wrong.
+        detail: String,
+    },
+    /// The run hit the round cap before quiescing.
+    RoundCap {
+        /// The cap that was hit.
+        max_rounds: u64,
+    },
+    /// The two sides disagree on the global result (e.g. two ranks
+    /// reporting inconsistent mates) — a protocol bug surfaced as a
+    /// value rather than a panic.
+    Inconsistent {
+        /// Description of the disagreement.
+        detail: String,
+    },
+    /// Locating or building the worker binary failed.
+    WorkerBinary {
+        /// What was tried and how it failed.
+        detail: String,
+    },
+    /// Connecting to a socket failed even after capped-backoff retries.
+    Connect {
+        /// The socket path that refused us.
+        path: String,
+        /// Number of attempts made.
+        attempts: u32,
+        /// Total time spent retrying.
+        waited: Duration,
+        /// The last OS error observed.
+        source: std::io::Error,
+    },
+    /// An I/O error outside the cases above.
+    Io {
+        /// What the I/O was for.
+        context: String,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+}
+
+impl NetError {
+    /// Convenience constructor for [`NetError::Io`].
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> Self {
+        NetError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+
+    /// Convenience constructor for [`NetError::Protocol`].
+    pub fn protocol(detail: impl Into<String>) -> Self {
+        NetError::Protocol {
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Spawn { rank, source } => {
+                write!(f, "failed to spawn worker for rank {rank}: {source}")
+            }
+            NetError::Handshake {
+                waiting_for,
+                waited,
+            } => write!(
+                f,
+                "handshake timed out after {waited:?} waiting for {waiting_for}"
+            ),
+            NetError::RankDied {
+                rank,
+                status,
+                signal,
+                context,
+            } => {
+                write!(f, "rank {rank} worker died ({context}; ")?;
+                match (status, signal) {
+                    (_, Some(sig)) => write!(f, "killed by signal {sig})"),
+                    (Some(st), None) => write!(f, "exit status {st})"),
+                    (None, None) => write!(f, "no exit status)"),
+                }
+            }
+            NetError::Stalled {
+                rank,
+                round,
+                waited,
+            } => write!(
+                f,
+                "rank {rank} stalled at round {round}: no progress for {waited:?}"
+            ),
+            NetError::FrameLoss {
+                rank,
+                from,
+                expected_seq,
+                waited,
+            } => write!(
+                f,
+                "frame loss on link {from} -> {rank}: seq {expected_seq} missing after {waited:?} \
+                 (later frames arrived; this transport does not retransmit)"
+            ),
+            NetError::WorkerFatal { rank, message } => {
+                write!(f, "rank {rank} reported fatal: {message}")
+            }
+            NetError::Protocol { detail } => write!(f, "protocol violation: {detail}"),
+            NetError::RoundCap { max_rounds } => {
+                write!(f, "run hit the round cap ({max_rounds} rounds)")
+            }
+            NetError::Inconsistent { detail } => {
+                write!(f, "ranks disagree on the result: {detail}")
+            }
+            NetError::WorkerBinary { detail } => {
+                write!(f, "cannot locate or build the worker binary: {detail}")
+            }
+            NetError::Connect {
+                path,
+                attempts,
+                waited,
+                source,
+            } => write!(
+                f,
+                "connect to {path} failed after {attempts} attempts over {waited:?}: {source}"
+            ),
+            NetError::Io { context, source } => write!(f, "i/o error while {context}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_rank_and_cause() {
+        let e = NetError::RankDied {
+            rank: 3,
+            status: None,
+            signal: Some(9),
+            context: "round 5".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("rank 3"), "{s}");
+        assert!(s.contains("signal 9"), "{s}");
+
+        let e = NetError::FrameLoss {
+            rank: 1,
+            from: 2,
+            expected_seq: 40,
+            waited: Duration::from_secs(2),
+        };
+        let s = e.to_string();
+        assert!(s.contains("2 -> 1"), "{s}");
+        assert!(s.contains("seq 40"), "{s}");
+    }
+}

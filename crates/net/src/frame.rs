@@ -1,0 +1,347 @@
+//! The framing layer: length-prefixed frames over a byte stream.
+//!
+//! Every frame is `[u32 len][u64 seq][ctrl][payload]`, little-endian:
+//! `len` counts everything after itself, `seq` is the per-link sequence
+//! number the receiving [`Resequencer`](crate::link::Resequencer) uses
+//! to restore send order under fault injection, `ctrl` is one
+//! [`Ctrl`] control word (a [`wire_codec!`] enum, so the control
+//! vocabulary shares the exact wire discipline of the algorithm
+//! messages), and `payload` is an opaque byte blob whose meaning the
+//! control word determines (bundled `WireMessage`s for
+//! [`Ctrl::RoundBundle`], codec blobs from [`crate::proto`] for the
+//! supervisor plane).
+//!
+//! [`wire_codec!`]: cmg_runtime::wire_codec
+
+use crate::error::NetError;
+use bytes::{Bytes, BytesMut};
+use cmg_runtime::{wire_codec, WireMessage};
+use std::io::{Read, Write};
+
+/// Protocol version carried in [`Ctrl::Hello`]; bumped on any wire
+/// change so mismatched binaries fail the handshake instead of
+/// misparsing each other.
+pub const PROTO_VERSION: u32 = 1;
+
+/// Upper bound on a frame's encoded size (64 MiB). A length prefix
+/// beyond this is treated as corruption rather than honored with a
+/// giant allocation.
+pub const MAX_FRAME_LEN: u32 = 64 << 20;
+
+wire_codec! {
+    /// The control vocabulary of the transport. Grouped by plane:
+    /// handshake (`Hello`/`Assignment`/`Ready`/`Start`), the
+    /// bulk-synchronous data plane (`RoundBundle` plus the
+    /// `BarrierUp`/`BarrierDown` allreduce legs), liveness
+    /// (`Heartbeat`/`FaultPoint`), and the results plane
+    /// (`Stats`/`Outcome`/`Events`/`Done`/`Shutdown`/`Fatal`).
+    #[derive(Clone, Copy, Debug, PartialEq)]
+    pub enum Ctrl {
+        /// First frame on every link: who is dialing, speaking which
+        /// protocol revision.
+        0 => Hello {
+            /// The dialing rank.
+            rank: u32,
+            /// [`PROTO_VERSION`] of the dialer.
+            proto: u32,
+        },
+        /// Supervisor -> worker: the payload carries this rank's
+        /// partition slice, task, and run options (see
+        /// [`crate::proto::Assignment`]).
+        1 => Assignment {
+            /// The addressee rank (sanity cross-check).
+            rank: u32,
+        },
+        /// Worker -> supervisor: all peer links are up.
+        2 => Ready {
+            /// The ready rank.
+            rank: u32,
+        },
+        /// Supervisor -> worker: every rank is ready, begin round 0.
+        3 => Start,
+        /// One rank's bundled sends to one peer for one round. Exactly
+        /// one per (round, ordered link) — an empty bundle doubles as
+        /// the "no more data this round" marker the receiver's
+        /// `DoneWave` counts.
+        4 => RoundBundle {
+            /// The round these sends belong to.
+            round: u64,
+            /// The sending rank.
+            src: u32,
+            /// Wire packets in the payload (0 = pure marker).
+            npackets: u32,
+        },
+        /// Termination-allreduce leg toward the tree root: "my subtree
+        /// had this much activity in `round`".
+        5 => BarrierUp {
+            /// The round being summarized.
+            round: u64,
+            /// 1 if any rank in the subtree was active or sent.
+            active: u8,
+        },
+        /// Termination-allreduce leg away from the root: the global
+        /// keep-going decision for `round`.
+        6 => BarrierDown {
+            /// The round being decided.
+            round: u64,
+            /// 1 = another round follows, 0 = quiesce.
+            keep: u8,
+        },
+        /// Worker -> supervisor liveness beacon, carrying round
+        /// progress so the supervisor can tell "alive and working"
+        /// from "alive but wedged".
+        7 => Heartbeat {
+            /// The beaconing rank.
+            rank: u32,
+            /// Last round this rank completed.
+            round: u64,
+        },
+        /// Worker -> supervisor: this rank reached its scripted fault
+        /// point (see [`crate::supervisor::KillSpec`]) and is now
+        /// wedged, awaiting the supervisor's SIGKILL.
+        8 => FaultPoint {
+            /// The wedged rank.
+            rank: u32,
+            /// The round it wedged at.
+            round: u64,
+        },
+        /// Worker -> supervisor: payload carries the rank's
+        /// [`RankStats`](cmg_runtime::RankStats) + link counters.
+        9 => Stats {
+            /// The reporting rank.
+            rank: u32,
+        },
+        /// Worker -> supervisor: payload carries the rank's share of
+        /// the algorithm result (mates or colors, global ids).
+        10 => Outcome {
+            /// The reporting rank.
+            rank: u32,
+        },
+        /// Worker -> supervisor: payload carries the rank's buffered
+        /// obs events as JSONL (only sent when the run is observed).
+        11 => Events {
+            /// The reporting rank.
+            rank: u32,
+        },
+        /// Worker -> supervisor: this rank has quiesced and shipped
+        /// all results; sent last.
+        12 => Done {
+            /// The finished rank.
+            rank: u32,
+            /// Rounds this rank executed.
+            rounds: u64,
+            /// 1 if the rank stopped at the round cap.
+            cap: u8,
+        },
+        /// Supervisor -> worker: all results received, exit cleanly.
+        13 => Shutdown,
+        /// Worker -> supervisor: the worker diagnosed an unrecoverable
+        /// condition; payload is a UTF-8 message. The worker exits
+        /// right after.
+        14 => Fatal {
+            /// The failing rank.
+            rank: u32,
+        },
+    }
+}
+
+/// One frame: control word plus opaque payload. The link sequence
+/// number is assigned by the sending [`LinkWriter`](crate::link::LinkWriter)
+/// at transmit-decision time, not stored here.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Frame {
+    /// The control word.
+    pub ctrl: Ctrl,
+    /// Payload bytes whose schema `ctrl` determines.
+    pub payload: Bytes,
+}
+
+impl Frame {
+    /// A payload-less frame.
+    pub fn bare(ctrl: Ctrl) -> Self {
+        Frame {
+            ctrl,
+            payload: Bytes::new(),
+        }
+    }
+
+    /// A frame carrying `payload`.
+    pub fn with_payload(ctrl: Ctrl, payload: Bytes) -> Self {
+        Frame { ctrl, payload }
+    }
+}
+
+/// Serializes `(seq, frame)` into a length-prefixed byte vector ready
+/// for a single `write_all`.
+pub fn encode_frame(seq: u64, frame: &Frame) -> Vec<u8> {
+    let body_len = 8 + frame.ctrl.encoded_len() + frame.payload.len();
+    let mut out: Vec<u8> = Vec::with_capacity(4 + body_len);
+    out.extend_from_slice(&(body_len as u32).to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    let mut ctrl_buf = BytesMut::with_capacity(frame.ctrl.encoded_len());
+    frame.ctrl.encode(&mut ctrl_buf);
+    out.extend_from_slice(&ctrl_buf);
+    out.extend_from_slice(&frame.payload);
+    out
+}
+
+/// Writes one frame to `w` (a single `write_all` of the encoding).
+pub fn write_frame(w: &mut impl Write, seq: u64, frame: &Frame) -> Result<(), NetError> {
+    let encoded = encode_frame(seq, frame);
+    w.write_all(&encoded)
+        .map_err(|e| NetError::io(format!("writing {:?} frame", frame.ctrl), e))
+}
+
+/// Reads one `(seq, frame)` from `r`, blocking until a whole frame is
+/// available. `Ok(None)` means clean end-of-stream at a frame
+/// boundary; errors mid-frame or malformed control words are
+/// [`NetError`]s.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<(u64, Frame)>, NetError> {
+    let mut len_buf = [0u8; 4];
+    match read_exact_or_eof(r, &mut len_buf) {
+        Ok(false) => return Ok(None),
+        Ok(true) => {}
+        Err(e) => return Err(NetError::io("reading frame length", e)),
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if !(9..=MAX_FRAME_LEN).contains(&len) {
+        return Err(NetError::protocol(format!(
+            "frame length {len} outside [9, {MAX_FRAME_LEN}]"
+        )));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)
+        .map_err(|e| NetError::io("reading frame body", e))?;
+    let mut cursor: &[u8] = &body;
+    let seq = u64::from_le_bytes([
+        body[0], body[1], body[2], body[3], body[4], body[5], body[6], body[7],
+    ]);
+    cursor = &cursor[8..];
+    let before = cursor.len();
+    let ctrl = match Ctrl::decode(&mut cursor) {
+        Some(c) => c,
+        None => {
+            return Err(NetError::protocol(format!(
+                "unparseable control word (first byte {})",
+                body.get(8).copied().unwrap_or(0)
+            )))
+        }
+    };
+    let consumed = before - cursor.len();
+    let payload = Bytes::from(&body[8 + consumed..]);
+    Ok(Some((seq, Frame { ctrl, payload })))
+}
+
+/// `read_exact` that distinguishes "EOF before the first byte"
+/// (`Ok(false)`) from data/short-read errors.
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> std::io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(false);
+                }
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "stream closed mid-frame",
+                ));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip_preserves_seq_ctrl_payload() {
+        let frames = [
+            (
+                0u64,
+                Frame::bare(Ctrl::Hello {
+                    rank: 3,
+                    proto: PROTO_VERSION,
+                }),
+            ),
+            (
+                7,
+                Frame::with_payload(
+                    Ctrl::RoundBundle {
+                        round: 42,
+                        src: 1,
+                        npackets: 2,
+                    },
+                    Bytes::from(vec![1u8, 2, 3, 4, 5]),
+                ),
+            ),
+            (8, Frame::bare(Ctrl::Shutdown)),
+            (
+                9,
+                Frame::with_payload(Ctrl::Fatal { rank: 2 }, Bytes::from(&b"boom"[..])),
+            ),
+        ];
+        let mut wire: Vec<u8> = Vec::new();
+        for (seq, f) in &frames {
+            write_frame(&mut wire, *seq, f).unwrap();
+        }
+        let mut cursor: &[u8] = &wire;
+        for (seq, f) in &frames {
+            let (got_seq, got) = read_frame(&mut cursor).unwrap().unwrap();
+            assert_eq!(got_seq, *seq);
+            assert_eq!(&got, f);
+        }
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn truncated_and_oversized_frames_are_rejected() {
+        let wire = encode_frame(
+            0,
+            &Frame::with_payload(Ctrl::Start, Bytes::from(vec![9u8; 16])),
+        );
+        for cut in 1..wire.len() {
+            let mut cursor = &wire[..cut];
+            assert!(
+                read_frame(&mut cursor).is_err(),
+                "cut at {cut} should error, not hang or succeed"
+            );
+        }
+        let mut giant = Vec::new();
+        giant.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        giant.extend_from_slice(&[0u8; 32]);
+        let mut cursor: &[u8] = &giant;
+        match read_frame(&mut cursor) {
+            Err(NetError::Protocol { detail }) => assert!(detail.contains("frame length")),
+            other => {
+                panic!("expected protocol error, got {other:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn control_words_have_stable_tags() {
+        // The tag bytes are the wire contract; a re-numbering would let
+        // mismatched builds misparse each other. Pin them.
+        let mut buf = BytesMut::new();
+        Ctrl::Start.encode(&mut buf);
+        assert_eq!(buf[0], 3);
+        let mut buf = BytesMut::new();
+        Ctrl::Shutdown.encode(&mut buf);
+        assert_eq!(buf[0], 13);
+        let mut buf = BytesMut::new();
+        Ctrl::RoundBundle {
+            round: 0,
+            src: 0,
+            npackets: 0,
+        }
+        .encode(&mut buf);
+        assert_eq!(buf[0], 4);
+        assert_eq!(buf.len(), 1 + 8 + 4 + 4);
+    }
+}

@@ -1,0 +1,583 @@
+//! Payload codecs of the supervisor ↔ worker protocol.
+//!
+//! The [`Ctrl`](crate::frame::Ctrl) vocabulary gives every frame a
+//! fixed-width header; the variable-size content — a rank's partition
+//! slice, the task description, result vectors, stats — travels in the
+//! frame payload, encoded by the functions here. Decoding is fully
+//! checked: malformed bytes come back as [`NetError::Protocol`], never
+//! a panic, because the payload crossed a process boundary and the
+//! other side may be a different build.
+
+use crate::error::NetError;
+use crate::link::{FaultPlan, LinkStats};
+use bytes::{Buf, BufMut};
+use cmg_coloring::{ColorChoice, ColoringConfig, CommVariant, LocalOrder};
+use cmg_graph::util::FxHashMap;
+use cmg_partition::dist::DistGraph;
+use cmg_runtime::RankStats;
+
+/// Sentinel for [`RunOptions::die_at_round`]: never wedge.
+pub const NEVER: u64 = u64::MAX;
+
+fn need(buf: &impl Buf, n: usize, what: &str) -> Result<(), NetError> {
+    if buf.remaining() < n {
+        Err(NetError::protocol(format!(
+            "payload truncated: need {n} more bytes for {what}, have {}",
+            buf.remaining()
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+fn take_u8(buf: &mut impl Buf, what: &str) -> Result<u8, NetError> {
+    need(buf, 1, what)?;
+    Ok(buf.get_u8())
+}
+
+fn take_u32(buf: &mut impl Buf, what: &str) -> Result<u32, NetError> {
+    need(buf, 4, what)?;
+    Ok(buf.get_u32_le())
+}
+
+fn take_u64(buf: &mut impl Buf, what: &str) -> Result<u64, NetError> {
+    need(buf, 8, what)?;
+    Ok(buf.get_u64_le())
+}
+
+fn take_f64(buf: &mut impl Buf, what: &str) -> Result<f64, NetError> {
+    need(buf, 8, what)?;
+    Ok(buf.get_f64_le())
+}
+
+/// Reads a length prefix and sanity-checks it against the bytes
+/// actually left, so a corrupt length cannot drive a huge allocation.
+fn take_len(buf: &mut impl Buf, elem_size: usize, what: &str) -> Result<usize, NetError> {
+    let n = take_u64(buf, what)? as usize;
+    if n.saturating_mul(elem_size) > buf.remaining() {
+        return Err(NetError::protocol(format!(
+            "length prefix for {what} claims {n} elements but only {} bytes remain",
+            buf.remaining()
+        )));
+    }
+    Ok(n)
+}
+
+fn put_u32s(out: &mut impl BufMut, xs: &[u32]) {
+    out.put_u64_le(xs.len() as u64);
+    for &x in xs {
+        out.put_u32_le(x);
+    }
+}
+
+fn take_u32s(buf: &mut impl Buf, what: &str) -> Result<Vec<u32>, NetError> {
+    let n = take_len(buf, 4, what)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(buf.get_u32_le());
+    }
+    Ok(out)
+}
+
+/// Everything a worker needs to run its rank: the partition slice, the
+/// algorithm to run, and the run options. Travels as the payload of
+/// `Ctrl::Assignment`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Assignment {
+    /// The local graph of this rank.
+    pub dg: DistGraph,
+    /// Which algorithm to run.
+    pub task: NetTask,
+    /// Engine knobs and failure-model deadlines.
+    pub opts: RunOptions,
+}
+
+/// The algorithm a net run executes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum NetTask {
+    /// Distributed greedy weighted matching (§3 of the paper).
+    Matching,
+    /// Distributed speculative coloring (§4).
+    Coloring(ColoringConfig),
+    /// Jones–Plassmann coloring baseline.
+    JonesPlassmann {
+        /// Priority seed.
+        seed: u64,
+    },
+}
+
+/// Run options shipped to every worker.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RunOptions {
+    /// Bundle messages per destination per round (both existing engines
+    /// default to this; the net engine requires it for bit-identical
+    /// results, and the supervisor enforces it).
+    pub bundling: bool,
+    /// Whether workers should collect and ship obs events home.
+    pub observed: bool,
+    /// Round cap (safety net against protocol bugs).
+    pub max_rounds: u64,
+    /// Worker heartbeat period, milliseconds.
+    pub heartbeat_millis: u64,
+    /// How long a receiver waits for a missing frame behind newer ones
+    /// before declaring [`NetError::FrameLoss`], milliseconds.
+    pub gap_deadline_millis: u64,
+    /// Fault-injection plan for data-plane frames.
+    pub fault: FaultPlan,
+    /// Test hook: wedge (stop participating, keep the process alive
+    /// but silent) at the start of this round. [`NEVER`] disables it.
+    pub die_at_round: u64,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            bundling: true,
+            observed: false,
+            max_rounds: 1_000_000,
+            heartbeat_millis: 100,
+            gap_deadline_millis: 2_000,
+            fault: FaultPlan::default(),
+            die_at_round: NEVER,
+        }
+    }
+}
+
+fn encode_coloring_config(out: &mut impl BufMut, cfg: &ColoringConfig) {
+    out.put_u64_le(cfg.superstep_size as u64);
+    out.put_u8(match cfg.comm {
+        CommVariant::Fiab => 0,
+        CommVariant::Fiac => 1,
+        CommVariant::Neighbor => 2,
+    });
+    out.put_u8(match cfg.color_choice {
+        ColorChoice::FirstFit => 0,
+        ColorChoice::StaggeredFirstFit => 1,
+        ColorChoice::LeastUsed => 2,
+    });
+    out.put_u8(match cfg.order {
+        LocalOrder::InteriorFirst => 0,
+        LocalOrder::BoundaryFirst => 1,
+    });
+    out.put_u64_le(cfg.seed);
+}
+
+fn decode_coloring_config(buf: &mut impl Buf) -> Result<ColoringConfig, NetError> {
+    let superstep_size = take_u64(buf, "superstep_size")? as usize;
+    let comm = match take_u8(buf, "comm variant")? {
+        0 => CommVariant::Fiab,
+        1 => CommVariant::Fiac,
+        2 => CommVariant::Neighbor,
+        t => return Err(NetError::protocol(format!("unknown comm variant tag {t}"))),
+    };
+    let color_choice = match take_u8(buf, "color choice")? {
+        0 => ColorChoice::FirstFit,
+        1 => ColorChoice::StaggeredFirstFit,
+        2 => ColorChoice::LeastUsed,
+        t => return Err(NetError::protocol(format!("unknown color choice tag {t}"))),
+    };
+    let order = match take_u8(buf, "local order")? {
+        0 => LocalOrder::InteriorFirst,
+        1 => LocalOrder::BoundaryFirst,
+        t => return Err(NetError::protocol(format!("unknown local order tag {t}"))),
+    };
+    let seed = take_u64(buf, "coloring seed")?;
+    Ok(ColoringConfig {
+        superstep_size,
+        comm,
+        color_choice,
+        order,
+        seed,
+    })
+}
+
+fn encode_task(out: &mut impl BufMut, task: &NetTask) {
+    match task {
+        NetTask::Matching => out.put_u8(0),
+        NetTask::Coloring(cfg) => {
+            out.put_u8(1);
+            encode_coloring_config(out, cfg);
+        }
+        NetTask::JonesPlassmann { seed } => {
+            out.put_u8(2);
+            out.put_u64_le(*seed);
+        }
+    }
+}
+
+fn decode_task(buf: &mut impl Buf) -> Result<NetTask, NetError> {
+    match take_u8(buf, "task tag")? {
+        0 => Ok(NetTask::Matching),
+        1 => Ok(NetTask::Coloring(decode_coloring_config(buf)?)),
+        2 => Ok(NetTask::JonesPlassmann {
+            seed: take_u64(buf, "jp seed")?,
+        }),
+        t => Err(NetError::protocol(format!("unknown task tag {t}"))),
+    }
+}
+
+fn encode_options(out: &mut impl BufMut, opts: &RunOptions) {
+    out.put_u8(u8::from(opts.bundling));
+    out.put_u8(u8::from(opts.observed));
+    out.put_u64_le(opts.max_rounds);
+    out.put_u64_le(opts.heartbeat_millis);
+    out.put_u64_le(opts.gap_deadline_millis);
+    out.put_u64_le(opts.fault.seed);
+    out.put_u32_le(opts.fault.drop_per_mille);
+    out.put_u32_le(opts.fault.dup_per_mille);
+    out.put_u32_le(opts.fault.delay_per_mille);
+    out.put_u32_le(opts.fault.delay_depth);
+    out.put_u64_le(opts.die_at_round);
+}
+
+fn decode_options(buf: &mut impl Buf) -> Result<RunOptions, NetError> {
+    Ok(RunOptions {
+        bundling: take_u8(buf, "bundling flag")? != 0,
+        observed: take_u8(buf, "observed flag")? != 0,
+        max_rounds: take_u64(buf, "max_rounds")?,
+        heartbeat_millis: take_u64(buf, "heartbeat_millis")?,
+        gap_deadline_millis: take_u64(buf, "gap_deadline_millis")?,
+        fault: FaultPlan {
+            seed: take_u64(buf, "fault seed")?,
+            drop_per_mille: take_u32(buf, "drop_per_mille")?,
+            dup_per_mille: take_u32(buf, "dup_per_mille")?,
+            delay_per_mille: take_u32(buf, "delay_per_mille")?,
+            delay_depth: take_u32(buf, "delay_depth")?,
+        },
+        die_at_round: take_u64(buf, "die_at_round")?,
+    })
+}
+
+/// Serializes a rank's assignment (partition slice + task + options).
+pub fn encode_assignment(a: &Assignment) -> Vec<u8> {
+    let dg = &a.dg;
+    let mut out = Vec::with_capacity(
+        64 + dg.xadj.len() * 8 + dg.adj.len() * 4 + dg.weights.len() * 8 + dg.global_ids.len() * 4,
+    );
+    out.put_u32_le(dg.rank);
+    out.put_u32_le(dg.num_ranks);
+    out.put_u64_le(dg.n_local as u64);
+    out.put_u64_le(dg.xadj.len() as u64);
+    for &x in &dg.xadj {
+        out.put_u64_le(x as u64);
+    }
+    put_u32s(&mut out, &dg.adj);
+    out.put_u64_le(dg.weights.len() as u64);
+    for &w in &dg.weights {
+        out.put_f64_le(w);
+    }
+    put_u32s(&mut out, &dg.global_ids);
+    put_u32s(&mut out, &dg.ghost_owner);
+    out.put_u64_le(dg.is_boundary.len() as u64);
+    for &b in &dg.is_boundary {
+        out.put_u8(u8::from(b));
+    }
+    put_u32s(&mut out, &dg.neighbor_ranks);
+    encode_task(&mut out, &a.task);
+    encode_options(&mut out, &a.opts);
+    out
+}
+
+/// Reconstructs an [`Assignment`]. The `global_to_local` map is not on
+/// the wire — it is a pure function of `global_ids` and rebuilt here.
+pub fn decode_assignment(mut buf: &[u8]) -> Result<Assignment, NetError> {
+    let buf = &mut buf;
+    let rank = take_u32(buf, "rank")?;
+    let num_ranks = take_u32(buf, "num_ranks")?;
+    let n_local = take_u64(buf, "n_local")? as usize;
+    let n_xadj = take_len(buf, 8, "xadj")?;
+    let mut xadj = Vec::with_capacity(n_xadj);
+    for _ in 0..n_xadj {
+        xadj.push(buf.get_u64_le() as usize);
+    }
+    let adj = take_u32s(buf, "adj")?;
+    let n_weights = take_len(buf, 8, "weights")?;
+    let mut weights = Vec::with_capacity(n_weights);
+    for _ in 0..n_weights {
+        weights.push(buf.get_f64_le());
+    }
+    let global_ids = take_u32s(buf, "global_ids")?;
+    let ghost_owner = take_u32s(buf, "ghost_owner")?;
+    let n_boundary = take_len(buf, 1, "is_boundary")?;
+    let mut is_boundary = Vec::with_capacity(n_boundary);
+    for _ in 0..n_boundary {
+        is_boundary.push(buf.get_u8() != 0);
+    }
+    let neighbor_ranks = take_u32s(buf, "neighbor_ranks")?;
+    let task = decode_task(buf)?;
+    let opts = decode_options(buf)?;
+
+    if xadj.len() != n_local + 1 {
+        return Err(NetError::protocol(format!(
+            "assignment inconsistent: n_local {n_local} but xadj has {} entries",
+            xadj.len()
+        )));
+    }
+    if global_ids.len() != n_local + ghost_owner.len() {
+        return Err(NetError::protocol(format!(
+            "assignment inconsistent: {} global ids for {} owned + {} ghosts",
+            global_ids.len(),
+            n_local,
+            ghost_owner.len()
+        )));
+    }
+    let mut global_to_local = FxHashMap::default();
+    for (i, &g) in global_ids.iter().enumerate() {
+        global_to_local.insert(g, i as u32);
+    }
+    Ok(Assignment {
+        dg: DistGraph {
+            rank,
+            num_ranks,
+            n_local,
+            xadj,
+            adj,
+            weights,
+            global_ids,
+            ghost_owner,
+            global_to_local,
+            is_boundary,
+            neighbor_ranks,
+        },
+        task,
+        opts,
+    })
+}
+
+/// Serializes the per-rank counters shipped inside a `Stats` frame.
+pub fn encode_stats(rank_stats: &RankStats, link: &LinkStats) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 * 8);
+    out.put_u64_le(rank_stats.packets_sent);
+    out.put_u64_le(rank_stats.packets_received);
+    out.put_u64_le(rank_stats.messages_sent);
+    out.put_u64_le(rank_stats.bytes_sent);
+    out.put_u64_le(rank_stats.bytes_received);
+    out.put_u64_le(rank_stats.messages_received);
+    out.put_u64_le(rank_stats.work);
+    out.put_u64_le(rank_stats.rounds_active);
+    out.put_f64_le(rank_stats.virtual_time);
+    out.put_u64_le(link.frames_sent);
+    out.put_u64_le(link.frames_received);
+    out.put_u64_le(link.bytes_sent);
+    out.put_u64_le(link.dropped_by_fault);
+    out.put_u64_le(link.duplicated_by_fault);
+    out.put_u64_le(link.delayed_by_fault);
+    out.put_u64_le(link.dup_discarded);
+    out
+}
+
+/// Decodes a `Stats` payload.
+pub fn decode_stats(mut buf: &[u8]) -> Result<(RankStats, LinkStats), NetError> {
+    let buf = &mut buf;
+    let rank_stats = RankStats {
+        packets_sent: take_u64(buf, "packets_sent")?,
+        packets_received: take_u64(buf, "packets_received")?,
+        messages_sent: take_u64(buf, "messages_sent")?,
+        bytes_sent: take_u64(buf, "bytes_sent")?,
+        bytes_received: take_u64(buf, "bytes_received")?,
+        messages_received: take_u64(buf, "messages_received")?,
+        work: take_u64(buf, "work")?,
+        rounds_active: take_u64(buf, "rounds_active")?,
+        virtual_time: take_f64(buf, "virtual_time")?,
+    };
+    let link = LinkStats {
+        frames_sent: take_u64(buf, "frames_sent")?,
+        frames_received: take_u64(buf, "frames_received")?,
+        bytes_sent: take_u64(buf, "link bytes_sent")?,
+        dropped_by_fault: take_u64(buf, "dropped_by_fault")?,
+        duplicated_by_fault: take_u64(buf, "duplicated_by_fault")?,
+        delayed_by_fault: take_u64(buf, "delayed_by_fault")?,
+        dup_discarded: take_u64(buf, "dup_discarded")?,
+    };
+    Ok((rank_stats, link))
+}
+
+/// What one worker hands back as its share of the global result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WorkerOutcome {
+    /// `(vertex, mate)` global-id pairs for owned vertices
+    /// (`NO_VERTEX` mate = unmatched).
+    Matching(Vec<(u32, u32)>),
+    /// `(vertex, color)` pairs for owned vertices, plus the number of
+    /// boundary phases this rank executed (0 for Jones–Plassmann).
+    Coloring {
+        /// Owned `(vertex, color)` assignments.
+        pairs: Vec<(u32, u32)>,
+        /// Boundary phases executed.
+        phases: u32,
+    },
+}
+
+/// Serializes an `Outcome` payload.
+pub fn encode_outcome(outcome: &WorkerOutcome) -> Vec<u8> {
+    let mut out = Vec::new();
+    match outcome {
+        WorkerOutcome::Matching(pairs) => {
+            out.put_u8(0);
+            out.put_u64_le(pairs.len() as u64);
+            for &(v, m) in pairs {
+                out.put_u32_le(v);
+                out.put_u32_le(m);
+            }
+        }
+        WorkerOutcome::Coloring { pairs, phases } => {
+            out.put_u8(1);
+            out.put_u64_le(pairs.len() as u64);
+            for &(v, c) in pairs {
+                out.put_u32_le(v);
+                out.put_u32_le(c);
+            }
+            out.put_u32_le(*phases);
+        }
+    }
+    out
+}
+
+/// Decodes an `Outcome` payload.
+pub fn decode_outcome(mut buf: &[u8]) -> Result<WorkerOutcome, NetError> {
+    let buf = &mut buf;
+    let tag = take_u8(buf, "outcome tag")?;
+    let n = take_len(buf, 8, "outcome pairs")?;
+    let mut pairs = Vec::with_capacity(n);
+    for _ in 0..n {
+        pairs.push((buf.get_u32_le(), buf.get_u32_le()));
+    }
+    match tag {
+        0 => Ok(WorkerOutcome::Matching(pairs)),
+        1 => Ok(WorkerOutcome::Coloring {
+            pairs,
+            phases: take_u32(buf, "phases")?,
+        }),
+        t => Err(NetError::protocol(format!("unknown outcome tag {t}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmg_graph::GraphBuilder;
+    use cmg_partition::Partition;
+
+    fn sample_dist_graph() -> DistGraph {
+        // A 6-cycle split across 2 ranks: real ghosts, boundaries,
+        // weights.
+        let mut b = GraphBuilder::new(6);
+        for v in 0..6u32 {
+            b.add_edge(v, (v + 1) % 6, 1.0 + f64::from(v));
+        }
+        let g = b.build();
+        let partition = Partition::new(vec![0, 0, 0, 1, 1, 1], 2);
+        DistGraph::build_all(&g, &partition).swap_remove(0)
+    }
+
+    #[test]
+    fn assignment_round_trips_exactly() {
+        let dg = sample_dist_graph();
+        for task in [
+            NetTask::Matching,
+            NetTask::Coloring(ColoringConfig {
+                superstep_size: 7,
+                comm: CommVariant::Fiac,
+                color_choice: ColorChoice::LeastUsed,
+                order: LocalOrder::BoundaryFirst,
+                seed: 99,
+            }),
+            NetTask::JonesPlassmann { seed: 1234 },
+        ] {
+            let a = Assignment {
+                dg: dg.clone(),
+                task,
+                opts: RunOptions {
+                    bundling: true,
+                    observed: true,
+                    max_rounds: 500,
+                    heartbeat_millis: 50,
+                    gap_deadline_millis: 750,
+                    fault: FaultPlan {
+                        seed: 3,
+                        drop_per_mille: 1,
+                        dup_per_mille: 2,
+                        delay_per_mille: 3,
+                        delay_depth: 4,
+                    },
+                    die_at_round: 12,
+                },
+            };
+            let bytes = encode_assignment(&a);
+            let back = decode_assignment(&bytes).unwrap();
+            assert_eq!(back, a);
+            assert_eq!(back.dg.global_to_local, a.dg.global_to_local);
+        }
+    }
+
+    #[test]
+    fn truncated_assignment_is_a_protocol_error_not_a_panic() {
+        let a = Assignment {
+            dg: sample_dist_graph(),
+            task: NetTask::Matching,
+            opts: RunOptions::default(),
+        };
+        let bytes = encode_assignment(&a);
+        for cut in [0, 1, 9, bytes.len() / 2, bytes.len() - 1] {
+            let err = decode_assignment(&bytes[..cut]).err();
+            assert!(err.is_some(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn corrupt_length_prefix_is_rejected_before_allocating() {
+        // A huge u64 length prefix right at the xadj length slot.
+        let mut bytes = Vec::new();
+        bytes.put_u32_le(0); // rank
+        bytes.put_u32_le(1); // num_ranks
+        bytes.put_u64_le(3); // n_local
+        bytes.put_u64_le(u64::MAX); // absurd xadj length
+        let err = decode_assignment(&bytes).err();
+        assert!(err.is_some());
+        let msg = err
+            .into_iter()
+            .next()
+            .map_or_else(String::new, |e| e.to_string());
+        assert!(msg.contains("length prefix"), "{msg}");
+    }
+
+    #[test]
+    fn stats_round_trip() {
+        let rs = RankStats {
+            packets_sent: 1,
+            packets_received: 2,
+            messages_sent: 3,
+            bytes_sent: 4,
+            bytes_received: 5,
+            messages_received: 6,
+            work: 7,
+            rounds_active: 8,
+            virtual_time: 9.5,
+        };
+        let ls = LinkStats {
+            frames_sent: 10,
+            frames_received: 11,
+            bytes_sent: 12,
+            dropped_by_fault: 13,
+            duplicated_by_fault: 14,
+            delayed_by_fault: 15,
+            dup_discarded: 16,
+        };
+        let bytes = encode_stats(&rs, &ls);
+        let (rs2, ls2) = decode_stats(&bytes).unwrap();
+        assert_eq!(rs2, rs);
+        assert_eq!(ls2, ls);
+    }
+
+    #[test]
+    fn outcome_round_trip() {
+        let m = WorkerOutcome::Matching(vec![(0, 3), (1, u32::MAX)]);
+        assert_eq!(decode_outcome(&encode_outcome(&m)).unwrap(), m);
+        let c = WorkerOutcome::Coloring {
+            pairs: vec![(4, 0), (5, 2)],
+            phases: 3,
+        };
+        assert_eq!(decode_outcome(&encode_outcome(&c)).unwrap(), c);
+        assert!(decode_outcome(&[9]).is_err(), "unknown tag rejected");
+    }
+}

@@ -1,0 +1,1221 @@
+//! The supervisor: spawns one worker process per rank, referees the
+//! handshake, watches the run, and assembles the results.
+//!
+//! The supervisor is the failure-diagnosis layer of the net engine. A
+//! distributed run can go wrong in ways a single-process engine cannot
+//! — a worker process dies, a worker wedges without dying, a
+//! fault-injected link permanently drops a frame — and the supervisor's
+//! job is to turn every one of those into a typed [`NetError`] within a
+//! deadline instead of hanging:
+//!
+//! - **death** — every tick it polls each worker's exit status; a child
+//!   that exited without reporting `Done` becomes
+//!   [`NetError::RankDied`] (with the killing signal, if any);
+//! - **wedge** — workers heartbeat their round progress from a
+//!   dedicated thread; a rank whose round stops advancing past the
+//!   stall deadline while its process stays alive becomes
+//!   [`NetError::Stalled`];
+//! - **frame loss** — workers diagnose unfilled sequence gaps
+//!   themselves and report a structured `Fatal` frame the supervisor
+//!   re-types as [`NetError::FrameLoss`].
+//!
+//! On success the per-rank results are merged into the same shapes the
+//! other engines produce: a [`RunStats`] over all ranks, an assembled
+//! global matching/coloring (cross-validated between ranks — two ranks
+//! disagreeing is [`NetError::Inconsistent`], not a panic), and the
+//! workers' buffered obs events replayed, in time order, into the
+//! configured recorder so `--trace-out`/`--report-out` work unchanged.
+
+use crate::error::NetError;
+use crate::frame::{read_frame, Ctrl, Frame, PROTO_VERSION};
+use crate::link::{FaultPlan, LinkStats, LinkWriter};
+use crate::proto::{
+    decode_outcome, decode_stats, encode_assignment, Assignment, NetTask, RunOptions,
+    WorkerOutcome, NEVER,
+};
+use bytes::Bytes;
+use cmg_coloring::{Coloring, ColoringConfig};
+use cmg_graph::NO_VERTEX;
+use cmg_matching::Matching;
+use cmg_obs::{replay, RecorderHandle, TimedEvent};
+use cmg_partition::dist::DistGraph;
+use cmg_runtime::{RankStats, RunStats};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::os::unix::process::ExitStatusExt;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, ExitStatus, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::time::{Duration, Instant};
+
+/// Event-loop tick: bounds how stale death/stall checks can get.
+const TICK: Duration = Duration::from_millis(20);
+/// How long a dead child's already-sent frames may take to drain before
+/// the supervisor gives up waiting for a self-diagnosis.
+const DEATH_DRAIN: Duration = Duration::from_millis(300);
+/// How long a worker that closed its link gets to actually exit.
+const CLOSE_GRACE: Duration = Duration::from_secs(2);
+/// How long a `Fatal` symptom report keeps polling for a real corpse
+/// before it is accepted as the diagnosis. A dying peer closes its
+/// sockets during exit *before* it becomes reapable, so the broken-pipe
+/// report it triggers can beat the exit status to the supervisor.
+const FATAL_SWEEP_GRACE: Duration = Duration::from_millis(250);
+/// How long workers get to exit after `Shutdown`.
+const EXIT_GRACE: Duration = Duration::from_secs(10);
+
+/// Scripted mid-run failure, for exercising the supervisor's
+/// diagnosis paths deterministically in tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum KillSpec {
+    /// No scripted failure.
+    #[default]
+    None,
+    /// The worker for `rank` reports a `FaultPoint` frame at the start
+    /// of `round` and wedges; the supervisor SIGKILLs it on receipt.
+    /// The run must fail with [`NetError::RankDied`].
+    KillAtRound {
+        /// The doomed rank.
+        rank: u32,
+        /// The round it dies at.
+        round: u64,
+    },
+    /// The worker for `rank` wedges at the start of `round` (alive,
+    /// heartbeating, never advancing) and is left alone. The run must
+    /// fail with [`NetError::Stalled`].
+    WedgeAtRound {
+        /// The wedging rank.
+        rank: u32,
+        /// The round it wedges at.
+        round: u64,
+    },
+}
+
+impl KillSpec {
+    /// The `die_at_round` option shipped to `rank`'s worker.
+    fn die_at_round(self, rank: u32) -> u64 {
+        match self {
+            KillSpec::KillAtRound { rank: r, round }
+            | KillSpec::WedgeAtRound { rank: r, round }
+                if r == rank =>
+            {
+                round
+            }
+            _ => NEVER,
+        }
+    }
+}
+
+/// Supervisor-side configuration of a net run.
+#[derive(Clone)]
+pub struct NetConfig {
+    /// Round cap (safety net against protocol bugs).
+    pub max_rounds: u64,
+    /// Worker heartbeat period.
+    pub heartbeat: Duration,
+    /// How long a receiver waits for a missing frame behind newer ones
+    /// before declaring [`NetError::FrameLoss`].
+    pub gap_deadline: Duration,
+    /// How long a rank may go without round progress (while its process
+    /// stays alive) before the run fails with [`NetError::Stalled`].
+    pub stall_timeout: Duration,
+    /// How long the hello/ready handshake may take end to end.
+    pub handshake_timeout: Duration,
+    /// Fault-injection plan applied to every peer link.
+    pub fault: FaultPlan,
+    /// Scripted mid-run failure (tests).
+    pub kill: KillSpec,
+    /// Where merged obs events are replayed. Workers only collect and
+    /// ship events when this handle is enabled.
+    pub recorder: RecorderHandle,
+    /// Explicit worker binary path; `None` = locate or build it.
+    pub worker_binary: Option<PathBuf>,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            max_rounds: 1_000_000,
+            heartbeat: Duration::from_millis(100),
+            gap_deadline: Duration::from_secs(2),
+            stall_timeout: Duration::from_secs(10),
+            handshake_timeout: Duration::from_secs(20),
+            fault: FaultPlan::default(),
+            kill: KillSpec::default(),
+            recorder: RecorderHandle::noop(),
+            worker_binary: None,
+        }
+    }
+}
+
+/// Link-layer counters aggregated over the whole run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LinkTotals {
+    /// Per-rank link counters, indexed by rank.
+    pub per_rank: Vec<LinkStats>,
+    /// Element-wise sum over all ranks.
+    pub total: LinkStats,
+}
+
+/// The raw result of a net run: per-rank outcomes plus merged stats.
+#[derive(Clone, Debug)]
+pub struct NetOutcome {
+    /// Each rank's share of the algorithm result, indexed by rank.
+    pub outcomes: Vec<WorkerOutcome>,
+    /// Merged per-rank engine statistics.
+    pub stats: RunStats,
+    /// Merged link-layer counters.
+    pub links: LinkTotals,
+    /// Rounds the run executed (max over ranks).
+    pub rounds: u64,
+    /// Wall-clock seconds, spawn to last exit.
+    pub wall_time: f64,
+}
+
+/// A completed distributed matching run.
+#[derive(Clone, Debug)]
+pub struct NetMatchingRun {
+    /// The assembled global matching.
+    pub matching: Matching,
+    /// Merged per-rank engine statistics.
+    pub stats: RunStats,
+    /// Merged link-layer counters.
+    pub links: LinkTotals,
+    /// Rounds the run executed.
+    pub rounds: u64,
+    /// Wall-clock seconds.
+    pub wall_time: f64,
+}
+
+/// A completed distributed coloring run.
+#[derive(Clone, Debug)]
+pub struct NetColoringRun {
+    /// The assembled global coloring.
+    pub coloring: Coloring,
+    /// Boundary phases executed (max over ranks; round count for
+    /// Jones–Plassmann).
+    pub phases: u32,
+    /// Merged per-rank engine statistics.
+    pub stats: RunStats,
+    /// Merged link-layer counters.
+    pub links: LinkTotals,
+    /// Rounds the run executed.
+    pub rounds: u64,
+    /// Wall-clock seconds.
+    pub wall_time: f64,
+}
+
+/// Runs `task` over `parts` (one [`DistGraph`] per rank) as a
+/// multi-process run, returning the raw per-rank outcomes.
+pub fn run_task(
+    parts: Vec<DistGraph>,
+    task: NetTask,
+    cfg: &NetConfig,
+) -> Result<NetOutcome, NetError> {
+    let started = Instant::now();
+    let mut run = Run::launch(parts, task, cfg)?;
+    let (outcomes, stats, links, rounds) = run.drive()?;
+    if cfg.recorder.enabled() {
+        run.replay_events(&cfg.recorder)?;
+    }
+    Ok(NetOutcome {
+        outcomes,
+        stats,
+        links,
+        rounds,
+        wall_time: started.elapsed().as_secs_f64(),
+    })
+}
+
+/// Runs the distributed matching over `parts` and assembles the global
+/// matching, cross-validating the ranks' reports against each other.
+pub fn run_matching(parts: Vec<DistGraph>, cfg: &NetConfig) -> Result<NetMatchingRun, NetError> {
+    let n: usize = parts.iter().map(|p| p.n_local).sum();
+    let out = run_task(parts, NetTask::Matching, cfg)?;
+    let mate = assemble_mates(n, &out.outcomes)?;
+    Ok(NetMatchingRun {
+        matching: Matching::from_mates(mate),
+        stats: out.stats,
+        links: out.links,
+        rounds: out.rounds,
+        wall_time: out.wall_time,
+    })
+}
+
+/// Runs the distributed speculative coloring over `parts` and assembles
+/// the global coloring.
+pub fn run_coloring(
+    parts: Vec<DistGraph>,
+    config: ColoringConfig,
+    cfg: &NetConfig,
+) -> Result<NetColoringRun, NetError> {
+    let n: usize = parts.iter().map(|p| p.n_local).sum();
+    let out = run_task(parts, NetTask::Coloring(config), cfg)?;
+    let (colors, phases) = assemble_colors(n, &out.outcomes)?;
+    Ok(NetColoringRun {
+        coloring: Coloring::from_colors(colors),
+        phases,
+        stats: out.stats,
+        links: out.links,
+        rounds: out.rounds,
+        wall_time: out.wall_time,
+    })
+}
+
+/// Runs the Jones–Plassmann baseline over `parts`. Its phase count is
+/// the round count (each JP phase is one engine round).
+pub fn run_jones_plassmann(
+    parts: Vec<DistGraph>,
+    seed: u64,
+    cfg: &NetConfig,
+) -> Result<NetColoringRun, NetError> {
+    let n: usize = parts.iter().map(|p| p.n_local).sum();
+    let out = run_task(parts, NetTask::JonesPlassmann { seed }, cfg)?;
+    let (colors, _) = assemble_colors(n, &out.outcomes)?;
+    Ok(NetColoringRun {
+        coloring: Coloring::from_colors(colors),
+        phases: out.rounds as u32,
+        stats: out.stats,
+        links: out.links,
+        rounds: out.rounds,
+        wall_time: out.wall_time,
+    })
+}
+
+/// Merges per-rank `(vertex, mate)` reports into one global mate
+/// vector, rejecting overlaps, gaps, and asymmetric pairs.
+fn assemble_mates(n: usize, outcomes: &[WorkerOutcome]) -> Result<Vec<u32>, NetError> {
+    let mut mate = vec![NO_VERTEX; n];
+    let mut seen = vec![false; n];
+    for (rank, outcome) in outcomes.iter().enumerate() {
+        let WorkerOutcome::Matching(pairs) = outcome else {
+            return Err(NetError::Inconsistent {
+                detail: format!("rank {rank} reported a coloring outcome for a matching run"),
+            });
+        };
+        for &(v, m) in pairs {
+            let vi = v as usize;
+            if vi >= n {
+                return Err(NetError::Inconsistent {
+                    detail: format!("rank {rank} reported vertex {v} outside the graph (n = {n})"),
+                });
+            }
+            if seen[vi] {
+                return Err(NetError::Inconsistent {
+                    detail: format!("vertex {v} reported by two ranks"),
+                });
+            }
+            seen[vi] = true;
+            mate[vi] = m;
+        }
+    }
+    if let Some(v) = seen.iter().position(|&s| !s) {
+        return Err(NetError::Inconsistent {
+            detail: format!("no rank reported vertex {v}"),
+        });
+    }
+    for v in 0..n {
+        let m = mate[v];
+        if m != NO_VERTEX && (m as usize >= n || mate[m as usize] != v as u32) {
+            return Err(NetError::Inconsistent {
+                detail: format!("asymmetric pair: mate[{v}] = {m} but not vice versa"),
+            });
+        }
+    }
+    Ok(mate)
+}
+
+/// Merges per-rank `(vertex, color)` reports into one global color
+/// vector plus the maximum phase count.
+fn assemble_colors(n: usize, outcomes: &[WorkerOutcome]) -> Result<(Vec<u32>, u32), NetError> {
+    let mut colors = vec![0u32; n];
+    let mut seen = vec![false; n];
+    let mut phases = 0u32;
+    for (rank, outcome) in outcomes.iter().enumerate() {
+        let WorkerOutcome::Coloring { pairs, phases: p } = outcome else {
+            return Err(NetError::Inconsistent {
+                detail: format!("rank {rank} reported a matching outcome for a coloring run"),
+            });
+        };
+        phases = phases.max(*p);
+        for &(v, c) in pairs {
+            let vi = v as usize;
+            if vi >= n {
+                return Err(NetError::Inconsistent {
+                    detail: format!("rank {rank} reported vertex {v} outside the graph (n = {n})"),
+                });
+            }
+            if seen[vi] {
+                return Err(NetError::Inconsistent {
+                    detail: format!("vertex {v} colored by two ranks"),
+                });
+            }
+            seen[vi] = true;
+            colors[vi] = c;
+        }
+    }
+    if let Some(v) = seen.iter().position(|&s| !s) {
+        return Err(NetError::Inconsistent {
+            detail: format!("no rank colored vertex {v}"),
+        });
+    }
+    Ok((colors, phases))
+}
+
+/// Re-types a worker's `Fatal` payload: structured `FRAME_LOSS`
+/// reports become [`NetError::FrameLoss`], everything else
+/// [`NetError::WorkerFatal`].
+fn parse_fatal(rank: u32, message: &str) -> NetError {
+    if let Some(rest) = message.strip_prefix("FRAME_LOSS ") {
+        let head = rest.split(';').next().unwrap_or_default();
+        let mut from = None;
+        let mut seq = None;
+        let mut waited_ms = None;
+        for token in head.split_whitespace() {
+            if let Some(v) = token.strip_prefix("from=") {
+                from = v.parse::<u32>().ok();
+            } else if let Some(v) = token.strip_prefix("seq=") {
+                seq = v.parse::<u64>().ok();
+            } else if let Some(v) = token.strip_prefix("waited_ms=") {
+                waited_ms = v.parse::<u64>().ok();
+            }
+        }
+        if let (Some(from), Some(expected_seq), Some(ms)) = (from, seq, waited_ms) {
+            return NetError::FrameLoss {
+                rank,
+                from,
+                expected_seq,
+                waited: Duration::from_millis(ms),
+            };
+        }
+    }
+    NetError::WorkerFatal {
+        rank,
+        message: message.to_string(),
+    }
+}
+
+/// Monotonic per-process run counter, keeping socket directories of
+/// concurrent runs (parallel tests) disjoint.
+static RUN_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh, short socket directory (Unix socket paths are limited to
+/// ~108 bytes, so this stays terse).
+fn fresh_sock_dir() -> Result<PathBuf, NetError> {
+    let dir = std::env::temp_dir().join(format!(
+        "cmg-net-{}-{}",
+        std::process::id(),
+        RUN_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).map_err(|e| NetError::io("creating socket directory", e))?;
+    Ok(dir)
+}
+
+/// Locates the worker binary: explicit config, `CMG_NET_WORKER`, a
+/// sibling of the current executable, or a `cargo build` fallback.
+fn worker_binary_path(explicit: Option<&Path>) -> Result<PathBuf, NetError> {
+    if let Some(p) = explicit {
+        if p.exists() {
+            return Ok(p.to_path_buf());
+        }
+        return Err(NetError::WorkerBinary {
+            detail: format!("configured path {} does not exist", p.display()),
+        });
+    }
+    if let Ok(p) = std::env::var("CMG_NET_WORKER") {
+        let p = PathBuf::from(p);
+        if p.exists() {
+            return Ok(p);
+        }
+        return Err(NetError::WorkerBinary {
+            detail: format!("CMG_NET_WORKER={} does not exist", p.display()),
+        });
+    }
+    if let Ok(exe) = std::env::current_exe() {
+        for dir in candidate_dirs(&exe) {
+            let cand = dir.join("cmg-net-worker");
+            if cand.exists() {
+                return Ok(cand);
+            }
+        }
+    }
+    build_worker_binary()
+}
+
+/// Directories to probe for a prebuilt worker next to the running
+/// executable: its own directory, and (for test binaries living in
+/// `target/<profile>/deps/`) the profile directory above it.
+fn candidate_dirs(exe: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    if let Some(dir) = exe.parent() {
+        out.push(dir.to_path_buf());
+        if dir.file_name().is_some_and(|n| n == "deps") {
+            if let Some(up) = dir.parent() {
+                out.push(up.to_path_buf());
+            }
+        }
+    }
+    out
+}
+
+/// Builds the worker binary via cargo (tests of dependent packages do
+/// not build this crate's binaries, so first use pays this once; the
+/// cargo file lock serializes concurrent builders).
+fn build_worker_binary() -> Result<PathBuf, NetError> {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let workspace = match manifest.ancestors().nth(2) {
+        Some(w) => w,
+        None => {
+            return Err(NetError::WorkerBinary {
+                detail: format!("no workspace root above {}", manifest.display()),
+            })
+        }
+    };
+    let release = cfg!(not(debug_assertions));
+    let mut cmd = Command::new("cargo");
+    cmd.args(["build", "-q", "-p", "cmg-net", "--bin", "cmg-net-worker"])
+        .current_dir(workspace)
+        .stdout(Stdio::null());
+    if release {
+        cmd.arg("--release");
+    }
+    let status = cmd.status().map_err(|e| NetError::WorkerBinary {
+        detail: format!("running cargo build: {e}"),
+    })?;
+    if !status.success() {
+        return Err(NetError::WorkerBinary {
+            detail: format!("cargo build exited with {status}"),
+        });
+    }
+    let built = workspace
+        .join("target")
+        .join(if release { "release" } else { "debug" })
+        .join("cmg-net-worker");
+    if built.exists() {
+        Ok(built)
+    } else {
+        Err(NetError::WorkerBinary {
+            detail: format!("cargo build succeeded but {} is absent", built.display()),
+        })
+    }
+}
+
+/// What a supervisor-side reader thread can report.
+enum SupEvent {
+    /// A frame from `rank`'s worker.
+    Frame { rank: u32, frame: Frame },
+    /// `rank`'s worker closed its link.
+    Closed { rank: u32 },
+    /// Reading `rank`'s link failed.
+    ReadFailed { rank: u32, error: NetError },
+}
+
+/// Owns the worker processes and the socket directory; killing and
+/// removing both on drop is what makes every early error return clean.
+struct Fleet {
+    dir: PathBuf,
+    procs: Vec<Child>,
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        for c in &mut self.procs {
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// One in-flight run: the fleet, the per-worker links, and the
+/// event-loop state.
+struct Run {
+    num_ranks: u32,
+    fleet: Fleet,
+    writers: Vec<LinkWriter<UnixStream>>,
+    rx: Receiver<SupEvent>,
+    kill: KillSpec,
+    stall_timeout: Duration,
+    handshake_timeout: Duration,
+    max_rounds: u64,
+    launched: Instant,
+    ready: Vec<bool>,
+    started: Option<Instant>,
+    last_round: Vec<u64>,
+    last_progress: Vec<Instant>,
+    done: Vec<Option<(u64, bool)>>,
+    stats: Vec<Option<(RankStats, LinkStats)>>,
+    outcomes: Vec<Option<WorkerOutcome>>,
+    events: Vec<Option<String>>,
+}
+
+impl Run {
+    /// Spawns the fleet, runs the hello handshake, and ships every rank
+    /// its assignment.
+    fn launch(parts: Vec<DistGraph>, task: NetTask, cfg: &NetConfig) -> Result<Run, NetError> {
+        let num_ranks = parts.len() as u32;
+        if num_ranks == 0 {
+            return Err(NetError::Inconsistent {
+                detail: "a run needs at least one partition".into(),
+            });
+        }
+        for (i, p) in parts.iter().enumerate() {
+            if p.rank != i as u32 || p.num_ranks != num_ranks {
+                return Err(NetError::Inconsistent {
+                    detail: format!(
+                        "partition {i} labeled rank {}/{} in a {num_ranks}-rank run",
+                        p.rank, p.num_ranks
+                    ),
+                });
+            }
+        }
+
+        let dir = fresh_sock_dir()?;
+        let mut fleet = Fleet {
+            dir: dir.clone(),
+            procs: Vec::with_capacity(num_ranks as usize),
+        };
+        let listener = UnixListener::bind(dir.join("sup.sock"))
+            .map_err(|e| NetError::io("binding the supervisor socket", e))?;
+        let binary = worker_binary_path(cfg.worker_binary.as_deref())?;
+        for rank in 0..num_ranks {
+            let child = Command::new(&binary)
+                .arg(&dir)
+                .arg(rank.to_string())
+                .stdin(Stdio::null())
+                .stdout(Stdio::null())
+                .spawn()
+                .map_err(|source| NetError::Spawn { rank, source })?;
+            fleet.procs.push(child);
+        }
+
+        // Accept one connection per worker; its Hello says which rank
+        // dialed. Assignments go out as each worker checks in.
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| NetError::io("making the supervisor socket non-blocking", e))?;
+        let observed = cfg.recorder.enabled();
+        let mut writers: Vec<Option<LinkWriter<UnixStream>>> =
+            (0..num_ranks).map(|_| None).collect();
+        let (tx, rx) = channel();
+        let handshake_started = Instant::now();
+        let mut connected = 0;
+        while connected < num_ranks {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let rank = Run::admit(stream, &mut writers, &parts, task, cfg, observed, &tx)?;
+                    let _ = rank;
+                    connected += 1;
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::Interrupted =>
+                {
+                    if handshake_started.elapsed() > cfg.handshake_timeout {
+                        return Err(NetError::Handshake {
+                            waiting_for: format!(
+                                "hello from {} of {num_ranks} workers",
+                                num_ranks - connected
+                            ),
+                            waited: handshake_started.elapsed(),
+                        });
+                    }
+                    // A worker that died before dialing would otherwise
+                    // burn the whole handshake timeout.
+                    for (rank, child) in fleet.procs.iter_mut().enumerate() {
+                        if writers[rank].is_none() {
+                            if let Ok(Some(status)) = child.try_wait() {
+                                return Err(NetError::RankDied {
+                                    rank: rank as u32,
+                                    signal: status.signal(),
+                                    status: Some(status),
+                                    context: "during the handshake".into(),
+                                });
+                            }
+                        }
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(NetError::io("accepting a worker connection", e)),
+            }
+        }
+        let writers = writers
+            .into_iter()
+            .map(|w| {
+                w.ok_or_else(|| NetError::protocol("handshake finished with a missing worker"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let now = Instant::now();
+        Ok(Run {
+            num_ranks,
+            fleet,
+            writers,
+            rx,
+            kill: cfg.kill,
+            stall_timeout: cfg.stall_timeout,
+            handshake_timeout: cfg.handshake_timeout,
+            max_rounds: cfg.max_rounds,
+            launched: now,
+            ready: vec![false; num_ranks as usize],
+            started: None,
+            last_round: vec![0; num_ranks as usize],
+            last_progress: vec![now; num_ranks as usize],
+            done: vec![None; num_ranks as usize],
+            stats: vec![None; num_ranks as usize],
+            outcomes: vec![None; num_ranks as usize],
+            events: vec![None; num_ranks as usize],
+        })
+    }
+
+    /// Admits one accepted connection: reads its Hello, ships the
+    /// matching assignment, and starts its reader thread.
+    fn admit(
+        stream: UnixStream,
+        writers: &mut [Option<LinkWriter<UnixStream>>],
+        parts: &[DistGraph],
+        task: NetTask,
+        cfg: &NetConfig,
+        observed: bool,
+        tx: &Sender<SupEvent>,
+    ) -> Result<u32, NetError> {
+        stream
+            .set_nonblocking(false)
+            .map_err(|e| NetError::io("making a worker stream blocking", e))?;
+        stream
+            .set_write_timeout(Some(Duration::from_secs(5)))
+            .map_err(|e| NetError::io("setting a worker write timeout", e))?;
+        let mut read_half = stream
+            .try_clone()
+            .map_err(|e| NetError::io("cloning a worker stream", e))?;
+        let (_, hello) = match read_frame(&mut read_half)? {
+            Some(pair) => pair,
+            None => return Err(NetError::protocol("worker closed during its hello")),
+        };
+        let rank = match hello.ctrl {
+            Ctrl::Hello { rank, proto } => {
+                if proto != PROTO_VERSION {
+                    return Err(NetError::protocol(format!(
+                        "worker {rank} speaks protocol {proto}, expected {PROTO_VERSION}"
+                    )));
+                }
+                rank
+            }
+            other => {
+                return Err(NetError::protocol(format!(
+                    "expected a worker Hello, got {other:?}"
+                )))
+            }
+        };
+        let slot = match writers.get_mut(rank as usize) {
+            Some(slot) => slot,
+            None => {
+                return Err(NetError::protocol(format!(
+                    "hello from out-of-range rank {rank}"
+                )))
+            }
+        };
+        if slot.is_some() {
+            return Err(NetError::protocol(format!("rank {rank} dialed twice")));
+        }
+        let assignment = Assignment {
+            dg: parts[rank as usize].clone(),
+            task,
+            opts: RunOptions {
+                bundling: true,
+                observed,
+                max_rounds: cfg.max_rounds,
+                heartbeat_millis: cfg.heartbeat.as_millis() as u64,
+                gap_deadline_millis: cfg.gap_deadline.as_millis() as u64,
+                fault: cfg.fault,
+                die_at_round: cfg.kill.die_at_round(rank),
+            },
+        };
+        let mut writer = LinkWriter::new(stream);
+        writer.send(&Frame::with_payload(
+            Ctrl::Assignment { rank },
+            Bytes::from(encode_assignment(&assignment)),
+        ))?;
+        *slot = Some(writer);
+        let tx = tx.clone();
+        let _ = std::thread::spawn(move || loop {
+            match read_frame(&mut read_half) {
+                Ok(Some((_, frame))) => {
+                    if tx.send(SupEvent::Frame { rank, frame }).is_err() {
+                        return;
+                    }
+                }
+                Ok(None) => {
+                    let _ = tx.send(SupEvent::Closed { rank });
+                    return;
+                }
+                Err(error) => {
+                    let _ = tx.send(SupEvent::ReadFailed { rank, error });
+                    return;
+                }
+            }
+        });
+        Ok(rank)
+    }
+
+    /// The event loop: drives the run to completion (all ranks `Done`)
+    /// or to a diagnosed failure, then shuts the fleet down and
+    /// assembles the merged results.
+    #[allow(clippy::type_complexity)]
+    fn drive(&mut self) -> Result<(Vec<WorkerOutcome>, RunStats, LinkTotals, u64), NetError> {
+        while !self.done.iter().all(Option::is_some) {
+            match self.rx.recv_timeout(TICK) {
+                Ok(ev) => self.dispatch(ev)?,
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    self.sweep(None)?;
+                    return Err(NetError::protocol("every worker link closed mid-run"));
+                }
+            }
+            while let Ok(ev) = self.rx.try_recv() {
+                self.dispatch(ev)?;
+            }
+            self.sweep(None)?;
+            self.maybe_start()?;
+            self.check_stall()?;
+            if self.started.is_none() && self.launched.elapsed() > self.handshake_timeout {
+                return Err(NetError::Handshake {
+                    waiting_for: format!(
+                        "ready from {} workers",
+                        self.ready.iter().filter(|&&r| !r).count()
+                    ),
+                    waited: self.launched.elapsed(),
+                });
+            }
+        }
+        self.shutdown_fleet()?;
+        self.assemble()
+    }
+
+    fn dispatch(&mut self, ev: SupEvent) -> Result<(), NetError> {
+        match ev {
+            SupEvent::Frame { rank, frame } => self.on_frame(rank, frame),
+            SupEvent::Closed { rank } => self.on_closed(rank, None),
+            SupEvent::ReadFailed { rank, error } => self.on_closed(rank, Some(error)),
+        }
+    }
+
+    fn on_frame(&mut self, rank: u32, frame: Frame) -> Result<(), NetError> {
+        let r = rank as usize;
+        if r >= self.num_ranks as usize {
+            return Err(NetError::protocol(format!(
+                "frame from out-of-range rank {rank}"
+            )));
+        }
+        match frame.ctrl {
+            Ctrl::Ready { rank: said } if said == rank => {
+                self.ready[r] = true;
+                Ok(())
+            }
+            Ctrl::Heartbeat { rank: said, round } if said == rank => {
+                if round > self.last_round[r] {
+                    self.last_round[r] = round;
+                    self.last_progress[r] = Instant::now();
+                }
+                Ok(())
+            }
+            Ctrl::FaultPoint { rank: said, .. } if said == rank => {
+                if matches!(self.kill, KillSpec::KillAtRound { rank: k, .. } if k == rank) {
+                    // `Child::kill` is SIGKILL on Unix: the worker gets
+                    // no chance to report anything, which is the point.
+                    let _ = self.fleet.procs[r].kill();
+                }
+                Ok(())
+            }
+            Ctrl::Stats { rank: said } if said == rank => {
+                self.stats[r] = Some(decode_stats(&frame.payload)?);
+                Ok(())
+            }
+            Ctrl::Outcome { rank: said } if said == rank => {
+                self.outcomes[r] = Some(decode_outcome(&frame.payload)?);
+                Ok(())
+            }
+            Ctrl::Events { rank: said } if said == rank => {
+                let text = String::from_utf8(frame.payload.to_vec()).map_err(|_| {
+                    NetError::protocol(format!("rank {rank} sent non-UTF-8 events"))
+                })?;
+                self.events[r] = Some(text);
+                Ok(())
+            }
+            Ctrl::Done {
+                rank: said,
+                rounds,
+                cap,
+            } if said == rank => {
+                self.done[r] = Some((rounds, cap != 0));
+                // `last_round` is in the worker's half-round beacon units.
+                self.last_round[r] = rounds.saturating_mul(2);
+                self.last_progress[r] = Instant::now();
+                Ok(())
+            }
+            Ctrl::Fatal { rank: said } if said == rank => {
+                let message = String::from_utf8_lossy(&frame.payload).to_string();
+                // A worker reporting someone else's symptom (e.g. "peer
+                // link closed") must not outrank the actual death:
+                // check every OTHER worker's pulse first, and keep
+                // polling through the exit-vs-reapable window (see
+                // `FATAL_SWEEP_GRACE`) before settling for the symptom.
+                let deadline = Instant::now() + FATAL_SWEEP_GRACE;
+                loop {
+                    self.sweep(Some(rank))?;
+                    if Instant::now() >= deadline {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(parse_fatal(rank, &message))
+            }
+            other => Err(NetError::protocol(format!(
+                "unexpected {other:?} frame from rank {rank} on the supervisor plane"
+            ))),
+        }
+    }
+
+    /// A worker hung up (EOF or read error) without `Done`: its exit
+    /// status is the real diagnosis, so give it a moment to exit.
+    fn on_closed(&mut self, rank: u32, error: Option<NetError>) -> Result<(), NetError> {
+        let r = rank as usize;
+        if r >= self.num_ranks as usize || self.done[r].is_some() {
+            return Ok(());
+        }
+        let deadline = Instant::now() + CLOSE_GRACE;
+        loop {
+            match self.fleet.procs[r].try_wait() {
+                Ok(Some(status)) => return Err(self.diagnose_dead(rank, status)),
+                Ok(None) => {}
+                Err(e) => return Err(NetError::io("polling a worker exit status", e)),
+            }
+            if Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        Err(error.unwrap_or_else(|| {
+            NetError::protocol(format!(
+                "rank {rank} closed its supervisor link mid-run but its process is still alive"
+            ))
+        }))
+    }
+
+    /// Polls every unfinished worker's exit status; a dead one fails
+    /// the run as [`NetError::RankDied`]. `excluding` skips the rank
+    /// whose own report is currently being handled.
+    fn sweep(&mut self, excluding: Option<u32>) -> Result<(), NetError> {
+        for r in 0..self.num_ranks as usize {
+            if self.done[r].is_some() || excluding == Some(r as u32) {
+                continue;
+            }
+            match self.fleet.procs[r].try_wait() {
+                Ok(Some(status)) => return Err(self.diagnose_dead(r as u32, status)),
+                Ok(None) => {}
+                Err(e) => return Err(NetError::io("polling a worker exit status", e)),
+            }
+        }
+        Ok(())
+    }
+
+    /// A worker is dead without `Done`. Drain its already-queued frames
+    /// briefly: a `Fatal` it managed to send before exiting is a better
+    /// diagnosis than the bare exit status.
+    fn diagnose_dead(&mut self, rank: u32, status: ExitStatus) -> NetError {
+        let deadline = Instant::now() + DEATH_DRAIN;
+        loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                break;
+            }
+            match self.rx.recv_timeout(left) {
+                Ok(SupEvent::Frame { rank: r, frame }) if r == rank => {
+                    if let Ctrl::Fatal { .. } = frame.ctrl {
+                        return parse_fatal(rank, &String::from_utf8_lossy(&frame.payload));
+                    }
+                }
+                Ok(_) => {}
+                Err(_) => break,
+            }
+        }
+        NetError::RankDied {
+            rank,
+            signal: status.signal(),
+            status: Some(status),
+            context: format!(
+                "mid-run, last reported round {}",
+                self.last_round[rank as usize] / 2
+            ),
+        }
+    }
+
+    /// Sends `Start` once every rank reported `Ready`.
+    fn maybe_start(&mut self) -> Result<(), NetError> {
+        if self.started.is_some() || !self.ready.iter().all(|&r| r) {
+            return Ok(());
+        }
+        for w in &mut self.writers {
+            w.send(&Frame::bare(Ctrl::Start))?;
+        }
+        let now = Instant::now();
+        self.started = Some(now);
+        for p in &mut self.last_progress {
+            *p = now;
+        }
+        Ok(())
+    }
+
+    /// Fails the run if any unfinished rank has gone a full stall
+    /// timeout without round progress while its process stayed alive.
+    /// The least-advanced such rank is the culprit (its peers are
+    /// usually just blocked waiting for it).
+    fn check_stall(&mut self) -> Result<(), NetError> {
+        if self.started.is_none() {
+            return Ok(());
+        }
+        let mut worst: Option<usize> = None;
+        for r in 0..self.num_ranks as usize {
+            if self.done[r].is_some() || self.last_progress[r].elapsed() < self.stall_timeout {
+                continue;
+            }
+            if worst.is_none_or(|w| self.last_round[r] < self.last_round[w]) {
+                worst = Some(r);
+            }
+        }
+        match worst {
+            Some(r) => Err(NetError::Stalled {
+                rank: r as u32,
+                // Beacon units are half-rounds; report whole rounds.
+                round: self.last_round[r] / 2,
+                waited: self.last_progress[r].elapsed(),
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// Sends `Shutdown` to every worker and waits (bounded) for clean
+    /// exits; stragglers are killed by the fleet's drop.
+    fn shutdown_fleet(&mut self) -> Result<(), NetError> {
+        for w in &mut self.writers {
+            w.send(&Frame::bare(Ctrl::Shutdown))?;
+        }
+        let deadline = Instant::now() + EXIT_GRACE;
+        loop {
+            let mut all_exited = true;
+            for c in &mut self.fleet.procs {
+                match c.try_wait() {
+                    Ok(Some(_)) => {}
+                    Ok(None) => all_exited = false,
+                    Err(e) => return Err(NetError::io("waiting for a worker to exit", e)),
+                }
+            }
+            if all_exited || Instant::now() >= deadline {
+                return Ok(());
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Merges the collected per-rank reports into the run result.
+    #[allow(clippy::type_complexity)]
+    fn assemble(&mut self) -> Result<(Vec<WorkerOutcome>, RunStats, LinkTotals, u64), NetError> {
+        let mut rounds = 0;
+        for (r, d) in self.done.iter().enumerate() {
+            let (worker_rounds, cap) = d.ok_or_else(|| NetError::Inconsistent {
+                detail: format!("rank {r} never reported Done"),
+            })?;
+            if cap {
+                return Err(NetError::RoundCap {
+                    max_rounds: self.max_rounds,
+                });
+            }
+            rounds = rounds.max(worker_rounds);
+        }
+        let mut per_rank = Vec::with_capacity(self.num_ranks as usize);
+        let mut links = LinkTotals::default();
+        for (r, s) in self.stats.iter().enumerate() {
+            let Some((rank_stats, link)) = s.clone() else {
+                return Err(NetError::Inconsistent {
+                    detail: format!("rank {r} reported Done without Stats"),
+                });
+            };
+            per_rank.push(rank_stats);
+            links.total.merge(&link);
+            links.per_rank.push(link);
+        }
+        let outcomes = self
+            .outcomes
+            .iter_mut()
+            .enumerate()
+            .map(|(r, o)| {
+                o.take().ok_or_else(|| NetError::Inconsistent {
+                    detail: format!("rank {r} reported Done without an Outcome"),
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok((outcomes, RunStats { per_rank, rounds }, links, rounds))
+    }
+
+    /// Replays every rank's shipped obs events, merged in time order,
+    /// into `recorder`.
+    fn replay_events(&mut self, recorder: &RecorderHandle) -> Result<(), NetError> {
+        let mut merged: Vec<TimedEvent> = Vec::new();
+        for (r, text) in self.events.iter().enumerate() {
+            let Some(text) = text else {
+                return Err(NetError::Inconsistent {
+                    detail: format!("observed run but rank {r} shipped no events"),
+                });
+            };
+            match cmg_obs::sink::events_from_jsonl(text) {
+                Some(events) => merged.extend(events),
+                None => {
+                    return Err(NetError::protocol(format!(
+                        "rank {r} shipped malformed event JSONL"
+                    )))
+                }
+            }
+        }
+        merged.sort_by(|a, b| {
+            a.time
+                .total_cmp(&b.time)
+                .then(a.rank.cmp(&b.rank))
+                .then(a.seq.cmp(&b.seq))
+        });
+        replay(&merged, recorder);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kill_spec_targets_exactly_its_rank() {
+        let k = KillSpec::KillAtRound { rank: 2, round: 5 };
+        assert_eq!(k.die_at_round(2), 5);
+        assert_eq!(k.die_at_round(1), NEVER);
+        let w = KillSpec::WedgeAtRound { rank: 0, round: 3 };
+        assert_eq!(w.die_at_round(0), 3);
+        assert_eq!(w.die_at_round(2), NEVER);
+        assert_eq!(KillSpec::None.die_at_round(0), NEVER);
+    }
+
+    #[test]
+    fn fatal_payloads_re_type_frame_loss() {
+        let e = parse_fatal(1, "FRAME_LOSS from=2 seq=40 waited_ms=2000; details");
+        match e {
+            NetError::FrameLoss {
+                rank,
+                from,
+                expected_seq,
+                waited,
+            } => {
+                assert_eq!((rank, from, expected_seq), (1, 2, 40));
+                assert_eq!(waited, Duration::from_millis(2000));
+            }
+            other => {
+                let ok = false;
+                assert!(ok, "expected FrameLoss, got {other}");
+            }
+        }
+        match parse_fatal(3, "something else broke") {
+            NetError::WorkerFatal { rank, message } => {
+                assert_eq!(rank, 3);
+                assert!(message.contains("something else"));
+            }
+            other => {
+                let ok = false;
+                assert!(ok, "expected WorkerFatal, got {other}");
+            }
+        }
+        // A mangled FRAME_LOSS header degrades to WorkerFatal, never a
+        // panic.
+        assert!(matches!(
+            parse_fatal(0, "FRAME_LOSS from=x seq=y"),
+            NetError::WorkerFatal { .. }
+        ));
+    }
+
+    #[test]
+    fn mate_assembly_cross_validates_ranks() {
+        // 0-1 matched, 2 free, split over two ranks.
+        let good = vec![
+            WorkerOutcome::Matching(vec![(0, 1), (1, 0)]),
+            WorkerOutcome::Matching(vec![(2, NO_VERTEX)]),
+        ];
+        let mate = assemble_mates(3, &good).unwrap();
+        assert_eq!(mate, vec![1, 0, NO_VERTEX]);
+
+        // Asymmetric: rank 1 claims 2 is matched to 0, but mate[0] = 1.
+        let asym = vec![
+            WorkerOutcome::Matching(vec![(0, 1), (1, 0)]),
+            WorkerOutcome::Matching(vec![(2, 0)]),
+        ];
+        assert!(matches!(
+            assemble_mates(3, &asym),
+            Err(NetError::Inconsistent { .. })
+        ));
+
+        // Overlap: both ranks claim vertex 1.
+        let overlap = vec![
+            WorkerOutcome::Matching(vec![(0, 1), (1, 0)]),
+            WorkerOutcome::Matching(vec![(1, 0), (2, NO_VERTEX)]),
+        ];
+        assert!(assemble_mates(3, &overlap).is_err());
+
+        // Gap: nobody reported vertex 2.
+        let gap = vec![WorkerOutcome::Matching(vec![(0, 1), (1, 0)])];
+        assert!(assemble_mates(3, &gap).is_err());
+
+        // Wrong outcome kind.
+        let wrong = vec![WorkerOutcome::Coloring {
+            pairs: vec![(0, 0)],
+            phases: 0,
+        }];
+        assert!(assemble_mates(1, &wrong).is_err());
+    }
+
+    #[test]
+    fn color_assembly_merges_and_takes_max_phases() {
+        let outcomes = vec![
+            WorkerOutcome::Coloring {
+                pairs: vec![(0, 2), (1, 0)],
+                phases: 3,
+            },
+            WorkerOutcome::Coloring {
+                pairs: vec![(2, 1)],
+                phases: 5,
+            },
+        ];
+        let (colors, phases) = assemble_colors(3, &outcomes).unwrap();
+        assert_eq!(colors, vec![2, 0, 1]);
+        assert_eq!(phases, 5);
+
+        let dup = vec![
+            WorkerOutcome::Coloring {
+                pairs: vec![(0, 2), (1, 0)],
+                phases: 1,
+            },
+            WorkerOutcome::Coloring {
+                pairs: vec![(1, 1), (2, 1)],
+                phases: 1,
+            },
+        ];
+        assert!(assemble_colors(3, &dup).is_err());
+    }
+
+    #[test]
+    fn candidate_dirs_probe_deps_parent() {
+        let dirs = candidate_dirs(Path::new("/t/target/debug/deps/test-abc123"));
+        assert_eq!(
+            dirs,
+            vec![
+                PathBuf::from("/t/target/debug/deps"),
+                PathBuf::from("/t/target/debug")
+            ]
+        );
+        let dirs = candidate_dirs(Path::new("/t/target/debug/cmg"));
+        assert_eq!(dirs, vec![PathBuf::from("/t/target/debug")]);
+    }
+}

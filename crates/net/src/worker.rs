@@ -1,0 +1,1123 @@
+//! The rank worker: one OS process executing one rank of a distributed
+//! run, driven entirely by frames from the supervisor and its peers.
+//!
+//! Life of a worker:
+//!
+//! 1. bind its own listener (`rank<r>.sock`), dial the supervisor with
+//!    capped backoff, introduce itself (`Hello`), and receive its
+//!    [`Assignment`] — partition slice, task, run options;
+//! 2. build the peer mesh: dial every lower rank, accept every higher
+//!    rank (one duplex stream per unordered pair, `Hello` from the
+//!    dialer so the acceptor learns who called);
+//! 3. report `Ready`, wait for `Start`;
+//! 4. run the bulk-synchronous round protocol: deliver last round's
+//!    bundles, step the algorithm, send exactly one `RoundBundle` per
+//!    peer per round (an empty bundle is the "nothing for you" marker
+//!    the receiver still counts), then resolve the round's termination
+//!    allreduce over `BarrierUp`/`BarrierDown` frames;
+//! 5. ship stats, outcome, buffered obs events, and `Done` home; wait
+//!    for `Shutdown`.
+//!
+//! The round protocol — delivery order, per-packet statistics, event
+//! emission — mirrors the threaded engine line for line, which is what
+//! makes net-engine results and merged stats bit-identical to the other
+//! engines under the synchronous bundled configuration.
+//!
+//! Nothing here panics: every failure is a [`NetError`], and the worker
+//! reports it home as a `Fatal` frame before exiting so the supervisor
+//! can diagnose the run instead of timing out.
+
+use crate::error::NetError;
+use crate::frame::{read_frame, Ctrl, Frame, PROTO_VERSION};
+use crate::link::{connect_with_backoff, FaultPlan, LinkStats, LinkWriter, Resequencer};
+use crate::proto::{
+    decode_assignment, encode_outcome, encode_stats, Assignment, NetTask, RunOptions, WorkerOutcome,
+};
+use bytes::{BufMut, Bytes};
+use cmg_coloring::{DistColoring, JonesPlassmann};
+use cmg_matching::DistMatching;
+use cmg_obs::{CollectingRecorder, Event, PhaseName, RecorderHandle, ENGINE_RANK};
+use cmg_runtime::bundle::Packet;
+use cmg_runtime::collectives::{ReduceOutcome, TreeAllreduce};
+use cmg_runtime::message::decode_all_into;
+use cmg_runtime::{RankCtx, RankProgram, RankStats, Status};
+use std::collections::BTreeMap;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Backoff ramp for dialing sockets that may not be bound yet.
+const CONNECT_BASE: Duration = Duration::from_millis(2);
+/// Backoff cap (no reconnect attempt waits longer than this).
+const CONNECT_CAP: Duration = Duration::from_millis(100);
+/// Total dial budget before giving up with [`NetError::Connect`].
+const CONNECT_TOTAL: Duration = Duration::from_secs(10);
+/// Socket write timeout: a peer that stops draining becomes an I/O
+/// error instead of a hang.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+/// How long the peer-mesh handshake may take end to end.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(20);
+/// How long to wait for the supervisor's `Shutdown` after `Done`.
+const SHUTDOWN_WAIT: Duration = Duration::from_secs(30);
+/// Event-pump tick: bounds how stale gap/held-frame checks can get.
+const PUMP_TICK: Duration = Duration::from_millis(20);
+/// Arity of the termination-allreduce tree.
+const BARRIER_ARITY: u32 = 2;
+
+/// Locks a mutex, recovering the guard from a poisoned lock (the owner
+/// of the poison already carried its error elsewhere).
+fn lock(m: &Mutex<LinkWriter<UnixStream>>) -> MutexGuard<'_, LinkWriter<UnixStream>> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Everything a reader thread can hand the worker's main loop.
+enum Incoming {
+    /// A frame from peer `from`, with its link sequence number.
+    Peer { from: u32, seq: u64, frame: Frame },
+    /// A peer closed its stream (EOF or read error — either way
+    /// nothing more is coming; the supervisor diagnoses the cause).
+    PeerGone,
+    /// A frame from the supervisor.
+    Sup { frame: Frame },
+    /// The supervisor closed its stream.
+    SupGone,
+    /// Reading the supervisor link failed.
+    SupReadFailed { error: NetError },
+}
+
+/// The worker's connection state: one writer + resequencer per peer,
+/// the shared supervisor writer, and the round-protocol bookkeeping.
+struct Transport {
+    rank: u32,
+    num_ranks: u32,
+    opts: RunOptions,
+    /// Per-peer send halves (`None` at our own index).
+    writers: Vec<Option<LinkWriter<UnixStream>>>,
+    /// Per-peer receive order restoration.
+    reseq: Vec<Resequencer>,
+    rx: Receiver<Incoming>,
+    sup: Arc<Mutex<LinkWriter<UnixStream>>>,
+    /// Packets awaiting delivery, keyed by the round they were *sent*
+    /// in (delivered one round later). Self-sends land here directly.
+    pending: BTreeMap<u64, Vec<(u32, Bytes, u32)>>,
+    /// `RoundBundle` frames received per send-round (markers included);
+    /// a round is deliverable once every peer's bundle arrived.
+    bundles: BTreeMap<u64, u32>,
+    /// Keep-going decisions received (or decided, at the root), keyed
+    /// by round.
+    barrier_down: BTreeMap<u64, bool>,
+    tree: TreeAllreduce<u64>,
+    /// Set when `Start` arrives; also fixes the event-time epoch.
+    started: bool,
+    /// Set when `Shutdown` arrives.
+    shutdown: bool,
+    epoch: Option<Instant>,
+}
+
+impl Transport {
+    /// Seconds since `Start` — the event timestamp, mirroring the
+    /// threaded engine's wall-seconds-since-run-start epoch.
+    fn now(&self) -> f64 {
+        self.epoch.map_or(0.0, |e| e.elapsed().as_secs_f64())
+    }
+
+    /// Sends one frame to a peer.
+    fn send_peer(&mut self, dst: u32, frame: &Frame) -> Result<(), NetError> {
+        match self.writers.get_mut(dst as usize).and_then(Option::as_mut) {
+            Some(w) => w.send(frame),
+            None => Err(NetError::protocol(format!(
+                "rank {} has no link to rank {dst}",
+                self.rank
+            ))),
+        }
+    }
+
+    /// Releases every held (delay-faulted) frame on every peer link.
+    /// Called before any blocking wait, which is what makes delay
+    /// faults pure reorders instead of deadlocks.
+    fn flush_all(&mut self) -> Result<(), NetError> {
+        for w in self.writers.iter_mut().flatten() {
+            w.flush_held()?;
+        }
+        Ok(())
+    }
+
+    /// Blocks up to `timeout` for one incoming event, then drains the
+    /// backlog without blocking.
+    fn pump(&mut self, timeout: Duration) -> Result<(), NetError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(ev) => self.dispatch(ev)?,
+            Err(RecvTimeoutError::Timeout) => return Ok(()),
+            Err(RecvTimeoutError::Disconnected) => {
+                return Err(NetError::protocol("every link reader thread exited"))
+            }
+        }
+        loop {
+            match self.rx.try_recv() {
+                Ok(ev) => self.dispatch(ev)?,
+                Err(TryRecvError::Empty | TryRecvError::Disconnected) => return Ok(()),
+            }
+        }
+    }
+
+    fn dispatch(&mut self, ev: Incoming) -> Result<(), NetError> {
+        match ev {
+            Incoming::Peer { from, seq, frame } => {
+                let mut ready = Vec::new();
+                match self.reseq.get_mut(from as usize) {
+                    Some(r) => r.accept(seq, frame, &mut ready),
+                    None => {
+                        return Err(NetError::protocol(format!(
+                            "frame from out-of-range rank {from}"
+                        )))
+                    }
+                }
+                for f in ready {
+                    self.on_peer_frame(from, f)?;
+                }
+                Ok(())
+            }
+            // A vanished peer is not diagnosed here: the supervisor
+            // watches exit statuses and heartbeats and produces the
+            // typed error; this worker just stops hearing from it.
+            Incoming::PeerGone => Ok(()),
+            Incoming::Sup { frame } => self.on_sup_frame(frame),
+            Incoming::SupGone => {
+                if self.shutdown {
+                    Ok(())
+                } else {
+                    Err(NetError::protocol("supervisor link closed mid-run"))
+                }
+            }
+            Incoming::SupReadFailed { error } => Err(error),
+        }
+    }
+
+    /// Handles one in-order data-plane frame from `from`.
+    fn on_peer_frame(&mut self, from: u32, frame: Frame) -> Result<(), NetError> {
+        match frame.ctrl {
+            Ctrl::RoundBundle {
+                round,
+                src,
+                npackets,
+            } => {
+                if src != from {
+                    return Err(NetError::protocol(format!(
+                        "bundle claims src {src} but arrived on rank {from}'s link"
+                    )));
+                }
+                let packets = parse_bundle(&frame.payload, npackets)?;
+                let slot = self.pending.entry(round).or_default();
+                for (payload, logical) in packets {
+                    slot.push((src, payload, logical));
+                }
+                *self.bundles.entry(round).or_insert(0) += 1;
+                Ok(())
+            }
+            Ctrl::BarrierUp { round, active } => {
+                self.tree.absorb_child(round as u32, u64::from(active));
+                Ok(())
+            }
+            Ctrl::BarrierDown { round, keep } => {
+                self.barrier_down.insert(round, keep != 0);
+                Ok(())
+            }
+            other => Err(NetError::protocol(format!(
+                "unexpected {other:?} frame on the peer link from rank {from}"
+            ))),
+        }
+    }
+
+    fn on_sup_frame(&mut self, frame: Frame) -> Result<(), NetError> {
+        match frame.ctrl {
+            Ctrl::Start => {
+                self.started = true;
+                self.epoch = Some(Instant::now());
+                Ok(())
+            }
+            Ctrl::Shutdown => {
+                self.shutdown = true;
+                Ok(())
+            }
+            other => Err(NetError::protocol(format!(
+                "unexpected {other:?} frame on the supervisor link"
+            ))),
+        }
+    }
+
+    /// Fails the run if any link has had newer frames waiting behind a
+    /// missing sequence number for longer than the gap deadline — the
+    /// unrecoverable-drop diagnosis (this transport never retransmits).
+    fn check_gaps(&self) -> Result<(), NetError> {
+        let deadline = Duration::from_millis(self.opts.gap_deadline_millis);
+        for (from, r) in self.reseq.iter().enumerate() {
+            if let Some((expected_seq, waited)) = r.gap() {
+                if waited >= deadline {
+                    return Err(NetError::FrameLoss {
+                        rank: self.rank,
+                        from: from as u32,
+                        expected_seq,
+                        waited,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Blocks until every peer's bundle for `send_round` has arrived.
+    fn wait_bundles(&mut self, send_round: u64) -> Result<(), NetError> {
+        let expected = self.num_ranks - 1;
+        while self.bundles.get(&send_round).copied().unwrap_or(0) < expected {
+            self.flush_all()?;
+            self.pump(PUMP_TICK)?;
+            self.check_gaps()?;
+        }
+        Ok(())
+    }
+
+    /// Sends this round's packets: per-peer `RoundBundle`s (empty ones
+    /// as markers), self-sends looped into next round's pending queue.
+    /// Statistics and events are counted per packet, exactly like the
+    /// threaded engine's send phase.
+    fn send_round(
+        &mut self,
+        round: u64,
+        packet_buf: &mut Vec<Packet>,
+        stats: &mut RankStats,
+        recorder: &RecorderHandle,
+        observed: bool,
+    ) -> Result<(), NetError> {
+        let rank = self.rank;
+        let packets = std::mem::take(packet_buf);
+        // `finish_into` sorted by destination, so one forward sweep
+        // visits each destination's group in order.
+        let mut idx = 0;
+        for dst in 0..self.num_ranks {
+            let begin = idx;
+            while idx < packets.len() && packets[idx].dst == dst {
+                idx += 1;
+            }
+            let group = &packets[begin..idx];
+            for p in group {
+                stats.packets_sent += 1;
+                stats.messages_sent += u64::from(p.logical);
+                stats.bytes_sent += p.payload.len() as u64;
+                if observed {
+                    recorder.emit(
+                        rank,
+                        self.now(),
+                        Event::PacketSent {
+                            dst: p.dst,
+                            bytes: p.payload.len() as u64,
+                            logical: p.logical,
+                        },
+                    );
+                }
+            }
+            if dst == rank {
+                // Self-sends never touch the wire: deliver next round.
+                let slot = self.pending.entry(round).or_default();
+                for p in group {
+                    slot.push((rank, p.payload.clone(), p.logical));
+                }
+                continue;
+            }
+            let mut payload = Vec::new();
+            for p in group {
+                payload.put_u32_le(p.logical);
+                payload.put_u32_le(p.payload.len() as u32);
+                payload.put_slice(&p.payload);
+            }
+            self.send_peer(
+                dst,
+                &Frame::with_payload(
+                    Ctrl::RoundBundle {
+                        round,
+                        src: rank,
+                        npackets: group.len() as u32,
+                    },
+                    Bytes::from(payload),
+                ),
+            )?;
+        }
+        *packet_buf = packets;
+        packet_buf.clear();
+        Ok(())
+    }
+
+    /// Resolves the termination allreduce for `round`: contributes
+    /// `active` up the tree once every child reported, waits for the
+    /// decision to come back down, forwards it on, and returns the
+    /// global keep-going verdict.
+    fn resolve_barrier(&mut self, round: u64, active: bool) -> Result<bool, NetError> {
+        let mut contributed = false;
+        loop {
+            if !contributed {
+                if let Some(outcome) = self.tree.try_complete(round as u32, u64::from(active)) {
+                    match outcome {
+                        ReduceOutcome::ToParent { parent, value } => {
+                            self.send_peer(
+                                parent,
+                                &Frame::bare(Ctrl::BarrierUp {
+                                    round,
+                                    active: u8::from(value > 0),
+                                }),
+                            )?;
+                        }
+                        ReduceOutcome::Root { value } => {
+                            self.barrier_down.insert(round, value > 0);
+                        }
+                    }
+                    contributed = true;
+                }
+            }
+            if let Some(keep) = self.barrier_down.remove(&round) {
+                let kids: Vec<u32> = self.tree.children().to_vec();
+                for c in kids {
+                    self.send_peer(
+                        c,
+                        &Frame::bare(Ctrl::BarrierDown {
+                            round,
+                            keep: u8::from(keep),
+                        }),
+                    )?;
+                }
+                return Ok(keep);
+            }
+            self.flush_all()?;
+            self.pump(PUMP_TICK)?;
+            self.check_gaps()?;
+        }
+    }
+
+    /// Aggregated link counters across every peer link of this rank.
+    fn link_totals(&self) -> LinkStats {
+        let mut total = LinkStats::default();
+        for w in self.writers.iter().flatten() {
+            total.merge(&w.stats());
+        }
+        for r in &self.reseq {
+            total.frames_received += r.delivered;
+            total.dup_discarded += r.dup_discarded;
+        }
+        total
+    }
+}
+
+/// Decodes a `RoundBundle` payload: `npackets` of
+/// `[u32 logical][u32 len][len bytes]`.
+fn parse_bundle(payload: &Bytes, npackets: u32) -> Result<Vec<(Bytes, u32)>, NetError> {
+    let mut buf: &[u8] = payload;
+    let mut out = Vec::with_capacity(npackets as usize);
+    for _ in 0..npackets {
+        if buf.len() < 8 {
+            return Err(NetError::protocol("truncated packet header in bundle"));
+        }
+        let logical = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+        let len = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]) as usize;
+        buf = &buf[8..];
+        if buf.len() < len {
+            return Err(NetError::protocol(format!(
+                "bundle packet claims {len} bytes, {} remain",
+                buf.len()
+            )));
+        }
+        out.push((Bytes::from(buf[..len].to_vec()), logical));
+        buf = &buf[len..];
+    }
+    if !buf.is_empty() {
+        return Err(NetError::protocol(format!(
+            "{} trailing bytes after the last bundle packet",
+            buf.len()
+        )));
+    }
+    Ok(out)
+}
+
+/// How each supported rank program reports its share of the result.
+trait NetOutcomeSource {
+    /// This rank's slice of the global result.
+    fn net_outcome(&self) -> WorkerOutcome;
+}
+
+impl NetOutcomeSource for DistMatching {
+    fn net_outcome(&self) -> WorkerOutcome {
+        WorkerOutcome::Matching(self.local_mates().collect())
+    }
+}
+
+impl NetOutcomeSource for DistColoring {
+    fn net_outcome(&self) -> WorkerOutcome {
+        WorkerOutcome::Coloring {
+            pairs: self.local_colors().collect(),
+            phases: self.phases_executed,
+        }
+    }
+}
+
+impl NetOutcomeSource for JonesPlassmann {
+    fn net_outcome(&self) -> WorkerOutcome {
+        WorkerOutcome::Coloring {
+            // JP has no speculative phases; the supervisor reports its
+            // round count instead.
+            pairs: self.local_colors().collect(),
+            phases: 0,
+        }
+    }
+}
+
+/// Entry point for the `cmg-net-worker` binary: runs rank `rank` of the
+/// run rooted at `sock_dir`, returning every failure as a value (and
+/// reporting it home as a `Fatal` frame first).
+pub fn worker_main(sock_dir: &Path, rank: u32) -> Result<(), NetError> {
+    // Bind our listener before dialing the supervisor: the moment our
+    // Hello is processed, higher-ranked peers may start dialing us.
+    let listener = UnixListener::bind(sock_dir.join(format!("rank{rank}.sock")))
+        .map_err(|e| NetError::io(format!("binding rank {rank} listener"), e))?;
+    let sup_stream = connect_with_backoff(
+        &sock_dir.join("sup.sock"),
+        CONNECT_BASE,
+        CONNECT_CAP,
+        CONNECT_TOTAL,
+    )?;
+    sup_stream
+        .set_write_timeout(Some(WRITE_TIMEOUT))
+        .map_err(|e| NetError::io("setting supervisor write timeout", e))?;
+    let mut sup_read = sup_stream
+        .try_clone()
+        .map_err(|e| NetError::io("cloning supervisor stream", e))?;
+    let mut sup_writer = LinkWriter::new(sup_stream);
+    sup_writer.send(&Frame::bare(Ctrl::Hello {
+        rank,
+        proto: PROTO_VERSION,
+    }))?;
+
+    // The assignment arrives synchronously, before any reader thread.
+    let assignment = match read_frame(&mut sup_read)? {
+        Some((_, frame)) => match frame.ctrl {
+            Ctrl::Assignment { rank: addressee } if addressee == rank => {
+                decode_assignment(&frame.payload)?
+            }
+            other => {
+                return Err(NetError::protocol(format!(
+                    "rank {rank} expected its assignment, got {other:?}"
+                )))
+            }
+        },
+        None => return Err(NetError::protocol("supervisor closed before assignment")),
+    };
+
+    let sup = Arc::new(Mutex::new(sup_writer));
+    let result = run_assigned(rank, assignment, &listener, Arc::clone(&sup), sup_read);
+    if let Err(e) = &result {
+        // Best effort: tell the supervisor why before exiting nonzero.
+        let _ = lock(&sup).send(&Frame::with_payload(
+            Ctrl::Fatal { rank },
+            Bytes::from(fatal_payload(e)),
+        ));
+    }
+    result
+}
+
+/// The `Fatal` frame payload for a worker-side error. Frame loss gets a
+/// machine-parsable prefix so the supervisor can reconstruct the typed
+/// [`NetError::FrameLoss`] on its side.
+fn fatal_payload(e: &NetError) -> Vec<u8> {
+    let text = match e {
+        NetError::FrameLoss {
+            from,
+            expected_seq,
+            waited,
+            ..
+        } => format!(
+            "FRAME_LOSS from={from} seq={expected_seq} waited_ms={}; {e}",
+            waited.as_millis()
+        ),
+        other => other.to_string(),
+    };
+    text.into_bytes()
+}
+
+/// Everything after the assignment: mesh, readers, heartbeats, the
+/// round loop, and the results plane.
+fn run_assigned(
+    rank: u32,
+    assignment: Assignment,
+    listener: &UnixListener,
+    sup: Arc<Mutex<LinkWriter<UnixStream>>>,
+    sup_read: UnixStream,
+) -> Result<(), NetError> {
+    let Assignment { dg, task, opts } = assignment;
+    let num_ranks = dg.num_ranks;
+    let sock_dir = match listener.local_addr().ok().and_then(|a| {
+        a.as_pathname()
+            .and_then(Path::parent)
+            .map(Path::to_path_buf)
+    }) {
+        Some(dir) => dir,
+        None => return Err(NetError::protocol("listener has no filesystem address")),
+    };
+    let (writers, read_halves, reseq) =
+        build_mesh(rank, num_ranks, listener, &sock_dir, &opts.fault)?;
+
+    let (tx, rx) = channel();
+    for (from, stream) in read_halves {
+        spawn_peer_reader(from, stream, tx.clone());
+    }
+    spawn_sup_reader(sup_read, tx.clone());
+    drop(tx);
+
+    lock(&sup).send(&Frame::bare(Ctrl::Ready { rank }))?;
+
+    let (collector, recorder) = if opts.observed {
+        let (c, h) = CollectingRecorder::shared();
+        (Some(c), h)
+    } else {
+        (None, RecorderHandle::noop())
+    };
+
+    // Heartbeats carry round progress (in half-round beacon units) from
+    // their own thread, so a wedged main loop is visible as "alive but
+    // not advancing".
+    let round_beacon = Arc::new(AtomicU64::new(0));
+    let stop_beat = Arc::new(AtomicBool::new(false));
+    spawn_heartbeat(
+        rank,
+        Duration::from_millis(opts.heartbeat_millis.max(10)),
+        Arc::clone(&sup),
+        Arc::clone(&round_beacon),
+        Arc::clone(&stop_beat),
+    );
+
+    let mut t = Transport {
+        rank,
+        num_ranks,
+        opts,
+        writers,
+        reseq,
+        rx,
+        sup: Arc::clone(&sup),
+        pending: BTreeMap::new(),
+        bundles: BTreeMap::new(),
+        barrier_down: BTreeMap::new(),
+        tree: TreeAllreduce::new(rank, num_ranks, BARRIER_ARITY),
+        started: false,
+        shutdown: false,
+        epoch: None,
+    };
+
+    while !t.started {
+        t.pump(PUMP_TICK)?;
+    }
+
+    let (outcome, stats, rounds, cap) = match task {
+        NetTask::Matching => {
+            run_task_rounds(DistMatching::new(dg), &mut t, &recorder, &round_beacon)?
+        }
+        NetTask::Coloring(cfg) => {
+            run_task_rounds(DistColoring::new(dg, cfg), &mut t, &recorder, &round_beacon)?
+        }
+        NetTask::JonesPlassmann { seed } => run_task_rounds(
+            JonesPlassmann::new(dg, seed),
+            &mut t,
+            &recorder,
+            &round_beacon,
+        )?,
+    };
+    stop_beat.store(true, Ordering::Relaxed);
+
+    // Results plane: stats, outcome, events, Done — in that order.
+    let link = t.link_totals();
+    {
+        let mut w = lock(&sup);
+        w.send(&Frame::with_payload(
+            Ctrl::Stats { rank },
+            Bytes::from(encode_stats(&stats, &link)),
+        ))?;
+        w.send(&Frame::with_payload(
+            Ctrl::Outcome { rank },
+            Bytes::from(encode_outcome(&outcome)),
+        ))?;
+        if let Some(c) = &collector {
+            let events = c.take();
+            w.send(&Frame::with_payload(
+                Ctrl::Events { rank },
+                Bytes::from(cmg_obs::sink::events_to_jsonl(&events).into_bytes()),
+            ))?;
+        }
+        w.send(&Frame::bare(Ctrl::Done {
+            rank,
+            rounds,
+            cap: u8::from(cap),
+        }))?;
+    }
+
+    // Absorb stragglers (late duplicates, other ranks' final barrier
+    // frames) until the supervisor says everyone has reported.
+    let waited = Instant::now();
+    while !t.shutdown {
+        t.pump(PUMP_TICK)?;
+        if waited.elapsed() > SHUTDOWN_WAIT {
+            return Err(NetError::Handshake {
+                waiting_for: "shutdown".into(),
+                waited: waited.elapsed(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Runs one task's round loop and extracts its outcome.
+fn run_task_rounds<P: RankProgram + NetOutcomeSource>(
+    mut program: P,
+    t: &mut Transport,
+    recorder: &RecorderHandle,
+    round_beacon: &AtomicU64,
+) -> Result<(WorkerOutcome, RankStats, u64, bool), NetError> {
+    let (stats, rounds, cap) = run_rounds(&mut program, t, recorder, round_beacon)?;
+    Ok((program.net_outcome(), stats, rounds, cap))
+}
+
+/// The bulk-synchronous round loop, mirroring the threaded engine's
+/// `run_rank` step for step (same statistics, same delivery order, same
+/// event emission) with channels replaced by socket links and the
+/// activity flags replaced by the wire allreduce.
+fn run_rounds<P: RankProgram>(
+    program: &mut P,
+    t: &mut Transport,
+    recorder: &RecorderHandle,
+    round_beacon: &AtomicU64,
+) -> Result<(RankStats, u64, bool), NetError> {
+    let observed = recorder.enabled();
+    let rank = t.rank;
+    let num_ranks = t.num_ranks;
+    let mut ctx: RankCtx<P::Msg> = RankCtx::new(rank, num_ranks, t.opts.bundling, recorder.clone());
+    let mut stats = RankStats::default();
+    let mut inbox: Vec<(u32, Vec<P::Msg>)> = Vec::new();
+    let mut packet_buf: Vec<Packet> = Vec::new();
+    let mut round: u64 = 0;
+    let mut cap = false;
+
+    loop {
+        if round == t.opts.die_at_round {
+            // Test hook: report the scripted fault point, then wedge
+            // (alive, heartbeating, never advancing) until the
+            // supervisor kills us or declares the rank stalled.
+            let _ = lock(&t.sup).send(&Frame::bare(Ctrl::FaultPoint { rank, round }));
+            wedge();
+        }
+        if round > 0 {
+            t.wait_bundles(round - 1)?;
+        }
+        if observed && rank == 0 {
+            recorder.emit(
+                ENGINE_RANK,
+                t.now(),
+                Event::RoundStart {
+                    round: round as u32,
+                },
+            );
+        }
+
+        // 1. Step.
+        let delivery_start = t.now();
+        let mut compute_begin = delivery_start;
+        let status = if round == 0 {
+            ctx.set_now(delivery_start);
+            program.on_start(&mut ctx)
+        } else {
+            let mut arrivals = t.pending.remove(&(round - 1)).unwrap_or_default();
+            t.bundles.remove(&(round - 1));
+            // Stable by source: within a source, arrival order is link
+            // sequence order, so this reproduces the threaded engine's
+            // `(src, seq)` sort.
+            arrivals.sort_by_key(|&(src, _, _)| src);
+            let had_mail = !arrivals.is_empty();
+            for (src, payload, logical) in arrivals {
+                stats.packets_received += 1;
+                stats.bytes_received += payload.len() as u64;
+                stats.messages_received += u64::from(logical);
+                if observed {
+                    recorder.emit(
+                        rank,
+                        t.now(),
+                        Event::PacketRecv {
+                            src,
+                            bytes: payload.len() as u64,
+                            logical,
+                        },
+                    );
+                }
+                if inbox.last().is_none_or(|(s, _)| *s != src) {
+                    inbox.push((src, Vec::new()));
+                }
+                let Some((_, list)) = inbox.last_mut() else {
+                    return Err(NetError::protocol("inbox grouping invariant broken"));
+                };
+                if decode_all_into(payload, list).is_none() {
+                    return Err(NetError::protocol(format!(
+                        "malformed round bundle from rank {src}"
+                    )));
+                }
+            }
+            if observed && had_mail {
+                let now = t.now();
+                recorder.emit(
+                    rank,
+                    now,
+                    Event::Phase {
+                        name: PhaseName::Delivery,
+                        start: delivery_start,
+                        dur: now - delivery_start,
+                    },
+                );
+            }
+            compute_begin = t.now();
+            ctx.set_now(compute_begin);
+            let status = program.on_round(&mut inbox, &mut ctx);
+            inbox.clear();
+            status
+        };
+        let compute_end = t.now();
+        let work = ctx.end_round_into(&mut packet_buf);
+        if observed {
+            recorder.emit(
+                rank,
+                compute_end,
+                Event::Phase {
+                    name: PhaseName::Compute,
+                    start: compute_begin,
+                    dur: compute_end - compute_begin,
+                },
+            );
+        }
+        stats.rounds_active += 1;
+        stats.work += work;
+
+        // 2. Send.
+        let send_start = t.now();
+        let sent_any = !packet_buf.is_empty();
+        t.send_round(round, &mut packet_buf, &mut stats, recorder, observed)?;
+        if observed && sent_any {
+            let now = t.now();
+            recorder.emit(
+                rank,
+                now,
+                Event::Phase {
+                    name: PhaseName::Send,
+                    start: send_start,
+                    dur: now - send_start,
+                },
+            );
+        }
+
+        // 3. Termination allreduce (the two barriers of the threaded
+        // engine, collapsed into one tree round-trip on the wire). The
+        // beacon ticks in half-rounds — odd after our sends are out,
+        // even once the barrier resolves — so a rank that wedged before
+        // sending reports strictly less progress than the peers it
+        // blocks, and the supervisor blames the right rank.
+        round_beacon.store(2 * round + 1, Ordering::Relaxed);
+        let keep = t.resolve_barrier(round, status == Status::Active || sent_any)?;
+
+        if observed && rank == 0 {
+            recorder.emit(
+                ENGINE_RANK,
+                t.now(),
+                Event::RoundEnd {
+                    round: round as u32,
+                    active_ranks: num_ranks,
+                },
+            );
+        }
+
+        round += 1;
+        round_beacon.store(2 * round, Ordering::Relaxed);
+        if !keep {
+            break;
+        }
+        if round >= t.opts.max_rounds {
+            cap = true;
+            break;
+        }
+    }
+    // Release any frames the fault plan is still holding back: the loop
+    // only flushes when *this* rank blocks, so a delayed frame from the
+    // final round (e.g. a held `BarrierDown`) would otherwise never
+    // leave and deadlock a peer still waiting on it.
+    t.flush_all()?;
+    Ok((stats, round, cap))
+}
+
+/// Parks this thread forever (heartbeats continue from theirs).
+fn wedge() -> ! {
+    loop {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// Builds a per-peer writer, attaching the planned fault stream for the
+/// `src -> dst` direction when the plan is live.
+fn make_writer(
+    stream: UnixStream,
+    src: u32,
+    dst: u32,
+    fault: &FaultPlan,
+) -> LinkWriter<UnixStream> {
+    if fault.is_noop() {
+        LinkWriter::new(stream)
+    } else {
+        LinkWriter::with_fault(stream, Box::new(fault.for_link(src, dst)))
+    }
+}
+
+/// Establishes the full peer mesh: dial lower ranks, accept higher
+/// ranks, one duplex stream per unordered pair. Returns the send
+/// halves, the read halves (for reader threads), and each link's
+/// resequencer primed past any handshake frames already consumed.
+#[allow(clippy::type_complexity)]
+fn build_mesh(
+    rank: u32,
+    num_ranks: u32,
+    listener: &UnixListener,
+    sock_dir: &Path,
+    fault: &FaultPlan,
+) -> Result<
+    (
+        Vec<Option<LinkWriter<UnixStream>>>,
+        Vec<(u32, UnixStream)>,
+        Vec<Resequencer>,
+    ),
+    NetError,
+> {
+    let mut writers: Vec<Option<LinkWriter<UnixStream>>> = (0..num_ranks).map(|_| None).collect();
+    let mut read_halves: Vec<(u32, UnixStream)> = Vec::new();
+    let mut reseq: Vec<Resequencer> = (0..num_ranks).map(|_| Resequencer::default()).collect();
+
+    // Dial every lower rank and introduce ourselves. Our Hello consumes
+    // our seq 0 on that link; the peer primes its resequencer past it.
+    // The peer's writer toward us never sends a Hello, so our
+    // resequencer for it stays at 0.
+    for peer in 0..rank {
+        let stream = connect_with_backoff(
+            &sock_dir.join(format!("rank{peer}.sock")),
+            CONNECT_BASE,
+            CONNECT_CAP,
+            CONNECT_TOTAL,
+        )?;
+        stream
+            .set_write_timeout(Some(WRITE_TIMEOUT))
+            .map_err(|e| NetError::io("setting peer write timeout", e))?;
+        let read_half = stream
+            .try_clone()
+            .map_err(|e| NetError::io("cloning peer stream", e))?;
+        let mut writer = make_writer(stream, rank, peer, fault);
+        writer.send(&Frame::bare(Ctrl::Hello {
+            rank,
+            proto: PROTO_VERSION,
+        }))?;
+        writers[peer as usize] = Some(writer);
+        read_halves.push((peer, read_half));
+    }
+
+    // Accept every higher rank; the dialer's Hello says who it is.
+    let expect_higher = num_ranks - 1 - rank;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| NetError::io("making listener non-blocking", e))?;
+    let started = Instant::now();
+    let mut accepted = 0;
+    while accepted < expect_higher {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream
+                    .set_nonblocking(false)
+                    .map_err(|e| NetError::io("making peer stream blocking", e))?;
+                stream
+                    .set_write_timeout(Some(WRITE_TIMEOUT))
+                    .map_err(|e| NetError::io("setting peer write timeout", e))?;
+                let mut read_half = stream
+                    .try_clone()
+                    .map_err(|e| NetError::io("cloning peer stream", e))?;
+                let (hello_seq, hello) = match read_frame(&mut read_half)? {
+                    Some(pair) => pair,
+                    None => return Err(NetError::protocol("peer closed during handshake")),
+                };
+                let peer = match hello.ctrl {
+                    Ctrl::Hello { rank: peer, proto } => {
+                        if proto != PROTO_VERSION {
+                            return Err(NetError::protocol(format!(
+                                "peer {peer} speaks protocol {proto}, expected {PROTO_VERSION}"
+                            )));
+                        }
+                        peer
+                    }
+                    other => {
+                        return Err(NetError::protocol(format!(
+                            "expected a peer Hello, got {other:?}"
+                        )))
+                    }
+                };
+                if peer <= rank || peer >= num_ranks {
+                    return Err(NetError::protocol(format!(
+                        "unexpected dial from rank {peer} (we are rank {rank})"
+                    )));
+                }
+                if writers[peer as usize].is_some() {
+                    return Err(NetError::protocol(format!("rank {peer} dialed twice")));
+                }
+                writers[peer as usize] = Some(make_writer(stream, rank, peer, fault));
+                reseq[peer as usize] = Resequencer::starting_at(hello_seq + 1);
+                read_halves.push((peer, read_half));
+                accepted += 1;
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::Interrupted =>
+            {
+                if started.elapsed() > HANDSHAKE_TIMEOUT {
+                    return Err(NetError::Handshake {
+                        waiting_for: format!(
+                            "{} more peer connections at rank {rank}",
+                            expect_higher - accepted
+                        ),
+                        waited: started.elapsed(),
+                    });
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => return Err(NetError::io("accepting peer connection", e)),
+        }
+    }
+    Ok((writers, read_halves, reseq))
+}
+
+/// Reader thread: blocking `read_frame` loop feeding the main loop.
+fn spawn_peer_reader(from: u32, mut stream: UnixStream, tx: Sender<Incoming>) {
+    let _ = std::thread::spawn(move || loop {
+        match read_frame(&mut stream) {
+            Ok(Some((seq, frame))) => {
+                if tx.send(Incoming::Peer { from, seq, frame }).is_err() {
+                    return;
+                }
+            }
+            // EOF and read errors collapse to "gone": either way the
+            // link is dead and the supervisor diagnoses the cause.
+            Ok(None) | Err(_) => {
+                let _ = tx.send(Incoming::PeerGone);
+                return;
+            }
+        }
+    });
+}
+
+/// Reader thread for the supervisor link.
+fn spawn_sup_reader(mut stream: UnixStream, tx: Sender<Incoming>) {
+    let _ = std::thread::spawn(move || loop {
+        match read_frame(&mut stream) {
+            Ok(Some((_, frame))) => {
+                if tx.send(Incoming::Sup { frame }).is_err() {
+                    return;
+                }
+            }
+            Ok(None) => {
+                let _ = tx.send(Incoming::SupGone);
+                return;
+            }
+            Err(error) => {
+                let _ = tx.send(Incoming::SupReadFailed { error });
+                return;
+            }
+        }
+    });
+}
+
+/// Heartbeat thread: periodic liveness + round-progress beacons.
+fn spawn_heartbeat(
+    rank: u32,
+    period: Duration,
+    sup: Arc<Mutex<LinkWriter<UnixStream>>>,
+    round: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+) {
+    let _ = std::thread::spawn(move || loop {
+        std::thread::sleep(period);
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let beat = Frame::bare(Ctrl::Heartbeat {
+            rank,
+            round: round.load(Ordering::Relaxed),
+        });
+        if lock(&sup).send(&beat).is_err() {
+            return;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundle_payload_round_trips() {
+        let packets = vec![
+            (Bytes::from(vec![1u8, 2, 3]), 2u32),
+            (Bytes::from(Vec::<u8>::new()), 0),
+            (Bytes::from(vec![9u8; 40]), 7),
+        ];
+        let mut payload = Vec::new();
+        for (bytes, logical) in &packets {
+            payload.put_u32_le(*logical);
+            payload.put_u32_le(bytes.len() as u32);
+            payload.put_slice(bytes);
+        }
+        let got = parse_bundle(&Bytes::from(payload), packets.len() as u32).unwrap();
+        assert_eq!(got.len(), packets.len());
+        for ((gb, gl), (eb, el)) in got.iter().zip(&packets) {
+            assert_eq!(gb, eb);
+            assert_eq!(gl, el);
+        }
+    }
+
+    #[test]
+    fn malformed_bundles_are_protocol_errors() {
+        // Truncated header.
+        assert!(parse_bundle(&Bytes::from(vec![0u8; 4]), 1).is_err());
+        // Length beyond the payload.
+        let mut payload = Vec::new();
+        payload.put_u32_le(1);
+        payload.put_u32_le(100);
+        assert!(parse_bundle(&Bytes::from(payload), 1).is_err());
+        // Trailing garbage.
+        let mut payload = Vec::new();
+        payload.put_u32_le(1);
+        payload.put_u32_le(0);
+        payload.put_u8(7);
+        assert!(parse_bundle(&Bytes::from(payload), 1).is_err());
+    }
+
+    #[test]
+    fn fatal_payload_is_structured_for_frame_loss() {
+        let e = NetError::FrameLoss {
+            rank: 1,
+            from: 2,
+            expected_seq: 40,
+            waited: Duration::from_secs(2),
+        };
+        let text = String::from_utf8(fatal_payload(&e)).unwrap();
+        assert!(
+            text.starts_with("FRAME_LOSS from=2 seq=40 waited_ms=2000"),
+            "{text}"
+        );
+        let plain = String::from_utf8(fatal_payload(&NetError::protocol("x"))).unwrap();
+        assert!(!plain.starts_with("FRAME_LOSS"), "{plain}");
+    }
+}

@@ -1,0 +1,61 @@
+//! End-to-end smoke tests of the net engine within its own crate: a
+//! real multi-process run over a small graph, checked for validity.
+//! (Cross-engine bit-identity is asserted by the workspace-level
+//! equivalence suite.)
+
+use cmg_coloring::ColoringConfig;
+use cmg_graph::{CsrGraph, GraphBuilder};
+use cmg_net::supervisor::{run_coloring, run_matching, NetConfig};
+use cmg_partition::dist::DistGraph;
+use cmg_partition::simple::block_partition;
+
+fn grid(w: u32, h: u32) -> CsrGraph {
+    let mut b = GraphBuilder::new((w * h) as usize);
+    for y in 0..h {
+        for x in 0..w {
+            let v = y * w + x;
+            if x + 1 < w {
+                b.add_edge(v, v + 1, 1.0 + f64::from(v % 7));
+            }
+            if y + 1 < h {
+                b.add_edge(v, v + w, 1.0 + f64::from(v % 5));
+            }
+        }
+    }
+    b.build()
+}
+
+fn parts(g: &CsrGraph, p: u32) -> Vec<DistGraph> {
+    let partition = block_partition(g.num_vertices(), p);
+    DistGraph::build_all(g, &partition)
+}
+
+#[test]
+fn two_rank_matching_runs_end_to_end() {
+    let g = grid(8, 6);
+    let run = run_matching(parts(&g, 2), &NetConfig::default()).expect("net matching run");
+    assert!(
+        run.matching.validate(&g).is_ok(),
+        "assembled matching is valid"
+    );
+    assert!(run.matching.cardinality() > 0);
+    assert!(run.rounds > 0);
+    assert_eq!(run.stats.per_rank.len(), 2);
+}
+
+#[test]
+fn four_rank_coloring_runs_end_to_end() {
+    let g = grid(8, 6);
+    let run = run_coloring(
+        parts(&g, 4),
+        ColoringConfig::default(),
+        &NetConfig::default(),
+    )
+    .expect("net coloring run");
+    assert!(
+        run.coloring.validate(&g).is_ok(),
+        "assembled coloring is proper"
+    );
+    assert!(run.coloring.num_colors() >= 2);
+    assert_eq!(run.stats.per_rank.len(), 4);
+}

@@ -39,6 +39,6 @@ pub use event::{Event, PhaseName, TimedEvent, ENGINE_RANK};
 pub use json::Json;
 pub use metrics::MetricsRegistry;
 pub use oracle::OracleCounters;
-pub use recorder::{CollectingRecorder, NoopRecorder, Recorder, RecorderHandle};
+pub use recorder::{replay, CollectingRecorder, NoopRecorder, Recorder, RecorderHandle};
 pub use report::RunReport;
 pub use sched::SchedStats;

@@ -157,6 +157,23 @@ impl CollectingRecorder {
     }
 }
 
+/// Replays already-collected events into another recorder — the merge
+/// step of a multi-process run: each remote rank ships its buffered
+/// [`TimedEvent`] stream home, and the coordinator replays the streams
+/// into its own recorder so the downstream sinks (`--trace-out`,
+/// `--report-out`, metrics) see one unified run.
+///
+/// Events keep their original `rank` and `time`; sequence numbers are
+/// re-assigned by the receiving recorder, so `events` should already be
+/// in per-rank order (which [`CollectingRecorder::take`] guarantees).
+pub fn replay(events: &[TimedEvent], into: &RecorderHandle) {
+    if into.enabled() {
+        for e in events {
+            into.emit(e.rank, e.time, e.event.clone());
+        }
+    }
+}
+
 impl Recorder for CollectingRecorder {
     fn enabled(&self) -> bool {
         true

@@ -79,6 +79,20 @@ impl WireField for u64 {
     }
 }
 
+impl WireField for f64 {
+    const WIRE_LEN: usize = 8;
+
+    #[inline]
+    fn put(&self, buf: &mut impl BufMut) {
+        buf.put_f64_le(*self);
+    }
+
+    #[inline]
+    fn get(buf: &mut impl Buf) -> Option<Self> {
+        (buf.remaining() >= 8).then(|| buf.get_f64_le())
+    }
+}
+
 /// Declares a message enum together with its [`WireMessage`] impl from a
 /// `tag => Variant { field: type }` table.
 ///

@@ -40,8 +40,16 @@ pub struct RankCtx<M: WireMessage> {
 }
 
 impl<M: WireMessage> RankCtx<M> {
-    /// Creates a context for one rank (engine-internal).
-    pub(crate) fn new(
+    /// Creates a context for one rank.
+    ///
+    /// This is the engine SPI: algorithm code receives a ready-made
+    /// context, but engine implementations (the in-crate [`SimEngine`]/
+    /// [`ThreadedEngine`](crate::ThreadedEngine) and out-of-crate
+    /// transports such as `cmg-net`) construct one per rank and drive
+    /// it with [`RankCtx::set_now`]/[`RankCtx::end_round_into`].
+    ///
+    /// [`SimEngine`]: crate::SimEngine
+    pub fn new(
         rank: Rank,
         num_ranks: Rank,
         bundling: bool,
@@ -126,23 +134,23 @@ impl<M: WireMessage> RankCtx<M> {
         self.recorder.emit(self.rank, self.now, event);
     }
 
-    /// Engine-internal: updates the timestamp used for emitted events.
-    pub(crate) fn set_now(&mut self, now: f64) {
+    /// Engine SPI: updates the timestamp used for emitted events.
+    pub fn set_now(&mut self, now: f64) {
         self.now = now;
     }
 
-    /// Engine-internal: advances the round counter and drains the round's
+    /// Engine SPI: advances the round counter and drains the round's
     /// work and packets.
-    pub(crate) fn end_round(&mut self) -> (u64, Vec<crate::bundle::Packet>) {
+    pub fn end_round(&mut self) -> (u64, Vec<crate::bundle::Packet>) {
         let mut packets = Vec::new();
         let work = self.end_round_into(&mut packets);
         (work, packets)
     }
 
-    /// Engine-internal, allocation-aware twin of [`RankCtx::end_round`]:
+    /// Engine SPI, allocation-aware twin of [`RankCtx::end_round`]:
     /// appends the round's packets to the caller's recycled buffer
     /// (which must be empty) and returns the charged work.
-    pub(crate) fn end_round_into(&mut self, packets: &mut Vec<crate::bundle::Packet>) -> u64 {
+    pub fn end_round_into(&mut self, packets: &mut Vec<crate::bundle::Packet>) -> u64 {
         self.round += 1;
         self.outbox.finish_into(packets);
         std::mem::take(&mut self.work)

@@ -1,0 +1,191 @@
+//! Real fault injection against the net engine's link layer and
+//! supervisor: duplicated and delayed frames must be absorbed by the
+//! non-overtaking resequencer (bit-identical results), permanent drops
+//! must surface as a clean diagnosed error, and a killed or wedged
+//! worker must fail the run with the right typed `NetError` instead of
+//! hanging. (Adversarial *graph inputs* live in `adversarial_inputs.rs`.)
+
+use cmg_coloring::ColoringConfig;
+use cmg_graph::weights::{assign_weights, WeightScheme};
+use cmg_graph::{generators, CsrGraph};
+use cmg_net::{
+    connect_with_backoff, run_coloring, run_matching, run_task, FaultPlan, KillSpec, NetConfig,
+    NetError, NetTask,
+};
+use cmg_partition::simple::block_partition;
+use cmg_partition::DistGraph;
+use std::time::{Duration, Instant};
+
+fn weighted_grid() -> CsrGraph {
+    assign_weights(
+        &generators::grid2d(24, 24),
+        WeightScheme::Uniform { lo: 0.0, hi: 1.0 },
+        7,
+    )
+}
+
+fn parts(g: &CsrGraph, ranks: u32) -> Vec<DistGraph> {
+    DistGraph::build_all(g, &block_partition(g.num_vertices(), ranks))
+}
+
+#[test]
+fn duplicated_and_delayed_frames_leave_results_bit_identical() {
+    let g = weighted_grid();
+    let clean = run_matching(parts(&g, 4), &NetConfig::default()).expect("clean run");
+    let faulty_cfg = NetConfig {
+        fault: FaultPlan {
+            seed: 0xfa417,
+            drop_per_mille: 0,
+            dup_per_mille: 150,
+            delay_per_mille: 150,
+            delay_depth: 3,
+        },
+        ..Default::default()
+    };
+    let faulty = run_matching(parts(&g, 4), &faulty_cfg).expect("faulty run terminates");
+    assert_eq!(
+        clean.matching, faulty.matching,
+        "dup/delay faults must not change the result"
+    );
+    assert_eq!(clean.rounds, faulty.rounds);
+    let total = &faulty.links.total;
+    assert!(
+        total.duplicated_by_fault > 0 && total.delayed_by_fault > 0,
+        "the fault plan must actually have fired (dup={}, delay={})",
+        total.duplicated_by_fault,
+        total.delayed_by_fault
+    );
+    // A duplicate injected on a link's final frames can still be in
+    // flight when the receiver snapshots its stats, so discards may
+    // trail injections — but never exceed them.
+    assert!(
+        total.dup_discarded > 0 && total.dup_discarded <= total.duplicated_by_fault,
+        "duplicates are discarded by the resequencer (discarded={}, injected={})",
+        total.dup_discarded,
+        total.duplicated_by_fault
+    );
+}
+
+#[test]
+fn coloring_survives_dup_delay_faults_bit_identically() {
+    let g = weighted_grid().unweighted();
+    let cfg = ColoringConfig::default();
+    let clean = run_coloring(parts(&g, 4), cfg, &NetConfig::default()).expect("clean run");
+    let faulty_cfg = NetConfig {
+        fault: FaultPlan {
+            seed: 0xc01,
+            drop_per_mille: 0,
+            dup_per_mille: 120,
+            delay_per_mille: 120,
+            delay_depth: 2,
+        },
+        ..Default::default()
+    };
+    let faulty = run_coloring(parts(&g, 4), cfg, &faulty_cfg).expect("faulty run terminates");
+    assert_eq!(clean.coloring, faulty.coloring);
+    assert_eq!(clean.phases, faulty.phases);
+}
+
+#[test]
+fn frame_drops_fail_with_a_diagnosed_error_not_a_hang() {
+    let g = weighted_grid();
+    let cfg = NetConfig {
+        fault: FaultPlan {
+            seed: 9,
+            drop_per_mille: 300,
+            dup_per_mille: 0,
+            delay_per_mille: 0,
+            delay_depth: 0,
+        },
+        gap_deadline: Duration::from_millis(300),
+        stall_timeout: Duration::from_secs(3),
+        ..Default::default()
+    };
+    let started = Instant::now();
+    let err = run_task(parts(&g, 4), NetTask::Matching, &cfg)
+        .map(|_| ())
+        .expect_err("permanent frame loss must fail the run");
+    assert!(
+        matches!(
+            err,
+            NetError::FrameLoss { .. }
+                | NetError::Stalled { .. }
+                | NetError::WorkerFatal { .. }
+                | NetError::RankDied { .. }
+        ),
+        "unexpected diagnosis: {err}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "diagnosis must arrive within the deadline, took {:?}",
+        started.elapsed()
+    );
+}
+
+#[test]
+fn sigkilled_worker_is_diagnosed_as_rank_died_within_the_deadline() {
+    let g = weighted_grid();
+    let cfg = NetConfig {
+        kill: KillSpec::KillAtRound { rank: 1, round: 2 },
+        heartbeat: Duration::from_millis(50),
+        stall_timeout: Duration::from_secs(10),
+        ..Default::default()
+    };
+    let started = Instant::now();
+    let err = run_task(parts(&g, 4), NetTask::Matching, &cfg)
+        .map(|_| ())
+        .expect_err("a SIGKILLed rank must fail the run");
+    match err {
+        NetError::RankDied { rank, signal, .. } => {
+            assert_eq!(rank, 1, "the killed rank is the one blamed");
+            assert_eq!(signal, Some(9), "death by SIGKILL is reported");
+        }
+        other => panic!("expected RankDied, got: {other}"),
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(15),
+        "RankDied must be diagnosed promptly, took {:?}",
+        started.elapsed()
+    );
+}
+
+#[test]
+fn wedged_worker_is_diagnosed_as_stalled() {
+    let g = weighted_grid();
+    let cfg = NetConfig {
+        kill: KillSpec::WedgeAtRound { rank: 2, round: 2 },
+        heartbeat: Duration::from_millis(50),
+        stall_timeout: Duration::from_millis(800),
+        ..Default::default()
+    };
+    let err = run_task(parts(&g, 4), NetTask::Matching, &cfg)
+        .map(|_| ())
+        .expect_err("a wedged rank must fail the run");
+    match err {
+        NetError::Stalled { rank, .. } => assert_eq!(rank, 2, "the wedged rank is blamed"),
+        other => panic!("expected Stalled, got: {other}"),
+    }
+}
+
+#[test]
+fn connect_backoff_is_capped_and_bounded() {
+    let path = std::env::temp_dir().join(format!("cmg-net-nowhere-{}.sock", std::process::id()));
+    let started = Instant::now();
+    let err = connect_with_backoff(
+        &path,
+        Duration::from_millis(2),
+        Duration::from_millis(20),
+        Duration::from_millis(250),
+    )
+    .map(|_| ())
+    .expect_err("dialing a nonexistent socket must fail");
+    let elapsed = started.elapsed();
+    assert!(
+        matches!(err, NetError::Connect { .. }),
+        "unexpected error: {err}"
+    );
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "no unbounded reconnect loop: gave up after {elapsed:?}"
+    );
+}
