@@ -9,7 +9,7 @@ pub struct Args {
 }
 
 /// Known boolean switches (take no value).
-const SWITCHES: &[&str] = &["--no-bundling", "--verbose", "--verify"];
+const SWITCHES: &[&str] = &["--no-bundling", "--verbose", "--verify", "--emit-bench"];
 
 impl Args {
     /// Parses an argv slice.

@@ -359,6 +359,74 @@ pub fn coloring(argv: &[String]) -> i32 {
     })
 }
 
+/// `cmg trace report` — the critical-path analyzer: ingests a recorded
+/// trace (the `--trace-out` Chrome trace or the `--events-out` JSONL
+/// stream, including the merged multi-process traces of the net engine)
+/// and prints the per-round phase breakdown with the straggler rank.
+pub fn trace(argv: &[String]) -> i32 {
+    run(|| {
+        // Peel the subcommand before flag parsing (`report` is the only
+        // one so far; keep it explicit so future subcommands have a
+        // namespace).
+        let rest = match argv.first().map(String::as_str) {
+            Some("report") => &argv[1..],
+            Some(other) if !other.starts_with('-') => {
+                return Err(format!(
+                    "unknown trace subcommand: {other} (expected `report`)"
+                ))
+            }
+            _ => argv,
+        };
+        let args = Args::parse(rest)?;
+        let input = args.required("input")?;
+        let text =
+            std::fs::read_to_string(input).map_err(|e| format!("cannot read {input}: {e}"))?;
+        // A Chrome trace is one JSON object with a `traceEvents` array;
+        // an event stream is one JSON object per line. Try the trace
+        // shape first — a JSONL file never parses as a single object.
+        let events = cmg_obs::trace::events_from_chrome_trace(&text)
+            .or_else(|| cmg_obs::sink::events_from_jsonl(&text))
+            .ok_or_else(|| {
+                format!("{input} is neither a Chrome trace nor an event JSONL stream")
+            })?;
+        let report = cmg_obs::TraceReport::from_events(&events);
+        if report.rounds.is_empty() {
+            return Err(format!(
+                "{input} has no phase spans to analyze (net-engine round phases appear \
+                 only in runs recorded with --trace-out or --events-out)"
+            ));
+        }
+        print!("{}", report.to_text());
+        if let Some(p) = args.get("json") {
+            std::fs::write(p, report.to_json().to_string_pretty() + "\n")
+                .map_err(|e| format!("cannot write {p}: {e}"))?;
+            println!("json report written to {p}");
+        }
+        if args.has_switch("--emit-bench") {
+            let mut bench = cmg_obs::bench::BenchReport::new("net_breakdown");
+            bench
+                .fact("ranks", cmg_obs::Json::UInt(report.ranks.len() as u64))
+                .fact(
+                    "num_rounds",
+                    cmg_obs::Json::UInt(report.rounds.len() as u64),
+                )
+                .fact("total_wall_s", cmg_obs::Json::Float(report.total_wall_s()))
+                .fact("min_coverage", cmg_obs::Json::Float(report.min_coverage()));
+            if let Some(s) = report.overall_straggler() {
+                bench.fact("overall_straggler", cmg_obs::Json::UInt(s.into()));
+            }
+            for r in &report.rounds {
+                bench.row(r.to_json());
+            }
+            let path = bench
+                .write()
+                .map_err(|e| format!("cannot write bench report: {e}"))?;
+            println!("bench report written to {}", path.display());
+        }
+        Ok(())
+    })
+}
+
 /// `cmg run` — the one-command demo/acceptance path: matching + coloring
 /// on a fig5-style five-point grid at a chosen rank count, on any of the
 /// three engines (including the multi-process `net` engine, where each

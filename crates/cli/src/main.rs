@@ -20,6 +20,7 @@ fn main() {
         Some("match") => commands::matching(&argv[1..]),
         Some("color") => commands::coloring(&argv[1..]),
         Some("run") => commands::run_demo(&argv[1..]),
+        Some("trace") => commands::trace(&argv[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
             0
@@ -61,6 +62,12 @@ COMMANDS
              (--engine net runs each rank as its own OS process over
              Unix-domain sockets; --verify cross-checks the results
              bit-for-bit against the simulated engine)
+  trace      analyze a recorded trace: per-round critical path
+             trace report --input FILE [--json FILE] [--emit-bench]
+             (FILE is a --trace-out Chrome trace or an --events-out
+             JSONL stream; --json writes the machine-readable report;
+             --emit-bench writes BENCH_net_breakdown.json into
+             $CMG_BENCH_DIR or the current directory)
 
 OBSERVABILITY (match and color)
   --trace-out FILE    Chrome trace_event JSON (load in Perfetto or

@@ -61,6 +61,7 @@ fn net_config(cfg: &EngineConfig) -> cmg_net::NetConfig {
     cmg_net::NetConfig {
         max_rounds: cfg.max_rounds,
         recorder: cfg.recorder.clone(),
+        telemetry: cfg.net_telemetry,
         ..Default::default()
     }
 }

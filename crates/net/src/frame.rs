@@ -20,8 +20,10 @@ use std::io::{Read, Write};
 
 /// Protocol version carried in [`Ctrl::Hello`]; bumped on any wire
 /// change so mismatched binaries fail the handshake instead of
-/// misparsing each other.
-pub const PROTO_VERSION: u32 = 1;
+/// misparsing each other. v2 added the trace context: send timestamps
+/// on `RoundBundle` and `Heartbeat`, and the `HeartbeatAck` reply used
+/// for cross-process clock-offset estimation.
+pub const PROTO_VERSION: u32 = 2;
 
 /// Upper bound on a frame's encoded size (64 MiB). A length prefix
 /// beyond this is treated as corruption rather than honored with a
@@ -70,6 +72,13 @@ wire_codec! {
             src: u32,
             /// Wire packets in the payload (0 = pure marker).
             npackets: u32,
+            /// Trace context: the sender's monotonic clock at send,
+            /// microseconds since its `Start`. Together with `round`
+            /// and the per-run id in the assignment this lets merged
+            /// traces attribute a bundle's wire time to the sending
+            /// rank's timeline. `u64::MAX` when the sender has no
+            /// epoch yet.
+            sent_micros: u64,
         },
         /// Termination-allreduce leg toward the tree root: "my subtree
         /// had this much activity in `round`".
@@ -95,6 +104,13 @@ wire_codec! {
             rank: u32,
             /// Last round this rank completed.
             round: u64,
+            /// The worker's monotonic clock at send, microseconds
+            /// since its `Start` (`u64::MAX` before the epoch is set).
+            /// Echoed back in [`Ctrl::HeartbeatAck`], making every
+            /// beacon one leg of an NTP-style offset estimate. The
+            /// payload may carry a telemetry block
+            /// (see [`crate::proto::encode_telemetry`]).
+            sent_micros: u64,
         },
         /// Worker -> supervisor: this rank reached its scripted fault
         /// point (see [`crate::supervisor::KillSpec`]) and is now
@@ -141,6 +157,19 @@ wire_codec! {
         14 => Fatal {
             /// The failing rank.
             rank: u32,
+        },
+        /// Supervisor -> worker: reply to a [`Ctrl::Heartbeat`]. The
+        /// worker's request/reply pair plus the supervisor timestamp
+        /// give an NTP-style clock-offset sample; the worker keeps the
+        /// minimum-RTT one.
+        15 => HeartbeatAck {
+            /// The addressee rank.
+            rank: u32,
+            /// The `sent_micros` of the heartbeat being answered.
+            echo_micros: u64,
+            /// The supervisor's monotonic clock at reply, microseconds
+            /// since it started the run.
+            sup_micros: u64,
         },
     }
 }
@@ -276,6 +305,7 @@ mod tests {
                         round: 42,
                         src: 1,
                         npackets: 2,
+                        sent_micros: 123_456,
                     },
                     Bytes::from(vec![1u8, 2, 3, 4, 5]),
                 ),
@@ -339,9 +369,19 @@ mod tests {
             round: 0,
             src: 0,
             npackets: 0,
+            sent_micros: 0,
         }
         .encode(&mut buf);
         assert_eq!(buf[0], 4);
-        assert_eq!(buf.len(), 1 + 8 + 4 + 4);
+        assert_eq!(buf.len(), 1 + 8 + 4 + 4 + 8);
+        let mut buf = BytesMut::new();
+        Ctrl::HeartbeatAck {
+            rank: 0,
+            echo_micros: 0,
+            sup_micros: 0,
+        }
+        .encode(&mut buf);
+        assert_eq!(buf[0], 15);
+        assert_eq!(buf.len(), 1 + 4 + 8 + 8);
     }
 }

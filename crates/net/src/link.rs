@@ -357,6 +357,10 @@ pub struct Resequencer {
     pub dup_discarded: u64,
     /// In-order frames delivered so far.
     pub delivered: u64,
+    /// Cumulative time in-order delivery was stalled behind a gap,
+    /// nanoseconds — accumulated each time a gap closes, so the obs
+    /// plane can report resequencer hold per round.
+    pub hold_ns: u64,
 }
 
 impl Resequencer {
@@ -388,11 +392,14 @@ impl Resequencer {
         while let Some(frame) = self.pending.remove(&self.next) {
             self.deliver(frame, ready);
         }
-        self.gap_since = if self.pending.is_empty() {
-            None
-        } else {
-            Some(Instant::now())
-        };
+        // The gap (or its head) just closed: bank the stall time, and
+        // restart the clock if more frames are still held.
+        if let Some(since) = self.gap_since.take() {
+            self.hold_ns += since.elapsed().as_nanos() as u64;
+        }
+        if !self.pending.is_empty() {
+            self.gap_since = Some(Instant::now());
+        }
     }
 
     fn deliver(&mut self, frame: Frame, ready: &mut Vec<Frame>) {
@@ -405,6 +412,11 @@ impl Resequencer {
     /// and how long later frames have been waiting behind it.
     pub fn gap(&self) -> Option<(u64, Duration)> {
         self.gap_since.map(|since| (self.next, since.elapsed()))
+    }
+
+    /// Frames currently held out of order (queue depth).
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
     }
 }
 
@@ -419,6 +431,7 @@ mod tests {
                 round,
                 src: 0,
                 npackets: 1,
+                sent_micros: round * 10,
             },
             Bytes::from(vec![round as u8]),
         )
@@ -572,6 +585,24 @@ mod tests {
         r.accept(1, data_frame(1), &mut ready);
         assert!(ready.is_empty());
         assert_eq!(r.dup_discarded, 1);
+    }
+
+    #[test]
+    fn resequencer_banks_hold_time_when_gaps_close() {
+        let mut r = Resequencer::default();
+        let mut ready = Vec::new();
+        assert_eq!(r.hold_ns, 0);
+        r.accept(1, data_frame(1), &mut ready);
+        assert_eq!(r.pending_len(), 1);
+        std::thread::sleep(Duration::from_millis(2));
+        r.accept(0, data_frame(0), &mut ready);
+        assert_eq!(r.pending_len(), 0);
+        assert!(r.hold_ns >= 1_000_000, "banked hold {} ns", r.hold_ns);
+        // In-order traffic accumulates nothing further.
+        let banked = r.hold_ns;
+        r.accept(2, data_frame(2), &mut ready);
+        assert_eq!(r.hold_ns, banked);
+        assert_eq!(ready.len(), 3);
     }
 
     #[test]

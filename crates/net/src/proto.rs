@@ -45,6 +45,13 @@ fn take_u64(buf: &mut impl Buf, what: &str) -> Result<u64, NetError> {
     Ok(buf.get_u64_le())
 }
 
+fn take_i64(buf: &mut impl Buf, what: &str) -> Result<i64, NetError> {
+    // Two's-complement through u64: the wire codec's only integer
+    // primitive is unsigned.
+    need(buf, 8, what)?;
+    Ok(buf.get_u64_le() as i64)
+}
+
 fn take_f64(buf: &mut impl Buf, what: &str) -> Result<f64, NetError> {
     need(buf, 8, what)?;
     Ok(buf.get_f64_le())
@@ -127,6 +134,13 @@ pub struct RunOptions {
     /// Test hook: wedge (stop participating, keep the process alive
     /// but silent) at the start of this round. [`NEVER`] disables it.
     pub die_at_round: u64,
+    /// Trace context: identifies this run in merged traces and
+    /// telemetry (supervisor-generated, same for every rank).
+    pub run_id: u64,
+    /// Whether workers accumulate phase/link counters and piggyback
+    /// them on heartbeats (cheap, on by default; off for overhead
+    /// A/B runs).
+    pub telemetry: bool,
 }
 
 impl Default for RunOptions {
@@ -139,6 +153,8 @@ impl Default for RunOptions {
             gap_deadline_millis: 2_000,
             fault: FaultPlan::default(),
             die_at_round: NEVER,
+            run_id: 0,
+            telemetry: true,
         }
     }
 }
@@ -228,6 +244,8 @@ fn encode_options(out: &mut impl BufMut, opts: &RunOptions) {
     out.put_u32_le(opts.fault.delay_per_mille);
     out.put_u32_le(opts.fault.delay_depth);
     out.put_u64_le(opts.die_at_round);
+    out.put_u64_le(opts.run_id);
+    out.put_u8(u8::from(opts.telemetry));
 }
 
 fn decode_options(buf: &mut impl Buf) -> Result<RunOptions, NetError> {
@@ -245,6 +263,8 @@ fn decode_options(buf: &mut impl Buf) -> Result<RunOptions, NetError> {
             delay_depth: take_u32(buf, "delay_depth")?,
         },
         die_at_round: take_u64(buf, "die_at_round")?,
+        run_id: take_u64(buf, "run_id")?,
+        telemetry: take_u8(buf, "telemetry flag")? != 0,
     })
 }
 
@@ -344,9 +364,49 @@ pub fn decode_assignment(mut buf: &[u8]) -> Result<Assignment, NetError> {
     })
 }
 
+/// A worker's final clock-sync estimate, shipped with its stats so the
+/// supervisor can shift that rank's trace timestamps onto the
+/// supervisor clock when merging.
+///
+/// `offset_micros` is "supervisor clock minus this worker's clock" at
+/// the minimum-RTT heartbeat/ack exchange; adding it to a worker
+/// timestamp yields supervisor time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClockReport {
+    /// Supervisor minus worker clock, microseconds (NTP-style
+    /// midpoint estimate at the best exchange).
+    pub offset_micros: i64,
+    /// Round-trip time of the best (minimum) exchange, microseconds —
+    /// the offset's error bound.
+    pub rtt_micros: u64,
+    /// False when no heartbeat/ack pair completed (offset is 0 and
+    /// must not be trusted).
+    pub valid: bool,
+}
+
+/// The rank's own measurement of its round loop (`Start` receipt to
+/// the final barrier), shipped with the `Stats` frame so benches can
+/// measure round cost without spawn, handshake, or result-shipping
+/// noise.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoopClock {
+    /// Wall-clock microseconds of the round loop.
+    pub wall_micros: u64,
+    /// CPU microseconds the whole worker process (all threads) spent
+    /// during the loop window, when the platform exposes per-task
+    /// clocks (Linux `schedstat`; 0 elsewhere). Unlike wall time this
+    /// is immune to scheduler contention on an oversubscribed host.
+    pub cpu_micros: u64,
+}
+
 /// Serializes the per-rank counters shipped inside a `Stats` frame.
-pub fn encode_stats(rank_stats: &RankStats, link: &LinkStats) -> Vec<u8> {
-    let mut out = Vec::with_capacity(16 * 8);
+pub fn encode_stats(
+    rank_stats: &RankStats,
+    link: &LinkStats,
+    clock: &ClockReport,
+    loop_clock: &LoopClock,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(21 * 8);
     out.put_u64_le(rank_stats.packets_sent);
     out.put_u64_le(rank_stats.packets_received);
     out.put_u64_le(rank_stats.messages_sent);
@@ -363,11 +423,18 @@ pub fn encode_stats(rank_stats: &RankStats, link: &LinkStats) -> Vec<u8> {
     out.put_u64_le(link.duplicated_by_fault);
     out.put_u64_le(link.delayed_by_fault);
     out.put_u64_le(link.dup_discarded);
+    out.put_u64_le(clock.offset_micros as u64);
+    out.put_u64_le(clock.rtt_micros);
+    out.put_u8(u8::from(clock.valid));
+    out.put_u64_le(loop_clock.wall_micros);
+    out.put_u64_le(loop_clock.cpu_micros);
     out
 }
 
 /// Decodes a `Stats` payload.
-pub fn decode_stats(mut buf: &[u8]) -> Result<(RankStats, LinkStats), NetError> {
+pub fn decode_stats(
+    mut buf: &[u8],
+) -> Result<(RankStats, LinkStats, ClockReport, LoopClock), NetError> {
     let buf = &mut buf;
     let rank_stats = RankStats {
         packets_sent: take_u64(buf, "packets_sent")?,
@@ -389,7 +456,54 @@ pub fn decode_stats(mut buf: &[u8]) -> Result<(RankStats, LinkStats), NetError> 
         delayed_by_fault: take_u64(buf, "delayed_by_fault")?,
         dup_discarded: take_u64(buf, "dup_discarded")?,
     };
-    Ok((rank_stats, link))
+    let clock = ClockReport {
+        offset_micros: take_i64(buf, "clock offset")?,
+        rtt_micros: take_u64(buf, "clock rtt")?,
+        valid: take_u8(buf, "clock valid flag")? != 0,
+    };
+    let loop_clock = LoopClock {
+        wall_micros: take_u64(buf, "loop wall_micros")?,
+        cpu_micros: take_u64(buf, "loop cpu_micros")?,
+    };
+    Ok((rank_stats, link, clock, loop_clock))
+}
+
+/// Serializes the cumulative telemetry block a worker piggybacks on a
+/// `Heartbeat` frame's payload (see [`cmg_obs::RankTelemetry`]).
+pub fn encode_telemetry(t: &cmg_obs::RankTelemetry) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + 11 * 8);
+    out.put_u32_le(t.rank);
+    out.put_u64_le(t.round);
+    out.put_u64_le(t.wire_wait_ns);
+    out.put_u64_le(t.delivery_ns);
+    out.put_u64_le(t.compute_ns);
+    out.put_u64_le(t.serialize_ns);
+    out.put_u64_le(t.barrier_wait_ns);
+    out.put_u64_le(t.reseq_hold_ns);
+    out.put_u64_le(t.frames_sent);
+    out.put_u64_le(t.bytes_sent);
+    out.put_u64_le(t.reseq_pending);
+    out.put_u64_le(t.max_bundle_lag_micros);
+    out
+}
+
+/// Decodes a heartbeat telemetry block.
+pub fn decode_telemetry(mut buf: &[u8]) -> Result<cmg_obs::RankTelemetry, NetError> {
+    let buf = &mut buf;
+    Ok(cmg_obs::RankTelemetry {
+        rank: take_u32(buf, "telemetry rank")?,
+        round: take_u64(buf, "telemetry round")?,
+        wire_wait_ns: take_u64(buf, "wire_wait_ns")?,
+        delivery_ns: take_u64(buf, "delivery_ns")?,
+        compute_ns: take_u64(buf, "compute_ns")?,
+        serialize_ns: take_u64(buf, "serialize_ns")?,
+        barrier_wait_ns: take_u64(buf, "barrier_wait_ns")?,
+        reseq_hold_ns: take_u64(buf, "reseq_hold_ns")?,
+        frames_sent: take_u64(buf, "telemetry frames_sent")?,
+        bytes_sent: take_u64(buf, "telemetry bytes_sent")?,
+        reseq_pending: take_u64(buf, "reseq_pending")?,
+        max_bundle_lag_micros: take_u64(buf, "max_bundle_lag_micros")?,
+    })
 }
 
 /// What one worker hands back as its share of the global result.
@@ -501,6 +615,8 @@ mod tests {
                         delay_depth: 4,
                     },
                     die_at_round: 12,
+                    run_id: 0xDEAD_BEEF_0042,
+                    telemetry: false,
                 },
             };
             let bytes = encode_assignment(&a);
@@ -563,10 +679,42 @@ mod tests {
             delayed_by_fault: 15,
             dup_discarded: 16,
         };
-        let bytes = encode_stats(&rs, &ls);
-        let (rs2, ls2) = decode_stats(&bytes).unwrap();
+        let ck = ClockReport {
+            offset_micros: -1234,
+            rtt_micros: 89,
+            valid: true,
+        };
+        let lc = LoopClock {
+            wall_micros: 4242,
+            cpu_micros: 1717,
+        };
+        let bytes = encode_stats(&rs, &ls, &ck, &lc);
+        let (rs2, ls2, ck2, lc2) = decode_stats(&bytes).unwrap();
         assert_eq!(rs2, rs);
         assert_eq!(ls2, ls);
+        assert_eq!(ck2, ck);
+        assert_eq!(lc2, lc);
+    }
+
+    #[test]
+    fn telemetry_round_trip() {
+        let t = cmg_obs::RankTelemetry {
+            rank: 3,
+            round: 17,
+            wire_wait_ns: 1,
+            delivery_ns: 2,
+            compute_ns: 3,
+            serialize_ns: 4,
+            barrier_wait_ns: 5,
+            reseq_hold_ns: 6,
+            frames_sent: 7,
+            bytes_sent: 8,
+            reseq_pending: 9,
+            max_bundle_lag_micros: 10,
+        };
+        let bytes = encode_telemetry(&t);
+        assert_eq!(decode_telemetry(&bytes).unwrap(), t);
+        assert!(decode_telemetry(&bytes[..bytes.len() - 1]).is_err());
     }
 
     #[test]

@@ -30,14 +30,15 @@ use crate::error::NetError;
 use crate::frame::{read_frame, Ctrl, Frame, PROTO_VERSION};
 use crate::link::{FaultPlan, LinkStats, LinkWriter};
 use crate::proto::{
-    decode_outcome, decode_stats, encode_assignment, Assignment, NetTask, RunOptions,
-    WorkerOutcome, NEVER,
+    decode_outcome, decode_stats, decode_telemetry, encode_assignment, Assignment, ClockReport,
+    NetTask, RunOptions, WorkerOutcome, NEVER,
 };
+use crate::worker::NO_STAMP;
 use bytes::Bytes;
 use cmg_coloring::{Coloring, ColoringConfig};
 use cmg_graph::NO_VERTEX;
 use cmg_matching::Matching;
-use cmg_obs::{replay, RecorderHandle, TimedEvent};
+use cmg_obs::{replay, Event, RecorderHandle, RunHealth, TimedEvent};
 use cmg_partition::dist::DistGraph;
 use cmg_runtime::{RankStats, RunStats};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -127,6 +128,9 @@ pub struct NetConfig {
     /// Where merged obs events are replayed. Workers only collect and
     /// ship events when this handle is enabled.
     pub recorder: RecorderHandle,
+    /// Whether workers piggyback live telemetry counters on their
+    /// heartbeat beacons (aggregated into [`NetOutcome::health`]).
+    pub telemetry: bool,
     /// Explicit worker binary path; `None` = locate or build it.
     pub worker_binary: Option<PathBuf>,
 }
@@ -142,6 +146,7 @@ impl Default for NetConfig {
             fault: FaultPlan::default(),
             kill: KillSpec::default(),
             recorder: RecorderHandle::noop(),
+            telemetry: true,
             worker_binary: None,
         }
     }
@@ -169,6 +174,23 @@ pub struct NetOutcome {
     pub rounds: u64,
     /// Wall-clock seconds, spawn to last exit.
     pub wall_time: f64,
+    /// Wall-clock seconds of the round protocol alone: the slowest
+    /// rank's own `Start`-receipt-to-final-barrier loop clock.
+    /// Excludes process spawn, mesh connect, handshake, and result
+    /// shipping — the number to compare when the transport itself is
+    /// being measured.
+    pub round_wall_time: f64,
+    /// CPU seconds the worker processes spent inside their round
+    /// loops, summed over ranks (all threads; 0 when the platform
+    /// exposes no per-task clock). Immune to scheduler contention, so
+    /// it is the number to compare on an oversubscribed host.
+    pub round_cpu_time: f64,
+    /// Final live-telemetry snapshot (empty when telemetry is off).
+    pub health: RunHealth,
+    /// Per-rank clock-offset estimates from the heartbeat/ack
+    /// exchanges, indexed by rank (`valid: false` when a rank never
+    /// completed an exchange).
+    pub clocks: Vec<ClockReport>,
 }
 
 /// A completed distributed matching run.
@@ -184,6 +206,12 @@ pub struct NetMatchingRun {
     pub rounds: u64,
     /// Wall-clock seconds.
     pub wall_time: f64,
+    /// Wall-clock seconds of the round protocol alone (see
+    /// [`NetOutcome::round_wall_time`]).
+    pub round_wall_time: f64,
+    /// Summed worker round-loop CPU seconds (see
+    /// [`NetOutcome::round_cpu_time`]).
+    pub round_cpu_time: f64,
 }
 
 /// A completed distributed coloring run.
@@ -214,15 +242,22 @@ pub fn run_task(
     let started = Instant::now();
     let mut run = Run::launch(parts, task, cfg)?;
     let (outcomes, stats, links, rounds) = run.drive()?;
+    let round_wall_time = run.max_loop_micros as f64 / 1e6;
+    let round_cpu_time = run.sum_cpu_micros as f64 / 1e6;
     if cfg.recorder.enabled() {
         run.replay_events(&cfg.recorder)?;
     }
+    let clocks = run.clocks.iter().map(|c| c.unwrap_or_default()).collect();
     Ok(NetOutcome {
         outcomes,
         stats,
         links,
         rounds,
         wall_time: started.elapsed().as_secs_f64(),
+        round_wall_time,
+        round_cpu_time,
+        health: run.health.clone(),
+        clocks,
     })
 }
 
@@ -238,6 +273,8 @@ pub fn run_matching(parts: Vec<DistGraph>, cfg: &NetConfig) -> Result<NetMatchin
         links: out.links,
         rounds: out.rounds,
         wall_time: out.wall_time,
+        round_wall_time: out.round_wall_time,
+        round_cpu_time: out.round_cpu_time,
     })
 }
 
@@ -546,6 +583,10 @@ struct Run {
     stats: Vec<Option<(RankStats, LinkStats)>>,
     outcomes: Vec<Option<WorkerOutcome>>,
     events: Vec<Option<String>>,
+    health: RunHealth,
+    clocks: Vec<Option<ClockReport>>,
+    max_loop_micros: u64,
+    sum_cpu_micros: u64,
 }
 
 impl Run {
@@ -594,6 +635,11 @@ impl Run {
             .set_nonblocking(true)
             .map_err(|e| NetError::io("making the supervisor socket non-blocking", e))?;
         let observed = cfg.recorder.enabled();
+        // A compact run identity carried in every assignment, so traces
+        // and telemetry from different concurrent runs never merge:
+        // this process plus this process's run counter.
+        let run_id =
+            (u64::from(std::process::id()) << 32) | RUN_COUNTER.fetch_add(1, Ordering::Relaxed);
         let mut writers: Vec<Option<LinkWriter<UnixStream>>> =
             (0..num_ranks).map(|_| None).collect();
         let (tx, rx) = channel();
@@ -602,7 +648,16 @@ impl Run {
         while connected < num_ranks {
             match listener.accept() {
                 Ok((stream, _)) => {
-                    let rank = Run::admit(stream, &mut writers, &parts, task, cfg, observed, &tx)?;
+                    let rank = Run::admit(
+                        stream,
+                        &mut writers,
+                        &parts,
+                        task,
+                        cfg,
+                        observed,
+                        run_id,
+                        &tx,
+                    )?;
                     let _ = rank;
                     connected += 1;
                 }
@@ -664,11 +719,16 @@ impl Run {
             stats: vec![None; num_ranks as usize],
             outcomes: vec![None; num_ranks as usize],
             events: vec![None; num_ranks as usize],
+            health: RunHealth::new(num_ranks as usize),
+            clocks: vec![None; num_ranks as usize],
+            max_loop_micros: 0,
+            sum_cpu_micros: 0,
         })
     }
 
     /// Admits one accepted connection: reads its Hello, ships the
     /// matching assignment, and starts its reader thread.
+    #[allow(clippy::too_many_arguments)]
     fn admit(
         stream: UnixStream,
         writers: &mut [Option<LinkWriter<UnixStream>>],
@@ -676,6 +736,7 @@ impl Run {
         task: NetTask,
         cfg: &NetConfig,
         observed: bool,
+        run_id: u64,
         tx: &Sender<SupEvent>,
     ) -> Result<u32, NetError> {
         stream
@@ -728,6 +789,8 @@ impl Run {
                 gap_deadline_millis: cfg.gap_deadline.as_millis() as u64,
                 fault: cfg.fault,
                 die_at_round: cfg.kill.die_at_round(rank),
+                run_id,
+                telemetry: cfg.telemetry,
             },
         };
         let mut writer = LinkWriter::new(stream);
@@ -811,10 +874,30 @@ impl Run {
                 self.ready[r] = true;
                 Ok(())
             }
-            Ctrl::Heartbeat { rank: said, round } if said == rank => {
+            Ctrl::Heartbeat {
+                rank: said,
+                round,
+                sent_micros,
+            } if said == rank => {
                 if round > self.last_round[r] {
                     self.last_round[r] = round;
                     self.last_progress[r] = Instant::now();
+                }
+                if !frame.payload.is_empty() {
+                    self.health.observe(decode_telemetry(&frame.payload)?);
+                }
+                // Echo the worker's stamp with our own clock so it can
+                // estimate its offset (NTP-style); nothing to estimate
+                // against until both clocks have an epoch.
+                if sent_micros != NO_STAMP {
+                    if let Some(started) = self.started {
+                        let ack = Frame::bare(Ctrl::HeartbeatAck {
+                            rank,
+                            echo_micros: sent_micros,
+                            sup_micros: started.elapsed().as_micros() as u64,
+                        });
+                        self.writers[r].send(&ack)?;
+                    }
                 }
                 Ok(())
             }
@@ -827,7 +910,11 @@ impl Run {
                 Ok(())
             }
             Ctrl::Stats { rank: said } if said == rank => {
-                self.stats[r] = Some(decode_stats(&frame.payload)?);
+                let (rank_stats, link, clock, loop_clock) = decode_stats(&frame.payload)?;
+                self.stats[r] = Some((rank_stats, link));
+                self.clocks[r] = Some(clock);
+                self.max_loop_micros = self.max_loop_micros.max(loop_clock.wall_micros);
+                self.sum_cpu_micros += loop_clock.cpu_micros;
                 Ok(())
             }
             Ctrl::Outcome { rank: said } if said == rank => {
@@ -1057,7 +1144,11 @@ impl Run {
     }
 
     /// Replays every rank's shipped obs events, merged in time order,
-    /// into `recorder`.
+    /// into `recorder`. Each rank's timestamps are measured against its
+    /// own `Start` epoch; the clock offset estimated from that rank's
+    /// heartbeat/ack exchanges shifts them onto the supervisor's
+    /// timeline before the merge, so cross-rank ordering in the merged
+    /// trace reflects real time, not per-process epoch skew.
     fn replay_events(&mut self, recorder: &RecorderHandle) -> Result<(), NetError> {
         let mut merged: Vec<TimedEvent> = Vec::new();
         for (r, text) in self.events.iter().enumerate() {
@@ -1066,8 +1157,17 @@ impl Run {
                     detail: format!("observed run but rank {r} shipped no events"),
                 });
             };
+            let offset_s = self.clocks[r]
+                .filter(|c| c.valid)
+                .map_or(0.0, |c| c.offset_micros as f64 / 1e6);
             match cmg_obs::sink::events_from_jsonl(text) {
-                Some(events) => merged.extend(events),
+                Some(events) => merged.extend(events.into_iter().map(|mut e| {
+                    e.time += offset_s;
+                    if let Event::Phase { start, .. } = &mut e.event {
+                        *start += offset_s;
+                    }
+                    e
+                })),
                 None => {
                     return Err(NetError::protocol(format!(
                         "rank {r} shipped malformed event JSONL"

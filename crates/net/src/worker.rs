@@ -31,12 +31,13 @@ use crate::error::NetError;
 use crate::frame::{read_frame, Ctrl, Frame, PROTO_VERSION};
 use crate::link::{connect_with_backoff, FaultPlan, LinkStats, LinkWriter, Resequencer};
 use crate::proto::{
-    decode_assignment, encode_outcome, encode_stats, Assignment, NetTask, RunOptions, WorkerOutcome,
+    decode_assignment, encode_outcome, encode_stats, encode_telemetry, Assignment, ClockReport,
+    LoopClock, NetTask, RunOptions, WorkerOutcome,
 };
 use bytes::{BufMut, Bytes};
 use cmg_coloring::{DistColoring, JonesPlassmann};
 use cmg_matching::DistMatching;
-use cmg_obs::{CollectingRecorder, Event, PhaseName, RecorderHandle, ENGINE_RANK};
+use cmg_obs::{CollectingRecorder, Event, PhaseName, RankTelemetry, RecorderHandle, ENGINE_RANK};
 use cmg_runtime::bundle::Packet;
 use cmg_runtime::collectives::{ReduceOutcome, TreeAllreduce};
 use cmg_runtime::message::decode_all_into;
@@ -44,10 +45,125 @@ use cmg_runtime::{RankCtx, RankProgram, RankStats, Status};
 use std::collections::BTreeMap;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
+
+/// Sentinel timestamp for "the run has not started yet" (the event
+/// epoch is fixed by `Start`, so earlier frames cannot be stamped).
+pub(crate) const NO_STAMP: u64 = u64::MAX;
+
+/// Cross-process clock alignment state, shared between the main loop
+/// (which fixes the epoch at `Start`), the heartbeat thread (which
+/// stamps beacons), and the supervisor-link reader (which absorbs
+/// `HeartbeatAck` replies into an NTP-style offset estimate, keeping
+/// the minimum-RTT sample as the least-polluted one).
+struct ClockSync {
+    epoch: Mutex<Option<Instant>>,
+    best_rtt: AtomicU64,
+    offset_micros: AtomicI64,
+    have_offset: AtomicBool,
+}
+
+impl ClockSync {
+    fn new() -> Self {
+        ClockSync {
+            epoch: Mutex::new(None),
+            best_rtt: AtomicU64::new(u64::MAX),
+            offset_micros: AtomicI64::new(0),
+            have_offset: AtomicBool::new(false),
+        }
+    }
+
+    fn set_epoch(&self, at: Instant) {
+        let mut guard = match self.epoch.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        *guard = Some(at);
+    }
+
+    /// Microseconds since the epoch ([`NO_STAMP`] before `Start`).
+    fn micros_now(&self) -> u64 {
+        let guard = match self.epoch.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        guard.map_or(NO_STAMP, |e| e.elapsed().as_micros() as u64)
+    }
+
+    /// Folds one heartbeat/ack exchange into the offset estimate:
+    /// `t0` is our send stamp (echoed back), `t1` our receive stamp,
+    /// `sup` the supervisor's clock at reply. The classic midpoint
+    /// estimate `sup - (t0 + t1)/2` is kept for the exchange with the
+    /// smallest round trip, whose asymmetry error is smallest.
+    fn absorb_ack(&self, echo_micros: u64, sup_micros: u64) {
+        let t1 = self.micros_now();
+        if echo_micros == NO_STAMP || sup_micros == NO_STAMP || t1 == NO_STAMP || t1 < echo_micros {
+            return;
+        }
+        let rtt = t1 - echo_micros;
+        if rtt < self.best_rtt.load(Ordering::Relaxed) {
+            let midpoint = (echo_micros + (rtt / 2)) as i64;
+            self.best_rtt.store(rtt, Ordering::Relaxed);
+            self.offset_micros
+                .store(sup_micros as i64 - midpoint, Ordering::Relaxed);
+            self.have_offset.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// The final estimate shipped home with the stats.
+    fn report(&self) -> ClockReport {
+        ClockReport {
+            offset_micros: self.offset_micros.load(Ordering::Relaxed),
+            rtt_micros: self.best_rtt.load(Ordering::Relaxed),
+            valid: self.have_offset.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The cumulative telemetry counters the round loop publishes and the
+/// heartbeat thread snapshots onto beacons. Plain relaxed atomics:
+/// single writer (the main loop), one reader, no ordering required.
+#[derive(Default)]
+struct TelemetryCells {
+    round: AtomicU64,
+    wire_wait_ns: AtomicU64,
+    delivery_ns: AtomicU64,
+    compute_ns: AtomicU64,
+    serialize_ns: AtomicU64,
+    barrier_wait_ns: AtomicU64,
+    reseq_hold_ns: AtomicU64,
+    frames_sent: AtomicU64,
+    bytes_sent: AtomicU64,
+    reseq_pending: AtomicU64,
+    max_bundle_lag_micros: AtomicU64,
+}
+
+impl TelemetryCells {
+    fn snapshot(&self, rank: u32) -> RankTelemetry {
+        RankTelemetry {
+            rank,
+            round: self.round.load(Ordering::Relaxed),
+            wire_wait_ns: self.wire_wait_ns.load(Ordering::Relaxed),
+            delivery_ns: self.delivery_ns.load(Ordering::Relaxed),
+            compute_ns: self.compute_ns.load(Ordering::Relaxed),
+            serialize_ns: self.serialize_ns.load(Ordering::Relaxed),
+            barrier_wait_ns: self.barrier_wait_ns.load(Ordering::Relaxed),
+            reseq_hold_ns: self.reseq_hold_ns.load(Ordering::Relaxed),
+            frames_sent: self.frames_sent.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            reseq_pending: self.reseq_pending.load(Ordering::Relaxed),
+            max_bundle_lag_micros: self.max_bundle_lag_micros.load(Ordering::Relaxed),
+        }
+    }
+
+    fn note_bundle_lag(&self, lag_micros: u64) {
+        self.max_bundle_lag_micros
+            .fetch_max(lag_micros, Ordering::Relaxed);
+    }
+}
 
 /// Backoff ramp for dialing sockets that may not be bound yet.
 const CONNECT_BASE: Duration = Duration::from_millis(2);
@@ -118,6 +234,10 @@ struct Transport {
     /// Set when `Shutdown` arrives.
     shutdown: bool,
     epoch: Option<Instant>,
+    /// Shared with the heartbeat and supervisor-reader threads.
+    clock: Arc<ClockSync>,
+    /// `Some` when the run ships live telemetry on heartbeats.
+    telemetry: Option<Arc<TelemetryCells>>,
 }
 
 impl Transport {
@@ -125,6 +245,12 @@ impl Transport {
     /// threaded engine's wall-seconds-since-run-start epoch.
     fn now(&self) -> f64 {
         self.epoch.map_or(0.0, |e| e.elapsed().as_secs_f64())
+    }
+
+    /// Microseconds since `Start` for wire stamps ([`NO_STAMP`] before).
+    fn wire_micros(&self) -> u64 {
+        self.epoch
+            .map_or(NO_STAMP, |e| e.elapsed().as_micros() as u64)
     }
 
     /// Sends one frame to a peer.
@@ -206,11 +332,23 @@ impl Transport {
                 round,
                 src,
                 npackets,
+                sent_micros,
             } => {
                 if src != from {
                     return Err(NetError::protocol(format!(
                         "bundle claims src {src} but arrived on rank {from}'s link"
                     )));
+                }
+                if let Some(cells) = &self.telemetry {
+                    // Approximate cross-rank lag: both epochs are fixed
+                    // by `Start` receipt, so the stamps are comparable
+                    // to within the start-fanout skew. Good enough to
+                    // spot a congested link; the clock-offset report is
+                    // the precise instrument.
+                    let local = self.wire_micros();
+                    if sent_micros != NO_STAMP && local != NO_STAMP && local > sent_micros {
+                        cells.note_bundle_lag(local - sent_micros);
+                    }
                 }
                 let packets = parse_bundle(&frame.payload, npackets)?;
                 let slot = self.pending.entry(round).or_default();
@@ -238,7 +376,9 @@ impl Transport {
         match frame.ctrl {
             Ctrl::Start => {
                 self.started = true;
-                self.epoch = Some(Instant::now());
+                let epoch = Instant::now();
+                self.epoch = Some(epoch);
+                self.clock.set_epoch(epoch);
                 Ok(())
             }
             Ctrl::Shutdown => {
@@ -335,6 +475,7 @@ impl Transport {
                 payload.put_u32_le(p.payload.len() as u32);
                 payload.put_slice(&p.payload);
             }
+            let sent_micros = self.wire_micros();
             self.send_peer(
                 dst,
                 &Frame::with_payload(
@@ -342,6 +483,7 @@ impl Transport {
                         round,
                         src: rank,
                         npackets: group.len() as u32,
+                        sent_micros,
                     },
                     Bytes::from(payload),
                 ),
@@ -413,6 +555,27 @@ impl Transport {
 
 /// Decodes a `RoundBundle` payload: `npackets` of
 /// `[u32 logical][u32 len][len bytes]`.
+/// CPU microseconds consumed by this process across all its threads,
+/// from the kernel's per-task `schedstat` (first field, cumulative
+/// `sum_exec_runtime` in nanoseconds). ns-resolution, unlike the
+/// 10 ms `utime`/`stime` ticks in `/proc/self/stat`. Returns 0 when
+/// the platform doesn't expose it; callers treat the clock as absent.
+fn process_cpu_micros() -> u64 {
+    let Ok(tasks) = std::fs::read_dir("/proc/self/task") else {
+        return 0;
+    };
+    let mut total_ns: u64 = 0;
+    for t in tasks.flatten() {
+        let Ok(s) = std::fs::read_to_string(t.path().join("schedstat")) else {
+            continue;
+        };
+        if let Some(first) = s.split_whitespace().next() {
+            total_ns = total_ns.saturating_add(first.parse().unwrap_or(0));
+        }
+    }
+    total_ns / 1_000
+}
+
 fn parse_bundle(payload: &Bytes, npackets: u32) -> Result<Vec<(Bytes, u32)>, NetError> {
     let mut buf: &[u8] = payload;
     let mut out = Vec::with_capacity(npackets as usize);
@@ -567,11 +730,14 @@ fn run_assigned(
     let (writers, read_halves, reseq) =
         build_mesh(rank, num_ranks, listener, &sock_dir, &opts.fault)?;
 
+    let clock = Arc::new(ClockSync::new());
+    let telemetry = opts.telemetry.then(|| Arc::new(TelemetryCells::default()));
+
     let (tx, rx) = channel();
     for (from, stream) in read_halves {
         spawn_peer_reader(from, stream, tx.clone());
     }
-    spawn_sup_reader(sup_read, tx.clone());
+    spawn_sup_reader(sup_read, tx.clone(), Arc::clone(&clock));
     drop(tx);
 
     lock(&sup).send(&Frame::bare(Ctrl::Ready { rank }))?;
@@ -594,6 +760,8 @@ fn run_assigned(
         Arc::clone(&sup),
         Arc::clone(&round_beacon),
         Arc::clone(&stop_beat),
+        Arc::clone(&clock),
+        telemetry.clone(),
     );
 
     let mut t = Transport {
@@ -611,12 +779,19 @@ fn run_assigned(
         started: false,
         shutdown: false,
         epoch: None,
+        clock: Arc::clone(&clock),
+        telemetry,
     };
 
     while !t.started {
         t.pump(PUMP_TICK)?;
     }
 
+    // The round loop's own wall and CPU clocks (Start receipt to last
+    // barrier): shipped home with the stats so benches can compare
+    // round cost without spawn, handshake, or result-shipping noise.
+    let loop_started = Instant::now();
+    let cpu_started = process_cpu_micros();
     let (outcome, stats, rounds, cap) = match task {
         NetTask::Matching => {
             run_task_rounds(DistMatching::new(dg), &mut t, &recorder, &round_beacon)?
@@ -631,15 +806,20 @@ fn run_assigned(
             &round_beacon,
         )?,
     };
+    let loop_clock = LoopClock {
+        wall_micros: loop_started.elapsed().as_micros() as u64,
+        cpu_micros: process_cpu_micros().saturating_sub(cpu_started),
+    };
     stop_beat.store(true, Ordering::Relaxed);
 
     // Results plane: stats, outcome, events, Done — in that order.
     let link = t.link_totals();
+    let clock_report = clock.report();
     {
         let mut w = lock(&sup);
         w.send(&Frame::with_payload(
             Ctrl::Stats { rank },
-            Bytes::from(encode_stats(&stats, &link)),
+            Bytes::from(encode_stats(&stats, &link, &clock_report, &loop_clock)),
         ))?;
         w.send(&Frame::with_payload(
             Ctrl::Outcome { rank },
@@ -705,6 +885,15 @@ fn run_rounds<P: RankProgram>(
     let mut round: u64 = 0;
     let mut cap = false;
 
+    // Cumulative per-phase time, published to the telemetry cells once
+    // per round (plain locals keep the loop free of atomic traffic).
+    let mut tel_wire_ns: u64 = 0;
+    let mut tel_delivery_ns: u64 = 0;
+    let mut tel_compute_ns: u64 = 0;
+    let mut tel_serialize_ns: u64 = 0;
+    let mut tel_barrier_ns: u64 = 0;
+    let mut last_hold_ns: u64 = 0;
+
     loop {
         if round == t.opts.die_at_round {
             // Test hook: report the scripted fault point, then wedge
@@ -714,7 +903,40 @@ fn run_rounds<P: RankProgram>(
             wedge();
         }
         if round > 0 {
+            let wire_start = t.now();
             t.wait_bundles(round - 1)?;
+            let wire_end = t.now();
+            tel_wire_ns += secs_to_ns(wire_end - wire_start);
+            if observed {
+                recorder.emit(
+                    rank,
+                    wire_end,
+                    Event::Phase {
+                        name: PhaseName::WireWait,
+                        start: wire_start,
+                        dur: wire_end - wire_start,
+                    },
+                );
+            }
+            // Resequencer hold time banked since the last check: how
+            // long newer frames sat behind a sequence gap. Zero on a
+            // fault-free run, so the span never appears in the golden
+            // trace; under delay faults it shows where reordering bit.
+            let hold_total: u64 = t.reseq.iter().map(|r| r.hold_ns).sum();
+            let held = hold_total.saturating_sub(last_hold_ns);
+            last_hold_ns = hold_total;
+            if observed && held > 0 {
+                let dur = held as f64 / 1e9;
+                recorder.emit(
+                    rank,
+                    wire_end,
+                    Event::Phase {
+                        name: PhaseName::ReseqHold,
+                        start: (wire_end - dur).max(wire_start),
+                        dur,
+                    },
+                );
+            }
         }
         if observed && rank == 0 {
             recorder.emit(
@@ -800,20 +1022,26 @@ fn run_rounds<P: RankProgram>(
         }
         stats.rounds_active += 1;
         stats.work += work;
+        tel_delivery_ns += secs_to_ns(compute_begin - delivery_start);
+        tel_compute_ns += secs_to_ns(compute_end - compute_begin);
 
         // 2. Send.
         let send_start = t.now();
         let sent_any = !packet_buf.is_empty();
         t.send_round(round, &mut packet_buf, &mut stats, recorder, observed)?;
-        if observed && sent_any {
-            let now = t.now();
+        let send_end = t.now();
+        tel_serialize_ns += secs_to_ns(send_end - send_start);
+        // Unconditional when observed: even a round with no payload
+        // writes p − 1 empty marker bundles, and that wire time must
+        // land in a span or the analyzer sees a coverage hole.
+        if observed {
             recorder.emit(
                 rank,
-                now,
+                send_end,
                 Event::Phase {
                     name: PhaseName::Send,
                     start: send_start,
-                    dur: now - send_start,
+                    dur: send_end - send_start,
                 },
             );
         }
@@ -825,7 +1053,24 @@ fn run_rounds<P: RankProgram>(
         // sending reports strictly less progress than the peers it
         // blocks, and the supervisor blames the right rank.
         round_beacon.store(2 * round + 1, Ordering::Relaxed);
+        let barrier_start = t.now();
         let keep = t.resolve_barrier(round, status == Status::Active || sent_any)?;
+        let barrier_end = t.now();
+        tel_barrier_ns += secs_to_ns(barrier_end - barrier_start);
+        if observed {
+            // Exactly one BarrierWait span per round per rank — the
+            // trace analyzer counts these to segment a rank's stream
+            // into rounds, so the emit is unconditional when observed.
+            recorder.emit(
+                rank,
+                barrier_end,
+                Event::Phase {
+                    name: PhaseName::BarrierWait,
+                    start: barrier_start,
+                    dur: barrier_end - barrier_start,
+                },
+            );
+        }
 
         if observed && rank == 0 {
             recorder.emit(
@@ -836,6 +1081,25 @@ fn run_rounds<P: RankProgram>(
                     active_ranks: num_ranks,
                 },
             );
+        }
+
+        if let Some(cells) = &t.telemetry {
+            cells.round.store(round, Ordering::Relaxed);
+            cells.wire_wait_ns.store(tel_wire_ns, Ordering::Relaxed);
+            cells.delivery_ns.store(tel_delivery_ns, Ordering::Relaxed);
+            cells.compute_ns.store(tel_compute_ns, Ordering::Relaxed);
+            cells
+                .serialize_ns
+                .store(tel_serialize_ns, Ordering::Relaxed);
+            cells
+                .barrier_wait_ns
+                .store(tel_barrier_ns, Ordering::Relaxed);
+            cells.reseq_hold_ns.store(last_hold_ns, Ordering::Relaxed);
+            let link = t.link_totals();
+            cells.frames_sent.store(link.frames_sent, Ordering::Relaxed);
+            cells.bytes_sent.store(link.bytes_sent, Ordering::Relaxed);
+            let pending: u64 = t.reseq.iter().map(|r| r.pending_len() as u64).sum();
+            cells.reseq_pending.store(pending, Ordering::Relaxed);
         }
 
         round += 1;
@@ -854,6 +1118,15 @@ fn run_rounds<P: RankProgram>(
     // leave and deadlock a peer still waiting on it.
     t.flush_all()?;
     Ok((stats, round, cap))
+}
+
+/// Event-time seconds to telemetry nanoseconds.
+fn secs_to_ns(s: f64) -> u64 {
+    if s <= 0.0 {
+        0
+    } else {
+        (s * 1e9) as u64
+    }
 }
 
 /// Parks this thread forever (heartbeats continue from theirs).
@@ -1018,11 +1291,23 @@ fn spawn_peer_reader(from: u32, mut stream: UnixStream, tx: Sender<Incoming>) {
     });
 }
 
-/// Reader thread for the supervisor link.
-fn spawn_sup_reader(mut stream: UnixStream, tx: Sender<Incoming>) {
+/// Reader thread for the supervisor link. `HeartbeatAck` replies are
+/// absorbed here — timestamped at the earliest possible point and kept
+/// off the main loop, so clock sampling neither waits on a busy round
+/// loop nor perturbs it.
+fn spawn_sup_reader(mut stream: UnixStream, tx: Sender<Incoming>, clock: Arc<ClockSync>) {
     let _ = std::thread::spawn(move || loop {
         match read_frame(&mut stream) {
             Ok(Some((_, frame))) => {
+                if let Ctrl::HeartbeatAck {
+                    echo_micros,
+                    sup_micros,
+                    ..
+                } = frame.ctrl
+                {
+                    clock.absorb_ack(echo_micros, sup_micros);
+                    continue;
+                }
                 if tx.send(Incoming::Sup { frame }).is_err() {
                     return;
                 }
@@ -1039,23 +1324,35 @@ fn spawn_sup_reader(mut stream: UnixStream, tx: Sender<Incoming>) {
     });
 }
 
-/// Heartbeat thread: periodic liveness + round-progress beacons.
+/// Heartbeat thread: periodic liveness + round-progress beacons. Each
+/// beacon is stamped with the sender's clock (for the supervisor's
+/// offset estimation via `HeartbeatAck`) and, when telemetry is on,
+/// carries the latest counter snapshot as its payload.
 fn spawn_heartbeat(
     rank: u32,
     period: Duration,
     sup: Arc<Mutex<LinkWriter<UnixStream>>>,
     round: Arc<AtomicU64>,
     stop: Arc<AtomicBool>,
+    clock: Arc<ClockSync>,
+    telemetry: Option<Arc<TelemetryCells>>,
 ) {
     let _ = std::thread::spawn(move || loop {
         std::thread::sleep(period);
         if stop.load(Ordering::Relaxed) {
             return;
         }
-        let beat = Frame::bare(Ctrl::Heartbeat {
+        let ctrl = Ctrl::Heartbeat {
             rank,
             round: round.load(Ordering::Relaxed),
-        });
+            sent_micros: clock.micros_now(),
+        };
+        let beat = match &telemetry {
+            Some(cells) => {
+                Frame::with_payload(ctrl, Bytes::from(encode_telemetry(&cells.snapshot(rank))))
+            }
+            None => Frame::bare(ctrl),
+        };
         if lock(&sup).send(&beat).is_err() {
             return;
         }

@@ -52,6 +52,11 @@ pub enum Event {
 }
 
 /// The rank-local phases the engines time.
+///
+/// `Delivery`/`Compute`/`Send` are emitted by every engine; the
+/// remaining variants are wait states only the multi-process net
+/// transport can observe, so sim/threaded traces never contain them
+/// (which keeps the committed sim golden byte-identical).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PhaseName {
     /// Draining the mailbox and decoding inbound packets.
@@ -60,6 +65,16 @@ pub enum PhaseName {
     Compute,
     /// Encoding, bundling, and enqueueing outbound packets.
     Send,
+    /// Blocked on the socket waiting for the previous round's bundles
+    /// (net engine only).
+    WireWait,
+    /// Blocked inside the end-of-round allreduce barrier (net engine
+    /// only).
+    BarrierWait,
+    /// Time in-order delivery was stalled by the resequencer holding
+    /// out-of-order frames (net engine only; absent when no frame was
+    /// ever held).
+    ReseqHold,
 }
 
 impl PhaseName {
@@ -69,14 +84,20 @@ impl PhaseName {
             PhaseName::Delivery => "delivery",
             PhaseName::Compute => "compute",
             PhaseName::Send => "send",
+            PhaseName::WireWait => "wire_wait",
+            PhaseName::BarrierWait => "barrier_wait",
+            PhaseName::ReseqHold => "reseq_hold",
         }
     }
 
-    fn parse(s: &str) -> Option<Self> {
+    pub(crate) fn parse(s: &str) -> Option<Self> {
         match s {
             "delivery" => Some(PhaseName::Delivery),
             "compute" => Some(PhaseName::Compute),
             "send" => Some(PhaseName::Send),
+            "wire_wait" => Some(PhaseName::WireWait),
+            "barrier_wait" => Some(PhaseName::BarrierWait),
+            "reseq_hold" => Some(PhaseName::ReseqHold),
             _ => None,
         }
     }

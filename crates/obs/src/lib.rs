@@ -34,6 +34,7 @@ pub mod recorder;
 pub mod report;
 pub mod sched;
 pub mod sink;
+pub mod trace;
 
 pub use event::{Event, PhaseName, TimedEvent, ENGINE_RANK};
 pub use json::Json;
@@ -42,3 +43,4 @@ pub use oracle::OracleCounters;
 pub use recorder::{replay, CollectingRecorder, NoopRecorder, Recorder, RecorderHandle};
 pub use report::RunReport;
 pub use sched::SchedStats;
+pub use trace::{RankTelemetry, RunHealth, TraceReport};

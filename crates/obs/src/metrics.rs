@@ -104,6 +104,52 @@ impl LogHistogram {
         self.max
     }
 
+    /// Interpolated q-quantile estimate (q in 0..=1), 0.0 if empty.
+    ///
+    /// Finds the bucket containing the q-th sample and interpolates
+    /// linearly between the bucket's bounds by the sample's position
+    /// within it, then clamps to the observed `[min, max]`. Exact for
+    /// q = 0 and q = 1; within one power-of-two bucket otherwise —
+    /// good enough for the straggler/SLO reporting it feeds, without
+    /// storing raw samples.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if q <= 0.0 {
+            return self.min as f64;
+        }
+        if q >= 1.0 {
+            return self.max as f64;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= target {
+                let lo = if i == 0 { 0 } else { bucket_upper_bound(i - 1) };
+                let hi = bucket_upper_bound(i);
+                let frac = (target - seen) as f64 / n as f64;
+                let est = lo as f64 + frac * (hi - lo) as f64;
+                return est.clamp(self.min as f64, self.max as f64);
+            }
+            seen += n;
+        }
+        self.max as f64
+    }
+
+    /// Interpolated median. See [`LogHistogram::quantile`].
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Interpolated 99th percentile. See [`LogHistogram::quantile`].
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
     /// Serializes summary plus non-empty buckets.
     pub fn to_json(&self) -> Json {
         let buckets: Vec<Json> = self
@@ -343,6 +389,80 @@ mod tests {
         // 0 and 1 share bucket 0; 2 is bucket 1; 3,4 bucket 2.
         assert_eq!(h.quantile_bound(0.0), 1);
         assert!(h.quantile_bound(1.0) >= 1024);
+    }
+
+    #[test]
+    fn quantiles_on_empty_histogram_are_zero() {
+        let h = LogHistogram::default();
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.p50(), 0.0);
+        assert_eq!(h.p99(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_are_exact_at_the_extremes() {
+        let mut h = LogHistogram::default();
+        for v in [3, 17, 900, 4096] {
+            h.record(v);
+        }
+        // min/max clamping makes q=0 and q=1 exact.
+        assert_eq!(h.quantile(0.0), 3.0);
+        assert_eq!(h.quantile(1.0), 4096.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_a_bucket() {
+        // 100 identical values: every quantile collapses to that value.
+        let mut h = LogHistogram::default();
+        for _ in 0..100 {
+            h.record(1000);
+        }
+        assert_eq!(h.p50(), 1000.0);
+        assert_eq!(h.p99(), 1000.0);
+
+        // 90 small + 10 large: p50 lands among the small values, p99
+        // among the large ones, and both stay inside their bucket's
+        // power-of-two bounds.
+        let mut h = LogHistogram::default();
+        for _ in 0..90 {
+            h.record(10);
+        }
+        for _ in 0..10 {
+            h.record(5000);
+        }
+        let p50 = h.p50();
+        assert!((8.0..=16.0).contains(&p50), "p50 = {p50}");
+        let p99 = h.p99();
+        assert!((4096.0..=5000.0).contains(&p99), "p99 = {p99}");
+        assert!(h.quantile(0.5) <= h.quantile(0.99));
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let mut h = LogHistogram::default();
+        for v in [1u64, 2, 5, 9, 33, 70, 150, 600, 2000, 65000] {
+            h.record(v);
+        }
+        let qs: Vec<f64> = (0..=20).map(|i| h.quantile(i as f64 / 20.0)).collect();
+        for w in qs.windows(2) {
+            assert!(w[0] <= w[1], "quantile not monotone: {:?}", qs);
+        }
+        assert!(h.quantile(-1.0) >= h.min() as f64);
+        assert!(h.quantile(2.0) <= h.max() as f64);
+    }
+
+    #[test]
+    fn quantile_bound_dominates_interpolated_quantile() {
+        let mut h = LogHistogram::default();
+        for v in [7u64, 90, 91, 1500, 1501, 1502, 40000] {
+            h.record(v);
+        }
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert!(
+                h.quantile(q) <= h.quantile_bound(q) as f64,
+                "interpolated quantile exceeds its bucket bound at q={q}"
+            );
+        }
     }
 
     #[test]

@@ -85,6 +85,10 @@ pub struct EngineConfig {
     /// no-op recorder: engines check one cached bool and skip all event
     /// construction, so uninstrumented runs pay nothing.
     pub recorder: cmg_obs::RecorderHandle,
+    /// Live telemetry for the net engine: workers piggyback per-rank
+    /// phase/link counters on heartbeat beacons. Ignored by the sim and
+    /// threaded engines, which have no beacons.
+    pub net_telemetry: bool,
 }
 
 impl Default for EngineConfig {
@@ -98,6 +102,7 @@ impl Default for EngineConfig {
             record_trace: false,
             delivery: DeliveryPolicy::default(),
             recorder: cmg_obs::RecorderHandle::noop(),
+            net_telemetry: true,
         }
     }
 }

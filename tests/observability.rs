@@ -154,10 +154,13 @@ fn noop_recorder_collects_nothing_and_perturbs_nothing() {
 }
 
 fn phase_of(i: u32) -> PhaseName {
-    match i % 3 {
+    match i % 6 {
         0 => PhaseName::Delivery,
         1 => PhaseName::Compute,
-        _ => PhaseName::Send,
+        2 => PhaseName::Send,
+        3 => PhaseName::WireWait,
+        4 => PhaseName::BarrierWait,
+        _ => PhaseName::ReseqHold,
     }
 }
 
