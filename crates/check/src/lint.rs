@@ -46,6 +46,10 @@ pub enum Rule {
     /// Hand-built allreduce tree topology (parent/children rank
     /// arithmetic) outside `cmg_runtime::collectives`.
     HandRolledCollective,
+    /// Blocking read/write/connect call inside the net engine's
+    /// event-loop module, which must route every kernel entry through
+    /// the non-blocking `mio` shim (the designated syscall boundary).
+    BlockingIoInReactor,
 }
 
 impl Rule {
@@ -56,6 +60,7 @@ impl Rule {
             Rule::HotPathAlloc => "hot-path-alloc",
             Rule::UnguardedEmit => "unguarded-emit",
             Rule::HandRolledCollective => "no-hand-rolled-collective",
+            Rule::BlockingIoInReactor => "no-blocking-io-in-reactor",
         }
     }
 }
@@ -372,6 +377,34 @@ const RANK_ARITH_TOKENS: &[&str] = &[
 /// The only place allowed to build collective topology by hand.
 const COLLECTIVES_HOME: &str = "crates/runtime/src/collectives";
 
+/// The net engine's event-loop module: one poll-driven thread whose
+/// latency budget a single blocking syscall would wreck. Everything it
+/// asks of the kernel must go through the `mio` shim's non-blocking
+/// wrappers (`Poll::poll`, `read_fd`) — never through the blocking
+/// `std::io` surface.
+const REACTOR_HOME: &str = "crates/net/src/reactor";
+
+/// Blocking-I/O call shapes banned under [`REACTOR_HOME`]. Method-call
+/// tokens carry the leading dot so the shim's own differently named
+/// wrappers (`read_fd(`) never match; `connect(` is bare so the
+/// associated-function form `UnixStream::connect(` is caught too.
+const BLOCKING_IO_TOKENS: &[&str] = &[
+    ".read(",
+    ".read_exact(",
+    ".read_to_end(",
+    ".read_vectored(",
+    ".write(",
+    ".write_all(",
+    ".write_vectored(",
+    ".flush(",
+    "read_frame(",
+    "write_frame(",
+    ".recv(",
+    ".recv_timeout(",
+    ".accept(",
+    "connect(",
+];
+
 /// Start lines (1-based) of fns that hand-roll collective topology:
 /// the masked body mentions both `parent` and `children` *and* performs
 /// rank arithmetic. Nested fns are scanned independently (an outer fn
@@ -512,6 +545,23 @@ pub fn lint_file(path: &str, src: &str) -> Vec<Violation> {
                     path: path.to_string(),
                     line: lineno,
                     rule: Rule::HandRolledCollective,
+                    excerpt: excerpt_at(lineno),
+                });
+            }
+        }
+    }
+
+    if path.starts_with(REACTOR_HOME) {
+        for (idx, line) in masked.lines().enumerate() {
+            let lineno = idx + 1;
+            if in_spans(lineno, &tests) {
+                continue;
+            }
+            if BLOCKING_IO_TOKENS.iter().any(|t| line.contains(t)) {
+                out.push(Violation {
+                    path: path.to_string(),
+                    line: lineno,
+                    rule: Rule::BlockingIoInReactor,
                     excerpt: excerpt_at(lineno),
                 });
             }
@@ -731,6 +781,65 @@ fn broadcast(&mut self) {
 }
 ";
         assert!(lint_file("crates/coloring/src/dist.rs", src).is_empty());
+    }
+
+    #[test]
+    fn blocking_io_flagged_inside_reactor_home_only() {
+        // Seeded violations: a blocking std::io read and an mpsc recv in
+        // non-test reactor code.
+        let src = "
+fn pump(stream: &mut UnixStream, rx: &Receiver<Frame>) -> io::Result<usize> {
+    let mut buf = [0u8; 16];
+    let n = stream.read(&mut buf)?;
+    let _ = rx.recv();
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn blocking_is_fine_in_tests() {
+        let mut buf = [0u8; 4];
+        let _ = stream.read(&mut buf);
+        let _ = rx.recv_timeout(t);
+    }
+}
+";
+        let v = lint_file("crates/net/src/reactor.rs", src);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|x| x.rule == Rule::BlockingIoInReactor));
+        assert_eq!(v[0].line, 4);
+        assert_eq!(v[1].line, 5);
+        // The identical source is legal anywhere else.
+        assert!(lint_file("crates/net/src/worker.rs", src).is_empty());
+    }
+
+    #[test]
+    fn shim_wrappers_do_not_trip_the_reactor_rule() {
+        // The designated syscall boundary: mio::read_fd and Poll::poll
+        // are the sanctioned kernel entries, and channel sends are
+        // non-blocking.
+        let src = "
+fn drain(fd: RawFd, poll: &mio::Poll, tx: &Sender<Incoming>) {
+    let mut events = mio::Events::with_capacity(8);
+    let _ = poll.poll(&mut events, None);
+    let mut buf = [0u8; 16];
+    let _ = mio::read_fd(fd, &mut buf);
+    let _ = tx.send(Incoming::PeerGone);
+}
+";
+        assert!(lint_file("crates/net/src/reactor.rs", src).is_empty());
+    }
+
+    #[test]
+    fn reactor_rule_has_no_allowlist_entries() {
+        // Satellite requirement: the rule ships with zero exemptions —
+        // the reactor must be clean, not excused.
+        let allow = Allowlist::workspace();
+        assert!(allow
+            .entries
+            .iter()
+            .all(|e| e.rule != Rule::BlockingIoInReactor));
     }
 
     #[test]

@@ -22,8 +22,11 @@ use std::io::{Read, Write};
 /// change so mismatched binaries fail the handshake instead of
 /// misparsing each other. v2 added the trace context: send timestamps
 /// on `RoundBundle` and `Heartbeat`, and the `HeartbeatAck` reply used
-/// for cross-process clock-offset estimation.
-pub const PROTO_VERSION: u32 = 2;
+/// for cross-process clock-offset estimation. v3 added the event-driven
+/// data plane: the rank-to-rank [`Ctrl::RoundDone`] wave that replaces
+/// the per-round tree allreduce, the `event_loop` run option, and the
+/// coalescing counters in the shipped link stats.
+pub const PROTO_VERSION: u32 = 3;
 
 /// Upper bound on a frame's encoded size (64 MiB). A length prefix
 /// beyond this is treated as corruption rather than honored with a
@@ -33,9 +36,10 @@ pub const MAX_FRAME_LEN: u32 = 64 << 20;
 wire_codec! {
     /// The control vocabulary of the transport. Grouped by plane:
     /// handshake (`Hello`/`Assignment`/`Ready`/`Start`), the
-    /// bulk-synchronous data plane (`RoundBundle` plus the
-    /// `BarrierUp`/`BarrierDown` allreduce legs), liveness
-    /// (`Heartbeat`/`FaultPoint`), and the results plane
+    /// bulk-synchronous data plane (`RoundBundle` plus either the
+    /// `BarrierUp`/`BarrierDown` allreduce legs on the legacy path or
+    /// the rank-to-rank `RoundDone` wave on the event-loop path),
+    /// liveness (`Heartbeat`/`FaultPoint`), and the results plane
     /// (`Stats`/`Outcome`/`Events`/`Done`/`Shutdown`/`Fatal`).
     #[derive(Clone, Copy, Debug, PartialEq)]
     pub enum Ctrl {
@@ -171,6 +175,25 @@ wire_codec! {
             /// since it started the run.
             sup_micros: u64,
         },
+        /// Rank -> rank: "I have sent everything I will send for
+        /// `round`, and here is my activity bit" — one per (round,
+        /// ordered link), sent right after that round's sends. Because
+        /// links are FIFO (resequenced), receiving this frame proves
+        /// the sender's round bundle (if any — empty bundles are
+        /// elided on the event-loop path) has already been delivered,
+        /// so counting `RoundDone`s with the substrate's `DoneWave` is
+        /// simultaneously the bundle-completeness test and the
+        /// termination vote: each rank ORs the `active` bits of all
+        /// peers with its own to compute the keep-going decision
+        /// locally, with no allreduce on the round critical path.
+        16 => RoundDone {
+            /// The round being announced complete.
+            round: u64,
+            /// The announcing rank.
+            src: u32,
+            /// 1 if the announcing rank was active or sent this round.
+            active: u8,
+        },
     }
 }
 
@@ -259,6 +282,88 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<(u64, Frame)>, NetError> {
     let consumed = before - cursor.len();
     let payload = Bytes::from(&body[8 + consumed..]);
     Ok(Some((seq, Frame { ctrl, payload })))
+}
+
+/// Incremental frame decoder for non-blocking byte streams.
+///
+/// The reactor reads whatever the socket has — which may be half a
+/// frame, or several coalesced frames back to back from one vectored
+/// write — appends it via [`FrameAssembler::extend`], and drains
+/// complete frames with [`FrameAssembler::next_frame`]. The wire
+/// grammar and validation are identical to [`read_frame`]; only the
+/// blocking discipline differs.
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted lazily so a burst of small
+    /// frames costs one memmove, not one per frame.
+    start: usize,
+}
+
+impl FrameAssembler {
+    /// An empty assembler.
+    pub fn new() -> Self {
+        FrameAssembler::default()
+    }
+
+    /// Appends raw bytes read off the stream.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        if self.start > 0 && self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet returned as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Pops the next complete `(seq, frame)`, or `Ok(None)` if the
+    /// buffer holds only a partial frame. Malformed lengths or control
+    /// words are [`NetError`]s, exactly as in [`read_frame`].
+    pub fn next_frame(&mut self) -> Result<Option<(u64, Frame)>, NetError> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([avail[0], avail[1], avail[2], avail[3]]);
+        if !(9..=MAX_FRAME_LEN).contains(&len) {
+            return Err(NetError::protocol(format!(
+                "frame length {len} outside [9, {MAX_FRAME_LEN}]"
+            )));
+        }
+        let total = 4 + len as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let body = &avail[4..total];
+        let seq = u64::from_le_bytes([
+            body[0], body[1], body[2], body[3], body[4], body[5], body[6], body[7],
+        ]);
+        let mut cursor: &[u8] = &body[8..];
+        let before = cursor.len();
+        let ctrl = match Ctrl::decode(&mut cursor) {
+            Some(c) => c,
+            None => {
+                return Err(NetError::protocol(format!(
+                    "unparseable control word (first byte {})",
+                    body.get(8).copied().unwrap_or(0)
+                )))
+            }
+        };
+        let consumed = before - cursor.len();
+        let payload = Bytes::from(&body[8 + consumed..]);
+        self.start += total;
+        // Compact once the dead prefix dominates, bounding memory while
+        // keeping amortized cost O(bytes).
+        if self.start > 4096 && self.start * 2 > self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        Ok(Some((seq, Frame { ctrl, payload })))
+    }
 }
 
 /// `read_exact` that distinguishes "EOF before the first byte"
@@ -383,5 +488,74 @@ mod tests {
         .encode(&mut buf);
         assert_eq!(buf[0], 15);
         assert_eq!(buf.len(), 1 + 4 + 8 + 8);
+        let mut buf = BytesMut::new();
+        Ctrl::RoundDone {
+            round: 0,
+            src: 0,
+            active: 0,
+        }
+        .encode(&mut buf);
+        assert_eq!(buf[0], 16);
+        assert_eq!(buf.len(), 1 + 8 + 4 + 1);
+    }
+
+    #[test]
+    fn assembler_reproduces_read_frame_at_every_chunking() {
+        let frames = [
+            (
+                5u64,
+                Frame::with_payload(
+                    Ctrl::RoundBundle {
+                        round: 3,
+                        src: 1,
+                        npackets: 1,
+                        sent_micros: 99,
+                    },
+                    Bytes::from(vec![7u8; 33]),
+                ),
+            ),
+            (
+                6,
+                Frame::bare(Ctrl::RoundDone {
+                    round: 3,
+                    src: 1,
+                    active: 1,
+                }),
+            ),
+            (7, Frame::bare(Ctrl::Shutdown)),
+        ];
+        let mut wire: Vec<u8> = Vec::new();
+        for (seq, f) in &frames {
+            wire.extend_from_slice(&encode_frame(*seq, f));
+        }
+        // Feed the stream in every chunk size: 1-byte dribble through
+        // one giant slab (a coalesced writev arriving whole).
+        for chunk in 1..=wire.len() {
+            let mut asm = FrameAssembler::new();
+            let mut got = Vec::new();
+            for piece in wire.chunks(chunk) {
+                asm.extend(piece);
+                while let Some(sf) = asm.next_frame().unwrap() {
+                    got.push(sf);
+                }
+            }
+            assert_eq!(got.len(), frames.len(), "chunk size {chunk}");
+            for ((gs, gf), (es, ef)) in got.iter().zip(frames.iter()) {
+                assert_eq!(gs, es);
+                assert_eq!(gf, ef);
+            }
+            assert_eq!(asm.buffered(), 0);
+        }
+    }
+
+    #[test]
+    fn assembler_rejects_oversized_length() {
+        let mut asm = FrameAssembler::new();
+        asm.extend(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        asm.extend(&[0u8; 16]);
+        match asm.next_frame() {
+            Err(NetError::Protocol { detail }) => assert!(detail.contains("frame length")),
+            other => panic!("expected protocol error, got {other:?}"),
+        }
     }
 }

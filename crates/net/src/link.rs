@@ -13,14 +13,25 @@
 //! drop instead of waiting forever — this transport never retransmits.
 //!
 //! Fault injection only ever touches data-plane frames
-//! ([`Ctrl::RoundBundle`]/[`Ctrl::BarrierUp`]/[`Ctrl::BarrierDown`]);
-//! handshake and results frames always go through verbatim, so a fault
-//! plan perturbs the *round protocol* without making setup flaky.
+//! ([`Ctrl::RoundBundle`]/[`Ctrl::BarrierUp`]/[`Ctrl::BarrierDown`]/
+//! [`Ctrl::RoundDone`]); handshake and results frames always go through
+//! verbatim, so a fault plan perturbs the *round protocol* without
+//! making setup flaky.
+//!
+//! On the event-loop path the writer additionally *coalesces*: encoded
+//! data-plane frames accumulate in a batch and go out as one vectored
+//! `writev` submission when the batch crosses a size threshold, when a
+//! control-plane frame needs the wire, or when the owner flushes before
+//! blocking (the round-end flush — the age bound). Fault decisions and
+//! sequence numbers are fixed per frame at enqueue time, so coalescing
+//! changes *syscall boundaries only*, never the byte stream: the
+//! receiver's [`Resequencer`] observes the exact same frame order
+//! whatever the batching.
 
 use crate::error::NetError;
 use crate::frame::{encode_frame, Ctrl, Frame};
 use std::collections::BTreeMap;
-use std::io::Write;
+use std::io::{IoSlice, Write};
 use std::os::unix::net::UnixStream;
 use std::path::Path;
 use std::time::{Duration, Instant};
@@ -193,6 +204,13 @@ pub struct LinkStats {
     pub delayed_by_fault: u64,
     /// Duplicate frames the resequencer discarded.
     pub dup_discarded: u64,
+    /// Write submissions to the OS (`writev`/`write` calls, partial
+    /// -write continuations included). Without coalescing this equals
+    /// `frames_sent`; with it, the gap is the syscall saving.
+    pub syscalls: u64,
+    /// Frames that shared a vectored submission with at least one
+    /// other frame (each flush of n ≥ 2 frames adds n).
+    pub frames_coalesced: u64,
 }
 
 impl LinkStats {
@@ -205,6 +223,8 @@ impl LinkStats {
         self.duplicated_by_fault += other.duplicated_by_fault;
         self.delayed_by_fault += other.delayed_by_fault;
         self.dup_discarded += other.dup_discarded;
+        self.syscalls += other.syscalls;
+        self.frames_coalesced += other.frames_coalesced;
     }
 }
 
@@ -223,6 +243,13 @@ pub struct LinkWriter<W: Write> {
     /// Held-back frames: `(seq, encoded, release_after)` — release
     /// when the countdown hits zero or on [`LinkWriter::flush_held`].
     held: Vec<(u64, Vec<u8>, u32)>,
+    /// Coalescing threshold in encoded bytes; 0 = coalescing off
+    /// (every frame is its own write submission, the legacy path).
+    coalesce_bytes: usize,
+    /// Encoded frames awaiting one vectored submission, and their total
+    /// size. Only populated when `coalesce_bytes > 0`.
+    batch: Vec<Vec<u8>>,
+    batch_bytes: usize,
     stats: LinkStats,
 }
 
@@ -234,6 +261,9 @@ impl<W: Write> LinkWriter<W> {
             next_seq: 0,
             fault: None,
             held: Vec::new(),
+            coalesce_bytes: 0,
+            batch: Vec::new(),
+            batch_bytes: 0,
             stats: LinkStats::default(),
         }
     }
@@ -246,6 +276,14 @@ impl<W: Write> LinkWriter<W> {
         }
     }
 
+    /// Enables frame coalescing: data-plane frames accumulate and go
+    /// out as one vectored submission once the batch holds
+    /// `flush_bytes` of encoding (or on control traffic / explicit
+    /// flush). `0` disables (write-per-frame).
+    pub fn set_coalescing(&mut self, flush_bytes: usize) {
+        self.coalesce_bytes = flush_bytes;
+    }
+
     /// Send counters so far.
     pub fn stats(&self) -> LinkStats {
         self.stats
@@ -253,13 +291,18 @@ impl<W: Write> LinkWriter<W> {
 
     /// Sends one frame, consuming the next sequence number. Data-plane
     /// frames consult the fault hook; everything else is delivered
-    /// verbatim. Held frames ride out behind later sends.
+    /// verbatim — and, under coalescing, forces the pending batch out
+    /// first so control traffic is never stuck behind the threshold.
+    /// Held frames ride out behind later sends.
     pub fn send(&mut self, frame: &Frame) -> Result<(), NetError> {
         let seq = self.next_seq;
         self.next_seq += 1;
         let data_plane = matches!(
             frame.ctrl,
-            Ctrl::RoundBundle { .. } | Ctrl::BarrierUp { .. } | Ctrl::BarrierDown { .. }
+            Ctrl::RoundBundle { .. }
+                | Ctrl::BarrierUp { .. }
+                | Ctrl::BarrierDown { .. }
+                | Ctrl::RoundDone { .. }
         );
         let action = match (&mut self.fault, data_plane) {
             (Some(hook), true) => hook.on_frame(seq),
@@ -267,16 +310,15 @@ impl<W: Write> LinkWriter<W> {
         };
         match action {
             FaultAction::Deliver => {
-                let encoded = encode_frame(seq, frame);
-                self.write_encoded(&encoded)?;
+                self.enqueue_encoded(encode_frame(seq, frame))?;
             }
             FaultAction::Drop => {
                 self.stats.dropped_by_fault += 1;
             }
             FaultAction::Duplicate => {
                 let encoded = encode_frame(seq, frame);
-                self.write_encoded(&encoded)?;
-                self.write_encoded(&encoded)?;
+                self.enqueue_encoded(encoded.clone())?;
+                self.enqueue_encoded(encoded)?;
                 self.stats.duplicated_by_fault += 1;
             }
             FaultAction::DelayBehind(n) => {
@@ -287,7 +329,13 @@ impl<W: Write> LinkWriter<W> {
                 return Ok(());
             }
         }
-        self.tick_held()
+        self.tick_held()?;
+        if !data_plane {
+            // Control plane writes through: handshake and results
+            // frames must hit the wire now, not at the next threshold.
+            self.flush_batch()?;
+        }
+        Ok(())
     }
 
     /// Counts one more frame sent past every held frame, releasing
@@ -309,34 +357,95 @@ impl<W: Write> LinkWriter<W> {
             }
         });
         due.sort_by_key(|(seq, _)| *seq);
-        for (_, encoded) in &due {
-            self.write_encoded(encoded)?;
+        for (_, encoded) in due {
+            self.enqueue_encoded(encoded)?;
         }
         Ok(())
     }
 
-    /// Releases every held frame (in sequence order). The owner calls
-    /// this before blocking on incoming traffic, which is what makes
-    /// delay faults pure reorders instead of deadlocks: whenever a
-    /// process waits, everything it produced is on the wire.
+    /// Releases every held frame (in sequence order) and pushes the
+    /// pending batch to the wire. The owner calls this before blocking
+    /// on incoming traffic, which is what makes delay faults pure
+    /// reorders instead of deadlocks — and, under coalescing, is the
+    /// round-end flush: whenever a process waits, everything it
+    /// produced is on the wire.
     pub fn flush_held(&mut self) -> Result<(), NetError> {
-        if self.held.is_empty() {
-            return Ok(());
+        if !self.held.is_empty() {
+            let mut due = std::mem::take(&mut self.held);
+            due.sort_by_key(|(seq, _, _)| *seq);
+            for (_, encoded, _) in due {
+                self.enqueue_encoded(encoded)?;
+            }
         }
-        let mut due = std::mem::take(&mut self.held);
-        due.sort_by_key(|(seq, _, _)| *seq);
-        for (_, encoded, _) in &due {
-            self.write_encoded(encoded)?;
-        }
-        Ok(())
+        self.flush_batch()
     }
 
-    fn write_encoded(&mut self, encoded: &[u8]) -> Result<(), NetError> {
-        self.writer
-            .write_all(encoded)
-            .map_err(|e| NetError::io("writing frame", e))?;
+    /// Routes one encoded frame to the wire or the pending batch,
+    /// counting it as sent either way (the batch is flushed before any
+    /// blocking wait, so by any stats snapshot it has drained).
+    fn enqueue_encoded(&mut self, encoded: Vec<u8>) -> Result<(), NetError> {
         self.stats.frames_sent += 1;
         self.stats.bytes_sent += encoded.len() as u64;
+        if self.coalesce_bytes == 0 {
+            self.stats.syscalls += 1;
+            return self
+                .writer
+                .write_all(&encoded)
+                .map_err(|e| NetError::io("writing frame", e));
+        }
+        self.batch_bytes += encoded.len();
+        self.batch.push(encoded);
+        if self.batch_bytes >= self.coalesce_bytes {
+            self.flush_batch()?;
+        }
+        Ok(())
+    }
+
+    /// Submits the pending batch as one looped vectored write.
+    fn flush_batch(&mut self) -> Result<(), NetError> {
+        if self.batch.is_empty() {
+            return Ok(());
+        }
+        let n = self.batch.len();
+        if n >= 2 {
+            self.stats.frames_coalesced += n as u64;
+        }
+        let mut frame_idx = 0usize;
+        let mut offset = 0usize;
+        while frame_idx < n {
+            let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(n - frame_idx);
+            slices.push(IoSlice::new(&self.batch[frame_idx][offset..]));
+            for b in &self.batch[frame_idx + 1..] {
+                slices.push(IoSlice::new(b));
+            }
+            let wrote = self
+                .writer
+                .write_vectored(&slices)
+                .map_err(|e| NetError::io("writing coalesced frames", e))?;
+            self.stats.syscalls += 1;
+            if wrote == 0 {
+                return Err(NetError::io(
+                    "writing coalesced frames",
+                    std::io::Error::new(std::io::ErrorKind::WriteZero, "wrote 0 bytes"),
+                ));
+            }
+            // Advance (frame_idx, offset) past the bytes accepted; a
+            // partial write resumes mid-frame on the next submission.
+            let mut remaining = wrote;
+            while remaining > 0 && frame_idx < n {
+                let avail = self.batch[frame_idx].len() - offset;
+                if remaining >= avail {
+                    remaining -= avail;
+                    frame_idx += 1;
+                    offset = 0;
+                } else {
+                    offset += remaining;
+                    remaining = 0;
+                }
+            }
+        }
+        self.batch.clear();
+        self.batch_bytes = 0;
         Ok(())
     }
 }
@@ -632,6 +741,146 @@ mod tests {
         assert!(zero.is_noop());
         let mut quiet = zero.for_link(0, 1);
         assert!((0..100).all(|s| quiet.on_frame(s) == FaultAction::Deliver));
+    }
+
+    #[test]
+    fn coalescing_batches_until_flush_and_preserves_the_byte_stream() {
+        // Reference: the same frames through a per-frame writer.
+        let mut plain = LinkWriter::new(Vec::new());
+        for round in 0..6 {
+            plain.send(&data_frame(round)).unwrap();
+        }
+        // Coalesced with a huge threshold: nothing leaves until flush.
+        let mut w = LinkWriter::new(Vec::new());
+        w.set_coalescing(1 << 20);
+        for round in 0..6 {
+            w.send(&data_frame(round)).unwrap();
+        }
+        assert!(w.writer.is_empty(), "batch held behind the threshold");
+        w.flush_held().unwrap();
+        assert_eq!(w.writer, plain.writer, "coalescing must not change bytes");
+        assert_eq!(w.stats().frames_sent, 6);
+        assert_eq!(w.stats().syscalls, 1, "one vectored submission");
+        assert_eq!(w.stats().frames_coalesced, 6);
+        assert_eq!(
+            plain.stats().syscalls,
+            6,
+            "legacy path: one write per frame"
+        );
+        assert_eq!(plain.stats().frames_coalesced, 0);
+    }
+
+    #[test]
+    fn coalescing_flushes_at_the_size_threshold() {
+        let frame_len = encode_frame(0, &data_frame(0)).len();
+        let mut w = LinkWriter::new(Vec::new());
+        // Threshold of two frames' worth: every second send flushes.
+        w.set_coalescing(2 * frame_len);
+        w.send(&data_frame(0)).unwrap();
+        assert!(w.writer.is_empty());
+        w.send(&data_frame(1)).unwrap();
+        assert_eq!(decode_sink(&w.writer).len(), 2, "threshold crossed");
+        assert_eq!(w.stats().syscalls, 1);
+    }
+
+    #[test]
+    fn control_frames_write_through_a_pending_batch() {
+        let mut w = LinkWriter::new(Vec::new());
+        w.set_coalescing(1 << 20);
+        w.send(&data_frame(0)).unwrap();
+        assert!(w.writer.is_empty());
+        w.send(&Frame::bare(Ctrl::Ready { rank: 1 })).unwrap();
+        let seqs: Vec<u64> = decode_sink(&w.writer).iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, vec![0, 1], "batch flushed with the control frame");
+    }
+
+    #[test]
+    fn round_done_is_data_plane_and_coalesces_with_the_bundle() {
+        // The per-round frame pair on the event-loop path: one bundle +
+        // one done marker, one syscall.
+        let mut w = LinkWriter::new(Vec::new());
+        w.set_coalescing(1 << 20);
+        w.send(&data_frame(3)).unwrap();
+        w.send(&Frame::bare(Ctrl::RoundDone {
+            round: 3,
+            src: 0,
+            active: 1,
+        }))
+        .unwrap();
+        assert!(w.writer.is_empty(), "both frames batched");
+        w.flush_held().unwrap();
+        assert_eq!(decode_sink(&w.writer).len(), 2);
+        assert_eq!(w.stats().syscalls, 1);
+        assert_eq!(w.stats().frames_coalesced, 2);
+        // And RoundDone consults the fault hook like any data frame.
+        let mut w = LinkWriter::with_fault(Vec::new(), Box::new(Script(vec![FaultAction::Drop])));
+        w.send(&Frame::bare(Ctrl::RoundDone {
+            round: 0,
+            src: 0,
+            active: 0,
+        }))
+        .unwrap();
+        assert_eq!(w.stats().dropped_by_fault, 1);
+        assert!(decode_sink(&w.writer).is_empty());
+    }
+
+    #[test]
+    fn faults_on_a_coalesced_batch_act_per_frame() {
+        // Drop + dup + delay inside one batch: the wire stream must be
+        // exactly what the per-frame path would produce.
+        let script = || {
+            Box::new(Script(vec![
+                FaultAction::Deliver,
+                FaultAction::Drop,
+                FaultAction::Duplicate,
+                FaultAction::DelayBehind(2),
+                FaultAction::Deliver,
+            ]))
+        };
+        let mut plain = LinkWriter::with_fault(Vec::new(), script());
+        let mut coal = LinkWriter::with_fault(Vec::new(), script());
+        coal.set_coalescing(1 << 20);
+        for round in 0..5 {
+            plain.send(&data_frame(round)).unwrap();
+            coal.send(&data_frame(round)).unwrap();
+        }
+        plain.flush_held().unwrap();
+        coal.flush_held().unwrap();
+        assert_eq!(coal.writer, plain.writer);
+        assert_eq!(coal.stats().dropped_by_fault, 1);
+        assert_eq!(coal.stats().duplicated_by_fault, 1);
+        assert_eq!(coal.stats().delayed_by_fault, 1);
+        assert!(coal.stats().syscalls < plain.stats().syscalls);
+    }
+
+    #[test]
+    fn vectored_writes_survive_partial_acceptance() {
+        /// A sink that accepts at most 3 bytes per call, forcing the
+        /// flush loop to resubmit mid-frame repeatedly.
+        struct Dribble(Vec<u8>);
+        impl Write for Dribble {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                let n = buf.len().min(3);
+                self.0.extend_from_slice(&buf[..n]);
+                Ok(n)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut w = LinkWriter::new(Dribble(Vec::new()));
+        w.set_coalescing(1 << 20);
+        for round in 0..4 {
+            w.send(&data_frame(round)).unwrap();
+        }
+        w.flush_held().unwrap();
+        let frames = decode_sink(&w.writer.0);
+        assert_eq!(frames.len(), 4);
+        for (i, (seq, f)) in frames.iter().enumerate() {
+            assert_eq!(*seq, i as u64);
+            assert_eq!(*f, data_frame(i as u64));
+        }
+        assert!(w.stats().syscalls > 4, "partial writes were resubmitted");
     }
 
     #[test]

@@ -141,6 +141,12 @@ pub struct RunOptions {
     /// them on heartbeats (cheap, on by default; off for overhead
     /// A/B runs).
     pub telemetry: bool,
+    /// Event-driven data plane (on by default): one poll-based reactor
+    /// thread instead of a reader thread per link, coalesced vectored
+    /// frame writes, and the rank-to-rank `RoundDone` wave in place of
+    /// the per-round tree allreduce. Off = the legacy path, kept alive
+    /// for A/B attribution and fault coverage.
+    pub event_loop: bool,
 }
 
 impl Default for RunOptions {
@@ -155,6 +161,7 @@ impl Default for RunOptions {
             die_at_round: NEVER,
             run_id: 0,
             telemetry: true,
+            event_loop: true,
         }
     }
 }
@@ -246,6 +253,7 @@ fn encode_options(out: &mut impl BufMut, opts: &RunOptions) {
     out.put_u64_le(opts.die_at_round);
     out.put_u64_le(opts.run_id);
     out.put_u8(u8::from(opts.telemetry));
+    out.put_u8(u8::from(opts.event_loop));
 }
 
 fn decode_options(buf: &mut impl Buf) -> Result<RunOptions, NetError> {
@@ -265,6 +273,7 @@ fn decode_options(buf: &mut impl Buf) -> Result<RunOptions, NetError> {
         die_at_round: take_u64(buf, "die_at_round")?,
         run_id: take_u64(buf, "run_id")?,
         telemetry: take_u8(buf, "telemetry flag")? != 0,
+        event_loop: take_u8(buf, "event_loop flag")? != 0,
     })
 }
 
@@ -423,6 +432,8 @@ pub fn encode_stats(
     out.put_u64_le(link.duplicated_by_fault);
     out.put_u64_le(link.delayed_by_fault);
     out.put_u64_le(link.dup_discarded);
+    out.put_u64_le(link.syscalls);
+    out.put_u64_le(link.frames_coalesced);
     out.put_u64_le(clock.offset_micros as u64);
     out.put_u64_le(clock.rtt_micros);
     out.put_u8(u8::from(clock.valid));
@@ -455,6 +466,8 @@ pub fn decode_stats(
         duplicated_by_fault: take_u64(buf, "duplicated_by_fault")?,
         delayed_by_fault: take_u64(buf, "delayed_by_fault")?,
         dup_discarded: take_u64(buf, "dup_discarded")?,
+        syscalls: take_u64(buf, "syscalls")?,
+        frames_coalesced: take_u64(buf, "frames_coalesced")?,
     };
     let clock = ClockReport {
         offset_micros: take_i64(buf, "clock offset")?,
@@ -617,6 +630,7 @@ mod tests {
                     die_at_round: 12,
                     run_id: 0xDEAD_BEEF_0042,
                     telemetry: false,
+                    event_loop: false,
                 },
             };
             let bytes = encode_assignment(&a);
@@ -678,6 +692,8 @@ mod tests {
             duplicated_by_fault: 14,
             delayed_by_fault: 15,
             dup_discarded: 16,
+            syscalls: 17,
+            frames_coalesced: 18,
         };
         let ck = ClockReport {
             offset_micros: -1234,

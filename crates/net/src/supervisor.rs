@@ -133,6 +133,12 @@ pub struct NetConfig {
     pub telemetry: bool,
     /// Explicit worker binary path; `None` = locate or build it.
     pub worker_binary: Option<PathBuf>,
+    /// Whether workers run the event-driven data plane: a single
+    /// poll-based reactor instead of per-link reader threads, coalesced
+    /// vectored writes, and the rank-to-rank [`Ctrl::RoundDone`] wave in
+    /// place of the on-the-wire tree barrier. `false` selects the legacy
+    /// thread-per-link path (kept as the A/B baseline for benches).
+    pub event_loop: bool,
 }
 
 impl Default for NetConfig {
@@ -148,6 +154,7 @@ impl Default for NetConfig {
             recorder: RecorderHandle::noop(),
             telemetry: true,
             worker_binary: None,
+            event_loop: true,
         }
     }
 }
@@ -791,6 +798,7 @@ impl Run {
                 die_at_round: cfg.kill.die_at_round(rank),
                 run_id,
                 telemetry: cfg.telemetry,
+                event_loop: cfg.event_loop,
             },
         };
         let mut writer = LinkWriter::new(stream);

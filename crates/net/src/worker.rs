@@ -39,7 +39,7 @@ use cmg_coloring::{DistColoring, JonesPlassmann};
 use cmg_matching::DistMatching;
 use cmg_obs::{CollectingRecorder, Event, PhaseName, RankTelemetry, RecorderHandle, ENGINE_RANK};
 use cmg_runtime::bundle::Packet;
-use cmg_runtime::collectives::{ReduceOutcome, TreeAllreduce};
+use cmg_runtime::collectives::{DoneWave, ReduceOutcome, TreeAllreduce};
 use cmg_runtime::message::decode_all_into;
 use cmg_runtime::{RankCtx, RankProgram, RankStats, Status};
 use std::collections::BTreeMap;
@@ -126,6 +126,9 @@ impl ClockSync {
 /// The cumulative telemetry counters the round loop publishes and the
 /// heartbeat thread snapshots onto beacons. Plain relaxed atomics:
 /// single writer (the main loop), one reader, no ordering required.
+/// On the event-driven path `barrier_wait_ns` carries the done-wave
+/// wait (that path's round edge) and `wire_wait_ns` stays zero — the
+/// wave wait subsumes the bundle wait.
 #[derive(Default)]
 struct TelemetryCells {
     round: AtomicU64,
@@ -180,8 +183,13 @@ const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(20);
 const SHUTDOWN_WAIT: Duration = Duration::from_secs(30);
 /// Event-pump tick: bounds how stale gap/held-frame checks can get.
 const PUMP_TICK: Duration = Duration::from_millis(20);
-/// Arity of the termination-allreduce tree.
+/// Arity of the termination-allreduce tree (legacy barrier path).
 const BARRIER_ARITY: u32 = 2;
+/// Coalescing flush threshold on the event-driven path: frames queued
+/// for the same link within a round pack into one vectored write until
+/// the batch reaches this many bytes (the round edge flushes whatever
+/// remains, so this is a ceiling, not a latency floor).
+const COALESCE_BYTES: usize = 64 * 1024;
 
 /// Locks a mutex, recovering the guard from a poisoned lock (the owner
 /// of the poison already carried its error elsewhere).
@@ -192,8 +200,9 @@ fn lock(m: &Mutex<LinkWriter<UnixStream>>) -> MutexGuard<'_, LinkWriter<UnixStre
     }
 }
 
-/// Everything a reader thread can hand the worker's main loop.
-enum Incoming {
+/// Everything a reader thread (or the reactor) can hand the worker's
+/// main loop.
+pub(crate) enum Incoming {
     /// A frame from peer `from`, with its link sequence number.
     Peer { from: u32, seq: u64, frame: Frame },
     /// A peer closed its stream (EOF or read error — either way
@@ -229,6 +238,13 @@ struct Transport {
     /// by round.
     barrier_down: BTreeMap<u64, bool>,
     tree: TreeAllreduce<u64>,
+    /// Event-path round edge: counts peers' [`Ctrl::RoundDone`]
+    /// announcements per round (phase = round).
+    wave: DoneWave,
+    /// OR of the peers' activity bits carried on their `RoundDone`s,
+    /// keyed by round; combined with our own bit this reproduces the
+    /// tree allreduce's keep-going verdict without the tree.
+    peer_active: BTreeMap<u64, bool>,
     /// Set when `Start` arrives; also fixes the event-time epoch.
     started: bool,
     /// Set when `Shutdown` arrives.
@@ -358,6 +374,19 @@ impl Transport {
                 *self.bundles.entry(round).or_insert(0) += 1;
                 Ok(())
             }
+            Ctrl::RoundDone { round, src, active } => {
+                if src != from {
+                    return Err(NetError::protocol(format!(
+                        "round-done claims src {src} but arrived on rank {from}'s link"
+                    )));
+                }
+                // Link FIFO order means this frame proves the peer's
+                // round-`round` bundle (if it sent one) was dispatched
+                // before it — counting the wave is counting bundles.
+                self.wave.record(round as u32);
+                *self.peer_active.entry(round).or_insert(false) |= active != 0;
+                Ok(())
+            }
             Ctrl::BarrierUp { round, active } => {
                 self.tree.absorb_child(round as u32, u64::from(active));
                 Ok(())
@@ -422,6 +451,27 @@ impl Transport {
         Ok(())
     }
 
+    /// The event-path round edge: blocks until every peer's
+    /// [`Ctrl::RoundDone`] for `round` has arrived, then returns the OR
+    /// of their activity bits. Because links are FIFO and each peer
+    /// announces *after* its sends, a complete wave also proves every
+    /// peer bundle for `round` has been dispatched — this one wait
+    /// subsumes both the legacy barrier and the next round's bundle
+    /// wait, and unlike the tree allreduce it completes rank-locally:
+    /// a rank proceeds the moment it has heard from everyone, without
+    /// a decision round-tripping through a root, so neighbor ranks
+    /// pipeline up to one round apart.
+    fn wait_wave(&mut self, round: u64) -> Result<bool, NetError> {
+        let expected = (self.num_ranks - 1) as usize;
+        while !self.wave.ready(round as u32, expected) {
+            self.flush_all()?;
+            self.pump(PUMP_TICK)?;
+            self.check_gaps()?;
+        }
+        self.wave.clear(round as u32);
+        Ok(self.peer_active.remove(&round).unwrap_or(false))
+    }
+
     /// Sends this round's packets: per-peer `RoundBundle`s (empty ones
     /// as markers), self-sends looped into next round's pending queue.
     /// Statistics and events are counted per packet, exactly like the
@@ -469,6 +519,12 @@ impl Transport {
                 }
                 continue;
             }
+            if group.is_empty() && self.opts.event_loop {
+                // On the event path the round-done announcement is the
+                // "nothing more this round" marker, so empty bundles
+                // would only be frames for the receiver to discard.
+                continue;
+            }
             let mut payload = Vec::new();
             for p in group {
                 payload.put_u32_le(p.logical);
@@ -491,6 +547,27 @@ impl Transport {
         }
         *packet_buf = packets;
         packet_buf.clear();
+        Ok(())
+    }
+
+    /// Announces this rank's round completion (and termination vote) to
+    /// every peer. Sent right after the round's bundles, so it rides in
+    /// the same coalesced batch and, by link FIFO order, certifies them.
+    fn send_round_done(&mut self, round: u64, active: bool) -> Result<(), NetError> {
+        let rank = self.rank;
+        for dst in 0..self.num_ranks {
+            if dst == rank {
+                continue;
+            }
+            self.send_peer(
+                dst,
+                &Frame::bare(Ctrl::RoundDone {
+                    round,
+                    src: rank,
+                    active: u8::from(active),
+                }),
+            )?;
+        }
         Ok(())
     }
 
@@ -727,15 +804,25 @@ fn run_assigned(
         Some(dir) => dir,
         None => return Err(NetError::protocol("listener has no filesystem address")),
     };
-    let (writers, read_halves, reseq) =
+    let (mut writers, read_halves, reseq) =
         build_mesh(rank, num_ranks, listener, &sock_dir, &opts.fault)?;
+    if opts.event_loop {
+        for w in writers.iter_mut().flatten() {
+            w.set_coalescing(COALESCE_BYTES);
+        }
+    }
 
     let clock = Arc::new(ClockSync::new());
     let telemetry = opts.telemetry.then(|| Arc::new(TelemetryCells::default()));
 
     let (tx, rx) = channel();
-    for (from, stream) in read_halves {
-        spawn_peer_reader(from, stream, tx.clone());
+    if opts.event_loop {
+        crate::reactor::spawn_reactor(read_halves, tx.clone())
+            .map_err(|e| NetError::io("starting the peer-link reactor", e))?;
+    } else {
+        for (from, stream) in read_halves {
+            spawn_peer_reader(from, stream, tx.clone());
+        }
     }
     spawn_sup_reader(sup_read, tx.clone(), Arc::clone(&clock));
     drop(tx);
@@ -776,6 +863,8 @@ fn run_assigned(
         bundles: BTreeMap::new(),
         barrier_down: BTreeMap::new(),
         tree: TreeAllreduce::new(rank, num_ranks, BARRIER_ARITY),
+        wave: DoneWave::new(),
+        peer_active: BTreeMap::new(),
         started: false,
         shutdown: false,
         epoch: None,
@@ -876,6 +965,7 @@ fn run_rounds<P: RankProgram>(
     round_beacon: &AtomicU64,
 ) -> Result<(RankStats, u64, bool), NetError> {
     let observed = recorder.enabled();
+    let event = t.opts.event_loop;
     let rank = t.rank;
     let num_ranks = t.num_ranks;
     let mut ctx: RankCtx<P::Msg> = RankCtx::new(rank, num_ranks, t.opts.bundling, recorder.clone());
@@ -902,7 +992,10 @@ fn run_rounds<P: RankProgram>(
             let _ = lock(&t.sup).send(&Frame::bare(Ctrl::FaultPoint { rank, round }));
             wedge();
         }
-        if round > 0 {
+        // On the event path there is no top-of-round wire wait: last
+        // round's done wave already certified (by link FIFO order) that
+        // every peer bundle for `round - 1` has been dispatched.
+        if round > 0 && !event {
             let wire_start = t.now();
             t.wait_bundles(round - 1)?;
             let wire_end = t.now();
@@ -1028,7 +1121,13 @@ fn run_rounds<P: RankProgram>(
         // 2. Send.
         let send_start = t.now();
         let sent_any = !packet_buf.is_empty();
+        let active = status == Status::Active || sent_any;
         t.send_round(round, &mut packet_buf, &mut stats, recorder, observed)?;
+        if event {
+            // The wave announcement rides in the same coalesced batch
+            // as the bundles it certifies.
+            t.send_round_done(round, active)?;
+        }
         let send_end = t.now();
         tel_serialize_ns += secs_to_ns(send_end - send_start);
         // Unconditional when observed: even a round with no payload
@@ -1046,30 +1145,66 @@ fn run_rounds<P: RankProgram>(
             );
         }
 
-        // 3. Termination allreduce (the two barriers of the threaded
-        // engine, collapsed into one tree round-trip on the wire). The
-        // beacon ticks in half-rounds — odd after our sends are out,
-        // even once the barrier resolves — so a rank that wedged before
-        // sending reports strictly less progress than the peers it
-        // blocks, and the supervisor blames the right rank.
+        // 3. Round edge. Event path: the rank-to-rank done wave — one
+        // blocking wait that doubles as next round's bundle wait, with
+        // the termination vote (OR of activity bits) computed locally
+        // from the announcements instead of round-tripping a tree.
+        // Legacy path: the termination allreduce (the two barriers of
+        // the threaded engine, collapsed into one tree round-trip on
+        // the wire). Either way the beacon ticks in half-rounds — odd
+        // after our sends are out, even once the edge resolves — so a
+        // rank that wedged before sending reports strictly less
+        // progress than the peers it blocks, and the supervisor blames
+        // the right rank.
         round_beacon.store(2 * round + 1, Ordering::Relaxed);
-        let barrier_start = t.now();
-        let keep = t.resolve_barrier(round, status == Status::Active || sent_any)?;
-        let barrier_end = t.now();
-        tel_barrier_ns += secs_to_ns(barrier_end - barrier_start);
+        let edge_start = t.now();
+        let keep = if event {
+            let peers_active = t.wait_wave(round)?;
+            active || peers_active
+        } else {
+            t.resolve_barrier(round, active)?
+        };
+        let edge_end = t.now();
+        tel_barrier_ns += secs_to_ns(edge_end - edge_start);
         if observed {
-            // Exactly one BarrierWait span per round per rank — the
+            // Exactly one edge span per round per rank — `DoneWave` on
+            // the event path, `BarrierWait` on the legacy path. The
             // trace analyzer counts these to segment a rank's stream
             // into rounds, so the emit is unconditional when observed.
             recorder.emit(
                 rank,
-                barrier_end,
+                edge_end,
                 Event::Phase {
-                    name: PhaseName::BarrierWait,
-                    start: barrier_start,
-                    dur: barrier_end - barrier_start,
+                    name: if event {
+                        PhaseName::DoneWave
+                    } else {
+                        PhaseName::BarrierWait
+                    },
+                    start: edge_start,
+                    dur: edge_end - edge_start,
                 },
             );
+        }
+        if event {
+            // Reseq hold banked across the wave — the event path's only
+            // blocking wait. Zero on a fault-free run (the span never
+            // appears in the golden trace); under delay faults it shows
+            // where reordering bit.
+            let hold_total: u64 = t.reseq.iter().map(|r| r.hold_ns).sum();
+            let held = hold_total.saturating_sub(last_hold_ns);
+            last_hold_ns = hold_total;
+            if observed && held > 0 {
+                let dur = held as f64 / 1e9;
+                recorder.emit(
+                    rank,
+                    edge_end,
+                    Event::Phase {
+                        name: PhaseName::ReseqHold,
+                        start: (edge_end - dur).max(edge_start),
+                        dur,
+                    },
+                );
+            }
         }
 
         if observed && rank == 0 {

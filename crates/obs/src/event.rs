@@ -69,8 +69,12 @@ pub enum PhaseName {
     /// (net engine only).
     WireWait,
     /// Blocked inside the end-of-round allreduce barrier (net engine
-    /// only).
+    /// only, legacy thread-per-link path).
     BarrierWait,
+    /// Blocked in the rank-to-rank round-done wave — the event-driven
+    /// net path's round edge, which subsumes both the bundle wait and
+    /// the termination barrier (net engine only).
+    DoneWave,
     /// Time in-order delivery was stalled by the resequencer holding
     /// out-of-order frames (net engine only; absent when no frame was
     /// ever held).
@@ -86,6 +90,7 @@ impl PhaseName {
             PhaseName::Send => "send",
             PhaseName::WireWait => "wire_wait",
             PhaseName::BarrierWait => "barrier_wait",
+            PhaseName::DoneWave => "done_wave",
             PhaseName::ReseqHold => "reseq_hold",
         }
     }
@@ -97,6 +102,7 @@ impl PhaseName {
             "send" => Some(PhaseName::Send),
             "wire_wait" => Some(PhaseName::WireWait),
             "barrier_wait" => Some(PhaseName::BarrierWait),
+            "done_wave" => Some(PhaseName::DoneWave),
             "reseq_hold" => Some(PhaseName::ReseqHold),
             _ => None,
         }

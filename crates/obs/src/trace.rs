@@ -18,9 +18,12 @@
 //!   delivery, and compute.
 //!
 //! Round attribution needs no explicit round ids on spans: the net
-//! worker emits exactly one [`PhaseName::BarrierWait`] span per round,
-//! so a span's round is the number of barrier-wait spans its rank has
-//! already emitted. This keeps the hot-path event unchanged.
+//! worker closes every round with exactly one edge span —
+//! [`PhaseName::DoneWave`] on the event-driven path,
+//! [`PhaseName::BarrierWait`] on the legacy thread-per-link path — so a
+//! span's round is the number of edge spans its rank has already
+//! emitted. This keeps the hot-path event unchanged, and pre-v3 traces
+//! (which only ever contain `barrier_wait`) segment exactly as before.
 
 use crate::event::{Event, PhaseName, TimedEvent, ENGINE_RANK};
 use crate::json::Json;
@@ -216,6 +219,7 @@ pub struct PhaseSplit {
     pub compute_s: f64,
     pub serialize_s: f64,
     pub barrier_wait_s: f64,
+    pub done_wave_s: f64,
     pub reseq_hold_s: f64,
 }
 
@@ -227,6 +231,7 @@ impl PhaseSplit {
             PhaseName::Compute => self.compute_s += dur,
             PhaseName::Send => self.serialize_s += dur,
             PhaseName::BarrierWait => self.barrier_wait_s += dur,
+            PhaseName::DoneWave => self.done_wave_s += dur,
             PhaseName::ReseqHold => self.reseq_hold_s += dur,
         }
     }
@@ -237,10 +242,10 @@ impl PhaseSplit {
     }
 
     /// Total attributed seconds across all phases except the
-    /// resequencer hold (which overlaps the wire wait rather than
+    /// resequencer hold (which overlaps the blocking wait rather than
     /// adding to it).
     pub fn accounted_s(&self) -> f64 {
-        self.wire_wait_s + self.busy_s() + self.barrier_wait_s
+        self.wire_wait_s + self.busy_s() + self.barrier_wait_s + self.done_wave_s
     }
 
     fn merge(&mut self, other: &PhaseSplit) {
@@ -249,6 +254,7 @@ impl PhaseSplit {
         self.compute_s += other.compute_s;
         self.serialize_s += other.serialize_s;
         self.barrier_wait_s += other.barrier_wait_s;
+        self.done_wave_s += other.done_wave_s;
         self.reseq_hold_s += other.reseq_hold_s;
     }
 
@@ -258,6 +264,7 @@ impl PhaseSplit {
             ("wire_wait_s", Json::Float(self.wire_wait_s)),
             ("reseq_hold_s", Json::Float(self.reseq_hold_s)),
             ("barrier_wait_s", Json::Float(self.barrier_wait_s)),
+            ("done_wave_s", Json::Float(self.done_wave_s)),
             ("compute_s", Json::Float(self.compute_s)),
             ("delivery_s", Json::Float(self.delivery_s)),
         ]
@@ -324,9 +331,10 @@ impl TraceReport {
     ///
     /// Spans must be in per-rank emission order (any `(rank, seq)` or
     /// time-sorted stream from the recorder/sinks qualifies): a span's
-    /// round is the number of `barrier_wait` spans its rank emitted
-    /// before it, because the net worker closes every round with
-    /// exactly one barrier-wait span.
+    /// round is the number of round-edge spans its rank emitted before
+    /// it, because the net worker closes every round with exactly one
+    /// edge span — `done_wave` on the event-driven path, `barrier_wait`
+    /// on the legacy path (and in pre-v3 traces).
     pub fn from_events(events: &[TimedEvent]) -> TraceReport {
         // rank -> (current round, per-round accumulators)
         let mut per_rank: std::collections::BTreeMap<u32, (usize, Vec<RankRound>)> =
@@ -354,7 +362,7 @@ impl TraceReport {
                 slot.start = slot.start.min(start);
                 slot.end = slot.end.max(end);
             }
-            if name == PhaseName::BarrierWait {
+            if name == PhaseName::BarrierWait || name == PhaseName::DoneWave {
                 *round += 1;
             }
         }
@@ -490,7 +498,7 @@ impl TraceReport {
         );
         let _ = writeln!(
             out,
-            "{:>5} {:>9} {:>9} {:>10} {:>10} {:>10} {:>10} {:>10} {:>9} {:>5}",
+            "{:>5} {:>9} {:>9} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>9} {:>5}",
             "round",
             "wall_ms",
             "straggler",
@@ -498,6 +506,7 @@ impl TraceReport {
             "wire_wait",
             "reseq",
             "barrier",
+            "wave",
             "compute",
             "delivery",
             "cov%"
@@ -505,7 +514,7 @@ impl TraceReport {
         for r in &self.rounds {
             let _ = writeln!(
                 out,
-                "{:>5} {:>9.3} {:>9} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>9.3} {:>5.1}",
+                "{:>5} {:>9.3} {:>9} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>9.3} {:>5.1}",
                 r.round,
                 r.wall_s * 1e3,
                 r.straggler,
@@ -513,6 +522,7 @@ impl TraceReport {
                 r.split.wire_wait_s * 1e3,
                 r.split.reseq_hold_s * 1e3,
                 r.split.barrier_wait_s * 1e3,
+                r.split.done_wave_s * 1e3,
                 r.split.compute_s * 1e3,
                 r.split.delivery_s * 1e3,
                 r.coverage * 100.0,
@@ -522,11 +532,12 @@ impl TraceReport {
         let _ = writeln!(
             out,
             "totals (critical path): serialize {:.3} ms, wire wait {:.3} ms, reseq hold {:.3} ms, \
-             barrier wait {:.3} ms, compute {:.3} ms, delivery {:.3} ms",
+             barrier wait {:.3} ms, done wave {:.3} ms, compute {:.3} ms, delivery {:.3} ms",
             total.serialize_s * 1e3,
             total.wire_wait_s * 1e3,
             total.reseq_hold_s * 1e3,
             total.barrier_wait_s * 1e3,
+            total.done_wave_s * 1e3,
             total.compute_s * 1e3,
             total.delivery_s * 1e3,
         );
@@ -643,6 +654,47 @@ mod tests {
         assert_eq!(report.rounds.len(), 2);
         assert_eq!(report.rounds[0].round, 0);
         assert_eq!(report.rounds[1].round, 1);
+    }
+
+    /// Two ranks, two rounds on the event-driven path: no barrier-wait
+    /// spans at all — each round closes with a `done_wave` span and the
+    /// wave wait subsumes the wire wait.
+    fn two_round_wave_events() -> Vec<TimedEvent> {
+        vec![
+            span(0, 0, PhaseName::Compute, 0.000, 0.001),
+            span(0, 1, PhaseName::Send, 0.001, 0.0005),
+            span(0, 2, PhaseName::DoneWave, 0.0015, 0.0025),
+            span(1, 0, PhaseName::Compute, 0.000, 0.003),
+            span(1, 1, PhaseName::Send, 0.003, 0.0005),
+            span(1, 2, PhaseName::DoneWave, 0.0035, 0.0005),
+            span(0, 3, PhaseName::Compute, 0.004, 0.002),
+            span(0, 4, PhaseName::DoneWave, 0.006, 0.0003),
+            span(1, 3, PhaseName::Compute, 0.004, 0.001),
+            span(1, 4, PhaseName::DoneWave, 0.005, 0.0013),
+        ]
+    }
+
+    #[test]
+    fn rounds_are_attributed_by_done_wave_count_when_the_barrier_is_absent() {
+        let report = TraceReport::from_events(&two_round_wave_events());
+        assert_eq!(report.ranks, vec![0, 1]);
+        assert_eq!(report.rounds.len(), 2);
+        for r in &report.rounds {
+            assert!(r.split.done_wave_s > 0.0, "round {}", r.round);
+            assert_eq!(r.split.barrier_wait_s, 0.0);
+            assert!(
+                r.coverage > 0.95,
+                "round {} coverage {}",
+                r.round,
+                r.coverage
+            );
+        }
+        assert_eq!(report.rounds[0].straggler, 1);
+        let j = report.to_json();
+        let rounds = j.get("rounds").and_then(Json::as_arr).unwrap();
+        assert!(rounds[0].get("done_wave_s").is_some());
+        let text = report.to_text();
+        assert!(text.contains("wave"));
     }
 
     #[test]

@@ -189,3 +189,215 @@ fn connect_backoff_is_capped_and_bounded() {
         "no unbounded reconnect loop: gave up after {elapsed:?}"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Coalesced-batch faults (event-driven path). Fault decisions are fixed
+// per frame at enqueue time, so a batch is just the syscall envelope —
+// these tests pin down that faults hitting batched frames behave exactly
+// like faults hitting per-frame writes.
+// ---------------------------------------------------------------------------
+
+/// Dup/delay faults under the default event-driven path, where frames
+/// ride in coalesced vectored batches: results must stay bit-identical
+/// and duplicate batches must be discarded by the resequencer, exactly
+/// as on the per-frame path.
+#[test]
+fn coalesced_batches_survive_dup_delay_faults_bit_identically() {
+    let g = weighted_grid();
+    let fault = FaultPlan {
+        seed: 0xba7c4,
+        drop_per_mille: 0,
+        dup_per_mille: 150,
+        delay_per_mille: 150,
+        delay_depth: 3,
+    };
+    let clean = run_matching(parts(&g, 4), &NetConfig::default()).expect("clean run");
+    let event = run_matching(
+        parts(&g, 4),
+        &NetConfig {
+            fault,
+            ..Default::default()
+        },
+    )
+    .expect("faulty event-loop run terminates");
+    let legacy = run_matching(
+        parts(&g, 4),
+        &NetConfig {
+            fault,
+            event_loop: false,
+            ..Default::default()
+        },
+    )
+    .expect("faulty legacy run terminates");
+    assert_eq!(clean.matching, event.matching);
+    assert_eq!(event.matching, legacy.matching);
+    assert_eq!(event.rounds, legacy.rounds);
+    let t = &event.links.total;
+    assert!(
+        t.frames_coalesced > 0,
+        "the event path must actually have batched frames"
+    );
+    assert!(
+        t.duplicated_by_fault > 0 && t.delayed_by_fault > 0,
+        "the fault plan must have fired inside batches (dup={}, delay={})",
+        t.duplicated_by_fault,
+        t.delayed_by_fault
+    );
+    assert!(
+        t.dup_discarded > 0 && t.dup_discarded <= t.duplicated_by_fault,
+        "dup batches are discarded bit-identically (discarded={}, injected={})",
+        t.dup_discarded,
+        t.duplicated_by_fault
+    );
+}
+
+/// Dropping frames out of coalesced batches — including whole batches,
+/// since consecutive frames of one round share one — must surface as a
+/// clean diagnosed failure within the deadline, never a hang.
+#[test]
+fn batch_drops_are_diagnosed_not_hung_under_coalescing() {
+    let g = weighted_grid();
+    let started = Instant::now();
+    let err = run_matching(
+        parts(&g, 4),
+        &NetConfig {
+            fault: FaultPlan {
+                seed: 0xd20b,
+                drop_per_mille: 400,
+                dup_per_mille: 0,
+                delay_per_mille: 0,
+                delay_depth: 0,
+            },
+            gap_deadline: Duration::from_millis(300),
+            stall_timeout: Duration::from_secs(3),
+            ..Default::default()
+        },
+    )
+    .expect_err("a 40% drop rate cannot produce a clean run");
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "diagnosis must beat the watchdog"
+    );
+    assert!(
+        matches!(
+            err,
+            NetError::FrameLoss { .. }
+                | NetError::Stalled { .. }
+                | NetError::WorkerFatal { .. }
+                | NetError::RankDied { .. }
+        ),
+        "expected a typed drop diagnosis, got {err:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Property: coalescing choices are invisible on the wire. Whatever the
+// flush threshold and whatever explicit flush points occur, the byte
+// stream is identical to the per-frame path and the receiver delivers
+// the same frames in the same order.
+// ---------------------------------------------------------------------------
+
+mod coalescing_order {
+    use bytes::Bytes;
+    use cmg_net::{Ctrl, Frame, FrameAssembler, LinkWriter, Resequencer};
+    use proptest::prelude::*;
+    use std::cell::RefCell;
+    use std::io::Write;
+    use std::rc::Rc;
+
+    /// A `Write` sink the test can read back while the writer owns it.
+    #[derive(Clone, Default)]
+    struct SharedSink(Rc<RefCell<Vec<u8>>>);
+
+    impl Write for SharedSink {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.borrow_mut().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn data_frame(i: usize, len: usize) -> Frame {
+        if len == 0 {
+            Frame::bare(Ctrl::RoundDone {
+                round: i as u64,
+                src: 0,
+                active: u8::from(i.is_multiple_of(2)),
+            })
+        } else {
+            Frame::with_payload(
+                Ctrl::RoundBundle {
+                    round: i as u64,
+                    src: 0,
+                    npackets: 0,
+                    sent_micros: 0,
+                },
+                Bytes::from(vec![(i % 251) as u8; len]),
+            )
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn coalescing_never_changes_bytes_or_delivery_order(
+            sizes in proptest::collection::vec((0usize..200, any::<bool>()), 1..40),
+            threshold in 1usize..2048,
+            chunk in 1usize..97,
+        ) {
+            // Reference: the per-frame path (coalescing off).
+            let plain_sink = SharedSink::default();
+            let mut plain = LinkWriter::new(plain_sink.clone());
+            // Under test: batched writes with arbitrary threshold and
+            // arbitrary explicit flush points between frames.
+            let batch_sink = SharedSink::default();
+            let mut batched = LinkWriter::new(batch_sink.clone());
+            batched.set_coalescing(threshold);
+
+            for (i, &(len, flush_here)) in sizes.iter().enumerate() {
+                let f = data_frame(i, len);
+                plain.send(&f).unwrap();
+                batched.send(&f).unwrap();
+                if flush_here {
+                    batched.flush_held().unwrap();
+                }
+            }
+            plain.flush_held().unwrap();
+            batched.flush_held().unwrap();
+
+            let expected = plain_sink.0.borrow().clone();
+            let got = batch_sink.0.borrow().clone();
+            prop_assert_eq!(&got, &expected, "byte streams diverged");
+            prop_assert_eq!(batched.stats().frames_sent, sizes.len() as u64);
+            // Fewer (or equal) syscalls, never more.
+            prop_assert!(batched.stats().syscalls <= plain.stats().syscalls);
+
+            // Receive side: reassemble under arbitrary kernel chunking
+            // and resequence; delivery order must be send order.
+            let mut asm = FrameAssembler::new();
+            let mut reseq = Resequencer::default();
+            let mut delivered = Vec::new();
+            for piece in got.chunks(chunk) {
+                asm.extend(piece);
+                while let Some((seq, frame)) = asm.next_frame().unwrap() {
+                    let mut ready = Vec::new();
+                    reseq.accept(seq, frame, &mut ready);
+                    delivered.extend(ready);
+                }
+            }
+            prop_assert_eq!(delivered.len(), sizes.len());
+            for (i, (frame, &(len, _))) in delivered.iter().zip(sizes.iter()).enumerate() {
+                match frame.ctrl {
+                    Ctrl::RoundDone { round, .. } | Ctrl::RoundBundle { round, .. } => {
+                        prop_assert_eq!(round, i as u64, "frame {} out of order", i);
+                    }
+                    ref other => prop_assert!(false, "unexpected ctrl {:?}", other),
+                }
+                prop_assert_eq!(frame.payload.len(), if len == 0 { 0 } else { len });
+            }
+        }
+    }
+}
