@@ -24,15 +24,31 @@
 //!    code outside tests, no allocation inside `// hot-path` fenced
 //!    regions, and no recorder emit without the cached enabled-bool
 //!    guard.
+//! 4. **Whole-workspace static analysis** ([`analyze`], shipped as
+//!    `cmg-lint --analyze` and the `cmg analyze` verb) — lifts the
+//!    masked token stream into an item-level IR ([`parse`]), builds a
+//!    conservative name-resolution call graph ([`callgraph`]), and runs
+//!    four interprocedural rules: blocking-reachability from reactor
+//!    entry points, wire-protocol drift over `wire_codec!` enums and
+//!    `PROTO_VERSION`, lock-order deadlock cycles, and transitive
+//!    hot-path allocation.
 //!
 //! The exploration layer drives [`cmg_runtime::DeliveryPolicy`]; oracle
 //! tallies aggregate into [`cmg_obs::OracleCounters`].
 
+pub mod analyze;
+pub mod callgraph;
 pub mod explore;
 pub mod lint;
+pub mod mask;
 pub mod observed;
 pub mod oracles;
+pub mod parse;
 
+pub use analyze::{
+    analyze_sources, analyze_tree, AnalysisReport, AnalyzeAllowlist, AnalyzeRule, AnalyzeViolation,
+};
+pub use callgraph::{CallGraph, Workspace};
 pub use explore::{
     explore_coloring, explore_matching, standard_policies, Exploration, ScriptBook, ScriptSearch,
 };

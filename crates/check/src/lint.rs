@@ -23,13 +23,19 @@
 //!   `NeighborExchange` in `cmg_runtime::collectives` are the single
 //!   implementations.
 //!
-//! The pass is token-level on a *masked* copy of each file: comments and
-//! string/char literals are blanked (byte positions preserved) so the
-//! rules cannot trigger on prose or literals. It is deliberately not a
-//! full parser — the repo's idioms are uniform enough that masking plus
-//! brace tracking is exact in practice, and the allowlist absorbs any
-//! residue. No dependencies beyond `std`.
+//! The pass is token-level on a *masked* copy of each file
+//! ([`crate::mask::mask_source`]): comments and string/char literals
+//! are blanked (byte positions preserved) so the rules cannot trigger
+//! on prose or literals. It is deliberately not a full parser — the
+//! repo's idioms are uniform enough that masking plus brace tracking is
+//! exact in practice, and the allowlist absorbs any residue.
+//!
+//! The old directory-scoped `no-blocking-io-in-reactor` token rule
+//! lives on as the interprocedural `blocking-reachability` rule in
+//! [`crate::analyze`], which follows calls out of the reactor instead
+//! of stopping at the directory boundary.
 
+use crate::mask::mask_source;
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -46,10 +52,6 @@ pub enum Rule {
     /// Hand-built allreduce tree topology (parent/children rank
     /// arithmetic) outside `cmg_runtime::collectives`.
     HandRolledCollective,
-    /// Blocking read/write/connect call inside the net engine's
-    /// event-loop module, which must route every kernel entry through
-    /// the non-blocking `mio` shim (the designated syscall boundary).
-    BlockingIoInReactor,
 }
 
 impl Rule {
@@ -60,7 +62,6 @@ impl Rule {
             Rule::HotPathAlloc => "hot-path-alloc",
             Rule::UnguardedEmit => "unguarded-emit",
             Rule::HandRolledCollective => "no-hand-rolled-collective",
-            Rule::BlockingIoInReactor => "no-blocking-io-in-reactor",
         }
     }
 }
@@ -169,124 +170,6 @@ impl Allowlist {
     }
 }
 
-/// Blanks comments and string/char literals with spaces, preserving
-/// byte positions and newlines, so token scans cannot fire inside them.
-fn mask_source(src: &str) -> String {
-    let bytes = src.as_bytes();
-    let mut out = Vec::with_capacity(bytes.len());
-    let mut i = 0;
-    let blank = |b: u8| if b == b'\n' { b'\n' } else { b' ' };
-    while i < bytes.len() {
-        let b = bytes[i];
-        let next = bytes.get(i + 1).copied().unwrap_or(0);
-        if b == b'/' && next == b'/' {
-            while i < bytes.len() && bytes[i] != b'\n' {
-                out.push(blank(bytes[i]));
-                i += 1;
-            }
-        } else if b == b'/' && next == b'*' {
-            let mut depth = 1usize;
-            out.push(b' ');
-            out.push(b' ');
-            i += 2;
-            while i < bytes.len() && depth > 0 {
-                if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
-                    depth += 1;
-                    out.push(b' ');
-                    out.push(b' ');
-                    i += 2;
-                } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
-                    depth -= 1;
-                    out.push(b' ');
-                    out.push(b' ');
-                    i += 2;
-                } else {
-                    out.push(blank(bytes[i]));
-                    i += 1;
-                }
-            }
-        } else if b == b'"' || (b == b'b' && next == b'"') {
-            if b == b'b' {
-                out.push(b' ');
-                i += 1;
-            }
-            out.push(b' ');
-            i += 1;
-            while i < bytes.len() {
-                if bytes[i] == b'\\' && i + 1 < bytes.len() {
-                    out.push(b' ');
-                    out.push(blank(bytes[i + 1]));
-                    i += 2;
-                } else if bytes[i] == b'"' {
-                    out.push(b' ');
-                    i += 1;
-                    break;
-                } else {
-                    out.push(blank(bytes[i]));
-                    i += 1;
-                }
-            }
-        } else if b == b'r' && (next == b'"' || next == b'#') {
-            // Raw string r"…" / r#"…"# (optionally preceded by b).
-            let mut j = i + 1;
-            let mut hashes = 0;
-            while bytes.get(j) == Some(&b'#') {
-                hashes += 1;
-                j += 1;
-            }
-            if bytes.get(j) == Some(&b'"') {
-                out.resize(out.len() + (j + 1 - i), b' ');
-                i = j + 1;
-                'raw: while i < bytes.len() {
-                    if bytes[i] == b'"' {
-                        let mut k = i + 1;
-                        let mut n = 0;
-                        while n < hashes && bytes.get(k) == Some(&b'#') {
-                            n += 1;
-                            k += 1;
-                        }
-                        if n == hashes {
-                            out.resize(out.len() + (k - i), b' ');
-                            i = k;
-                            break 'raw;
-                        }
-                    }
-                    out.push(blank(bytes[i]));
-                    i += 1;
-                }
-            } else {
-                out.push(b);
-                i += 1;
-            }
-        } else if b == b'\'' {
-            // Char literal vs lifetime: a literal closes with ' within a
-            // few bytes; a lifetime never does.
-            let close = if next == b'\\' {
-                // Escaped char: find the closing quote.
-                (i + 2..bytes.len().min(i + 12)).find(|&k| bytes[k] == b'\'')
-            } else if bytes.get(i + 2) == Some(&b'\'') {
-                Some(i + 2)
-            } else {
-                None
-            };
-            if let Some(end) = close {
-                for &c in &bytes[i..=end] {
-                    out.push(blank(c));
-                }
-                i = end + 1;
-            } else {
-                out.push(b);
-                i += 1;
-            }
-        } else {
-            out.push(b);
-            i += 1;
-        }
-    }
-    // Masking only substitutes ASCII spaces for non-newline bytes.
-    String::from_utf8_lossy(&out).into_owned()
-}
-
 /// Lines (1-based) covered by `#[cfg(test)]`-attributed items, found by
 /// brace-matching the block that follows each attribute.
 fn test_line_spans(masked: &str) -> Vec<(usize, usize)> {
@@ -376,34 +259,6 @@ const RANK_ARITH_TOKENS: &[&str] = &[
 
 /// The only place allowed to build collective topology by hand.
 const COLLECTIVES_HOME: &str = "crates/runtime/src/collectives";
-
-/// The net engine's event-loop module: one poll-driven thread whose
-/// latency budget a single blocking syscall would wreck. Everything it
-/// asks of the kernel must go through the `mio` shim's non-blocking
-/// wrappers (`Poll::poll`, `read_fd`) — never through the blocking
-/// `std::io` surface.
-const REACTOR_HOME: &str = "crates/net/src/reactor";
-
-/// Blocking-I/O call shapes banned under [`REACTOR_HOME`]. Method-call
-/// tokens carry the leading dot so the shim's own differently named
-/// wrappers (`read_fd(`) never match; `connect(` is bare so the
-/// associated-function form `UnixStream::connect(` is caught too.
-const BLOCKING_IO_TOKENS: &[&str] = &[
-    ".read(",
-    ".read_exact(",
-    ".read_to_end(",
-    ".read_vectored(",
-    ".write(",
-    ".write_all(",
-    ".write_vectored(",
-    ".flush(",
-    "read_frame(",
-    "write_frame(",
-    ".recv(",
-    ".recv_timeout(",
-    ".accept(",
-    "connect(",
-];
 
 /// Start lines (1-based) of fns that hand-roll collective topology:
 /// the masked body mentions both `parent` and `children` *and* performs
@@ -551,23 +406,6 @@ pub fn lint_file(path: &str, src: &str) -> Vec<Violation> {
         }
     }
 
-    if path.starts_with(REACTOR_HOME) {
-        for (idx, line) in masked.lines().enumerate() {
-            let lineno = idx + 1;
-            if in_spans(lineno, &tests) {
-                continue;
-            }
-            if BLOCKING_IO_TOKENS.iter().any(|t| line.contains(t)) {
-                out.push(Violation {
-                    path: path.to_string(),
-                    line: lineno,
-                    rule: Rule::BlockingIoInReactor,
-                    excerpt: excerpt_at(lineno),
-                });
-            }
-        }
-    }
-
     out.sort_by_key(|v| v.line);
     out
 }
@@ -589,10 +427,10 @@ fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
     Ok(())
 }
 
-/// Lints every `crates/*/src/**/*.rs` under `repo_root`, applying
-/// `allow`. Paths in the returned violations are repo-relative with
-/// forward slashes.
-pub fn lint_tree(repo_root: &Path, allow: &Allowlist) -> Result<Vec<Violation>, String> {
+/// Reads every `crates/*/src/**/*.rs` under `repo_root` as
+/// `(repo-relative path, source)` pairs, sorted by path — the shared
+/// file walk behind [`lint_tree`] and [`crate::analyze::analyze_tree`].
+pub fn workspace_sources(repo_root: &Path) -> Result<Vec<(String, String)>, String> {
     let crates_dir = repo_root.join("crates");
     let entries = fs::read_dir(&crates_dir)
         .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?;
@@ -605,7 +443,7 @@ pub fn lint_tree(repo_root: &Path, allow: &Allowlist) -> Result<Vec<Violation>, 
         }
     }
     files.sort();
-    let mut violations = Vec::new();
+    let mut sources = Vec::new();
     for file in files {
         let rel = file
             .strip_prefix(repo_root)
@@ -614,6 +452,17 @@ pub fn lint_tree(repo_root: &Path, allow: &Allowlist) -> Result<Vec<Violation>, 
             .replace('\\', "/");
         let src = fs::read_to_string(&file)
             .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+        sources.push((rel, src));
+    }
+    Ok(sources)
+}
+
+/// Lints every `crates/*/src/**/*.rs` under `repo_root`, applying
+/// `allow`. Paths in the returned violations are repo-relative with
+/// forward slashes.
+pub fn lint_tree(repo_root: &Path, allow: &Allowlist) -> Result<Vec<Violation>, String> {
+    let mut violations = Vec::new();
+    for (rel, src) in workspace_sources(repo_root)? {
         violations.extend(
             lint_file(&rel, &src)
                 .into_iter()
@@ -781,65 +630,6 @@ fn broadcast(&mut self) {
 }
 ";
         assert!(lint_file("crates/coloring/src/dist.rs", src).is_empty());
-    }
-
-    #[test]
-    fn blocking_io_flagged_inside_reactor_home_only() {
-        // Seeded violations: a blocking std::io read and an mpsc recv in
-        // non-test reactor code.
-        let src = "
-fn pump(stream: &mut UnixStream, rx: &Receiver<Frame>) -> io::Result<usize> {
-    let mut buf = [0u8; 16];
-    let n = stream.read(&mut buf)?;
-    let _ = rx.recv();
-    Ok(n)
-}
-
-#[cfg(test)]
-mod tests {
-    #[test]
-    fn blocking_is_fine_in_tests() {
-        let mut buf = [0u8; 4];
-        let _ = stream.read(&mut buf);
-        let _ = rx.recv_timeout(t);
-    }
-}
-";
-        let v = lint_file("crates/net/src/reactor.rs", src);
-        assert_eq!(v.len(), 2, "{v:?}");
-        assert!(v.iter().all(|x| x.rule == Rule::BlockingIoInReactor));
-        assert_eq!(v[0].line, 4);
-        assert_eq!(v[1].line, 5);
-        // The identical source is legal anywhere else.
-        assert!(lint_file("crates/net/src/worker.rs", src).is_empty());
-    }
-
-    #[test]
-    fn shim_wrappers_do_not_trip_the_reactor_rule() {
-        // The designated syscall boundary: mio::read_fd and Poll::poll
-        // are the sanctioned kernel entries, and channel sends are
-        // non-blocking.
-        let src = "
-fn drain(fd: RawFd, poll: &mio::Poll, tx: &Sender<Incoming>) {
-    let mut events = mio::Events::with_capacity(8);
-    let _ = poll.poll(&mut events, None);
-    let mut buf = [0u8; 16];
-    let _ = mio::read_fd(fd, &mut buf);
-    let _ = tx.send(Incoming::PeerGone);
-}
-";
-        assert!(lint_file("crates/net/src/reactor.rs", src).is_empty());
-    }
-
-    #[test]
-    fn reactor_rule_has_no_allowlist_entries() {
-        // Satellite requirement: the rule ships with zero exemptions —
-        // the reactor must be clean, not excused.
-        let allow = Allowlist::workspace();
-        assert!(allow
-            .entries
-            .iter()
-            .all(|e| e.rule != Rule::BlockingIoInReactor));
     }
 
     #[test]

@@ -1,0 +1,475 @@
+//! Seeded-violation tests for the `cmg-analyze` interprocedural rules.
+//!
+//! Each rule gets a fixture that the rule — and only that rule — must
+//! flag, with the call path reconstructed end to end. Deleting any one
+//! rule's implementation makes its test here fail. The suite also pins
+//! the acceptance bar: the real workspace analyzes clean under the
+//! curated allowlist, every allowlist entry stays load-bearing, and the
+//! `cmg-lint --analyze` binary exits non-zero on a seeded tree while
+//! writing the JSON artifact.
+
+use cmg_check::analyze::{AnalyzeAllow, AnalyzeAllowlist, AnalyzeRule, AnalyzeViolation};
+use cmg_check::{analyze_sources, analyze_tree};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("repo root")
+}
+
+fn src(pairs: &[(&str, &str)]) -> Vec<(String, String)> {
+    pairs
+        .iter()
+        .map(|(p, s)| (p.to_string(), s.to_string()))
+        .collect()
+}
+
+fn by_rule(violations: &[AnalyzeViolation], rule: AnalyzeRule) -> Vec<&AnalyzeViolation> {
+    violations.iter().filter(|v| v.rule == rule).collect()
+}
+
+// ---------------------------------------------------------------- rule 1
+
+#[test]
+fn blocking_call_reachable_from_reactor_is_reported_with_full_path() {
+    let sources = src(&[
+        (
+            "crates/net/src/reactor.rs",
+            "pub fn run_loop() {\n    pump();\n}\n",
+        ),
+        (
+            "crates/net/src/pump.rs",
+            "pub fn pump() {\n    flush_out();\n}\n\n\
+             pub fn flush_out() {\n    let mut s = writer();\n    s.write_all(b\"x\");\n}\n",
+        ),
+    ]);
+    let report = analyze_sources(&sources, &AnalyzeAllowlist::empty());
+    let hits = by_rule(&report.violations, AnalyzeRule::BlockingReachability);
+    assert_eq!(hits.len(), 1, "violations: {:?}", report.violations);
+    let v = hits[0];
+    assert_eq!(v.path, "crates/net/src/reactor.rs");
+    assert!(v.message.contains("write_all"), "{}", v.message);
+    // Full reconstructed path: run_loop → pump → flush_out.
+    let labels: Vec<&str> = v.call_path.iter().map(|f| f.label.as_str()).collect();
+    assert_eq!(v.call_path.len(), 3, "call path: {labels:?}");
+    assert!(labels[0].ends_with("run_loop"), "{labels:?}");
+    assert!(labels[1].ends_with("pump"), "{labels:?}");
+    assert!(labels[2].ends_with("flush_out"), "{labels:?}");
+}
+
+#[test]
+fn nonblocking_fence_is_an_entry_point_and_is_line_scoped() {
+    let fenced = src(&[(
+        "crates/runtime/src/pacer.rs",
+        "pub fn pace() {\n    // nonblocking: begin\n    \
+         std::thread::sleep(core::time::Duration::from_millis(1));\n    \
+         // nonblocking: end\n}\n",
+    )]);
+    let report = analyze_sources(&fenced, &AnalyzeAllowlist::empty());
+    let hits = by_rule(&report.violations, AnalyzeRule::BlockingReachability);
+    assert_eq!(hits.len(), 1, "violations: {:?}", report.violations);
+    assert!(hits[0].message.contains("sleep"), "{}", hits[0].message);
+
+    // The same blocking call *outside* the fence is not an entry region.
+    let outside = src(&[(
+        "crates/runtime/src/pacer.rs",
+        "pub fn pace() {\n    // nonblocking: begin\n    let x = 1;\n    \
+         // nonblocking: end\n    \
+         std::thread::sleep(core::time::Duration::from_millis(1));\n    drop(x);\n}\n",
+    )]);
+    let report = analyze_sources(&outside, &AnalyzeAllowlist::empty());
+    assert!(
+        by_rule(&report.violations, AnalyzeRule::BlockingReachability).is_empty(),
+        "fence must be line-scoped: {:?}",
+        report.violations
+    );
+}
+
+// ---------------------------------------------------------------- rule 2
+
+#[test]
+fn unconstructed_wire_variant_is_drift() {
+    let sources = src(&[(
+        "crates/net/src/proto.rs",
+        "wire_codec! {\n    pub enum Msg {\n        0 => Ping { rank: u32 },\n        \
+         1 => Pong,\n    }\n}\n\n\
+         pub fn send() -> Msg {\n    Msg::Ping { rank: 0 }\n}\n\n\
+         pub fn on(m: &Msg) -> u32 {\n    match m {\n        \
+         Msg::Ping { rank } => *rank,\n        Msg::Pong => 0,\n    }\n}\n",
+    )]);
+    let report = analyze_sources(&sources, &AnalyzeAllowlist::empty());
+    let hits = by_rule(&report.violations, AnalyzeRule::WireDrift);
+    assert_eq!(hits.len(), 1, "violations: {:?}", report.violations);
+    assert!(
+        hits[0].message.contains("Msg::Pong") && hits[0].message.contains("never constructed"),
+        "{}",
+        hits[0].message
+    );
+}
+
+#[test]
+fn unmatched_wire_variant_is_drift() {
+    let sources = src(&[(
+        "crates/net/src/proto.rs",
+        "wire_codec! {\n    pub enum Msg {\n        0 => Ping { rank: u32 },\n        \
+         1 => Pong,\n    }\n}\n\n\
+         pub fn send() -> Msg {\n    Msg::Ping { rank: 0 }\n}\n\
+         pub fn idle() -> Msg {\n    Msg::Pong\n}\n\n\
+         pub fn on(m: &Msg) -> u32 {\n    match m {\n        \
+         Msg::Ping { rank } => *rank,\n        _ => unreachable!(),\n    }\n}\n",
+    )]);
+    let report = analyze_sources(&sources, &AnalyzeAllowlist::empty());
+    let hits = by_rule(&report.violations, AnalyzeRule::WireDrift);
+    assert_eq!(hits.len(), 1, "violations: {:?}", report.violations);
+    assert!(
+        hits[0].message.contains("Msg::Pong") && hits[0].message.contains("never matched"),
+        "{}",
+        hits[0].message
+    );
+}
+
+#[test]
+fn swallowing_wildcard_arm_in_consumer_is_drift_but_erroring_arm_is_not() {
+    let swallowing = src(&[(
+        "crates/runtime/src/consume.rs",
+        "wire_codec! {\n    pub enum Data {\n        0 => Put { k: u32 },\n    }\n}\n\n\
+         pub fn mk() -> Data {\n    Data::Put { k: 1 }\n}\n\n\
+         pub fn on(d: &Data) {\n    match d {\n        \
+         Data::Put { k } => drop(k),\n        _ => {}\n    }\n}\n",
+    )]);
+    let report = analyze_sources(&swallowing, &AnalyzeAllowlist::empty());
+    let hits = by_rule(&report.violations, AnalyzeRule::WireDrift);
+    assert_eq!(hits.len(), 1, "violations: {:?}", report.violations);
+    assert!(
+        hits[0].message.contains("swallows unknown variants"),
+        "{}",
+        hits[0].message
+    );
+
+    let erroring = src(&[(
+        "crates/runtime/src/consume.rs",
+        "wire_codec! {\n    pub enum Data {\n        0 => Put { k: u32 },\n    }\n}\n\n\
+         pub fn mk() -> Data {\n    Data::Put { k: 1 }\n}\n\n\
+         pub fn on(d: &Data) {\n    match d {\n        \
+         Data::Put { k } => drop(k),\n        _ => unreachable!(\"unknown wire variant\"),\n    }\n}\n",
+    )]);
+    let report = analyze_sources(&erroring, &AnalyzeAllowlist::empty());
+    assert!(
+        by_rule(&report.violations, AnalyzeRule::WireDrift).is_empty(),
+        "erroring wildcard must pass: {:?}",
+        report.violations
+    );
+}
+
+/// A `Ctrl` surface that cannot match the workspace's pinned baseline.
+const TINY_CTRL: &str = "pub const PROTO_VERSION: u32 = 3;\n\n\
+    wire_codec! {\n    pub enum Ctrl {\n        0 => Start,\n    }\n}\n\n\
+    pub fn mk() -> Ctrl {\n    Ctrl::Start\n}\n\n\
+    pub fn on(c: &Ctrl) {\n    match c {\n        Ctrl::Start => {}\n    }\n}\n";
+
+#[test]
+fn ctrl_change_without_proto_version_bump_is_drift() {
+    let sources = src(&[("crates/net/src/frame.rs", TINY_CTRL)]);
+    let report = analyze_sources(&sources, &AnalyzeAllowlist::empty());
+    let hits = by_rule(&report.violations, AnalyzeRule::WireDrift);
+    assert_eq!(hits.len(), 1, "violations: {:?}", report.violations);
+    assert!(
+        hits[0]
+            .message
+            .contains("changed without a PROTO_VERSION bump"),
+        "{}",
+        hits[0].message
+    );
+}
+
+#[test]
+fn proto_version_bump_without_pinned_baseline_is_drift() {
+    let bumped = TINY_CTRL.replace("PROTO_VERSION: u32 = 3", "PROTO_VERSION: u32 = 99");
+    let sources = src(&[("crates/net/src/frame.rs", bumped.as_str())]);
+    let report = analyze_sources(&sources, &AnalyzeAllowlist::empty());
+    let hits = by_rule(&report.violations, AnalyzeRule::WireDrift);
+    assert_eq!(hits.len(), 1, "violations: {:?}", report.violations);
+    assert!(
+        hits[0].message.contains("no pinned wire baseline") && hits[0].message.contains("0x"),
+        "message must name the fingerprint to pin: {}",
+        hits[0].message
+    );
+}
+
+// ---------------------------------------------------------------- rule 3
+
+#[test]
+fn two_lock_cycle_is_reported_with_witnesses() {
+    let sources = src(&[(
+        "crates/runtime/src/pool.rs",
+        "use std::sync::Mutex;\n\n\
+         pub struct Pool {\n    jobs: Mutex<u32>,\n    state: Mutex<u32>,\n}\n\n\
+         impl Pool {\n    \
+         pub fn submit(&self) {\n        \
+         let mut j = self.jobs.lock();\n        \
+         let mut s = self.state.lock();\n        *j += 1;\n        *s += 1;\n    }\n\n    \
+         pub fn drain(&self) {\n        \
+         let mut s = self.state.lock();\n        \
+         let mut j = self.jobs.lock();\n        *s += 1;\n        *j += 1;\n    }\n}\n",
+    )]);
+    let report = analyze_sources(&sources, &AnalyzeAllowlist::empty());
+    let hits = by_rule(&report.violations, AnalyzeRule::LockOrder);
+    assert_eq!(hits.len(), 1, "violations: {:?}", report.violations);
+    let v = hits[0];
+    assert!(
+        v.message.contains("lock-order cycle")
+            && v.message.contains("Pool.jobs")
+            && v.message.contains("Pool.state"),
+        "{}",
+        v.message
+    );
+    // One witness per direction, naming the acquiring fn.
+    assert_eq!(v.call_path.len(), 2, "witnesses: {:?}", v.call_path);
+    assert!(
+        v.call_path.iter().any(|f| f.label.contains("submit"))
+            && v.call_path.iter().any(|f| f.label.contains("drain")),
+        "witnesses: {:?}",
+        v.call_path
+    );
+}
+
+#[test]
+fn lock_cycle_through_a_callee_is_reported() {
+    // `submit` holds jobs and calls `touch`, which takes state;
+    // `drain` takes state then jobs directly. Cycle only visible once
+    // callee lock sets propagate over the graph.
+    let sources = src(&[(
+        "crates/runtime/src/pool.rs",
+        "use std::sync::Mutex;\n\n\
+         pub struct Pool {\n    jobs: Mutex<u32>,\n    state: Mutex<u32>,\n}\n\n\
+         impl Pool {\n    \
+         pub fn submit(&self) {\n        \
+         let mut j = self.jobs.lock();\n        self.touch();\n        *j += 1;\n    }\n\n    \
+         pub fn touch(&self) {\n        \
+         let mut s = self.state.lock();\n        *s += 1;\n    }\n\n    \
+         pub fn drain(&self) {\n        \
+         let mut s = self.state.lock();\n        \
+         let mut j = self.jobs.lock();\n        *s += 1;\n        *j += 1;\n    }\n}\n",
+    )]);
+    let report = analyze_sources(&sources, &AnalyzeAllowlist::empty());
+    let hits = by_rule(&report.violations, AnalyzeRule::LockOrder);
+    assert_eq!(hits.len(), 1, "violations: {:?}", report.violations);
+    assert!(
+        hits[0].message.contains("lock-order cycle"),
+        "{}",
+        hits[0].message
+    );
+}
+
+#[test]
+fn consistent_lock_order_is_clean() {
+    let sources = src(&[(
+        "crates/runtime/src/pool.rs",
+        "use std::sync::Mutex;\n\n\
+         pub struct Pool {\n    jobs: Mutex<u32>,\n    state: Mutex<u32>,\n}\n\n\
+         impl Pool {\n    \
+         pub fn submit(&self) {\n        \
+         let mut j = self.jobs.lock();\n        \
+         let mut s = self.state.lock();\n        *j += 1;\n        *s += 1;\n    }\n\n    \
+         pub fn drain(&self) {\n        \
+         let mut j = self.jobs.lock();\n        \
+         let mut s = self.state.lock();\n        *j += 2;\n        *s += 2;\n    }\n}\n",
+    )]);
+    let report = analyze_sources(&sources, &AnalyzeAllowlist::empty());
+    assert!(
+        by_rule(&report.violations, AnalyzeRule::LockOrder).is_empty(),
+        "consistent order must pass: {:?}",
+        report.violations
+    );
+}
+
+// ---------------------------------------------------------------- rule 4
+
+#[test]
+fn hot_path_fence_reaching_an_allocating_callee_is_reported() {
+    let sources = src(&[(
+        "crates/runtime/src/hot.rs",
+        "pub fn step() {\n    // hot-path: begin\n    record();\n    // hot-path: end\n}\n\n\
+         pub fn record() {\n    let mut v = Vec::with_capacity(8);\n    v.push(1);\n}\n",
+    )]);
+    let report = analyze_sources(&sources, &AnalyzeAllowlist::empty());
+    let hits = by_rule(&report.violations, AnalyzeRule::HotPathTransitiveAlloc);
+    assert_eq!(hits.len(), 1, "violations: {:?}", report.violations);
+    let v = hits[0];
+    assert!(v.message.contains("with_capacity"), "{}", v.message);
+    let labels: Vec<&str> = v.call_path.iter().map(|f| f.label.as_str()).collect();
+    assert_eq!(labels.len(), 2, "{labels:?}");
+    assert!(
+        labels[0].ends_with("step") && labels[1].ends_with("record"),
+        "{labels:?}"
+    );
+
+    // The same callee reached from *outside* the fence is fine.
+    let outside = src(&[(
+        "crates/runtime/src/hot.rs",
+        "pub fn step() {\n    // hot-path: begin\n    let x = 1;\n    // hot-path: end\n    \
+         record();\n    drop(x);\n}\n\n\
+         pub fn record() {\n    let mut v = Vec::with_capacity(8);\n    v.push(1);\n}\n",
+    )]);
+    let report = analyze_sources(&outside, &AnalyzeAllowlist::empty());
+    assert!(
+        by_rule(&report.violations, AnalyzeRule::HotPathTransitiveAlloc).is_empty(),
+        "fence must be line-scoped: {:?}",
+        report.violations
+    );
+}
+
+// ------------------------------------------------------- allowlist + report
+
+#[test]
+fn allowlist_reroutes_findings_with_their_reason() {
+    let sources = src(&[(
+        "crates/net/src/reactor.rs",
+        "pub fn run_loop(s: &mut Sock) {\n    s.write_all(b\"x\");\n}\n",
+    )]);
+    let allow = AnalyzeAllowlist {
+        entries: vec![AnalyzeAllow {
+            prefix: "crates/net/src/reactor.rs#run_loop",
+            rule: "blocking-reachability",
+            reason: "fixture: sanctioned for this test",
+        }],
+    };
+    let report = analyze_sources(&sources, &allow);
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    assert_eq!(report.allowlisted.len(), 1);
+    assert_eq!(report.allowlisted[0].1, "fixture: sanctioned for this test");
+}
+
+#[test]
+fn json_report_carries_schema_summary_and_call_paths() {
+    let sources = src(&[
+        (
+            "crates/net/src/reactor.rs",
+            "pub fn run_loop() {\n    pump();\n}\n",
+        ),
+        (
+            "crates/net/src/pump.rs",
+            "pub fn pump() {\n    let mut s = writer();\n    s.write_all(b\"x\");\n}\n",
+        ),
+    ]);
+    let report = analyze_sources(&sources, &AnalyzeAllowlist::empty());
+    let json = report.to_json().to_string_pretty();
+    assert!(json.contains("\"schema\": \"cmg-analyze/v1\""), "{json}");
+    assert!(json.contains("\"by_rule\""), "{json}");
+    assert!(json.contains("\"blocking-reachability\": 1"), "{json}");
+    assert!(json.contains("\"call_path\""), "{json}");
+    assert!(json.contains("pump"), "{json}");
+}
+
+// ------------------------------------------------------ acceptance gates
+
+#[test]
+fn workspace_analyzes_clean_under_curated_allowlist() {
+    let report = analyze_tree(repo_root(), &AnalyzeAllowlist::workspace()).expect("analyze walk");
+    assert!(
+        report.violations.is_empty(),
+        "workspace analyze violations:\n{}",
+        report
+            .violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.fns > 500,
+        "suspiciously small graph: {} fns",
+        report.fns
+    );
+    assert!(
+        report.edges > 1000,
+        "suspiciously sparse graph: {} edges",
+        report.edges
+    );
+}
+
+#[test]
+fn analyze_allowlist_is_load_bearing() {
+    // Every curated entry must still match a live finding; stale
+    // entries are deleted documentation.
+    let report = analyze_tree(repo_root(), &AnalyzeAllowlist::empty()).expect("analyze walk");
+    for entry in &AnalyzeAllowlist::workspace().entries {
+        assert!(
+            report.violations.iter().any(|v| {
+                let scoped = format!("{}#{}", v.path, v.item);
+                v.rule.name() == entry.rule
+                    && (v.path.starts_with(entry.prefix) || scoped.starts_with(entry.prefix))
+            }),
+            "analyze allowlist entry ({}, {}) matches nothing — remove it",
+            entry.prefix,
+            entry.rule
+        );
+    }
+}
+
+// ------------------------------------------------------------ the binary
+
+fn seeded_tree(tag: &str, files: &[(&str, &str)]) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("cmg-analyze-{tag}-{}", std::process::id()));
+    for (rel, body) in files {
+        let path = root.join(rel);
+        std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+        std::fs::write(&path, body).expect("write");
+    }
+    root
+}
+
+#[test]
+fn binary_analyze_flags_seeded_tree_and_writes_json_artifact() {
+    let root = seeded_tree(
+        "seeded",
+        &[
+            (
+                "crates/net/src/reactor.rs",
+                "pub fn run_loop() {\n    pump();\n}\n",
+            ),
+            (
+                "crates/net/src/pump.rs",
+                "pub fn pump() {\n    let mut s = writer();\n    s.write_all(b\"x\");\n}\n",
+            ),
+        ],
+    );
+    let json_path = root.join("report.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_cmg-lint"))
+        .arg(&root)
+        .arg("--analyze")
+        .arg("--json")
+        .arg(&json_path)
+        .output()
+        .expect("run cmg-lint --analyze");
+    let json = std::fs::read_to_string(&json_path).expect("json artifact");
+    std::fs::remove_dir_all(&root).ok();
+    assert_eq!(out.status.code(), Some(1), "expected analyze failure exit");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("blocking-reachability") && stderr.contains("via "),
+        "missing rule/path in diagnostics: {stderr}"
+    );
+    assert!(json.contains("cmg-analyze/v1"), "{json}");
+    assert!(json.contains("blocking-reachability"), "{json}");
+}
+
+#[test]
+fn binary_analyze_passes_real_workspace() {
+    let out = Command::new(env!("CARGO_BIN_EXE_cmg-lint"))
+        .arg(repo_root())
+        .arg("--analyze")
+        .output()
+        .expect("run cmg-lint --analyze");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "workspace must analyze clean: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("cmg-analyze: clean"), "{stdout}");
+}

@@ -21,6 +21,7 @@ fn main() {
         Some("color") => commands::coloring(&argv[1..]),
         Some("run") => commands::run_demo(&argv[1..]),
         Some("trace") => commands::trace(&argv[1..]),
+        Some("analyze") => commands::analyze(&argv[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
             0
@@ -68,6 +69,11 @@ COMMANDS
              JSONL stream; --json writes the machine-readable report;
              --emit-bench writes BENCH_net_breakdown.json into
              $CMG_BENCH_DIR or the current directory)
+  analyze    whole-workspace interprocedural static analysis over
+             crates/*/src: blocking-reachability from reactor entry
+             points, wire-protocol drift, lock-order deadlock cycles,
+             transitive hot-path allocation
+             [--repo ROOT] [--json FILE]   (exit 1 on violations)
 
 OBSERVABILITY (match and color)
   --trace-out FILE    Chrome trace_event JSON (load in Perfetto or

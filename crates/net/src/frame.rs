@@ -308,11 +308,13 @@ impl FrameAssembler {
 
     /// Appends raw bytes read off the stream.
     pub fn extend(&mut self, bytes: &[u8]) {
+        // nonblocking: begin — reactor feeds raw reads straight in
         if self.start > 0 && self.start == self.buf.len() {
             self.buf.clear();
             self.start = 0;
         }
         self.buf.extend_from_slice(bytes);
+        // nonblocking: end
     }
 
     /// Bytes buffered but not yet returned as frames.
@@ -324,6 +326,7 @@ impl FrameAssembler {
     /// buffer holds only a partial frame. Malformed lengths or control
     /// words are [`NetError`]s, exactly as in [`read_frame`].
     pub fn next_frame(&mut self) -> Result<Option<(u64, Frame)>, NetError> {
+        // nonblocking: begin — called from the reactor's event loop
         let avail = &self.buf[self.start..];
         if avail.len() < 4 {
             return Ok(None);
@@ -363,6 +366,7 @@ impl FrameAssembler {
             self.start = 0;
         }
         Ok(Some((seq, Frame { ctrl, payload })))
+        // nonblocking: end
     }
 }
 

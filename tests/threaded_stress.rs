@@ -9,6 +9,29 @@ use cmg_graph::weights::{assign_weights, WeightScheme};
 use cmg_partition::simple::hash_partition;
 
 #[test]
+fn tsan_smoke_p4_grid() {
+    // The configuration the gating PR-time TSan job runs (ci:
+    // tsan-smoke): 4 ranks, one small grid, matching + coloring once
+    // each against the simulated reference. Kept tiny so the
+    // sanitizer build stays in PR-latency budget; the full sweep in
+    // this file runs under TSan on the nightly schedule.
+    let g = assign_weights(
+        &generators::grid2d(16, 16),
+        WeightScheme::Uniform { lo: 0.0, hi: 1.0 },
+        7,
+    );
+    let part = hash_partition(g.num_vertices(), 4, 1);
+    let reference = cmg::run_matching(&g, &part, &Engine::default_simulated());
+    let run = cmg::run_matching(&g, &part, &Engine::default_threaded());
+    assert_eq!(run.matching, reference.matching);
+
+    let cfg = ColoringConfig::default();
+    let ref_color = cmg::run_coloring(&g, &part, cfg, &Engine::default_simulated());
+    let color = cmg::run_coloring(&g, &part, cfg, &Engine::default_threaded());
+    assert_eq!(color.coloring, ref_color.coloring);
+}
+
+#[test]
 fn threaded_matching_is_deterministic_across_repeats() {
     let g = assign_weights(
         &generators::erdos_renyi(400, 1600, 1),
