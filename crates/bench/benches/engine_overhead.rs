@@ -9,12 +9,14 @@ use std::hint::black_box;
 
 /// Ranks 0 and 1 bounce a counter for `hops` rounds; everyone else
 /// idles after round 0.
+#[derive(Clone)]
 struct PingPong {
     hops: u32,
 }
 
 impl RankProgram for PingPong {
     type Msg = (u32, u32);
+    cmg_runtime::trivial_snapshot!();
 
     fn on_start(&mut self, ctx: &mut RankCtx<(u32, u32)>) -> Status {
         if ctx.rank() == 0 {

@@ -18,12 +18,14 @@ use std::time::Instant;
 
 /// Ranks 0 and 1 bounce a counter for `hops` rounds; the other p − 2
 /// ranks go idle after round 0 and are never woken again.
+#[derive(Clone)]
 struct PingPong {
     hops: u32,
 }
 
 impl RankProgram for PingPong {
     type Msg = (u32, u32);
+    cmg_runtime::trivial_snapshot!();
 
     fn on_start(&mut self, ctx: &mut RankCtx<(u32, u32)>) -> Status {
         if ctx.rank() == 0 {

@@ -1,0 +1,231 @@
+//! Checkpoint/restore cost and recovery latency on the net engine.
+//!
+//! Two questions about the supervisor's respawn-and-replay layer:
+//!
+//! 1. **What does the insurance cost when nothing fails?** With
+//!    `checkpoint_every = k` every rank snapshots its program, stats,
+//!    and transport tables at each k-th round edge and ships the blob
+//!    home piggybacked on the round protocol. The A/B below runs the
+//!    identical workload with checkpoints off and on as back-to-back
+//!    interleaved pairs (machine-load drift cancels) and prices the
+//!    cadence two ways: the headline `overhead_ratio` from summed
+//!    worker round-loop **CPU** clocks (snapshot encoding is CPU work,
+//!    and the CPU total is immune to how a loaded host time-slices the
+//!    ranks), plus the median slowest-rank round-wall pair for
+//!    context. The acceptance bar is <= 10% on the fig5 grids.
+//!
+//! 2. **How fast is a recovery?** A scripted `KillAtRound` SIGKILLs
+//!    one rank mid-run; the supervisor detects the death, tears down
+//!    the survivors (their post-edge state is tainted), respawns the
+//!    whole fleet from the last complete checkpoint set, and replays
+//!    the gap. `recovery_latency` is the supervisor's own
+//!    death-detected-to-`Start`-reshipped clock
+//!    ([`RunHealth::last_recovery_micros`]), and every recovered run
+//!    is asserted bit-identical to the clean reference — the recovery
+//!    is only worth timing if it is correct.
+//!
+//! The workload is Jones–Plassmann coloring (its round count on the
+//! fig5 grid is long enough that a mid-run kill and a 2-round cadence
+//! both land well inside the run); results feed
+//! `BENCH_net_recovery.json`.
+//!
+//! Usage: `cargo run --release -p cmg-bench --bin net_recovery
+//! [--ranks 2,4,8]`
+
+use cmg_graph::generators;
+use cmg_graph::weights::{assign_weights, WeightScheme};
+use cmg_graph::CsrGraph;
+use cmg_net::{run_task, KillSpec, NetConfig, NetOutcome, NetTask};
+use cmg_obs::bench::BenchReport;
+use cmg_obs::Json;
+use cmg_partition::simple::block_partition;
+use cmg_partition::{DistGraph, Partition};
+
+/// The benchmark workload: Jones–Plassmann is the longest-running of
+/// the net tasks on the fig5 grid (~10 rounds at 4 ranks), so both the
+/// checkpoint cadence and the mid-run kill have room to act.
+const TASK: NetTask = NetTask::JonesPlassmann { seed: 11 };
+
+/// Checkpoint cadence for the overhead A/B: the documented default for
+/// production runs (`--checkpoint-interval 5`), the cadence the <= 10%
+/// acceptance bar is gated at.
+const CADENCE: u64 = 5;
+
+/// Cadence for the recovery drill: tighter, so the kill lands with a
+/// fresh checkpoint nearby and the replayed gap stays visible in the
+/// report.
+const DRILL_CADENCE: u64 = 2;
+
+/// Median; robust to the scheduler's heavy-tailed interference.
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+fn parts(g: &CsrGraph, part: &Partition) -> Vec<DistGraph> {
+    DistGraph::build_all(g, part)
+}
+
+/// One run, asserted bit-identical to the clean reference.
+fn run_checked(g: &CsrGraph, part: &Partition, cfg: &NetConfig, expect: &NetOutcome) -> NetOutcome {
+    let out = run_task(parts(g, part), TASK, cfg).expect("net run");
+    assert_eq!(
+        expect.outcomes, out.outcomes,
+        "run is not bit-identical to the clean reference"
+    );
+    out
+}
+
+/// Parses `--ranks 2,4,8` from argv; defaults to the acceptance sweep.
+fn rank_counts() -> Vec<u32> {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--ranks") {
+        if let Some(list) = args.get(i + 1) {
+            return list
+                .split(',')
+                .map(|s| s.trim().parse().expect("--ranks wants integers"))
+                .collect();
+        }
+    }
+    vec![2, 4, 8]
+}
+
+fn main() {
+    println!("Checkpoint/restore: cadence overhead and respawn-and-replay latency\n");
+    let mut report = BenchReport::new("net_recovery");
+    let g = assign_weights(
+        &generators::grid2d(128, 128),
+        WeightScheme::Uniform { lo: 0.0, hi: 1.0 },
+        7,
+    );
+    report.fact(
+        "graph",
+        Json::Str("fig5 grid 128x128, uniform weights".into()),
+    );
+    report.fact("task", Json::Str("jones-plassmann seed 11".into()));
+    report.fact("checkpoint_every", Json::UInt(CADENCE));
+    report.fact("drill_checkpoint_every", Json::UInt(DRILL_CADENCE));
+    report.fact(
+        "overhead_ratio_definition",
+        Json::Str(
+            "summed worker round-loop CPU, checkpoints on / off \
+             (wall-pair median when the platform exposes no CPU clock)"
+                .into(),
+        ),
+    );
+    report.fact(
+        "recovery_latency_definition",
+        Json::Str(
+            "supervisor clock from death detected to Start reshipped to \
+             the respawned fleet (includes survivor teardown, fleet \
+             respawn, mesh reconnect, checkpoint restore)"
+                .into(),
+        ),
+    );
+
+    println!(
+        "{:>3} {:>7} {:>11} {:>11} {:>9} {:>12} {:>10}",
+        "p", "rounds", "off ms/rnd", "on ms/rnd", "cpu cost", "recover ms", "replayed"
+    );
+    let mut worst_ratio: f64 = 0.0;
+    for p in rank_counts() {
+        let part = block_partition(g.num_vertices(), p);
+        let clean =
+            run_task(parts(&g, &part), TASK, &NetConfig::default()).expect("clean reference run");
+        assert!(
+            clean.rounds > CADENCE + 2,
+            "p = {p}: the run must outlive the checkpoint cadence"
+        );
+
+        // --- Insurance price: checkpoints off vs on, nothing fails. ---
+        const AB_REPS: usize = 15;
+        let on_cfg = NetConfig {
+            checkpoint_every: CADENCE,
+            ..Default::default()
+        };
+        let mut off_walls = Vec::with_capacity(AB_REPS);
+        let mut on_walls = Vec::with_capacity(AB_REPS);
+        let mut ratios = Vec::with_capacity(AB_REPS);
+        let (mut cpu_off, mut cpu_on) = (0.0, 0.0);
+        for _ in 0..AB_REPS {
+            let off = run_checked(&g, &part, &NetConfig::default(), &clean);
+            let on = run_checked(&g, &part, &on_cfg, &clean);
+            cpu_off += off.round_cpu_time;
+            cpu_on += on.round_cpu_time;
+            ratios.push(on.round_wall_time / off.round_wall_time);
+            off_walls.push(off.round_wall_time);
+            on_walls.push(on.round_wall_time);
+        }
+        let ratio = if cpu_off > 0.0 {
+            cpu_on / cpu_off
+        } else {
+            median(ratios)
+        };
+        worst_ratio = worst_ratio.max(ratio);
+        let off_round_ms = median(off_walls) * 1e3 / clean.rounds as f64;
+        let on_round_ms = median(on_walls) * 1e3 / clean.rounds as f64;
+
+        // --- Recovery drill: SIGKILL one rank mid-run, time the heal. ---
+        // The kill lands mid-run, past at least one completed cadence
+        // edge, so the supervisor restores rather than restarts fresh.
+        const REC_REPS: usize = 5;
+        let kill_round = (clean.rounds / 2).max(DRILL_CADENCE + 1);
+        let rec_cfg = NetConfig {
+            kill: KillSpec::KillAtRound {
+                rank: p - 1,
+                round: kill_round,
+            },
+            checkpoint_every: DRILL_CADENCE,
+            ..Default::default()
+        };
+        let mut latencies = Vec::with_capacity(REC_REPS);
+        let mut replayed = 0;
+        for _ in 0..REC_REPS {
+            let rec = run_checked(&g, &part, &rec_cfg, &clean);
+            assert_eq!(rec.health.recoveries(), 1, "exactly one recovery");
+            let micros = rec
+                .health
+                .last_recovery_micros()
+                .expect("a recovered run reports its recovery latency");
+            latencies.push(micros as f64 / 1e3);
+            // Rounds replayed = kill round minus the newest complete
+            // checkpoint edge at or before it.
+            replayed = kill_round - (kill_round / DRILL_CADENCE) * DRILL_CADENCE + 1;
+        }
+        let recover_ms = median(latencies);
+
+        println!(
+            "{:>3} {:>7} {:>11.3} {:>11.3} {:>+8.1}% {:>12.1} {:>10}",
+            p,
+            clean.rounds,
+            off_round_ms,
+            on_round_ms,
+            (ratio - 1.0) * 100.0,
+            recover_ms,
+            replayed,
+        );
+        report.row(Json::obj(vec![
+            ("ranks", Json::UInt(p as u64)),
+            ("rounds", Json::UInt(clean.rounds)),
+            ("checkpoint_off_round_ms", Json::Float(off_round_ms)),
+            ("checkpoint_on_round_ms", Json::Float(on_round_ms)),
+            ("overhead_ratio", Json::Float(ratio)),
+            ("kill_round", Json::UInt(kill_round)),
+            ("rounds_replayed", Json::UInt(replayed)),
+            ("recovery_latency_ms", Json::Float(recover_ms)),
+        ]));
+    }
+    report.fact("worst_overhead_ratio", Json::Float(worst_ratio));
+    let within = worst_ratio <= 1.10;
+    report.fact("overhead_within_10pct", Json::Bool(within));
+    println!(
+        "\nworst checkpoint overhead {:+.1}% ({} the 10% acceptance bar); \
+         every recovered run bit-identical to its clean reference",
+        (worst_ratio - 1.0) * 100.0,
+        if within { "within" } else { "OVER" },
+    );
+    match report.write() {
+        Ok(path) => println!("bench report: {}", path.display()),
+        Err(e) => eprintln!("could not write bench report: {e}"),
+    }
+}

@@ -32,6 +32,7 @@ fn main() {
         "quality_vs_p",
         "engine_overhead",
         "net_overhead",
+        "net_recovery",
     ];
     // Children inherit an explicit bench dir so their BENCH_*.json files
     // land where this process will look for them.

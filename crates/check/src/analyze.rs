@@ -186,7 +186,13 @@ impl AnalyzeAllowlist {
 /// fingerprint here leaves the new version without a baseline. Both are
 /// `wire-drift` violations, so every wire change is a deliberate
 /// two-line diff (version bump + new pin) reviewed together.
-pub const WIRE_BASELINES: &[(u64, u64)] = &[(3, 0xec5d_285e_8cd8_0aa1)];
+/// v4 widened the fingerprint itself: it covers `Ctrl` plus every
+/// `Snap`-suffixed snapshot record enum, because those encodings ride
+/// opaquely inside `Ctrl::Checkpoint` payloads and resume assignments.
+pub const WIRE_BASELINES: &[(u64, u64)] = &[
+    (3, 0xec5d_285e_8cd8_0aa1),
+    (4, 0x4956_cc56_edbc_cd90),
+];
 
 /// The analysis result for one workspace.
 #[derive(Clone, Debug, Default)]
@@ -595,13 +601,30 @@ fn wire_drift(ws: &Workspace, out: &mut Vec<AnalyzeViolation>) {
             }
         }
     }
-    // PROTO_VERSION baseline for Ctrl.
+    // PROTO_VERSION baseline for Ctrl — plus every `Snap`-suffixed
+    // wire enum. The snapshot record enums encode the checkpoint blobs
+    // that ride inside `Ctrl::Checkpoint` payloads (and come back in
+    // resume assignments), so changing one is a wire-surface change
+    // even though the supervisor treats the blob as opaque: a restored
+    // rank must decode what its previous incarnation encoded. Folding
+    // them into the versioned fingerprint makes any such change demand
+    // the same deliberate version-bump-plus-pin diff as a Ctrl edit.
     if let Some((ctrl_path, ctrl)) = enums.iter().find(|(_, e)| e.name == "Ctrl") {
-        let surface: Vec<WireSurfaceRow> = ctrl
+        let mut surface: Vec<WireSurfaceRow> = ctrl
             .variants
             .iter()
             .map(|v| (v.tag, v.name.clone(), v.fields.clone()))
             .collect();
+        let mut snaps: Vec<&(&str, &crate::parse::WireEnum)> = enums
+            .iter()
+            .filter(|(_, e)| e.name.ends_with("Snap"))
+            .collect();
+        snaps.sort_by_key(|(_, e)| e.name.as_str());
+        for (_, e) in snaps {
+            for v in &e.variants {
+                surface.push((v.tag, format!("{}::{}", e.name, v.name), v.fields.clone()));
+            }
+        }
         let fp = wire_fingerprint(&surface);
         match proto_version {
             None => out.push(AnalyzeViolation {
@@ -632,9 +655,9 @@ fn wire_drift(ws: &Workspace, out: &mut Vec<AnalyzeViolation>) {
                         line: ctrl.line,
                         item: "Ctrl".to_string(),
                         message: format!(
-                            "Ctrl wire surface changed without a PROTO_VERSION bump: \
-                             fingerprint {fp:#018x} != pinned {pinned:#018x} for \
-                             version {version}"
+                            "wire surface (Ctrl + snapshot records) changed without a \
+                             PROTO_VERSION bump: fingerprint {fp:#018x} != pinned \
+                             {pinned:#018x} for version {version}"
                         ),
                         call_path: Vec::new(),
                     }),

@@ -31,6 +31,26 @@ impl ObservedMatching {
 
 impl RankProgram for ObservedMatching {
     type Msg = MatchMsg;
+    // Delegate the snapshot to the wrapped program; the journal rides in
+    // the meta so an oracle roundtrip does not lose received messages.
+    type Snapshot = <DistMatching as RankProgram>::Snapshot;
+    type Meta = (<DistMatching as RankProgram>::Meta, Vec<(Rank, MatchMsg)>);
+
+    fn snapshot(&self) -> Self::Snapshot {
+        self.inner.snapshot()
+    }
+
+    fn restore(meta: Self::Meta, snap: Self::Snapshot) -> Self {
+        let (inner_meta, received) = meta;
+        ObservedMatching {
+            inner: DistMatching::restore(inner_meta, snap),
+            received,
+        }
+    }
+
+    fn meta(&self) -> Self::Meta {
+        (self.inner.meta(), self.received.clone())
+    }
 
     fn on_start(&mut self, ctx: &mut RankCtx<MatchMsg>) -> Status {
         self.inner.on_start(ctx)

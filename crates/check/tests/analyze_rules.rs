@@ -199,6 +199,52 @@ fn proto_version_bump_without_pinned_baseline_is_drift() {
     );
 }
 
+/// A checkpoint snapshot record enum (name ending in `Snap`), fully
+/// constructed and matched so it raises no usage findings of its own.
+const TINY_SNAP: &str = "wire_codec! {\n    pub enum DemoSnap {\n        \
+    0 => State { round: u64 },\n    }\n}\n\n\
+    pub fn save() -> DemoSnap {\n    DemoSnap::State { round: 4 }\n}\n\n\
+    pub fn load(s: &DemoSnap) -> u64 {\n    match s {\n        \
+    DemoSnap::State { round } => *round,\n    }\n}\n";
+
+/// The versioned fingerprint must cover `Snap`-suffixed wire enums:
+/// their encodings travel opaquely inside `Ctrl::Checkpoint` payloads,
+/// so a snapshot-record change is wire drift exactly like a `Ctrl`
+/// change. The reported fingerprint must shift when a Snap enum
+/// appears, and shift again when one of its fields changes.
+#[test]
+fn snap_record_enums_are_folded_into_the_wire_fingerprint() {
+    // An unpinned PROTO_VERSION makes the rule print the fingerprint
+    // it wants pinned — the observable value under test.
+    let ctrl = TINY_CTRL.replace("PROTO_VERSION: u32 = 3", "PROTO_VERSION: u32 = 99");
+    let fingerprint_of = |pairs: &[(&str, &str)]| -> String {
+        let report = analyze_sources(&src(pairs), &AnalyzeAllowlist::empty());
+        let hits = by_rule(&report.violations, AnalyzeRule::WireDrift);
+        assert_eq!(hits.len(), 1, "violations: {:?}", report.violations);
+        let msg = &hits[0].message;
+        let start = msg.find("0x").expect("fingerprint in message");
+        msg[start..start + 18].to_string()
+    };
+    let without = fingerprint_of(&[("crates/net/src/frame.rs", ctrl.as_str())]);
+    let with_snap = fingerprint_of(&[
+        ("crates/net/src/frame.rs", ctrl.as_str()),
+        ("crates/matching/src/dist.rs", TINY_SNAP),
+    ]);
+    assert_ne!(
+        without, with_snap,
+        "adding a Snap enum must change the versioned fingerprint"
+    );
+    let edited = TINY_SNAP.replace("round: u64", "round: u32");
+    let with_edited_snap = fingerprint_of(&[
+        ("crates/net/src/frame.rs", ctrl.as_str()),
+        ("crates/matching/src/dist.rs", edited.as_str()),
+    ]);
+    assert_ne!(
+        with_snap, with_edited_snap,
+        "editing a Snap field must change the versioned fingerprint"
+    );
+}
+
 // ---------------------------------------------------------------- rule 3
 
 #[test]

@@ -67,6 +67,7 @@ fn coloring_oracles_hold_on_over_100_interleavings() {
 /// Self-sends are legal-but-logged: `RankCtx::self_sends` must count
 /// them, and their deliveries must enter the packet schedule that the
 /// exploration fingerprints.
+#[derive(Clone)]
 struct SelfSendLoop {
     rank: Rank,
     rounds_left: u32,
@@ -75,6 +76,7 @@ struct SelfSendLoop {
 
 impl RankProgram for SelfSendLoop {
     type Msg = u32;
+    cmg_runtime::trivial_snapshot!();
 
     fn on_start(&mut self, ctx: &mut RankCtx<u32>) -> Status {
         ctx.send(self.rank, &0xd00d);

@@ -59,10 +59,13 @@ COMMANDS
              [--distance 1|2] [--superstep S] [--comm new|fiac|fiab]
   run        matching + coloring on a fig5-style grid in one command
              [--engine sim|threaded|net] [--ranks N] [--rows R --cols C]
-             [--seed S] [--input FILE] [--verify]
+             [--seed S] [--input FILE] [--verify] [--checkpoint-interval K]
              (--engine net runs each rank as its own OS process over
              Unix-domain sockets; --verify cross-checks the results
-             bit-for-bit against the simulated engine)
+             bit-for-bit against the simulated engine;
+             --checkpoint-interval K snapshots every rank every K rounds —
+             on the net engine the supervisor then respawns and replays
+             the fleet from the last checkpoint if a worker dies)
   trace      analyze a recorded trace: per-round critical path
              trace report --input FILE [--json FILE] [--emit-bench]
              (FILE is a --trace-out Chrome trace or an --events-out

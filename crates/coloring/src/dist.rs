@@ -146,6 +146,91 @@ enum PState {
     Finished,
 }
 
+impl PState {
+    fn to_u8(self) -> u8 {
+        match self {
+            PState::Coloring => 0,
+            PState::WaitingDone => 1,
+            PState::WaitingReduce => 2,
+            PState::WaitingBcast => 3,
+            PState::Finished => 4,
+        }
+    }
+
+    fn from_u8(b: u8) -> PState {
+        match b {
+            1 => PState::WaitingDone,
+            2 => PState::WaitingReduce,
+            3 => PState::WaitingBcast,
+            4 => PState::Finished,
+            _ => PState::Coloring,
+        }
+    }
+}
+
+wire_codec! {
+    /// Snapshot records of [`DistColoring`]: phase-protocol position,
+    /// assigned colors (owned and ghost), the phase's remaining work
+    /// list, color-usage tallies, and the in-flight state of the DONE
+    /// wave and conflict-count allreduce. The halo view, priorities,
+    /// stagger offset, fan-out scheme, and stamp scratch are rebuilt
+    /// from the graph + config on restore.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum ColorSnap {
+        /// Protocol position (exactly one per snapshot, first).
+        0 => Head {
+            /// Current phase number.
+            phase: u32,
+            /// [`PState`] as `u8`.
+            state: u8,
+            /// Phases executed so far.
+            phases_executed: u32,
+            /// Total vertices re-colored due to conflicts.
+            total_recolored: u64,
+            /// Bit 0: detection done; bit 1: interior colored.
+            flags: u8,
+            /// This rank's conflict count for the current phase.
+            my_conflicts: u64,
+            /// Progress within the phase's work list.
+            u_pos: u64,
+        },
+        /// A local index (owned or ghost) with an assigned color.
+        1 => Colored {
+            /// Local index.
+            idx: u32,
+            /// Assigned color.
+            color: u32,
+        },
+        /// An entry of the phase's work list `u_cur`, in list order.
+        2 => Pending {
+            /// Vertex to (re)color (local index).
+            v: u32,
+        },
+        /// One slot of the LeastUsed usage table, in color order
+        /// (zero-count slots included — the table length is state).
+        3 => Usage {
+            /// Local uses of this color slot.
+            count: u64,
+        },
+        /// In-flight DONE-wave tally for one phase.
+        4 => DoneCount {
+            /// Phase the DONEs belong to.
+            phase: u32,
+            /// DONEs received so far.
+            count: u64,
+        },
+        /// In-flight allreduce accumulator for one phase.
+        5 => Reduce {
+            /// Phase being reduced.
+            phase: u32,
+            /// Child contributions absorbed so far.
+            count: u64,
+            /// Partial subtree conflict sum.
+            value: u64,
+        },
+    }
+}
+
 /// One rank's state of the distributed coloring algorithm.
 pub struct DistColoring {
     dg: DistGraph,
@@ -512,6 +597,94 @@ impl DistColoring {
 
 impl RankProgram for DistColoring {
     type Msg = ColorMsg;
+    type Snapshot = Vec<ColorSnap>;
+    type Meta = (DistGraph, ColoringConfig);
+
+    fn snapshot(&self) -> Vec<ColorSnap> {
+        let mut recs = Vec::with_capacity(1 + self.dg.n_total() + self.u_cur.len());
+        recs.push(ColorSnap::Head {
+            phase: self.phase,
+            state: self.state.to_u8(),
+            phases_executed: self.phases_executed,
+            total_recolored: self.total_recolored,
+            flags: (self.detection_done as u8) | ((self.interior_colored as u8) << 1),
+            my_conflicts: self.my_conflicts,
+            u_pos: self.u_pos as u64,
+        });
+        for (idx, &color) in self.color.iter().enumerate() {
+            if color != UNCOLORED {
+                recs.push(ColorSnap::Colored {
+                    idx: idx as u32,
+                    color,
+                });
+            }
+        }
+        for &v in &self.u_cur {
+            recs.push(ColorSnap::Pending { v });
+        }
+        for &count in &self.usage {
+            recs.push(ColorSnap::Usage { count });
+        }
+        for &(phase, count) in self.done.in_flight() {
+            recs.push(ColorSnap::DoneCount {
+                phase,
+                count: count as u64,
+            });
+        }
+        for &(phase, count, value) in self.allreduce.in_flight() {
+            recs.push(ColorSnap::Reduce {
+                phase,
+                count: count as u64,
+                value,
+            });
+        }
+        recs
+    }
+
+    fn restore(meta: (DistGraph, ColoringConfig), snap: Vec<ColorSnap>) -> Self {
+        let (dg, cfg) = meta;
+        let mut p = DistColoring::new(dg, cfg);
+        let mut done = Vec::new();
+        let mut reduce = Vec::new();
+        for rec in snap {
+            match rec {
+                ColorSnap::Head {
+                    phase,
+                    state,
+                    phases_executed,
+                    total_recolored,
+                    flags,
+                    my_conflicts,
+                    u_pos,
+                } => {
+                    p.phase = phase;
+                    p.state = PState::from_u8(state);
+                    p.phases_executed = phases_executed;
+                    p.total_recolored = total_recolored;
+                    p.detection_done = flags & 1 != 0;
+                    p.interior_colored = flags & 2 != 0;
+                    p.my_conflicts = my_conflicts;
+                    p.u_pos = u_pos as usize;
+                }
+                ColorSnap::Colored { idx, color } => p.color[idx as usize] = color,
+                ColorSnap::Pending { v } => p.u_cur.push(v),
+                ColorSnap::Usage { count } => p.usage.push(count),
+                ColorSnap::DoneCount { phase, count } => done.push((phase, count as usize)),
+                ColorSnap::Reduce {
+                    phase,
+                    count,
+                    value,
+                } => reduce.push((phase, count as usize, value)),
+            }
+        }
+        p.done.restore_in_flight(done);
+        p.allreduce.restore_in_flight(reduce);
+        p
+    }
+
+    fn meta(&self) -> (DistGraph, ColoringConfig) {
+        (self.dg.clone(), self.cfg)
+    }
 
     fn on_start(&mut self, ctx: &mut RankCtx<ColorMsg>) -> Status {
         if self.cfg.order == LocalOrder::InteriorFirst {

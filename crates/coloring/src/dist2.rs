@@ -84,6 +84,110 @@ enum PState {
     Finished,
 }
 
+impl PState {
+    fn to_u8(self) -> u8 {
+        match self {
+            PState::Coloring => 0,
+            PState::WaitingDone => 1,
+            PState::WaitingDone2 => 2,
+            PState::WaitingReduce => 3,
+            PState::WaitingBcast => 4,
+            PState::Finished => 5,
+        }
+    }
+
+    fn from_u8(b: u8) -> PState {
+        match b {
+            1 => PState::WaitingDone,
+            2 => PState::WaitingDone2,
+            3 => PState::WaitingReduce,
+            4 => PState::WaitingBcast,
+            5 => PState::Finished,
+            _ => PState::Coloring,
+        }
+    }
+}
+
+wire_codec! {
+    /// Snapshot records of [`DistColoring2`]: protocol position, colors,
+    /// work lists, learned bans (emitted in sorted order — the map is
+    /// only ever iterated for idempotent stamp-marking, so rebuild order
+    /// is harmless but sorted emission keeps snapshot bytes
+    /// deterministic), the dirty-ghost and re-color sets, and both DONE
+    /// waves plus the allreduce accumulator.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum D2Snap {
+        /// Protocol position (exactly one per snapshot, first).
+        0 => Head {
+            /// Current phase number.
+            phase: u32,
+            /// [`PState`] as `u8`.
+            state: u8,
+            /// Phases executed so far.
+            phases_executed: u32,
+            /// Total vertices re-colored over the run.
+            total_recolored: u64,
+            /// Bit 0: detection done.
+            flags: u8,
+            /// Progress within the phase's work list.
+            u_pos: u64,
+        },
+        /// A local index (owned or ghost) with an assigned color.
+        1 => Colored {
+            /// Local index.
+            idx: u32,
+            /// Assigned color.
+            color: u32,
+        },
+        /// An entry of the phase's work list `u_cur`, in list order.
+        2 => Pending {
+            /// Vertex to (re)color (local index).
+            v: u32,
+        },
+        /// A learned permanent ban, sorted by `(v, color)`.
+        3 => Banned {
+            /// Owned vertex (local index).
+            v: u32,
+            /// Color it may never take.
+            color: u32,
+        },
+        /// A ghost whose color changed this phase, in arrival order.
+        4 => DirtyGhost {
+            /// Ghost local index.
+            idx: u32,
+        },
+        /// An entry of next phase's re-color set, in insertion order
+        /// (`in_r` is rebuilt from these).
+        5 => Recolor {
+            /// Owned vertex (local index).
+            v: u32,
+        },
+        /// In-flight first-wave DONE tally for one phase.
+        6 => DoneCount {
+            /// Phase the DONEs belong to.
+            phase: u32,
+            /// DONEs received so far.
+            count: u64,
+        },
+        /// In-flight second-wave DONE2 tally for one phase.
+        7 => Done2Count {
+            /// Phase the DONE2s belong to.
+            phase: u32,
+            /// DONE2s received so far.
+            count: u64,
+        },
+        /// In-flight allreduce accumulator for one phase.
+        8 => Reduce {
+            /// Phase being reduced.
+            phase: u32,
+            /// Child contributions absorbed so far.
+            count: u64,
+            /// Partial subtree conflict sum.
+            value: u64,
+        },
+    }
+}
+
 /// One rank's state of the distributed distance-2 coloring.
 pub struct DistColoring2 {
     dg: DistGraph,
@@ -491,6 +595,118 @@ impl DistColoring2 {
 
 impl RankProgram for DistColoring2 {
     type Msg = D2Msg;
+    type Snapshot = Vec<D2Snap>;
+    type Meta = (DistGraph, usize, u64);
+
+    fn snapshot(&self) -> Vec<D2Snap> {
+        let mut recs = Vec::with_capacity(1 + self.dg.n_total() + self.u_cur.len());
+        recs.push(D2Snap::Head {
+            phase: self.phase,
+            state: self.state.to_u8(),
+            phases_executed: self.phases_executed,
+            total_recolored: self.total_recolored,
+            flags: self.detection_done as u8,
+            u_pos: self.u_pos as u64,
+        });
+        for (idx, &color) in self.color.iter().enumerate() {
+            if color != UNCOLORED {
+                recs.push(D2Snap::Colored {
+                    idx: idx as u32,
+                    color,
+                });
+            }
+        }
+        for &v in &self.u_cur {
+            recs.push(D2Snap::Pending { v });
+        }
+        let mut bans: Vec<(u32, u32)> = self
+            .learned
+            .iter()
+            .flat_map(|(&v, set)| set.iter().map(move |&c| (v, c)))
+            .collect();
+        bans.sort_unstable();
+        for (v, color) in bans {
+            recs.push(D2Snap::Banned { v, color });
+        }
+        for &idx in &self.dirty_ghosts {
+            recs.push(D2Snap::DirtyGhost { idx });
+        }
+        for &v in &self.r_set {
+            recs.push(D2Snap::Recolor { v });
+        }
+        for &(phase, count) in self.done.in_flight() {
+            recs.push(D2Snap::DoneCount {
+                phase,
+                count: count as u64,
+            });
+        }
+        for &(phase, count) in self.done2.in_flight() {
+            recs.push(D2Snap::Done2Count {
+                phase,
+                count: count as u64,
+            });
+        }
+        for &(phase, count, value) in self.allreduce.in_flight() {
+            recs.push(D2Snap::Reduce {
+                phase,
+                count: count as u64,
+                value,
+            });
+        }
+        recs
+    }
+
+    fn restore(meta: (DistGraph, usize, u64), snap: Vec<D2Snap>) -> Self {
+        let (dg, superstep_size, seed) = meta;
+        let mut p = DistColoring2::new(dg, superstep_size, seed);
+        let mut done = Vec::new();
+        let mut done2 = Vec::new();
+        let mut reduce = Vec::new();
+        for rec in snap {
+            match rec {
+                D2Snap::Head {
+                    phase,
+                    state,
+                    phases_executed,
+                    total_recolored,
+                    flags,
+                    u_pos,
+                } => {
+                    p.phase = phase;
+                    p.state = PState::from_u8(state);
+                    p.phases_executed = phases_executed;
+                    p.total_recolored = total_recolored;
+                    p.detection_done = flags & 1 != 0;
+                    p.u_pos = u_pos as usize;
+                }
+                D2Snap::Colored { idx, color } => p.color[idx as usize] = color,
+                D2Snap::Pending { v } => p.u_cur.push(v),
+                D2Snap::Banned { v, color } => {
+                    p.learned.entry(v).or_default().insert(color);
+                }
+                D2Snap::DirtyGhost { idx } => p.dirty_ghosts.push(idx),
+                D2Snap::Recolor { v } => {
+                    p.in_r[v as usize] = true;
+                    p.r_set.push(v);
+                }
+                D2Snap::DoneCount { phase, count } => done.push((phase, count as usize)),
+                D2Snap::Done2Count { phase, count } => done2.push((phase, count as usize)),
+                D2Snap::Reduce {
+                    phase,
+                    count,
+                    value,
+                } => reduce.push((phase, count as usize, value)),
+            }
+        }
+        p.done.restore_in_flight(done);
+        p.done2.restore_in_flight(done2);
+        p.allreduce.restore_in_flight(reduce);
+        p
+    }
+
+    fn meta(&self) -> (DistGraph, usize, u64) {
+        (self.dg.clone(), self.superstep_size, self.seed)
+    }
 
     fn on_start(&mut self, ctx: &mut RankCtx<D2Msg>) -> Status {
         // Unlike distance-1, interior vertices are not conflict-free (two

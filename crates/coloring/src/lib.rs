@@ -26,7 +26,8 @@ pub mod seq;
 
 pub use coloring::Coloring;
 pub use dist::{
-    assemble_coloring, ColorChoice, ColorMsg, ColoringConfig, CommVariant, DistColoring, LocalOrder,
+    assemble_coloring, ColorChoice, ColorMsg, ColorSnap, ColoringConfig, CommVariant, DistColoring,
+    LocalOrder,
 };
-pub use dist2::{assemble_d2, D2Msg, DistColoring2};
-pub use jp::JonesPlassmann;
+pub use dist2::{assemble_d2, D2Msg, D2Snap, DistColoring2};
+pub use jp::{assemble_jp, JonesPlassmann, JpSnap, JpSnapshot};

@@ -21,8 +21,9 @@ pub enum Engine {
     /// One OS process per rank over Unix-domain sockets (`cmg-net`);
     /// reports wall-clock time. The cost model, delivery policy, and
     /// sync-rounds knobs do not apply — the transport is always the
-    /// synchronous bundled protocol; `max_rounds` and the recorder
-    /// carry over.
+    /// synchronous bundled protocol; `max_rounds`, `checkpoint_every`,
+    /// and the recorder carry over (on this engine a checkpoint cadence
+    /// additionally arms supervisor respawn-and-replay recovery).
     Net(EngineConfig),
 }
 
@@ -62,6 +63,7 @@ fn net_config(cfg: &EngineConfig) -> cmg_net::NetConfig {
         max_rounds: cfg.max_rounds,
         recorder: cfg.recorder.clone(),
         telemetry: cfg.net_telemetry,
+        checkpoint_every: cfg.checkpoint_every.unwrap_or(0),
         ..Default::default()
     }
 }

@@ -45,6 +45,24 @@ enum VState {
     Failed,
 }
 
+impl VState {
+    fn to_u8(self) -> u8 {
+        match self {
+            VState::Free => 0,
+            VState::Matched => 1,
+            VState::Failed => 2,
+        }
+    }
+
+    fn from_u8(b: u8) -> VState {
+        match b {
+            1 => VState::Matched,
+            2 => VState::Failed,
+            _ => VState::Free,
+        }
+    }
+}
+
 wire_codec! {
     /// The three wire messages of §3.2, each carrying the global ids of the
     /// edge endpoints (`from` = sender's vertex, `to` = addressee's vertex).
@@ -70,6 +88,58 @@ wire_codec! {
             from: VertexId,
             /// Neighbor being informed (receiver side).
             to: VertexId,
+        },
+    }
+}
+
+wire_codec! {
+    /// Snapshot records of [`DistMatching`]: the algorithm state minus
+    /// everything [`DistMatching::new`] rebuilds from the graph (the
+    /// weight-sorted adjacency and the halo view). One `Vertex` record
+    /// per owned vertex in local-index order, then sparse records for
+    /// non-default ghost states, pending proposals, queued indices, and
+    /// the round's message tallies.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum MatchSnap {
+        /// Per-owned-vertex state, emitted for every `v` in `0..n_local`
+        /// order (the record's position in the stream is the vertex).
+        0 => Vertex {
+            /// Candidate-mate cursor into the weight-sorted adjacency.
+            ptr: u64,
+            /// Availability ([`VState`] as `u8`).
+            state: u8,
+            /// Mate global id (`NO_VERTEX` while unmatched).
+            mate: VertexId,
+            /// Candidate mate local index (`NONE` if exhausted).
+            candidate: u32,
+        },
+        /// A ghost whose availability is no longer `Free`.
+        1 => Ghost {
+            /// Ghost local index.
+            idx: u32,
+            /// Availability ([`VState`] as `u8`).
+            state: u8,
+        },
+        /// A pending remote proposal in `r_set[v]`, in stored order.
+        2 => Proposal {
+            /// Proposed-to owned vertex (local index).
+            v: u32,
+            /// Proposing requester (local index of the ghost).
+            requester: u32,
+        },
+        /// An entry of the inner-loop queue, in queue order.
+        3 => Queued {
+            /// Queued local index.
+            idx: u32,
+        },
+        /// The round's message tallies (observability counters).
+        4 => Counts {
+            /// REQUESTs sent so far this round.
+            requests: u64,
+            /// SUCCEEDEDs sent so far this round.
+            succeeded: u64,
+            /// FAILEDs sent so far this round.
+            failed: u64,
         },
     }
 }
@@ -379,6 +449,91 @@ impl DistMatching {
 
 impl RankProgram for DistMatching {
     type Msg = MatchMsg;
+    type Snapshot = Vec<MatchSnap>;
+    type Meta = DistGraph;
+
+    fn snapshot(&self) -> Vec<MatchSnap> {
+        let n_local = self.dg.n_local;
+        let mut recs = Vec::with_capacity(n_local + self.queue.len() + 1);
+        for v in 0..n_local {
+            recs.push(MatchSnap::Vertex {
+                ptr: self.ptr[v] as u64,
+                state: self.state[v].to_u8(),
+                mate: self.mate[v],
+                candidate: self.candidate[v],
+            });
+        }
+        for g in n_local..self.state.len() {
+            if self.state[g] != VState::Free {
+                recs.push(MatchSnap::Ghost {
+                    idx: g as u32,
+                    state: self.state[g].to_u8(),
+                });
+            }
+        }
+        for v in 0..n_local {
+            for &requester in &self.r_set[v] {
+                recs.push(MatchSnap::Proposal {
+                    v: v as u32,
+                    requester,
+                });
+            }
+        }
+        for &idx in &self.queue {
+            recs.push(MatchSnap::Queued { idx });
+        }
+        let c = self.counts;
+        if c.requests != 0 || c.succeeded != 0 || c.failed != 0 {
+            recs.push(MatchSnap::Counts {
+                requests: c.requests,
+                succeeded: c.succeeded,
+                failed: c.failed,
+            });
+        }
+        recs
+    }
+
+    fn restore(meta: DistGraph, snap: Vec<MatchSnap>) -> Self {
+        let mut p = DistMatching::new(meta);
+        let mut next_vertex = 0usize;
+        for rec in snap {
+            match rec {
+                MatchSnap::Vertex {
+                    ptr,
+                    state,
+                    mate,
+                    candidate,
+                } => {
+                    let v = next_vertex;
+                    next_vertex += 1;
+                    p.ptr[v] = ptr as usize;
+                    p.state[v] = VState::from_u8(state);
+                    p.mate[v] = mate;
+                    p.candidate[v] = candidate;
+                }
+                MatchSnap::Ghost { idx, state } => p.state[idx as usize] = VState::from_u8(state),
+                MatchSnap::Proposal { v, requester } => p.r_set[v as usize].push(requester),
+                MatchSnap::Queued { idx } => p.queue.push_back(idx),
+                MatchSnap::Counts {
+                    requests,
+                    succeeded,
+                    failed,
+                } => {
+                    p.counts = RoundCounts {
+                        requests,
+                        succeeded,
+                        failed,
+                    };
+                }
+            }
+        }
+        debug_assert_eq!(next_vertex, p.dg.n_local, "snapshot/graph mismatch");
+        p
+    }
+
+    fn meta(&self) -> DistGraph {
+        self.dg.clone()
+    }
 
     fn on_start(&mut self, ctx: &mut RankCtx<MatchMsg>) -> Status {
         // Initial candidates for every owned vertex…

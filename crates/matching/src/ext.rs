@@ -210,6 +210,42 @@ wire_codec! {
     }
 }
 
+wire_codec! {
+    /// Snapshot records of [`DistBSuitor`]: capacities, cursors, and the
+    /// suitor heaps. Heap entries are emitted in the heap's internal
+    /// array order; restoring re-heapifies an already-valid heap array,
+    /// which performs no swaps — the rebuilt heap is layout-identical,
+    /// so even tie-broken displacement order resumes bit-identically.
+    #[derive(Clone, Copy, Debug, PartialEq)]
+    pub enum BSuitorSnap {
+        /// Per-owned-vertex counters, emitted for every `v` in
+        /// `0..n_local` order (stream position = vertex).
+        0 => Vertex {
+            /// Outstanding proposals made by this vertex.
+            made: u64,
+            /// Next slot in the weight-sorted adjacency to consider.
+            ptr: u64,
+            /// Capacity `b(v)` (carried so restore needs no capacity fn).
+            cap: u64,
+        },
+        /// One accepted proposal held by owned vertex `u`, in heap-array
+        /// order.
+        1 => Suitor {
+            /// Holding vertex (local index).
+            u: u32,
+            /// Proposal weight.
+            weight: f64,
+            /// Proposer (global id).
+            proposer: VertexId,
+        },
+        /// An entry of the work stack, bottom-to-top.
+        2 => Stacked {
+            /// Owned vertex (local index) that still owes proposals.
+            v: u32,
+        },
+    }
+}
+
 /// Distributed b-suitor (Khan–Pothen et al.): each rank runs the
 /// pointer-based suitor scan over its owned vertices, proposing
 /// optimistically across rank boundaries. A remote proposal is judged by
@@ -405,6 +441,67 @@ impl DistBSuitor {
 
 impl RankProgram for DistBSuitor {
     type Msg = ExtMsg;
+    type Snapshot = Vec<BSuitorSnap>;
+    type Meta = DistGraph;
+
+    fn snapshot(&self) -> Vec<BSuitorSnap> {
+        let n = self.dg.n_local;
+        let mut recs = Vec::with_capacity(n + self.stack.len());
+        for v in 0..n {
+            recs.push(BSuitorSnap::Vertex {
+                made: self.made[v] as u64,
+                ptr: self.ptr[v] as u64,
+                cap: self.b[v] as u64,
+            });
+        }
+        for (u, heap) in self.suitors.iter().enumerate() {
+            // `iter()` walks the internal heap array in order.
+            for p in heap.iter() {
+                recs.push(BSuitorSnap::Suitor {
+                    u: u as u32,
+                    weight: p.0,
+                    proposer: p.1,
+                });
+            }
+        }
+        for &v in &self.stack {
+            recs.push(BSuitorSnap::Stacked { v });
+        }
+        recs
+    }
+
+    fn restore(meta: DistGraph, snap: Vec<BSuitorSnap>) -> Self {
+        let mut p = DistBSuitor::new(meta, |_| 0);
+        let mut heaps: Vec<Vec<Prop>> = (0..p.dg.n_local).map(|_| Vec::new()).collect();
+        p.stack.clear();
+        let mut next_vertex = 0usize;
+        for rec in snap {
+            match rec {
+                BSuitorSnap::Vertex { made, ptr, cap } => {
+                    let v = next_vertex;
+                    next_vertex += 1;
+                    p.made[v] = made as usize;
+                    p.ptr[v] = ptr as usize;
+                    p.b[v] = cap as usize;
+                }
+                BSuitorSnap::Suitor {
+                    u,
+                    weight,
+                    proposer,
+                } => heaps[u as usize].push(Prop(weight, proposer)),
+                BSuitorSnap::Stacked { v } => p.stack.push(v),
+            }
+        }
+        debug_assert_eq!(next_vertex, p.dg.n_local, "snapshot/graph mismatch");
+        // `From<Vec>` heapifies; on an already-valid heap array every
+        // sift is a no-op, so the restored layout is byte-identical.
+        p.suitors = heaps.into_iter().map(BinaryHeap::from).collect();
+        p
+    }
+
+    fn meta(&self) -> DistGraph {
+        self.dg.clone()
+    }
 
     fn on_start(&mut self, ctx: &mut RankCtx<ExtMsg>) -> Status {
         self.drain(ctx);

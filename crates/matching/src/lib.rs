@@ -23,6 +23,6 @@ pub mod ext;
 pub mod matching;
 pub mod seq;
 
-pub use dist::{DistMatching, MatchMsg};
-pub use ext::{assemble_b_matching, BMatching, DistBSuitor, ExtMsg};
+pub use dist::{assemble_matching, DistMatching, MatchMsg, MatchSnap};
+pub use ext::{assemble_b_matching, BMatching, BSuitorSnap, DistBSuitor, ExtMsg};
 pub use matching::Matching;

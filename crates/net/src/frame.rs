@@ -25,8 +25,12 @@ use std::io::{Read, Write};
 /// for cross-process clock-offset estimation. v3 added the event-driven
 /// data plane: the rank-to-rank [`Ctrl::RoundDone`] wave that replaces
 /// the per-round tree allreduce, the `event_loop` run option, and the
-/// coalescing counters in the shipped link stats.
-pub const PROTO_VERSION: u32 = 3;
+/// coalescing counters in the shipped link stats. v4 added the
+/// checkpoint plane: the [`Ctrl::Checkpoint`] control word workers ship
+/// at round edges, the `checkpoint_every` run option, and the resume
+/// section of the assignment that relaunches a fleet from the last
+/// complete snapshot set.
+pub const PROTO_VERSION: u32 = 4;
 
 /// Upper bound on a frame's encoded size (64 MiB). A length prefix
 /// beyond this is treated as corruption rather than honored with a
@@ -193,6 +197,29 @@ wire_codec! {
             src: u32,
             /// 1 if the announcing rank was active or sent this round.
             active: u8,
+        },
+        /// Worker -> supervisor: a consistent per-rank snapshot taken
+        /// at the edge of `round`. Because the engine is
+        /// bulk-synchronous, the set of per-rank checkpoints for one
+        /// round edge forms a consistent global snapshot: the payload
+        /// (see [`crate::proto::encode_checkpoint`]) carries the
+        /// program snapshot, the rank's accumulated stats, and the
+        /// transport tables — per-peer writer sequence counters and
+        /// resequencer floors, buffered round packets, and in-flight
+        /// collective state — from which the supervisor can relaunch
+        /// the fleet after a rank dies and have the survivors' gap
+        /// traffic dup-discarded by sequence number.
+        17 => Checkpoint {
+            /// The snapshotting rank.
+            rank: u32,
+            /// The round edge the snapshot was taken at; a restored
+            /// rank resumes at `round + 1`.
+            round: u64,
+            /// The lowest sequence number this rank still expects on
+            /// any peer link — a compact progress indicator for the
+            /// supervisor's logs; the full per-peer floor vector
+            /// travels in the payload.
+            seq_floor: u64,
         },
     }
 }
@@ -501,6 +528,15 @@ mod tests {
         .encode(&mut buf);
         assert_eq!(buf[0], 16);
         assert_eq!(buf.len(), 1 + 8 + 4 + 1);
+        let mut buf = BytesMut::new();
+        Ctrl::Checkpoint {
+            rank: 0,
+            round: 0,
+            seq_floor: 0,
+        }
+        .encode(&mut buf);
+        assert_eq!(buf[0], 17);
+        assert_eq!(buf.len(), 1 + 4 + 8 + 8);
     }
 
     #[test]

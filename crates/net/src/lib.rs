@@ -64,7 +64,10 @@ pub use link::{
     backoff_delay, connect_with_backoff, FaultAction, FaultPlan, LinkFault, LinkStats, LinkWriter,
     PlannedFault, Resequencer,
 };
-pub use proto::{Assignment, NetTask, RunOptions, WorkerOutcome, NEVER};
+pub use proto::{
+    decode_checkpoint, encode_checkpoint, Assignment, CheckpointState, NetTask, ResumeFrom,
+    RunOptions, TransportSnapshot, WorkerOutcome, NEVER,
+};
 pub use supervisor::{
     run_coloring, run_jones_plassmann, run_matching, run_task, KillSpec, LinkTotals,
     NetColoringRun, NetConfig, NetMatchingRun, NetOutcome,

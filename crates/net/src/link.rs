@@ -30,6 +30,7 @@
 
 use crate::error::NetError;
 use crate::frame::{encode_frame, Ctrl, Frame};
+use cmg_runtime::WireMessage;
 use std::collections::BTreeMap;
 use std::io::{IoSlice, Write};
 use std::os::unix::net::UnixStream;
@@ -289,6 +290,23 @@ impl<W: Write> LinkWriter<W> {
         self.stats
     }
 
+    /// The sequence number the next [`LinkWriter::send`] will consume.
+    /// Checkpointed so a restored rank re-sends its gap frames under
+    /// their original sequence numbers.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Resumes the sequence counter at `next` — used when restoring a
+    /// link from a checkpoint, after the fresh connection's handshake
+    /// traffic (which receivers consume synchronously, outside the
+    /// resequencer) has gone out. Re-executed rounds then re-send their
+    /// frames under the original numbering, so peers whose resequencer
+    /// floors were restored past them dup-discard the overlap.
+    pub fn resume_seq(&mut self, next: u64) {
+        self.next_seq = next;
+    }
+
     /// Sends one frame, consuming the next sequence number. Data-plane
     /// frames consult the fault hook; everything else is delivered
     /// verbatim — and, under coalescing, forces the pending batch out
@@ -336,6 +354,36 @@ impl<W: Write> LinkWriter<W> {
             self.flush_batch()?;
         }
         Ok(())
+    }
+
+    /// Sends one **control-plane** frame whose payload is written in
+    /// place by `write_payload` — the checkpoint hot path. Wire- and
+    /// sequence-equivalent to `send(&Frame::with_payload(ctrl, ...))`
+    /// for non-data-plane control words (no fault hook, write-through
+    /// flush), but the payload encodes once, straight into the wire
+    /// buffer, instead of being copied through `Bytes` and
+    /// `encode_frame`. `payload_len_hint` sizes the buffer; a hint at
+    /// or above the real size means no reallocation.
+    pub fn send_streamed(
+        &mut self,
+        ctrl: Ctrl,
+        payload_len_hint: usize,
+        write_payload: impl FnOnce(&mut Vec<u8>),
+    ) -> Result<(), NetError> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let mut out: Vec<u8> = Vec::with_capacity(4 + 8 + ctrl.encoded_len() + payload_len_hint);
+        out.extend_from_slice(&[0u8; 4]);
+        out.extend_from_slice(&seq.to_le_bytes());
+        ctrl.encode(&mut out);
+        write_payload(&mut out);
+        let body_len = ((out.len() - 4) as u32).to_le_bytes();
+        if let Some(slot) = out.get_mut(0..4) {
+            slot.copy_from_slice(&body_len);
+        }
+        self.enqueue_encoded(out)?;
+        self.tick_held()?;
+        self.flush_batch()
     }
 
     /// Counts one more frame sent past every held frame, releasing
@@ -526,6 +574,17 @@ impl Resequencer {
     /// Frames currently held out of order (queue depth).
     pub fn pending_len(&self) -> usize {
         self.pending.len()
+    }
+
+    /// The next sequence number in-order delivery expects — the link's
+    /// receive floor. Checkpointed so a restored rank dup-discards gap
+    /// re-sends it already consumed before the crash. (Frames held out
+    /// of order above the floor are deliberately *not* checkpointed:
+    /// they carry sequence numbers at or past the sender's own
+    /// checkpointed counter, so the sender's re-execution re-sends
+    /// them.)
+    pub fn next_expected(&self) -> u64 {
+        self.next
     }
 }
 

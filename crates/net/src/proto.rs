@@ -97,6 +97,24 @@ pub struct Assignment {
     pub task: NetTask,
     /// Engine knobs and failure-model deadlines.
     pub opts: RunOptions,
+    /// When the fleet is being relaunched after a failure, the rank's
+    /// snapshot from the last complete checkpoint set. `None` on a
+    /// fresh launch (round 0).
+    pub resume: Option<ResumeFrom>,
+}
+
+/// The resume section of a relaunch [`Assignment`]: the checkpoint this
+/// rank restores before re-entering the round loop. The payload is the
+/// opaque [`Ctrl::Checkpoint`](crate::frame::Ctrl::Checkpoint) blob the
+/// rank's previous incarnation shipped — the supervisor retains it
+/// verbatim and never decodes it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResumeFrom {
+    /// The round edge the snapshot was taken at; the rank resumes at
+    /// `round + 1`.
+    pub round: u64,
+    /// The checkpoint blob (see [`encode_checkpoint`]).
+    pub payload: Vec<u8>,
 }
 
 /// The algorithm a net run executes.
@@ -147,6 +165,12 @@ pub struct RunOptions {
     /// the per-round tree allreduce. Off = the legacy path, kept alive
     /// for A/B attribution and fault coverage.
     pub event_loop: bool,
+    /// Ship a [`Ctrl::Checkpoint`](crate::frame::Ctrl::Checkpoint)
+    /// every this many rounds (at round edges where `completed % k ==
+    /// 0`, matching the in-process engines' oracle cadence). 0 = off;
+    /// when off, a rank death fails the run with a typed diagnosis
+    /// instead of triggering recovery.
+    pub checkpoint_every: u64,
 }
 
 impl Default for RunOptions {
@@ -162,6 +186,7 @@ impl Default for RunOptions {
             run_id: 0,
             telemetry: true,
             event_loop: true,
+            checkpoint_every: 0,
         }
     }
 }
@@ -254,6 +279,7 @@ fn encode_options(out: &mut impl BufMut, opts: &RunOptions) {
     out.put_u64_le(opts.run_id);
     out.put_u8(u8::from(opts.telemetry));
     out.put_u8(u8::from(opts.event_loop));
+    out.put_u64_le(opts.checkpoint_every);
 }
 
 fn decode_options(buf: &mut impl Buf) -> Result<RunOptions, NetError> {
@@ -274,6 +300,7 @@ fn decode_options(buf: &mut impl Buf) -> Result<RunOptions, NetError> {
         run_id: take_u64(buf, "run_id")?,
         telemetry: take_u8(buf, "telemetry flag")? != 0,
         event_loop: take_u8(buf, "event_loop flag")? != 0,
+        checkpoint_every: take_u64(buf, "checkpoint_every")?,
     })
 }
 
@@ -304,6 +331,15 @@ pub fn encode_assignment(a: &Assignment) -> Vec<u8> {
     put_u32s(&mut out, &dg.neighbor_ranks);
     encode_task(&mut out, &a.task);
     encode_options(&mut out, &a.opts);
+    match &a.resume {
+        None => out.put_u8(0),
+        Some(r) => {
+            out.put_u8(1);
+            out.put_u64_le(r.round);
+            out.put_u64_le(r.payload.len() as u64);
+            out.extend_from_slice(&r.payload);
+        }
+    }
     out
 }
 
@@ -335,6 +371,17 @@ pub fn decode_assignment(mut buf: &[u8]) -> Result<Assignment, NetError> {
     let neighbor_ranks = take_u32s(buf, "neighbor_ranks")?;
     let task = decode_task(buf)?;
     let opts = decode_options(buf)?;
+    let resume = match take_u8(buf, "resume flag")? {
+        0 => None,
+        1 => {
+            let round = take_u64(buf, "resume round")?;
+            let n = take_len(buf, 1, "resume payload")?;
+            let mut payload = vec![0u8; n];
+            buf.copy_to_slice(&mut payload);
+            Some(ResumeFrom { round, payload })
+        }
+        t => return Err(NetError::protocol(format!("unknown resume flag {t}"))),
+    };
 
     if xadj.len() != n_local + 1 {
         return Err(NetError::protocol(format!(
@@ -370,6 +417,7 @@ pub fn decode_assignment(mut buf: &[u8]) -> Result<Assignment, NetError> {
         },
         task,
         opts,
+        resume,
     })
 }
 
@@ -408,14 +456,7 @@ pub struct LoopClock {
     pub cpu_micros: u64,
 }
 
-/// Serializes the per-rank counters shipped inside a `Stats` frame.
-pub fn encode_stats(
-    rank_stats: &RankStats,
-    link: &LinkStats,
-    clock: &ClockReport,
-    loop_clock: &LoopClock,
-) -> Vec<u8> {
-    let mut out = Vec::with_capacity(21 * 8);
+fn encode_rank_stats(out: &mut impl BufMut, rank_stats: &RankStats) {
     out.put_u64_le(rank_stats.packets_sent);
     out.put_u64_le(rank_stats.packets_received);
     out.put_u64_le(rank_stats.messages_sent);
@@ -425,6 +466,31 @@ pub fn encode_stats(
     out.put_u64_le(rank_stats.work);
     out.put_u64_le(rank_stats.rounds_active);
     out.put_f64_le(rank_stats.virtual_time);
+}
+
+fn decode_rank_stats(buf: &mut impl Buf) -> Result<RankStats, NetError> {
+    Ok(RankStats {
+        packets_sent: take_u64(buf, "packets_sent")?,
+        packets_received: take_u64(buf, "packets_received")?,
+        messages_sent: take_u64(buf, "messages_sent")?,
+        bytes_sent: take_u64(buf, "bytes_sent")?,
+        bytes_received: take_u64(buf, "bytes_received")?,
+        messages_received: take_u64(buf, "messages_received")?,
+        work: take_u64(buf, "work")?,
+        rounds_active: take_u64(buf, "rounds_active")?,
+        virtual_time: take_f64(buf, "virtual_time")?,
+    })
+}
+
+/// Serializes the per-rank counters shipped inside a `Stats` frame.
+pub fn encode_stats(
+    rank_stats: &RankStats,
+    link: &LinkStats,
+    clock: &ClockReport,
+    loop_clock: &LoopClock,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(21 * 8);
+    encode_rank_stats(&mut out, rank_stats);
     out.put_u64_le(link.frames_sent);
     out.put_u64_le(link.frames_received);
     out.put_u64_le(link.bytes_sent);
@@ -447,17 +513,7 @@ pub fn decode_stats(
     mut buf: &[u8],
 ) -> Result<(RankStats, LinkStats, ClockReport, LoopClock), NetError> {
     let buf = &mut buf;
-    let rank_stats = RankStats {
-        packets_sent: take_u64(buf, "packets_sent")?,
-        packets_received: take_u64(buf, "packets_received")?,
-        messages_sent: take_u64(buf, "messages_sent")?,
-        bytes_sent: take_u64(buf, "bytes_sent")?,
-        bytes_received: take_u64(buf, "bytes_received")?,
-        messages_received: take_u64(buf, "messages_received")?,
-        work: take_u64(buf, "work")?,
-        rounds_active: take_u64(buf, "rounds_active")?,
-        virtual_time: take_f64(buf, "virtual_time")?,
-    };
+    let rank_stats = decode_rank_stats(buf)?;
     let link = LinkStats {
         frames_sent: take_u64(buf, "frames_sent")?,
         frames_received: take_u64(buf, "frames_received")?,
@@ -479,6 +535,223 @@ pub fn decode_stats(
         cpu_micros: take_u64(buf, "loop cpu_micros")?,
     };
     Ok((rank_stats, link, clock, loop_clock))
+}
+
+/// The transport half of a rank's checkpoint: every table the worker's
+/// `Transport` needs to re-enter the round loop mid-run on fresh
+/// sockets. Indexed vectors are `num_ranks` long with the own-rank slot
+/// zero.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TransportSnapshot {
+    /// Per-peer outbound sequence counter (`LinkWriter::next_seq`) at
+    /// the checkpoint edge. A restored rank resumes each writer here so
+    /// re-executed rounds re-send their frames under the original
+    /// numbering.
+    pub writer_next_seq: Vec<u64>,
+    /// Per-peer resequencer floor (`next` expected sequence number).
+    /// Restored so gap re-sends the rank already consumed before the
+    /// crash are dup-discarded instead of double-delivered.
+    pub reseq_next: Vec<u64>,
+    /// In-flight tree-allreduce accumulators: `(phase, count, value)`
+    /// (legacy barrier path).
+    pub tree_in_flight: Vec<(u32, u64, u64)>,
+    /// In-flight done-wave counters: `(phase, count)` (event-loop
+    /// path).
+    pub wave_in_flight: Vec<(u32, u64)>,
+    /// Per-round OR of peer activity bits not yet consumed by the wave:
+    /// `(round, active)`.
+    pub peer_active: Vec<(u64, u8)>,
+    /// Per-round count of round bundles received but not yet delivered:
+    /// `(round, count)`.
+    pub bundles: Vec<(u64, u32)>,
+    /// Barrier keep-going decisions received early: `(round, keep)`
+    /// (legacy path).
+    pub barrier_down: Vec<(u64, u8)>,
+    /// Buffered round packets awaiting delivery, keyed by the round
+    /// they were sent in: `(round, [(src, logical_bytes, payload)])`.
+    pub pending: Vec<(u64, Vec<(u32, u32, Vec<u8>)>)>,
+}
+
+/// One rank's full checkpoint: the payload of a
+/// [`Ctrl::Checkpoint`](crate::frame::Ctrl::Checkpoint) frame and of
+/// the resume section on relaunch.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CheckpointState {
+    /// The round edge the snapshot was taken at.
+    pub round: u64,
+    /// The rank's accumulated [`RankStats`] through `round`, restored
+    /// so a recovered run's final stats are bit-identical to an
+    /// uninterrupted one.
+    pub stats: RankStats,
+    /// The rank program's encoded snapshot
+    /// (`ProgramSnapshot::encode_bytes`).
+    pub program: Vec<u8>,
+    /// The transport tables.
+    pub transport: TransportSnapshot,
+}
+
+/// Serializes a [`CheckpointState`].
+pub fn encode_checkpoint(c: &CheckpointState) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_checkpoint_into(
+        &mut out,
+        c.round,
+        &c.stats,
+        &c.transport,
+        c.program.len(),
+        |out| out.extend_from_slice(&c.program),
+    );
+    out
+}
+
+/// Serializes a checkpoint into `out` with the program snapshot
+/// written **in place** by `write_program` — the worker's checkpoint
+/// hot path. The program's length prefix is back-patched after the
+/// closure runs, so the snapshot encodes once, straight into the frame
+/// payload, with no intermediate blob. `program_len_hint` sizes the
+/// reservation; when it is at least the real encoded size, the buffer
+/// never reallocates.
+pub fn encode_checkpoint_into(
+    out: &mut Vec<u8>,
+    round: u64,
+    stats: &RankStats,
+    t: &TransportSnapshot,
+    program_len_hint: usize,
+    write_program: impl FnOnce(&mut Vec<u8>),
+) {
+    // Exact sizes of every section below: round + stats + 9 length
+    // words, plus the per-element widths the decoder assumes.
+    let cap = 8
+        + 72
+        + 9 * 8
+        + program_len_hint
+        + 8 * (t.writer_next_seq.len() + t.reseq_next.len())
+        + 20 * t.tree_in_flight.len()
+        + 12 * t.wave_in_flight.len()
+        + 9 * t.peer_active.len()
+        + 12 * t.bundles.len()
+        + 9 * t.barrier_down.len()
+        + t.pending
+            .iter()
+            .map(|(_, ps)| 16 + ps.iter().map(|(_, _, p)| 16 + p.len()).sum::<usize>())
+            .sum::<usize>();
+    out.reserve(cap);
+    out.put_u64_le(round);
+    encode_rank_stats(out, stats);
+    let len_at = out.len();
+    out.put_u64_le(0);
+    write_program(out);
+    let program_len = ((out.len() - len_at - 8) as u64).to_le_bytes();
+    if let Some(slot) = out.get_mut(len_at..len_at + 8) {
+        slot.copy_from_slice(&program_len);
+    }
+    out.put_u64_le(t.writer_next_seq.len() as u64);
+    for &s in &t.writer_next_seq {
+        out.put_u64_le(s);
+    }
+    out.put_u64_le(t.reseq_next.len() as u64);
+    for &s in &t.reseq_next {
+        out.put_u64_le(s);
+    }
+    out.put_u64_le(t.tree_in_flight.len() as u64);
+    for &(phase, count, value) in &t.tree_in_flight {
+        out.put_u32_le(phase);
+        out.put_u64_le(count);
+        out.put_u64_le(value);
+    }
+    out.put_u64_le(t.wave_in_flight.len() as u64);
+    for &(phase, count) in &t.wave_in_flight {
+        out.put_u32_le(phase);
+        out.put_u64_le(count);
+    }
+    out.put_u64_le(t.peer_active.len() as u64);
+    for &(round, active) in &t.peer_active {
+        out.put_u64_le(round);
+        out.put_u8(active);
+    }
+    out.put_u64_le(t.bundles.len() as u64);
+    for &(round, count) in &t.bundles {
+        out.put_u64_le(round);
+        out.put_u32_le(count);
+    }
+    out.put_u64_le(t.barrier_down.len() as u64);
+    for &(round, keep) in &t.barrier_down {
+        out.put_u64_le(round);
+        out.put_u8(keep);
+    }
+    out.put_u64_le(t.pending.len() as u64);
+    for (round, packets) in &t.pending {
+        out.put_u64_le(*round);
+        out.put_u64_le(packets.len() as u64);
+        for (src, logical, payload) in packets {
+            out.put_u32_le(*src);
+            out.put_u32_le(*logical);
+            out.put_u64_le(payload.len() as u64);
+            out.extend_from_slice(payload);
+        }
+    }
+}
+
+/// Decodes a [`CheckpointState`]; fully checked like every supervisor
+/// plane payload.
+pub fn decode_checkpoint(mut buf: &[u8]) -> Result<CheckpointState, NetError> {
+    let buf = &mut buf;
+    let round = take_u64(buf, "checkpoint round")?;
+    let stats = decode_rank_stats(buf)?;
+    let n = take_len(buf, 1, "program snapshot")?;
+    let mut program = vec![0u8; n];
+    buf.copy_to_slice(&mut program);
+    let mut t = TransportSnapshot::default();
+    let n = take_len(buf, 8, "writer seqs")?;
+    for _ in 0..n {
+        t.writer_next_seq.push(buf.get_u64_le());
+    }
+    let n = take_len(buf, 8, "reseq floors")?;
+    for _ in 0..n {
+        t.reseq_next.push(buf.get_u64_le());
+    }
+    let n = take_len(buf, 20, "tree in-flight")?;
+    for _ in 0..n {
+        t.tree_in_flight
+            .push((buf.get_u32_le(), buf.get_u64_le(), buf.get_u64_le()));
+    }
+    let n = take_len(buf, 12, "wave in-flight")?;
+    for _ in 0..n {
+        t.wave_in_flight.push((buf.get_u32_le(), buf.get_u64_le()));
+    }
+    let n = take_len(buf, 9, "peer_active")?;
+    for _ in 0..n {
+        t.peer_active.push((buf.get_u64_le(), buf.get_u8()));
+    }
+    let n = take_len(buf, 12, "bundle counts")?;
+    for _ in 0..n {
+        t.bundles.push((buf.get_u64_le(), buf.get_u32_le()));
+    }
+    let n = take_len(buf, 9, "barrier_down")?;
+    for _ in 0..n {
+        t.barrier_down.push((buf.get_u64_le(), buf.get_u8()));
+    }
+    let n = take_len(buf, 16, "pending rounds")?;
+    for _ in 0..n {
+        let r = take_u64(buf, "pending round")?;
+        let np = take_len(buf, 16, "pending packets")?;
+        let mut packets = Vec::with_capacity(np);
+        for _ in 0..np {
+            let src = take_u32(buf, "pending src")?;
+            let logical = take_u32(buf, "pending logical bytes")?;
+            let len = take_len(buf, 1, "pending payload")?;
+            let mut payload = vec![0u8; len];
+            buf.copy_to_slice(&mut payload);
+            packets.push((src, logical, payload));
+        }
+        t.pending.push((r, packets));
+    }
+    Ok(CheckpointState {
+        round,
+        stats,
+        program,
+        transport: t,
+    })
 }
 
 /// Serializes the cumulative telemetry block a worker piggybacks on a
@@ -631,12 +904,25 @@ mod tests {
                     run_id: 0xDEAD_BEEF_0042,
                     telemetry: false,
                     event_loop: false,
+                    checkpoint_every: 3,
                 },
+                resume: None,
             };
             let bytes = encode_assignment(&a);
             let back = decode_assignment(&bytes).unwrap();
             assert_eq!(back, a);
             assert_eq!(back.dg.global_to_local, a.dg.global_to_local);
+
+            // Same assignment with a resume section attached.
+            let resumed = Assignment {
+                resume: Some(ResumeFrom {
+                    round: 17,
+                    payload: vec![1, 2, 3, 4, 5],
+                }),
+                ..a
+            };
+            let bytes = encode_assignment(&resumed);
+            assert_eq!(decode_assignment(&bytes).unwrap(), resumed);
         }
     }
 
@@ -646,6 +932,7 @@ mod tests {
             dg: sample_dist_graph(),
             task: NetTask::Matching,
             opts: RunOptions::default(),
+            resume: None,
         };
         let bytes = encode_assignment(&a);
         for cut in [0, 1, 9, bytes.len() / 2, bytes.len() - 1] {
@@ -731,6 +1018,48 @@ mod tests {
         let bytes = encode_telemetry(&t);
         assert_eq!(decode_telemetry(&bytes).unwrap(), t);
         assert!(decode_telemetry(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn checkpoint_round_trip() {
+        let c = CheckpointState {
+            round: 12,
+            stats: RankStats {
+                packets_sent: 40,
+                packets_received: 38,
+                messages_sent: 90,
+                bytes_sent: 720,
+                bytes_received: 700,
+                messages_received: 88,
+                work: 300,
+                rounds_active: 13,
+                virtual_time: 0.0,
+            },
+            program: vec![9, 8, 7, 6],
+            transport: TransportSnapshot {
+                writer_next_seq: vec![0, 14, 15],
+                reseq_next: vec![0, 13, 16],
+                tree_in_flight: vec![(13, 1, 1)],
+                wave_in_flight: vec![(13, 2)],
+                peer_active: vec![(13, 1)],
+                bundles: vec![(12, 2), (13, 1)],
+                barrier_down: vec![(13, 1)],
+                pending: vec![
+                    (12, vec![(1, 40, vec![1, 2, 3]), (2, 8, vec![])]),
+                    (13, vec![(2, 16, vec![4, 5])]),
+                ],
+            },
+        };
+        let bytes = encode_checkpoint(&c);
+        assert_eq!(decode_checkpoint(&bytes).unwrap(), c);
+        // Truncations are diagnosed, never panics.
+        for cut in [0, 8, 72, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_checkpoint(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        // An empty checkpoint (degenerate but legal) round-trips too.
+        let empty = CheckpointState::default();
+        let bytes = encode_checkpoint(&empty);
+        assert_eq!(decode_checkpoint(&bytes).unwrap(), empty);
     }
 
     #[test]

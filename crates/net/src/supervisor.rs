@@ -19,6 +19,12 @@
 //!   themselves and report a structured `Fatal` frame the supervisor
 //!   re-types as [`NetError::FrameLoss`].
 //!
+//! With `NetConfig::checkpoint_every > 0` the supervisor is also the
+//! *recovery* layer: workers ship consistent per-rank snapshots at
+//! round edges ([`Ctrl::Checkpoint`]), the supervisor retains the most
+//! recent complete set, and a worker loss triggers a whole-fleet
+//! relaunch from it (see [`Run::recover`]) instead of failing the run.
+//!
 //! On success the per-rank results are merged into the same shapes the
 //! other engines produce: a [`RunStats`] over all ranks, an assembled
 //! global matching/coloring (cross-validated between ranks — two ranks
@@ -31,7 +37,7 @@ use crate::frame::{read_frame, Ctrl, Frame, PROTO_VERSION};
 use crate::link::{FaultPlan, LinkStats, LinkWriter};
 use crate::proto::{
     decode_outcome, decode_stats, decode_telemetry, encode_assignment, Assignment, ClockReport,
-    NetTask, RunOptions, WorkerOutcome, NEVER,
+    NetTask, ResumeFrom, RunOptions, WorkerOutcome, NEVER,
 };
 use crate::worker::NO_STAMP;
 use bytes::Bytes;
@@ -41,6 +47,7 @@ use cmg_matching::Matching;
 use cmg_obs::{replay, Event, RecorderHandle, RunHealth, TimedEvent};
 use cmg_partition::dist::DistGraph;
 use cmg_runtime::{RankStats, RunStats};
+use std::collections::{BTreeMap, VecDeque};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::os::unix::process::ExitStatusExt;
 use std::path::{Path, PathBuf};
@@ -63,6 +70,10 @@ const CLOSE_GRACE: Duration = Duration::from_secs(2);
 const FATAL_SWEEP_GRACE: Duration = Duration::from_millis(250);
 /// How long workers get to exit after `Shutdown`.
 const EXIT_GRACE: Duration = Duration::from_secs(10);
+/// Checkpoint recoveries one run may attempt before the supervisor
+/// gives up and reports the underlying failure. Bounds the
+/// kill/respawn loop when a fault is persistent rather than transient.
+const MAX_RECOVERIES: u64 = 5;
 
 /// Scripted mid-run failure, for exercising the supervisor's
 /// diagnosis paths deterministically in tests.
@@ -125,6 +136,22 @@ pub struct NetConfig {
     pub fault: FaultPlan,
     /// Scripted mid-run failure (tests).
     pub kill: KillSpec,
+    /// A sequence of scripted failures, armed one at a time: the next
+    /// entry arms only after the previous one has fired (and, with
+    /// checkpointing on, the fleet has relaunched). Overrides `kill`
+    /// when non-empty. Lets tests kill a recovered run again.
+    pub kill_plan: Vec<KillSpec>,
+    /// Every how many completed rounds workers snapshot their program
+    /// and transport state and ship it to the supervisor
+    /// ([`Ctrl::Checkpoint`]). `0` disables checkpointing — worker
+    /// death then fails the run with the usual typed [`NetError`].
+    /// With a non-zero interval the supervisor retains the most recent
+    /// *complete* snapshot set (one per rank, same round edge) and, on
+    /// [`NetError::RankDied`]/[`NetError::WorkerFatal`], relaunches the
+    /// whole fleet from it instead of failing: sequence-numbered replay
+    /// of the gap rounds makes the completed run bit-identical to an
+    /// undisturbed one (link-layer counters excepted).
+    pub checkpoint_every: u64,
     /// Where merged obs events are replayed. Workers only collect and
     /// ship events when this handle is enabled.
     pub recorder: RecorderHandle,
@@ -151,6 +178,8 @@ impl Default for NetConfig {
             handshake_timeout: Duration::from_secs(20),
             fault: FaultPlan::default(),
             kill: KillSpec::default(),
+            kill_plan: Vec::new(),
+            checkpoint_every: 0,
             recorder: RecorderHandle::noop(),
             telemetry: true,
             worker_binary: None,
@@ -570,22 +599,47 @@ impl Drop for Fleet {
     }
 }
 
+/// Everything one fleet launch needs to spawn and admit its workers —
+/// shared between the first launch and checkpoint-recovery relaunches.
+struct LaunchPlan<'a> {
+    parts: &'a [DistGraph],
+    task: NetTask,
+    cfg: &'a NetConfig,
+    observed: bool,
+    run_id: u64,
+    /// The currently armed scripted failure (front of the kill queue).
+    kill: KillSpec,
+    /// `Some((round, per-rank payloads))` relaunches every rank from
+    /// the checkpoint set taken at that round edge; `None` starts
+    /// from round zero.
+    resume: Option<&'a (u64, Vec<Vec<u8>>)>,
+}
+
 /// One in-flight run: the fleet, the per-worker links, and the
 /// event-loop state.
 struct Run {
     num_ranks: u32,
+    // Retained inputs, so a checkpoint recovery can relaunch the fleet.
+    parts: Vec<DistGraph>,
+    task: NetTask,
+    cfg: NetConfig,
+    observed: bool,
+    run_id: u64,
     fleet: Fleet,
     writers: Vec<LinkWriter<UnixStream>>,
     rx: Receiver<SupEvent>,
-    kill: KillSpec,
-    stall_timeout: Duration,
-    handshake_timeout: Duration,
-    max_rounds: u64,
+    /// Remaining scripted failures; the front entry is armed.
+    kill_queue: VecDeque<KillSpec>,
     launched: Instant,
     ready: Vec<bool>,
     started: Option<Instant>,
     last_round: Vec<u64>,
     last_progress: Vec<Instant>,
+    /// Set when a stall first times out; blame is assigned only after a
+    /// short grace so in-flight heartbeat beacons can land first (a
+    /// starved-but-healthy rank's stale beacon must not out-stall the
+    /// genuinely wedged rank's frozen one).
+    stall_since: Option<Instant>,
     done: Vec<Option<(u64, bool)>>,
     stats: Vec<Option<(RankStats, LinkStats)>>,
     outcomes: Vec<Option<WorkerOutcome>>,
@@ -594,6 +648,194 @@ struct Run {
     clocks: Vec<Option<ClockReport>>,
     max_loop_micros: u64,
     sum_cpu_micros: u64,
+    /// Checkpoint sets still missing some rank's payload, by round edge.
+    pending_sets: BTreeMap<u64, Vec<Option<Vec<u8>>>>,
+    /// The most recent complete checkpoint set: every rank's payload
+    /// for the same round edge. What a recovery relaunches from.
+    last_good: Option<(u64, Vec<Vec<u8>>)>,
+    /// Checkpoint recoveries performed so far.
+    recoveries: u64,
+    /// Set while a recovery relaunch is waiting for its `Start`;
+    /// cleared (and its latency recorded) when the fleet restarts.
+    recovering_since: Option<Instant>,
+}
+
+/// Spawns one worker per rank in a fresh socket directory, referees the
+/// hello handshake, ships assignments (with the plan's resume section,
+/// if any), and starts the reader threads. Shared by the first launch
+/// and checkpoint-recovery relaunches; each call gets its own socket
+/// directory and event channel, so a relaunch is fully isolated from
+/// any straggling process of the fleet it replaces.
+fn spawn_fleet(
+    plan: &LaunchPlan,
+) -> Result<(Fleet, Vec<LinkWriter<UnixStream>>, Receiver<SupEvent>), NetError> {
+    let num_ranks = plan.parts.len() as u32;
+    let dir = fresh_sock_dir()?;
+    let mut fleet = Fleet {
+        dir: dir.clone(),
+        procs: Vec::with_capacity(num_ranks as usize),
+    };
+    let listener = UnixListener::bind(dir.join("sup.sock"))
+        .map_err(|e| NetError::io("binding the supervisor socket", e))?;
+    let binary = worker_binary_path(plan.cfg.worker_binary.as_deref())?;
+    for rank in 0..num_ranks {
+        let child = Command::new(&binary)
+            .arg(&dir)
+            .arg(rank.to_string())
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .spawn()
+            .map_err(|source| NetError::Spawn { rank, source })?;
+        fleet.procs.push(child);
+    }
+
+    // Accept one connection per worker; its Hello says which rank
+    // dialed. Assignments go out as each worker checks in.
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| NetError::io("making the supervisor socket non-blocking", e))?;
+    let mut writers: Vec<Option<LinkWriter<UnixStream>>> = (0..num_ranks).map(|_| None).collect();
+    let (tx, rx) = channel();
+    let handshake_started = Instant::now();
+    let mut connected = 0;
+    while connected < num_ranks {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                admit(stream, &mut writers, plan, &tx)?;
+                connected += 1;
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::Interrupted =>
+            {
+                if handshake_started.elapsed() > plan.cfg.handshake_timeout {
+                    return Err(NetError::Handshake {
+                        waiting_for: format!(
+                            "hello from {} of {num_ranks} workers",
+                            num_ranks - connected
+                        ),
+                        waited: handshake_started.elapsed(),
+                    });
+                }
+                // A worker that died before dialing would otherwise
+                // burn the whole handshake timeout.
+                for (rank, child) in fleet.procs.iter_mut().enumerate() {
+                    if writers[rank].is_none() {
+                        if let Ok(Some(status)) = child.try_wait() {
+                            return Err(NetError::RankDied {
+                                rank: rank as u32,
+                                signal: status.signal(),
+                                status: Some(status),
+                                context: "during the handshake".into(),
+                            });
+                        }
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => return Err(NetError::io("accepting a worker connection", e)),
+        }
+    }
+    let writers = writers
+        .into_iter()
+        .map(|w| w.ok_or_else(|| NetError::protocol("handshake finished with a missing worker")))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((fleet, writers, rx))
+}
+
+/// Admits one accepted connection: reads its Hello, ships the
+/// matching assignment, and starts its reader thread.
+fn admit(
+    stream: UnixStream,
+    writers: &mut [Option<LinkWriter<UnixStream>>],
+    plan: &LaunchPlan,
+    tx: &Sender<SupEvent>,
+) -> Result<u32, NetError> {
+    stream
+        .set_nonblocking(false)
+        .map_err(|e| NetError::io("making a worker stream blocking", e))?;
+    stream
+        .set_write_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| NetError::io("setting a worker write timeout", e))?;
+    let mut read_half = stream
+        .try_clone()
+        .map_err(|e| NetError::io("cloning a worker stream", e))?;
+    let (_, hello) = match read_frame(&mut read_half)? {
+        Some(pair) => pair,
+        None => return Err(NetError::protocol("worker closed during its hello")),
+    };
+    let rank = match hello.ctrl {
+        Ctrl::Hello { rank, proto } => {
+            if proto != PROTO_VERSION {
+                return Err(NetError::protocol(format!(
+                    "worker {rank} speaks protocol {proto}, expected {PROTO_VERSION}"
+                )));
+            }
+            rank
+        }
+        other => {
+            return Err(NetError::protocol(format!(
+                "expected a worker Hello, got {other:?}"
+            )))
+        }
+    };
+    let slot = match writers.get_mut(rank as usize) {
+        Some(slot) => slot,
+        None => {
+            return Err(NetError::protocol(format!(
+                "hello from out-of-range rank {rank}"
+            )))
+        }
+    };
+    if slot.is_some() {
+        return Err(NetError::protocol(format!("rank {rank} dialed twice")));
+    }
+    let assignment = Assignment {
+        dg: plan.parts[rank as usize].clone(),
+        task: plan.task,
+        opts: RunOptions {
+            bundling: true,
+            observed: plan.observed,
+            max_rounds: plan.cfg.max_rounds,
+            heartbeat_millis: plan.cfg.heartbeat.as_millis() as u64,
+            gap_deadline_millis: plan.cfg.gap_deadline.as_millis() as u64,
+            fault: plan.cfg.fault,
+            die_at_round: plan.kill.die_at_round(rank),
+            run_id: plan.run_id,
+            telemetry: plan.cfg.telemetry,
+            event_loop: plan.cfg.event_loop,
+            checkpoint_every: plan.cfg.checkpoint_every,
+        },
+        resume: plan.resume.map(|(round, payloads)| ResumeFrom {
+            round: *round,
+            payload: payloads[rank as usize].clone(),
+        }),
+    };
+    let mut writer = LinkWriter::new(stream);
+    writer.send(&Frame::with_payload(
+        Ctrl::Assignment { rank },
+        Bytes::from(encode_assignment(&assignment)),
+    ))?;
+    *slot = Some(writer);
+    let tx = tx.clone();
+    let _ = std::thread::spawn(move || loop {
+        match read_frame(&mut read_half) {
+            Ok(Some((_, frame))) => {
+                if tx.send(SupEvent::Frame { rank, frame }).is_err() {
+                    return;
+                }
+            }
+            Ok(None) => {
+                let _ = tx.send(SupEvent::Closed { rank });
+                return;
+            }
+            Err(error) => {
+                let _ = tx.send(SupEvent::ReadFailed { rank, error });
+                return;
+            }
+        }
+    });
+    Ok(rank)
 }
 
 impl Run {
@@ -617,111 +859,47 @@ impl Run {
             }
         }
 
-        let dir = fresh_sock_dir()?;
-        let mut fleet = Fleet {
-            dir: dir.clone(),
-            procs: Vec::with_capacity(num_ranks as usize),
-        };
-        let listener = UnixListener::bind(dir.join("sup.sock"))
-            .map_err(|e| NetError::io("binding the supervisor socket", e))?;
-        let binary = worker_binary_path(cfg.worker_binary.as_deref())?;
-        for rank in 0..num_ranks {
-            let child = Command::new(&binary)
-                .arg(&dir)
-                .arg(rank.to_string())
-                .stdin(Stdio::null())
-                .stdout(Stdio::null())
-                .spawn()
-                .map_err(|source| NetError::Spawn { rank, source })?;
-            fleet.procs.push(child);
-        }
-
-        // Accept one connection per worker; its Hello says which rank
-        // dialed. Assignments go out as each worker checks in.
-        listener
-            .set_nonblocking(true)
-            .map_err(|e| NetError::io("making the supervisor socket non-blocking", e))?;
         let observed = cfg.recorder.enabled();
         // A compact run identity carried in every assignment, so traces
         // and telemetry from different concurrent runs never merge:
-        // this process plus this process's run counter.
+        // this process plus this process's run counter. Relaunched
+        // fleets keep the identity of the run they resume.
         let run_id =
             (u64::from(std::process::id()) << 32) | RUN_COUNTER.fetch_add(1, Ordering::Relaxed);
-        let mut writers: Vec<Option<LinkWriter<UnixStream>>> =
-            (0..num_ranks).map(|_| None).collect();
-        let (tx, rx) = channel();
-        let handshake_started = Instant::now();
-        let mut connected = 0;
-        while connected < num_ranks {
-            match listener.accept() {
-                Ok((stream, _)) => {
-                    let rank = Run::admit(
-                        stream,
-                        &mut writers,
-                        &parts,
-                        task,
-                        cfg,
-                        observed,
-                        run_id,
-                        &tx,
-                    )?;
-                    let _ = rank;
-                    connected += 1;
-                }
-                Err(e)
-                    if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::Interrupted =>
-                {
-                    if handshake_started.elapsed() > cfg.handshake_timeout {
-                        return Err(NetError::Handshake {
-                            waiting_for: format!(
-                                "hello from {} of {num_ranks} workers",
-                                num_ranks - connected
-                            ),
-                            waited: handshake_started.elapsed(),
-                        });
-                    }
-                    // A worker that died before dialing would otherwise
-                    // burn the whole handshake timeout.
-                    for (rank, child) in fleet.procs.iter_mut().enumerate() {
-                        if writers[rank].is_none() {
-                            if let Ok(Some(status)) = child.try_wait() {
-                                return Err(NetError::RankDied {
-                                    rank: rank as u32,
-                                    signal: status.signal(),
-                                    status: Some(status),
-                                    context: "during the handshake".into(),
-                                });
-                            }
-                        }
-                    }
-                    std::thread::sleep(Duration::from_millis(2));
-                }
-                Err(e) => return Err(NetError::io("accepting a worker connection", e)),
-            }
-        }
-        let writers = writers
-            .into_iter()
-            .map(|w| {
-                w.ok_or_else(|| NetError::protocol("handshake finished with a missing worker"))
-            })
-            .collect::<Result<Vec<_>, _>>()?;
+        let kill_queue: VecDeque<KillSpec> = if cfg.kill_plan.is_empty() {
+            VecDeque::from(vec![cfg.kill])
+        } else {
+            cfg.kill_plan.iter().copied().collect()
+        };
+        let plan = LaunchPlan {
+            parts: &parts,
+            task,
+            cfg,
+            observed,
+            run_id,
+            kill: kill_queue.front().copied().unwrap_or_default(),
+            resume: None,
+        };
+        let (fleet, writers, rx) = spawn_fleet(&plan)?;
 
         let now = Instant::now();
         Ok(Run {
             num_ranks,
+            parts,
+            task,
+            cfg: cfg.clone(),
+            observed,
+            run_id,
             fleet,
             writers,
             rx,
-            kill: cfg.kill,
-            stall_timeout: cfg.stall_timeout,
-            handshake_timeout: cfg.handshake_timeout,
-            max_rounds: cfg.max_rounds,
+            kill_queue,
             launched: now,
             ready: vec![false; num_ranks as usize],
             started: None,
             last_round: vec![0; num_ranks as usize],
             last_progress: vec![now; num_ranks as usize],
+            stall_since: None,
             done: vec![None; num_ranks as usize],
             stats: vec![None; num_ranks as usize],
             outcomes: vec![None; num_ranks as usize],
@@ -730,109 +908,35 @@ impl Run {
             clocks: vec![None; num_ranks as usize],
             max_loop_micros: 0,
             sum_cpu_micros: 0,
+            pending_sets: BTreeMap::new(),
+            last_good: None,
+            recoveries: 0,
+            recovering_since: None,
         })
-    }
-
-    /// Admits one accepted connection: reads its Hello, ships the
-    /// matching assignment, and starts its reader thread.
-    #[allow(clippy::too_many_arguments)]
-    fn admit(
-        stream: UnixStream,
-        writers: &mut [Option<LinkWriter<UnixStream>>],
-        parts: &[DistGraph],
-        task: NetTask,
-        cfg: &NetConfig,
-        observed: bool,
-        run_id: u64,
-        tx: &Sender<SupEvent>,
-    ) -> Result<u32, NetError> {
-        stream
-            .set_nonblocking(false)
-            .map_err(|e| NetError::io("making a worker stream blocking", e))?;
-        stream
-            .set_write_timeout(Some(Duration::from_secs(5)))
-            .map_err(|e| NetError::io("setting a worker write timeout", e))?;
-        let mut read_half = stream
-            .try_clone()
-            .map_err(|e| NetError::io("cloning a worker stream", e))?;
-        let (_, hello) = match read_frame(&mut read_half)? {
-            Some(pair) => pair,
-            None => return Err(NetError::protocol("worker closed during its hello")),
-        };
-        let rank = match hello.ctrl {
-            Ctrl::Hello { rank, proto } => {
-                if proto != PROTO_VERSION {
-                    return Err(NetError::protocol(format!(
-                        "worker {rank} speaks protocol {proto}, expected {PROTO_VERSION}"
-                    )));
-                }
-                rank
-            }
-            other => {
-                return Err(NetError::protocol(format!(
-                    "expected a worker Hello, got {other:?}"
-                )))
-            }
-        };
-        let slot = match writers.get_mut(rank as usize) {
-            Some(slot) => slot,
-            None => {
-                return Err(NetError::protocol(format!(
-                    "hello from out-of-range rank {rank}"
-                )))
-            }
-        };
-        if slot.is_some() {
-            return Err(NetError::protocol(format!("rank {rank} dialed twice")));
-        }
-        let assignment = Assignment {
-            dg: parts[rank as usize].clone(),
-            task,
-            opts: RunOptions {
-                bundling: true,
-                observed,
-                max_rounds: cfg.max_rounds,
-                heartbeat_millis: cfg.heartbeat.as_millis() as u64,
-                gap_deadline_millis: cfg.gap_deadline.as_millis() as u64,
-                fault: cfg.fault,
-                die_at_round: cfg.kill.die_at_round(rank),
-                run_id,
-                telemetry: cfg.telemetry,
-                event_loop: cfg.event_loop,
-            },
-        };
-        let mut writer = LinkWriter::new(stream);
-        writer.send(&Frame::with_payload(
-            Ctrl::Assignment { rank },
-            Bytes::from(encode_assignment(&assignment)),
-        ))?;
-        *slot = Some(writer);
-        let tx = tx.clone();
-        let _ = std::thread::spawn(move || loop {
-            match read_frame(&mut read_half) {
-                Ok(Some((_, frame))) => {
-                    if tx.send(SupEvent::Frame { rank, frame }).is_err() {
-                        return;
-                    }
-                }
-                Ok(None) => {
-                    let _ = tx.send(SupEvent::Closed { rank });
-                    return;
-                }
-                Err(error) => {
-                    let _ = tx.send(SupEvent::ReadFailed { rank, error });
-                    return;
-                }
-            }
-        });
-        Ok(rank)
     }
 
     /// The event loop: drives the run to completion (all ranks `Done`)
     /// or to a diagnosed failure, then shuts the fleet down and
-    /// assembles the merged results.
+    /// assembles the merged results. With checkpointing enabled, a
+    /// worker death is not final: the fleet relaunches from the last
+    /// complete snapshot set (bounded by [`MAX_RECOVERIES`]) and the
+    /// loop re-enters.
     #[allow(clippy::type_complexity)]
     fn drive(&mut self) -> Result<(Vec<WorkerOutcome>, RunStats, LinkTotals, u64), NetError> {
+        loop {
+            match self.drive_to_done() {
+                Ok(()) => break,
+                Err(e) if self.recoverable(&e) => self.recover()?,
+                Err(e) => return Err(e),
+            }
+        }
+        self.shutdown_fleet()?;
+        self.assemble()
+    }
+
+    /// Runs the event loop until every rank reports `Done` or a failure
+    /// is diagnosed.
+    fn drive_to_done(&mut self) -> Result<(), NetError> {
         while !self.done.iter().all(Option::is_some) {
             match self.rx.recv_timeout(TICK) {
                 Ok(ev) => self.dispatch(ev)?,
@@ -848,7 +952,7 @@ impl Run {
             self.sweep(None)?;
             self.maybe_start()?;
             self.check_stall()?;
-            if self.started.is_none() && self.launched.elapsed() > self.handshake_timeout {
+            if self.started.is_none() && self.launched.elapsed() > self.cfg.handshake_timeout {
                 return Err(NetError::Handshake {
                     waiting_for: format!(
                         "ready from {} workers",
@@ -858,8 +962,81 @@ impl Run {
                 });
             }
         }
-        self.shutdown_fleet()?;
-        self.assemble()
+        Ok(())
+    }
+
+    /// Whether a failure is worth a checkpoint recovery: checkpointing
+    /// is on, the retry budget remains, and the diagnosis is a worker
+    /// loss (dead process or self-reported fatal) rather than a
+    /// protocol bug, a stall, or an infrastructure error.
+    fn recoverable(&self, e: &NetError) -> bool {
+        self.cfg.checkpoint_every > 0
+            && self.recoveries < MAX_RECOVERIES
+            && matches!(
+                e,
+                NetError::RankDied { .. } | NetError::WorkerFatal { .. }
+            )
+    }
+
+    /// Relaunches the whole fleet from the last complete checkpoint
+    /// set (or from round zero if none completed yet).
+    ///
+    /// BSP makes the per-rank snapshots taken at the same round edge a
+    /// consistent global state: every message of rounds `<= R` has been
+    /// delivered, none of round `R + 1` sent. Surviving workers hold
+    /// state *past* that edge which cannot be rolled back piecemeal, so
+    /// recovery is collective — kill the survivors, respawn all ranks
+    /// in a fresh socket directory, and hand each its own snapshot.
+    /// Every rank resumes at round `R + 1` with its writer sequence
+    /// numbers and resequencer floors restored, so any frames the
+    /// previous incarnation had sent beyond the edge are re-sent under
+    /// their original sequence numbers and dup-discarded by receivers
+    /// that already consumed them. The resumed run's results and
+    /// engine statistics are bit-identical to an undisturbed run.
+    fn recover(&mut self) -> Result<(), NetError> {
+        let detected = Instant::now();
+        let n = self.num_ranks as usize;
+        // Kill the survivors first: their post-edge state is tainted,
+        // and a straggler must not keep dialing while we relaunch.
+        for c in &mut self.fleet.procs {
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+        let plan = LaunchPlan {
+            parts: &self.parts,
+            task: self.task,
+            cfg: &self.cfg,
+            observed: self.observed,
+            run_id: self.run_id,
+            kill: self.kill_queue.front().copied().unwrap_or_default(),
+            resume: self.last_good.as_ref(),
+        };
+        let (fleet, writers, rx) = spawn_fleet(&plan)?;
+        // Dropping the old fleet reaps the corpses and removes its
+        // socket directory; dropping the old receiver makes the old
+        // reader threads exit on their next send.
+        self.fleet = fleet;
+        self.writers = writers;
+        self.rx = rx;
+
+        let now = Instant::now();
+        self.launched = now;
+        self.ready = vec![false; n];
+        self.started = None;
+        self.last_round = vec![0; n];
+        self.last_progress = vec![now; n];
+        self.stall_since = None;
+        self.done = vec![None; n];
+        self.stats = vec![None; n];
+        self.outcomes = vec![None; n];
+        self.events = vec![None; n];
+        self.clocks = vec![None; n];
+        // Incomplete sets died with the old fleet; the new incarnation
+        // re-ships identical checkpoints at the same future edges.
+        self.pending_sets.clear();
+        self.recoveries += 1;
+        self.recovering_since = Some(detected);
+        Ok(())
     }
 
     fn dispatch(&mut self, ev: SupEvent) -> Result<(), NetError> {
@@ -910,11 +1087,21 @@ impl Run {
                 Ok(())
             }
             Ctrl::FaultPoint { rank: said, .. } if said == rank => {
-                if matches!(self.kill, KillSpec::KillAtRound { rank: k, .. } if k == rank) {
+                if matches!(
+                    self.kill_queue.front(),
+                    Some(KillSpec::KillAtRound { rank: k, .. }) if *k == rank
+                ) {
                     // `Child::kill` is SIGKILL on Unix: the worker gets
                     // no chance to report anything, which is the point.
+                    // The fired entry retires so a recovery relaunch
+                    // arms the next one instead of re-killing forever.
                     let _ = self.fleet.procs[r].kill();
+                    self.kill_queue.pop_front();
                 }
+                Ok(())
+            }
+            Ctrl::Checkpoint { rank: said, round, .. } if said == rank => {
+                self.note_checkpoint(r, round, frame.payload.to_vec());
                 Ok(())
             }
             Ctrl::Stats { rank: said } if said == rank => {
@@ -967,6 +1154,31 @@ impl Run {
             other => Err(NetError::protocol(format!(
                 "unexpected {other:?} frame from rank {rank} on the supervisor plane"
             ))),
+        }
+    }
+
+    /// Files one rank's checkpoint payload under its round edge. When
+    /// the set completes (every rank shipped that edge) it becomes the
+    /// new `last_good` and every older partial set is pruned — a rank
+    /// death can only strand *newer* edges incomplete, and those stay
+    /// pending until their missing payloads arrive or a recovery
+    /// clears them.
+    fn note_checkpoint(&mut self, r: usize, round: u64, payload: Vec<u8>) {
+        let n = self.num_ranks as usize;
+        let set = self
+            .pending_sets
+            .entry(round)
+            .or_insert_with(|| vec![None; n]);
+        set[r] = Some(payload);
+        if set.iter().all(Option::is_some) {
+            let Some(set) = self.pending_sets.remove(&round) else {
+                return;
+            };
+            let full: Vec<Vec<u8>> = set.into_iter().flatten().collect();
+            if full.len() == n && self.last_good.as_ref().is_none_or(|(g, _)| *g < round) {
+                self.last_good = Some((round, full));
+            }
+            self.pending_sets.retain(|&edge, _| edge > round);
         }
     }
 
@@ -1029,6 +1241,14 @@ impl Run {
                         return parse_fatal(rank, &String::from_utf8_lossy(&frame.payload));
                     }
                 }
+                // A survivor's checkpoint racing the death may complete
+                // a set; filing it here lets the recovery resume from
+                // the freshest edge instead of silently dropping it.
+                Ok(SupEvent::Frame { rank: r, frame }) => {
+                    if let Ctrl::Checkpoint { round, .. } = frame.ctrl {
+                        self.note_checkpoint(r as usize, round, frame.payload.to_vec());
+                    }
+                }
                 Ok(_) => {}
                 Err(_) => break,
             }
@@ -1057,6 +1277,11 @@ impl Run {
         for p in &mut self.last_progress {
             *p = now;
         }
+        // A relaunched fleet just restarted: the detection-to-restart
+        // latency is the recovery cost the benches report.
+        if let Some(t0) = self.recovering_since.take() {
+            self.health.note_recovery(t0.elapsed().as_micros() as u64);
+        }
         Ok(())
     }
 
@@ -1070,22 +1295,46 @@ impl Run {
         }
         let mut worst: Option<usize> = None;
         for r in 0..self.num_ranks as usize {
-            if self.done[r].is_some() || self.last_progress[r].elapsed() < self.stall_timeout {
+            if self.done[r].is_some() || self.last_progress[r].elapsed() < self.cfg.stall_timeout {
                 continue;
             }
             if worst.is_none_or(|w| self.last_round[r] < self.last_round[w]) {
                 worst = Some(r);
             }
         }
-        match worst {
-            Some(r) => Err(NetError::Stalled {
-                rank: r as u32,
-                // Beacon units are half-rounds; report whole rounds.
-                round: self.last_round[r] / 2,
-                waited: self.last_progress[r].elapsed(),
-            }),
-            None => Ok(()),
+        let Some(r) = worst else {
+            self.stall_since = None;
+            return Ok(());
+        };
+        // Blame grace: the timeout fires on the supervisor's *view* of
+        // the beacons, and on a loaded host a healthy rank's heartbeat
+        // thread can be starved long enough that its stale beacon reads
+        // further behind than the truly wedged rank's frozen one. Keep
+        // draining events for a couple of heartbeat periods before
+        // assigning blame — late beacons refresh healthy ranks out of
+        // the timed-out set, while a wedged rank's beacon can never
+        // advance, so waiting only sharpens the verdict.
+        let grace = self
+            .cfg
+            .heartbeat
+            .saturating_mul(2)
+            .max(Duration::from_millis(100));
+        match self.stall_since {
+            None => {
+                self.stall_since = Some(Instant::now());
+                return Ok(());
+            }
+            Some(t0) if t0.elapsed() < grace => return Ok(()),
+            // Grace over: `worst`, recomputed fresh above this call,
+            // now reflects every beacon that landed during the grace.
+            Some(_) => {}
         }
+        Err(NetError::Stalled {
+            rank: r as u32,
+            // Beacon units are half-rounds; report whole rounds.
+            round: self.last_round[r] / 2,
+            waited: self.last_progress[r].elapsed(),
+        })
     }
 
     /// Sends `Shutdown` to every worker and waits (bounded) for clean
@@ -1121,7 +1370,7 @@ impl Run {
             })?;
             if cap {
                 return Err(NetError::RoundCap {
-                    max_rounds: self.max_rounds,
+                    max_rounds: self.cfg.max_rounds,
                 });
             }
             rounds = rounds.max(worker_rounds);

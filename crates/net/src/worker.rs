@@ -31,8 +31,9 @@ use crate::error::NetError;
 use crate::frame::{read_frame, Ctrl, Frame, PROTO_VERSION};
 use crate::link::{connect_with_backoff, FaultPlan, LinkStats, LinkWriter, Resequencer};
 use crate::proto::{
-    decode_assignment, encode_outcome, encode_stats, encode_telemetry, Assignment, ClockReport,
-    LoopClock, NetTask, RunOptions, WorkerOutcome,
+    decode_assignment, decode_checkpoint, encode_checkpoint_into, encode_outcome, encode_stats,
+    encode_telemetry, Assignment, CheckpointState, ClockReport, LoopClock, NetTask, RunOptions,
+    TransportSnapshot, WorkerOutcome,
 };
 use bytes::{BufMut, Bytes};
 use cmg_coloring::{DistColoring, JonesPlassmann};
@@ -41,7 +42,7 @@ use cmg_obs::{CollectingRecorder, Event, PhaseName, RankTelemetry, RecorderHandl
 use cmg_runtime::bundle::Packet;
 use cmg_runtime::collectives::{DoneWave, ReduceOutcome, TreeAllreduce};
 use cmg_runtime::message::decode_all_into;
-use cmg_runtime::{RankCtx, RankProgram, RankStats, Status};
+use cmg_runtime::{ProgramSnapshot, RankCtx, RankProgram, RankStats, Status};
 use std::collections::BTreeMap;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::Path;
@@ -254,6 +255,10 @@ struct Transport {
     clock: Arc<ClockSync>,
     /// `Some` when the run ships live telemetry on heartbeats.
     telemetry: Option<Arc<TelemetryCells>>,
+    /// Size of the last [`Ctrl::Checkpoint`] payload shipped, used (with
+    /// headroom) to pre-size the next one's wire buffer so the encode
+    /// hot path normally never reallocates.
+    ckpt_len_hint: usize,
 }
 
 impl Transport {
@@ -628,6 +633,173 @@ impl Transport {
         }
         total
     }
+
+    /// Captures the transport tables at a round edge for a checkpoint.
+    /// Safe to call between pumps: the reader threads only enqueue, so
+    /// nothing here mutates concurrently.
+    fn snapshot_tables(&self) -> TransportSnapshot {
+        let n = self.num_ranks as usize;
+        let mut writer_next_seq = vec![0u64; n];
+        for (i, w) in self.writers.iter().enumerate() {
+            if let Some(w) = w {
+                writer_next_seq[i] = w.next_seq();
+            }
+        }
+        TransportSnapshot {
+            writer_next_seq,
+            reseq_next: self.reseq.iter().map(Resequencer::next_expected).collect(),
+            tree_in_flight: self
+                .tree
+                .in_flight()
+                .iter()
+                .map(|&(phase, count, value)| (phase, count as u64, value))
+                .collect(),
+            wave_in_flight: self
+                .wave
+                .in_flight()
+                .iter()
+                .map(|&(phase, count)| (phase, count as u64))
+                .collect(),
+            peer_active: self
+                .peer_active
+                .iter()
+                .map(|(&round, &active)| (round, u8::from(active)))
+                .collect(),
+            bundles: self.bundles.iter().map(|(&r, &c)| (r, c)).collect(),
+            barrier_down: self
+                .barrier_down
+                .iter()
+                .map(|(&r, &keep)| (r, u8::from(keep)))
+                .collect(),
+            pending: self
+                .pending
+                .iter()
+                .map(|(&round, packets)| {
+                    (
+                        round,
+                        packets
+                            .iter()
+                            .map(|(src, payload, logical)| (*src, *logical, payload.to_vec()))
+                            .collect(),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Restores the transport tables from a checkpoint, on fresh
+    /// sockets: writers resume their sequence counters (past the fresh
+    /// handshake traffic, which receivers consumed synchronously),
+    /// resequencers restart at the checkpointed floors so gap re-sends
+    /// dup-discard, and the buffered round state comes back verbatim.
+    /// Must run before the first `pump` so no frame is dispatched
+    /// through un-restored tables.
+    fn restore_tables(&mut self, ck: &CheckpointState) -> Result<(), NetError> {
+        let n = self.num_ranks as usize;
+        let ts = &ck.transport;
+        if ts.writer_next_seq.len() != n || ts.reseq_next.len() != n {
+            return Err(NetError::protocol(format!(
+                "checkpoint transport tables sized for {} ranks, run has {n}",
+                ts.writer_next_seq.len()
+            )));
+        }
+        for (i, w) in self.writers.iter_mut().enumerate() {
+            if let Some(w) = w {
+                w.resume_seq(ts.writer_next_seq[i]);
+            }
+        }
+        for (i, r) in self.reseq.iter_mut().enumerate() {
+            *r = Resequencer::starting_at(ts.reseq_next[i]);
+        }
+        self.tree.restore_in_flight(
+            ts.tree_in_flight
+                .iter()
+                .map(|&(phase, count, value)| (phase, count as usize, value))
+                .collect(),
+        );
+        self.wave.restore_in_flight(
+            ts.wave_in_flight
+                .iter()
+                .map(|&(phase, count)| (phase, count as usize))
+                .collect(),
+        );
+        self.peer_active = ts
+            .peer_active
+            .iter()
+            .map(|&(round, active)| (round, active != 0))
+            .collect();
+        self.bundles = ts.bundles.iter().copied().collect();
+        self.barrier_down = ts
+            .barrier_down
+            .iter()
+            .map(|&(round, keep)| (round, keep != 0))
+            .collect();
+        self.pending = ts
+            .pending
+            .iter()
+            .map(|(round, packets)| {
+                (
+                    *round,
+                    packets
+                        .iter()
+                        .map(|(src, logical, payload)| {
+                            (*src, Bytes::from(payload.clone()), *logical)
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        Ok(())
+    }
+
+    /// Ships a [`Ctrl::Checkpoint`] home: the program snapshot, the
+    /// accumulated stats, and the transport tables, all taken at the
+    /// edge of `round`.
+    fn ship_checkpoint<P: RankProgram>(
+        &mut self,
+        program: &P,
+        stats: &RankStats,
+        round: u64,
+    ) -> Result<(), NetError> {
+        let transport = self.snapshot_tables();
+        let rank = self.rank;
+        let seq_floor = transport
+            .reseq_next
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i as u32 != rank)
+            .map(|(_, &f)| f)
+            .min()
+            .unwrap_or(0);
+        // Single-pass encode: the snapshot and the transport tables are
+        // written straight into the wire buffer (`send_streamed` →
+        // `encode_checkpoint_into` → `encode_snapshot_into`), so the
+        // payload is never staged through an intermediate blob, `Bytes`
+        // conversion, or `encode_frame` copy. The last payload's size
+        // (plus headroom for newly colored chunks) pre-sizes the buffer.
+        let hint = self.ckpt_len_hint + self.ckpt_len_hint / 4 + 1024;
+        let mut shipped = 0usize;
+        let res = lock(&self.sup).send_streamed(
+            Ctrl::Checkpoint {
+                rank,
+                round,
+                seq_floor,
+            },
+            hint,
+            |out| {
+                let at = out.len();
+                // Program-length hint 0: the outer wire buffer already
+                // reserves for the whole payload, and re-reserving the
+                // program's share here would force a pointless realloc.
+                encode_checkpoint_into(out, round, stats, &transport, 0, |o| {
+                    program.encode_snapshot_into(o)
+                });
+                shipped = out.len() - at;
+            },
+        );
+        self.ckpt_len_hint = shipped;
+        res
+    }
 }
 
 /// Decodes a `RoundBundle` payload: `npackets` of
@@ -794,7 +966,28 @@ fn run_assigned(
     sup: Arc<Mutex<LinkWriter<UnixStream>>>,
     sup_read: UnixStream,
 ) -> Result<(), NetError> {
-    let Assignment { dg, task, opts } = assignment;
+    let Assignment {
+        dg,
+        task,
+        opts,
+        resume,
+    } = assignment;
+    // A resume section means this process is a relaunch: decode the
+    // checkpoint now (cheap to fail fast), restore the transport after
+    // the mesh is up, and build the program from its snapshot below.
+    let resume_ck = match &resume {
+        Some(r) => {
+            let ck = decode_checkpoint(&r.payload)?;
+            if ck.round != r.round {
+                return Err(NetError::protocol(format!(
+                    "resume section says round {} but checkpoint blob says {}",
+                    r.round, ck.round
+                )));
+            }
+            Some(ck)
+        }
+        None => None,
+    };
     let num_ranks = dg.num_ranks;
     let sock_dir = match listener.local_addr().ok().and_then(|a| {
         a.as_pathname()
@@ -870,7 +1063,11 @@ fn run_assigned(
         epoch: None,
         clock: Arc::clone(&clock),
         telemetry,
+        ckpt_len_hint: 0,
     };
+    if let Some(ck) = &resume_ck {
+        t.restore_tables(ck)?;
+    }
 
     while !t.started {
         t.pump(PUMP_TICK)?;
@@ -881,19 +1078,33 @@ fn run_assigned(
     // round cost without spawn, handshake, or result-shipping noise.
     let loop_started = Instant::now();
     let cpu_started = process_cpu_micros();
+    // On resume, re-enter the round loop at the edge after the
+    // checkpoint, with the stats accumulated through it.
+    let start = resume_ck
+        .as_ref()
+        .map(|ck| (ck.round + 1, ck.stats.clone()));
     let (outcome, stats, rounds, cap) = match task {
         NetTask::Matching => {
-            run_task_rounds(DistMatching::new(dg), &mut t, &recorder, &round_beacon)?
+            let program = match &resume_ck {
+                Some(ck) => restore_program::<DistMatching>(dg, &ck.program)?,
+                None => DistMatching::new(dg),
+            };
+            run_task_rounds(program, &mut t, &recorder, &round_beacon, start)?
         }
         NetTask::Coloring(cfg) => {
-            run_task_rounds(DistColoring::new(dg, cfg), &mut t, &recorder, &round_beacon)?
+            let program = match &resume_ck {
+                Some(ck) => restore_program::<DistColoring>((dg, cfg), &ck.program)?,
+                None => DistColoring::new(dg, cfg),
+            };
+            run_task_rounds(program, &mut t, &recorder, &round_beacon, start)?
         }
-        NetTask::JonesPlassmann { seed } => run_task_rounds(
-            JonesPlassmann::new(dg, seed),
-            &mut t,
-            &recorder,
-            &round_beacon,
-        )?,
+        NetTask::JonesPlassmann { seed } => {
+            let program = match &resume_ck {
+                Some(ck) => restore_program::<JonesPlassmann>((dg, seed), &ck.program)?,
+                None => JonesPlassmann::new(dg, seed),
+            };
+            run_task_rounds(program, &mut t, &recorder, &round_beacon, start)?
+        }
     };
     let loop_clock = LoopClock {
         wall_micros: loop_started.elapsed().as_micros() as u64,
@@ -943,14 +1154,23 @@ fn run_assigned(
     Ok(())
 }
 
-/// Runs one task's round loop and extracts its outcome.
+/// Rebuilds a rank program from its checkpointed snapshot bytes.
+fn restore_program<P: RankProgram>(meta: P::Meta, bytes: &[u8]) -> Result<P, NetError> {
+    let snap = <P::Snapshot as ProgramSnapshot>::decode_bytes(Bytes::from(bytes.to_vec()))
+        .ok_or_else(|| NetError::protocol("undecodable program snapshot in checkpoint"))?;
+    Ok(P::restore(meta, snap))
+}
+
+/// Runs one task's round loop and extracts its outcome. `start` is
+/// `Some((round, stats))` when resuming from a checkpoint.
 fn run_task_rounds<P: RankProgram + NetOutcomeSource>(
     mut program: P,
     t: &mut Transport,
     recorder: &RecorderHandle,
     round_beacon: &AtomicU64,
+    start: Option<(u64, RankStats)>,
 ) -> Result<(WorkerOutcome, RankStats, u64, bool), NetError> {
-    let (stats, rounds, cap) = run_rounds(&mut program, t, recorder, round_beacon)?;
+    let (stats, rounds, cap) = run_rounds(&mut program, t, recorder, round_beacon, start)?;
     Ok((program.net_outcome(), stats, rounds, cap))
 }
 
@@ -963,6 +1183,7 @@ fn run_rounds<P: RankProgram>(
     t: &mut Transport,
     recorder: &RecorderHandle,
     round_beacon: &AtomicU64,
+    start: Option<(u64, RankStats)>,
 ) -> Result<(RankStats, u64, bool), NetError> {
     let observed = recorder.enabled();
     let event = t.opts.event_loop;
@@ -974,6 +1195,17 @@ fn run_rounds<P: RankProgram>(
     let mut packet_buf: Vec<Packet> = Vec::new();
     let mut round: u64 = 0;
     let mut cap = false;
+    if let Some((resume_round, restored_stats)) = start {
+        // Resuming from a checkpoint taken at edge `resume_round - 1`:
+        // the program, stats, and transport tables already hold that
+        // state, so the loop re-enters exactly where the uninterrupted
+        // run would have been (the `round > 0` arm delivers the
+        // buffered bundles the checkpoint captured).
+        round = resume_round;
+        stats = restored_stats;
+        ctx.resume_at(resume_round);
+        round_beacon.store(2 * resume_round, Ordering::Relaxed);
+    }
 
     // Cumulative per-phase time, published to the telemetry cells once
     // per round (plain locals keep the loop free of atomic traffic).
@@ -1235,6 +1467,23 @@ fn run_rounds<P: RankProgram>(
             cells.bytes_sent.store(link.bytes_sent, Ordering::Relaxed);
             let pending: u64 = t.reseq.iter().map(|r| r.pending_len() as u64).sum();
             cells.reseq_pending.store(pending, Ordering::Relaxed);
+        }
+
+        // Checkpoint plane: at every k-th round edge (counting rounds
+        // completed, the same cadence as the in-process engines'
+        // equivalence oracle), ship a consistent snapshot home. Only
+        // mid-run — a final edge has nothing left to recover.
+        let ck = t.opts.checkpoint_every;
+        if keep && ck > 0 && (round + 1) % ck == 0 {
+            if !event {
+                // The legacy barrier certifies votes, not bundles — a
+                // round's bundles may trail the allreduce. A snapshot
+                // missing a bundle nobody will re-send is inconsistent,
+                // so a checkpoint edge additionally waits for them
+                // (the event path's done wave already proves arrival).
+                t.wait_bundles(round)?;
+            }
+            t.ship_checkpoint(program, &stats, round)?;
         }
 
         round += 1;

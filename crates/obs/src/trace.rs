@@ -115,6 +115,8 @@ impl RankTelemetry {
 pub struct RunHealth {
     ranks: Vec<Option<RankTelemetry>>,
     beacons: u64,
+    recoveries: u64,
+    last_recovery_micros: u64,
 }
 
 impl RunHealth {
@@ -123,6 +125,8 @@ impl RunHealth {
         RunHealth {
             ranks: vec![None; n],
             beacons: 0,
+            recoveries: 0,
+            last_recovery_micros: 0,
         }
     }
 
@@ -138,6 +142,25 @@ impl RunHealth {
     /// Number of beacons absorbed.
     pub fn beacons(&self) -> u64 {
         self.beacons
+    }
+
+    /// Records one completed checkpoint recovery: the fleet was
+    /// relaunched from its last good snapshot set and restarted
+    /// `micros` microseconds after the failure was detected.
+    pub fn note_recovery(&mut self, micros: u64) {
+        self.recoveries += 1;
+        self.last_recovery_micros = micros;
+    }
+
+    /// Checkpoint recoveries the run survived.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
+    /// Detection-to-restart latency of the most recent recovery, in
+    /// microseconds (`None` when the run never recovered).
+    pub fn last_recovery_micros(&self) -> Option<u64> {
+        (self.recoveries > 0).then_some(self.last_recovery_micros)
     }
 
     /// Latest telemetry for `rank`, if any beacon arrived.
@@ -207,6 +230,10 @@ impl RunHealth {
             pairs.push(("wait_fraction", Json::Float(w)));
         }
         pairs.push(("reseq_pending", Json::UInt(self.total_reseq_pending())));
+        pairs.push(("recoveries", Json::UInt(self.recoveries)));
+        if let Some(us) = self.last_recovery_micros() {
+            pairs.push(("last_recovery_micros", Json::UInt(us)));
+        }
         Json::obj(pairs)
     }
 }

@@ -142,6 +142,21 @@ impl<T: Monoid> TreeAllreduce<T> {
         }
     }
 
+    /// Snapshot accessor: the in-flight per-phase partial sums as
+    /// `(phase, children heard, accumulated value)` triples. In-flight
+    /// reductions are algorithm state — a checkpoint that omits them
+    /// restores a rank that waits forever for contributions its peers
+    /// already sent.
+    pub fn in_flight(&self) -> &[(u32, usize, T)] {
+        &self.acc
+    }
+
+    /// Restore accessor: reinstates partial sums captured by
+    /// [`TreeAllreduce::in_flight`] into a freshly built tree.
+    pub fn restore_in_flight(&mut self, acc: Vec<(u32, usize, T)>) {
+        self.acc = acc;
+    }
+
     /// Once every child of `phase` has been absorbed, combines in this
     /// rank's own contribution and says what to do with the result;
     /// `None` while contributions are still outstanding. Completing a
@@ -211,6 +226,20 @@ impl DoneWave {
         if let Some(i) = self.counts.iter().position(|e| e.0 == phase) {
             self.counts.swap_remove(i);
         }
+    }
+
+    /// Snapshot accessor: the in-flight `(phase, announcements heard)`
+    /// counters. Like [`TreeAllreduce::in_flight`], these are algorithm
+    /// state: DONE announcements consumed before a checkpoint are never
+    /// re-sent, so dropping the counters deadlocks the restored wave.
+    pub fn in_flight(&self) -> &[(u32, usize)] {
+        &self.counts
+    }
+
+    /// Restore accessor: reinstates counters captured by
+    /// [`DoneWave::in_flight`].
+    pub fn restore_in_flight(&mut self, counts: Vec<(u32, usize)>) {
+        self.counts = counts;
     }
 }
 

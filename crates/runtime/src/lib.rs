@@ -34,6 +34,7 @@ pub mod delivery;
 pub mod message;
 pub mod program;
 pub mod sim;
+pub mod snapshot;
 pub mod stats;
 pub mod threaded;
 
@@ -48,6 +49,7 @@ pub use delivery::{DeliveryKey, DeliveryPolicy, DeliveryScript};
 pub use message::WireMessage;
 pub use program::{Rank, RankCtx, RankProgram, Status};
 pub use sim::{RoundTrace, SimEngine, SimResult};
+pub use snapshot::ProgramSnapshot;
 pub use stats::{RankStats, RunStats};
 pub use threaded::{ThreadedEngine, ThreadedResult};
 
@@ -89,6 +91,14 @@ pub struct EngineConfig {
     /// phase/link counters on heartbeat beacons. Ignored by the sim and
     /// threaded engines, which have no beacons.
     pub net_telemetry: bool,
+    /// Checkpoint cadence in rounds. In the sim and threaded engines
+    /// this drives the **equivalence oracle**: at every `k`-round edge
+    /// each rank program is round-tripped through
+    /// `snapshot → encode → decode → restore` in place, so any snapshot
+    /// omission shows up as a divergence from the uninterrupted run
+    /// (which must be bit-identical). The net engine uses the same
+    /// cadence for real checkpoints (see `cmg-net`).
+    pub checkpoint_every: Option<u64>,
 }
 
 impl Default for EngineConfig {
@@ -103,6 +113,7 @@ impl Default for EngineConfig {
             delivery: DeliveryPolicy::default(),
             recorder: cmg_obs::RecorderHandle::noop(),
             net_telemetry: true,
+            checkpoint_every: None,
         }
     }
 }

@@ -139,6 +139,15 @@ impl<M: WireMessage> RankCtx<M> {
         self.now = now;
     }
 
+    /// Engine SPI: positions the round counter mid-run. Used by
+    /// checkpoint restore — a transport that revives a rank from a
+    /// snapshot taken at round edge `round` resumes the context there,
+    /// so `ctx.round()` (and everything derived from it) continues
+    /// bit-identically.
+    pub fn resume_at(&mut self, round: u64) {
+        self.round = round;
+    }
+
     /// Engine SPI: advances the round counter and drains the round's
     /// work and packets.
     pub fn end_round(&mut self) -> (u64, Vec<crate::bundle::Packet>) {
@@ -161,11 +170,36 @@ impl<M: WireMessage> RankCtx<M> {
 ///
 /// The engine calls [`RankProgram::on_start`] once (round 0), then
 /// [`RankProgram::on_round`] every round with the messages delivered to
-/// this rank, until every rank is [`Status::Idle`] and no messages are in
+/// this rank, until every rank is [`Status::Idle`] and no packets are in
 /// flight.
+///
+/// # State contract
+///
+/// Every program's algorithm state is an explicit serializable value:
+/// [`RankProgram::snapshot`] captures it as a
+/// [`ProgramSnapshot`](crate::snapshot::ProgramSnapshot) record stream
+/// and [`RankProgram::restore`] rebuilds the program from a snapshot
+/// plus its construction context ([`RankProgram::Meta`] — graphs,
+/// configs, anything *not* carried on the wire). Taken at a round edge,
+/// `restore(meta, snapshot)` must resume **bit-identically**: results,
+/// statistics, and traces of the resumed run must equal the
+/// uninterrupted run's. The engines verify this live when
+/// `EngineConfig::checkpoint_every` is set, and the cmg-net supervisor
+/// relies on it to respawn dead ranks from their last checkpoint.
 pub trait RankProgram: Send {
     /// The algorithm's message type.
     type Msg: WireMessage;
+
+    /// Serializable algorithm state: pointers, proposals, palettes,
+    /// phase counters, in-flight collective state. Incidental state
+    /// (halo views, scratch buffers) stays out and is rebuilt by
+    /// [`RankProgram::restore`].
+    type Snapshot: crate::snapshot::ProgramSnapshot;
+
+    /// Construction context needed to rebuild the incidental state on
+    /// restore (typically the rank's `DistGraph` plus configuration).
+    /// Not serialized — the transport already owns it.
+    type Meta: Send;
 
     /// Round 0: initialize and send the first messages.
     fn on_start(&mut self, ctx: &mut RankCtx<Self::Msg>) -> Status;
@@ -178,6 +212,31 @@ pub trait RankProgram: Send {
         inbox: &mut Vec<(Rank, Vec<Self::Msg>)>,
         ctx: &mut RankCtx<Self::Msg>,
     ) -> Status;
+
+    /// Captures the program's algorithm state at a round edge.
+    fn snapshot(&self) -> Self::Snapshot;
+
+    /// Appends the encoded snapshot to `out` — the same bytes as
+    /// `self.snapshot().encode_into(out)`, which is also the default.
+    /// This is the checkpoint hot path: the net worker serializes the
+    /// program at every checkpoint edge while peers wait at the
+    /// barrier, so programs with bulky state override this to encode
+    /// straight out of their live buffers (no intermediate snapshot
+    /// clone). Overrides must stay byte-identical to the default.
+    fn encode_snapshot_into(&self, out: &mut Vec<u8>) {
+        use crate::snapshot::ProgramSnapshot;
+        self.snapshot().encode_into(out);
+    }
+
+    /// Rebuilds a program from construction context plus a snapshot.
+    /// Must be the exact inverse of [`RankProgram::snapshot`]: the
+    /// restored program behaves bit-identically to the captured one.
+    fn restore(meta: Self::Meta, snap: Self::Snapshot) -> Self;
+
+    /// Extracts fresh construction context from a live program, so
+    /// engines can roundtrip `snapshot → restore` generically (the
+    /// sim/threaded `checkpoint_every` equivalence oracle).
+    fn meta(&self) -> Self::Meta;
 }
 
 #[cfg(test)]

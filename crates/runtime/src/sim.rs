@@ -358,6 +358,21 @@ fn step_slot<P: RankProgram>(
     }
 }
 
+/// Checkpoint equivalence oracle: round-trips a program through
+/// `snapshot → encode → decode → restore` in place. Called at every
+/// `checkpoint_every` round edge; since the run must stay bit-identical
+/// to an uninterrupted one, any algorithm state missing from the
+/// snapshot (or mangled by its codec) surfaces as a test divergence
+/// instead of a production deadlock.
+fn checkpoint_roundtrip<P: RankProgram>(program: &mut P) {
+    use crate::snapshot::ProgramSnapshot;
+    let meta = program.meta();
+    let bytes = program.snapshot().encode_bytes();
+    let snap = <P::Snapshot as ProgramSnapshot>::decode_bytes(bytes)
+        .expect("snapshot did not round-trip through its wire encoding");
+    *program = P::restore(meta, snap);
+}
+
 /// One round's worth of work published to the worker pool. Raw pointers
 /// instead of borrows because the pool outlives any single round's
 /// worklist; validity is re-established at every dispatch.
@@ -610,6 +625,13 @@ impl<P: RankProgram> SimEngine<P> {
         if p > 0 {
             loop {
                 let first = rounds == 0;
+                if let Some(k) = self.config.checkpoint_every.filter(|&k| k > 0) {
+                    if !first && rounds % k == 0 {
+                        for slot in &mut self.slots {
+                            checkpoint_roundtrip(&mut slot.program);
+                        }
+                    }
+                }
                 if recorder.enabled() {
                     recorder.emit(
                         ENGINE_RANK,
@@ -788,6 +810,13 @@ impl<P: RankProgram> SimEngine<P> {
         if p > 0 {
             loop {
                 let first = rounds == 0;
+                if let Some(k) = self.config.checkpoint_every.filter(|&k| k > 0) {
+                    if !first && rounds % k == 0 {
+                        for slot in &mut self.slots {
+                            checkpoint_roundtrip(&mut slot.program);
+                        }
+                    }
+                }
                 let active_before: u64 = if recorder.enabled() {
                     let t = self.slots.iter().map(|s| s.vtime).fold(0.0, f64::max);
                     recorder.emit(
@@ -1072,6 +1101,7 @@ mod tests {
     /// Rank 0 sends `hops` tokens around the ring one at a time; every
     /// other rank forwards. Terminates when the token has moved `hops`
     /// times.
+    #[derive(Clone)]
     struct RingToken {
         hops_left: u32,
         forwarded: u64,
@@ -1079,6 +1109,7 @@ mod tests {
 
     impl RankProgram for RingToken {
         type Msg = u32;
+        crate::trivial_snapshot!();
 
         fn on_start(&mut self, ctx: &mut RankCtx<u32>) -> Status {
             if ctx.rank() == 0 && self.hops_left > 0 {
@@ -1135,9 +1166,11 @@ mod tests {
 
     #[test]
     fn quiescent_program_stops_immediately() {
+        #[derive(Clone)]
         struct Nop;
         impl RankProgram for Nop {
             type Msg = u32;
+            crate::trivial_snapshot!();
             fn on_start(&mut self, _: &mut RankCtx<u32>) -> Status {
                 Status::Idle
             }
@@ -1152,9 +1185,11 @@ mod tests {
     #[test]
     fn round_cap_trips_on_livelock() {
         /// Sends itself a message forever.
+        #[derive(Clone)]
         struct Livelock;
         impl RankProgram for Livelock {
             type Msg = u32;
+            crate::trivial_snapshot!();
             fn on_start(&mut self, ctx: &mut RankCtx<u32>) -> Status {
                 ctx.send(ctx.rank(), &0);
                 Status::Idle

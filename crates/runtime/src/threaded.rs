@@ -320,6 +320,21 @@ fn run_rank<P: RankProgram>(
         }
 
         round += 1;
+        // Checkpoint equivalence oracle (see `EngineConfig::
+        // checkpoint_every`): at every k-round edge the program is
+        // round-tripped through its snapshot wire encoding in place.
+        // Purely thread-local and deterministic, so the run must stay
+        // bit-identical to an uninterrupted one.
+        if let Some(k) = config.checkpoint_every.filter(|&k| k > 0) {
+            if round % k == 0 {
+                use crate::snapshot::ProgramSnapshot;
+                let meta = program.meta();
+                let bytes = program.snapshot().encode_bytes();
+                let snap = <P::Snapshot as ProgramSnapshot>::decode_bytes(bytes)
+                    .expect("snapshot did not round-trip through its wire encoding");
+                program = P::restore(meta, snap);
+            }
+        }
         if !keep_going {
             break;
         }
@@ -337,12 +352,14 @@ mod tests {
 
     /// Every rank sends its id to every other rank once, then sums what it
     /// receives.
+    #[derive(Clone)]
     struct AllToAll {
         sum: u64,
     }
 
     impl RankProgram for AllToAll {
         type Msg = u32;
+        crate::trivial_snapshot!();
 
         fn on_start(&mut self, ctx: &mut RankCtx<u32>) -> Status {
             for dst in 0..ctx.num_ranks() {

@@ -191,6 +191,159 @@ fn connect_backoff_is_capped_and_bounded() {
 }
 
 // ---------------------------------------------------------------------------
+// Checkpoint/restore. With `checkpoint_every > 0` workers snapshot their
+// program and transport state at round edges and ship it home; the
+// supervisor retains the last complete set and answers a worker death
+// with a whole-fleet relaunch from it. The run then *completes*, and —
+// because writer sequence numbers and resequencer floors ride in the
+// snapshot, so gap replay is dup-discarded exactly — its results and
+// engine statistics are bit-identical to an undisturbed run.
+// ---------------------------------------------------------------------------
+
+/// Jones–Plassmann runs the longest round loop of the three tasks on
+/// this grid (~10 rounds), leaving room for checkpoint edges both
+/// before and after the kill.
+const RECOVERY_TASK: NetTask = NetTask::JonesPlassmann { seed: 11 };
+
+#[test]
+fn killed_worker_recovers_from_checkpoint_bit_identically() {
+    let g = weighted_grid();
+    let clean = run_task(parts(&g, 4), RECOVERY_TASK, &NetConfig::default()).expect("clean run");
+    assert!(clean.rounds > 5, "kill round must fall inside the run");
+    let cfg = NetConfig {
+        kill: KillSpec::KillAtRound { rank: 1, round: 5 },
+        checkpoint_every: 2,
+        heartbeat: Duration::from_millis(50),
+        ..Default::default()
+    };
+    let recovered = run_task(parts(&g, 4), RECOVERY_TASK, &cfg)
+        .expect("a killed rank must recover from its checkpoint, not fail the run");
+    assert_eq!(recovered.health.recoveries(), 1, "exactly one recovery");
+    assert!(
+        recovered.health.last_recovery_micros().is_some(),
+        "recovery latency is recorded"
+    );
+    assert_eq!(
+        clean.outcomes, recovered.outcomes,
+        "recovered results must be bit-identical"
+    );
+    assert_eq!(clean.rounds, recovered.rounds, "round counts must agree");
+    assert_eq!(
+        clean.stats.per_rank, recovered.stats.per_rank,
+        "engine statistics must survive the restart (they ride in the checkpoint)"
+    );
+}
+
+/// The same recovery on the legacy (thread-per-link, tree-barrier)
+/// path, whose barrier certifies votes but not bundle arrival — the
+/// checkpoint edge performs an explicit bundle wait there.
+#[test]
+fn legacy_path_recovers_from_checkpoint_bit_identically() {
+    let g = weighted_grid();
+    let base = NetConfig {
+        event_loop: false,
+        ..Default::default()
+    };
+    let clean = run_task(parts(&g, 4), RECOVERY_TASK, &base).expect("clean legacy run");
+    let cfg = NetConfig {
+        kill: KillSpec::KillAtRound { rank: 2, round: 5 },
+        checkpoint_every: 2,
+        heartbeat: Duration::from_millis(50),
+        event_loop: false,
+        ..Default::default()
+    };
+    let recovered =
+        run_task(parts(&g, 4), RECOVERY_TASK, &cfg).expect("legacy path must recover too");
+    assert_eq!(recovered.health.recoveries(), 1);
+    assert_eq!(clean.outcomes, recovered.outcomes);
+    assert_eq!(clean.stats.per_rank, recovered.stats.per_rank);
+}
+
+/// Two scripted kills, recovered twice: the supervisor retires the
+/// fired kill-plan entry at each relaunch and arms the next, and the
+/// second recovery resumes from a *newer* checkpoint edge.
+#[test]
+fn double_kill_recovers_twice_bit_identically() {
+    let g = weighted_grid();
+    let clean = run_task(parts(&g, 4), RECOVERY_TASK, &NetConfig::default()).expect("clean run");
+    assert!(clean.rounds > 6, "second kill round must fall inside the run");
+    let cfg = NetConfig {
+        kill_plan: vec![
+            KillSpec::KillAtRound { rank: 1, round: 3 },
+            KillSpec::KillAtRound { rank: 3, round: 6 },
+        ],
+        checkpoint_every: 2,
+        heartbeat: Duration::from_millis(50),
+        ..Default::default()
+    };
+    let recovered =
+        run_task(parts(&g, 4), RECOVERY_TASK, &cfg).expect("both kills must be recovered from");
+    assert_eq!(recovered.health.recoveries(), 2, "two recoveries");
+    assert_eq!(clean.outcomes, recovered.outcomes);
+    assert_eq!(clean.rounds, recovered.rounds);
+    assert_eq!(clean.stats.per_rank, recovered.stats.per_rank);
+}
+
+/// Death before any checkpoint set completes: recovery degenerates to
+/// a fresh relaunch from round zero — still a completed, identical run.
+#[test]
+fn death_before_first_checkpoint_restarts_fresh() {
+    let g = weighted_grid();
+    let clean =
+        run_task(parts(&g, 4), NetTask::Matching, &NetConfig::default()).expect("clean run");
+    let cfg = NetConfig {
+        kill: KillSpec::KillAtRound { rank: 0, round: 0 },
+        checkpoint_every: 4,
+        heartbeat: Duration::from_millis(50),
+        ..Default::default()
+    };
+    let recovered = run_task(parts(&g, 4), NetTask::Matching, &cfg)
+        .expect("a round-0 death restarts the run from scratch");
+    assert_eq!(recovered.health.recoveries(), 1);
+    assert_eq!(clean.outcomes, recovered.outcomes);
+    assert_eq!(clean.stats.per_rank, recovered.stats.per_rank);
+}
+
+/// Regression: the stall watchdog must not blame a relaunched fleet.
+/// During the recovery handshake `started` is cleared (suspending the
+/// check), and `last_round` is reset so resumed beacons — numerically
+/// no larger than the dead incarnation's — still register as progress.
+#[test]
+fn recovery_is_not_misdiagnosed_as_a_stall() {
+    let g = weighted_grid();
+    let cfg = NetConfig {
+        kill: KillSpec::KillAtRound { rank: 1, round: 5 },
+        checkpoint_every: 1,
+        heartbeat: Duration::from_millis(25),
+        stall_timeout: Duration::from_secs(1),
+        ..Default::default()
+    };
+    let recovered = run_task(parts(&g, 4), RECOVERY_TASK, &cfg)
+        .expect("a tight stall timeout must not abort a recovering run");
+    assert_eq!(recovered.health.recoveries(), 1);
+}
+
+/// With checkpointing off (the default), a SIGKILLed worker still fails
+/// the run with the usual typed diagnosis — recovery never engages (the
+/// dedicated kill test above pins the exact error shape).
+#[test]
+fn checkpointing_off_leaves_death_diagnosis_unchanged() {
+    let g = weighted_grid();
+    let cfg = NetConfig {
+        kill: KillSpec::KillAtRound { rank: 1, round: 2 },
+        heartbeat: Duration::from_millis(50),
+        ..Default::default()
+    };
+    let err = run_task(parts(&g, 4), NetTask::Matching, &cfg)
+        .map(|_| ())
+        .expect_err("without checkpoints, death must remain fatal");
+    assert!(
+        matches!(err, NetError::RankDied { .. } | NetError::WorkerFatal { .. }),
+        "expected the pre-recovery diagnosis, got {err}"
+    );
+}
+
+// ---------------------------------------------------------------------------
 // Coalesced-batch faults (event-driven path). Fault decisions are fixed
 // per frame at enqueue time, so a batch is just the syscall envelope —
 // these tests pin down that faults hitting batched frames behave exactly

@@ -15,6 +15,7 @@ use proptest::prelude::*;
 /// for `ttl` rounds, optionally fanning out; the rank also stays
 /// `Status::Active` for its first `active_rounds` rounds even without
 /// mail, exercising the worklist's status-driven re-scheduling.
+#[derive(Clone)]
 struct RandomProgram {
     starters: u32,
     start_tokens: u32,
@@ -45,6 +46,7 @@ impl RandomProgram {
 
 impl RankProgram for RandomProgram {
     type Msg = (u32, u32);
+    cmg_runtime::trivial_snapshot!();
 
     fn on_start(&mut self, ctx: &mut RankCtx<(u32, u32)>) -> Status {
         if ctx.rank() < self.starters {
@@ -251,12 +253,14 @@ fn equal_arrival_times_keep_delivery_order() {
 fn quiet_ranks_cost_nothing_per_round() {
     /// Ranks 0 and 1 bounce a counter back and forth; everyone else is
     /// born idle and never hears a thing.
+    #[derive(Clone)]
     struct PingPong {
         bounces: u64,
     }
 
     impl RankProgram for PingPong {
         type Msg = (u32, u32);
+        cmg_runtime::trivial_snapshot!();
 
         fn on_start(&mut self, ctx: &mut RankCtx<(u32, u32)>) -> Status {
             if ctx.rank() == 0 {
