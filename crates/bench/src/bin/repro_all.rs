@@ -33,6 +33,7 @@ fn main() {
         "engine_overhead",
         "net_overhead",
         "net_recovery",
+        "serve_stream",
     ];
     // Children inherit an explicit bench dir so their BENCH_*.json files
     // land where this process will look for them.

@@ -1,0 +1,232 @@
+//! Sustained mutation stream against the resident serving layer.
+//!
+//! The question cmg-serve exists to answer: once the graph is loaded,
+//! partitioned, and solved, how much cheaper is absorbing a small
+//! mutation batch by **warm-start repair** than recomputing from
+//! scratch? This harness stands up a real [`Server`] on a Unix socket,
+//! streams >= 1000 randomized batches (inserts, deletes, reweights)
+//! through a [`ServeClient`], and reads the server's own p50/p99
+//! latency histograms back out of its shutdown summary.
+//!
+//! Honesty checks, every rank count:
+//!
+//! * a local mirror of the stream rebuilds the final graph, and the
+//!   served matching must pass the validity + local-dominance
+//!   (½-approx) oracles on it, the served coloring must be proper;
+//! * with distinct weights the warm-repaired matching must equal a
+//!   from-scratch run on the final graph **bit for bit** (the served
+//!   coloring is proper but its palette may differ from a cold run —
+//!   the documented DESIGN.md §13 relaxation);
+//! * the headline `repair_speedup` is median cold-recompute time over
+//!   the server's median batch-absorb latency — the acceptance bar is
+//!   >= 10x.
+//!
+//! Results feed `BENCH_serve.json`.
+//!
+//! Usage: `cargo run --release -p cmg-bench --bin serve_stream
+//! [--ranks 4,8] [--batches 1200]`
+
+use cmg_coloring::{assemble_coloring, Coloring, ColoringConfig, DistColoring};
+use cmg_graph::weights::{assign_weights, WeightScheme};
+use cmg_graph::{generators, CsrGraph, MutableGraph, MutationBatch};
+use cmg_matching::{assemble_matching, DistMatching, Matching};
+use cmg_obs::bench::BenchReport;
+use cmg_obs::Json;
+use cmg_partition::simple::block_partition;
+use cmg_partition::DistGraph;
+use cmg_runtime::{CostModel, EngineConfig, SimEngine};
+use cmg_serve::{RepairAck, ServeClient, ServeConfig, Server, ServerConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+const ROWS: usize = 64;
+const COLS: usize = 64;
+/// Cold from-scratch passes are timed every this many batches.
+const COLD_EVERY: usize = 150;
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+fn arg_list(name: &str, default: Vec<u32>) -> Vec<u32> {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == name) {
+        Some(i) => args[i + 1]
+            .split(',')
+            .map(|s| s.trim().parse().expect("integer list"))
+            .collect(),
+        None => default,
+    }
+}
+
+/// One random batch of 1-3 ops. Deletes target grid edges (which may
+/// already be gone — a counted no-op), inserts add short diagonals,
+/// reweights shuffle local dominance. All weights are fresh 53-bit
+/// uniform draws, so weights stay distinct and the greedy matching
+/// unique.
+fn random_batch(rng: &mut SmallRng) -> MutationBatch {
+    let mut batch = MutationBatch::new();
+    for _ in 0..rng.random_range(1usize..4) {
+        let r = rng.random_range(0usize..ROWS - 1);
+        let c = rng.random_range(0usize..COLS - 1);
+        let v = (r * COLS + c) as u32;
+        match rng.random_range(0u32..3) {
+            0 => batch.insert(v, v + COLS as u32 + 1, rng.random::<f64>()),
+            1 => batch.delete(
+                v,
+                if rng.random::<bool>() {
+                    v + 1
+                } else {
+                    v + COLS as u32
+                },
+            ),
+            // Reweighting a deleted edge re-inserts it (the documented
+            // degenerate case), so the edge count stays roughly stable.
+            _ => batch.reweight(v, v + 1, rng.random::<f64>()),
+        };
+    }
+    batch
+}
+
+/// Cold from-scratch matching + coloring, timed (the same in-process
+/// engine the server's warm repairs use, so the comparison is
+/// apples-to-apples).
+fn cold_pass(g: &CsrGraph, ranks: u32) -> (f64, Matching, Coloring) {
+    let parts = DistGraph::build_all(g, &block_partition(g.num_vertices(), ranks));
+    let cfg = EngineConfig {
+        cost: CostModel::compute_only(),
+        ..Default::default()
+    };
+    let started = Instant::now();
+    let programs: Vec<DistMatching> = parts.iter().cloned().map(DistMatching::new).collect();
+    let result = SimEngine::new(programs, cfg.clone()).run();
+    let matching = assemble_matching(&result.programs, g.num_vertices());
+    let programs: Vec<DistColoring> = parts
+        .into_iter()
+        .map(|dg| DistColoring::new(dg, ColoringConfig::default()))
+        .collect();
+    let result = SimEngine::new(programs, cfg).run();
+    let coloring = assemble_coloring(&result.programs, g.num_vertices());
+    (started.elapsed().as_micros() as f64, matching, coloring)
+}
+
+fn main() {
+    println!("Incremental serving: warm-start repair vs from-scratch recompute\n");
+    let batches: usize = arg_list("--batches", vec![1200])[0] as usize;
+    assert!(batches >= 1000, "the acceptance stream is >= 1000 batches");
+    let g0 = assign_weights(
+        &generators::grid2d(ROWS, COLS),
+        WeightScheme::Uniform { lo: 0.0, hi: 1.0 },
+        7,
+    );
+    let mut report = BenchReport::new("serve");
+    report.fact(
+        "graph",
+        Json::Str(format!("fig5 grid {ROWS}x{COLS}, uniform weights")),
+    );
+    report.fact("batches", Json::UInt(batches as u64));
+    report.fact(
+        "repair_speedup_definition",
+        Json::Str("median cold from-scratch micros / server p50 batch-absorb micros".into()),
+    );
+
+    println!(
+        "{:>3} {:>8} {:>9} {:>11} {:>11} {:>11} {:>9}",
+        "p", "repairs", "recomp", "p50 us", "p99 us", "cold us", "speedup"
+    );
+    let mut worst_speedup = f64::INFINITY;
+    for ranks in arg_list("--ranks", vec![4, 8]) {
+        let socket = std::env::temp_dir().join(format!(
+            "cmg-serve-bench-{}-{ranks}.sock",
+            std::process::id()
+        ));
+        let server = Server::bind(
+            &g0,
+            ServerConfig {
+                socket: socket.clone(),
+                serve: ServeConfig {
+                    ranks,
+                    ..Default::default()
+                },
+            },
+        )
+        .expect("server binds");
+        let handle = std::thread::spawn(move || server.run());
+        let mut client =
+            ServeClient::connect(&socket, Duration::from_secs(10)).expect("client connects");
+
+        // The mirror replays the same stream locally so the final
+        // graph is known without trusting the server.
+        let mut mirror = MutableGraph::from_csr(&g0);
+        let mut rng = SmallRng::seed_from_u64(0x5e12e + ranks as u64);
+        let mut cold_micros = Vec::new();
+        let (mut repairs, mut recomputes) = (0u64, 0u64);
+        for i in 0..batches {
+            let batch = random_batch(&mut rng);
+            match client.mutate(&batch).expect("mutate") {
+                RepairAck::Done { mode: 0, .. } => repairs += 1,
+                RepairAck::Done { .. } => recomputes += 1,
+                RepairAck::Rejected { code } => panic!("batch {i} rejected ({code})"),
+            }
+            mirror.apply(&batch).expect("mirror applies the same batch");
+            if (i + 1) % COLD_EVERY == 0 {
+                cold_micros.push(cold_pass(&mirror.rebuild(), ranks).0);
+            }
+        }
+
+        // Served result vs the oracles and a cold run on the final graph.
+        let final_g = mirror.rebuild();
+        let mate = client.matching().expect("matching query");
+        let colors = client.coloring().expect("coloring query");
+        let served_m = Matching::from_mates(mate);
+        served_m.validate(&final_g).expect("served matching valid");
+        let served_c = Coloring::from_colors(colors);
+        served_c.validate(&final_g).expect("served coloring proper");
+        let (_, cold_m, _) = cold_pass(&final_g, ranks);
+        assert_eq!(
+            served_m.mates(),
+            cold_m.mates(),
+            "p = {ranks}: warm-repaired matching differs from a from-scratch run"
+        );
+
+        client.shutdown_server().expect("shutdown");
+        let summary = handle.join().expect("server thread").expect("clean exit");
+        assert_eq!(summary.batches, (repairs + recomputes), "ack accounting");
+
+        let p50 = summary.mutate_micros.p50();
+        let p99 = summary.mutate_micros.p99();
+        let cold = median(cold_micros);
+        let speedup = cold / p50.max(1.0);
+        worst_speedup = worst_speedup.min(speedup);
+        println!(
+            "{:>3} {:>8} {:>9} {:>11.0} {:>11.0} {:>11.0} {:>8.1}x",
+            ranks, repairs, recomputes, p50, p99, cold, speedup
+        );
+        report.row(Json::obj(vec![
+            ("ranks", Json::UInt(ranks as u64)),
+            ("batches", Json::UInt(summary.batches)),
+            ("repairs", Json::UInt(repairs)),
+            ("recomputes", Json::UInt(recomputes)),
+            ("mutate_p50_us", Json::Float(p50)),
+            ("mutate_p99_us", Json::Float(p99)),
+            ("mutate_max_us", Json::UInt(summary.mutate_micros.max())),
+            ("query_p50_us", Json::Float(summary.query_micros.p50())),
+            ("cold_median_us", Json::Float(cold)),
+            ("repair_speedup", Json::Float(speedup)),
+        ]));
+    }
+    report.fact("worst_repair_speedup", Json::Float(worst_speedup));
+    let within = worst_speedup >= 10.0;
+    report.fact("speedup_at_least_10x", Json::Bool(within));
+    println!(
+        "\nworst repair speedup {worst_speedup:.1}x ({} the 10x acceptance bar); \
+         final served results oracle-checked and matching bit-identical to cold runs",
+        if within { "clears" } else { "MISSES" },
+    );
+    match report.write() {
+        Ok(path) => println!("bench report: {}", path.display()),
+        Err(e) => eprintln!("could not write bench report: {e}"),
+    }
+}

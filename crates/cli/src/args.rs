@@ -9,7 +9,14 @@ pub struct Args {
 }
 
 /// Known boolean switches (take no value).
-const SWITCHES: &[&str] = &["--no-bundling", "--verbose", "--verify", "--emit-bench"];
+const SWITCHES: &[&str] = &[
+    "--no-bundling",
+    "--verbose",
+    "--verify",
+    "--emit-bench",
+    "--summary",
+    "--shutdown",
+];
 
 impl Args {
     /// Parses an argv slice.

@@ -556,3 +556,195 @@ fn analyze_inner(argv: &[String]) -> Result<i32, String> {
         Ok(1)
     }
 }
+
+/// `cmg serve` — load a graph once, compute the initial matching and
+/// coloring, and serve mutations and queries over a Unix socket until
+/// a client sends Shutdown. `--engine net` runs cold passes (initial
+/// load, threshold recomputes) on a resident multi-process worker
+/// fleet; warm repairs always run in-process.
+pub fn serve(argv: &[String]) -> i32 {
+    run(|| {
+        let args = Args::parse(argv)?;
+        let socket = args.required("socket")?.to_string();
+        let ranks: u32 = args.num("ranks", 4)?;
+        let rows: usize = args.num("rows", 32)?;
+        let cols: usize = args.num("cols", 32)?;
+        let seed: u64 = args.num("seed", 7)?;
+        let threshold: f64 = args.num("threshold", 0.25)?;
+        let g = match args.get("input") {
+            Some(path) => load_graph(path)?,
+            None => assign_weights(
+                &generators::grid2d(rows, cols),
+                WeightScheme::Uniform { lo: 0.0, hi: 1.0 },
+                seed,
+            ),
+        };
+        let net = match args.get_or("engine", "sim") {
+            "sim" => None,
+            "net" => Some(cmg_net::NetConfig::default()),
+            other => return Err(format!("unknown serve engine: {other} (sim|net)")),
+        };
+        let serve_cfg = cmg_serve::ServeConfig {
+            ranks,
+            recompute_threshold: threshold,
+            net,
+            ..Default::default()
+        };
+        println!(
+            "serving {} over {ranks} ranks on {socket} ({}, threshold {threshold})",
+            GraphStats::of(&g),
+            args.get_or("engine", "sim"),
+        );
+        let server = cmg_serve::Server::bind(
+            &g,
+            cmg_serve::ServerConfig {
+                socket: socket.clone().into(),
+                serve: serve_cfg,
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        println!("ready");
+        let summary = server.run().map_err(|e| e.to_string())?;
+        println!("{}", summary.render());
+        if args.has_switch("--emit-bench") {
+            let mut report = cmg_obs::bench::BenchReport::new("serve");
+            report.fact("source", cmg_obs::Json::Str("cmg serve".into()));
+            report.row(summary.to_json());
+            let path = report.write().map_err(|e| e.to_string())?;
+            println!("bench report written to {}", path.display());
+        }
+        Ok(())
+    })
+}
+
+/// `cmg client` — drive a running `cmg serve`: stream a mutation
+/// script, issue queries, and optionally shut the server down.
+///
+/// The mutation script is a text file of one op per line —
+/// `insert U V W`, `delete U V`, `reweight U V W` (first letter
+/// suffices) — with blank lines separating batches.
+pub fn client(argv: &[String]) -> i32 {
+    run(|| {
+        let args = Args::parse(argv)?;
+        let socket = std::path::PathBuf::from(args.required("socket")?);
+        let timeout = std::time::Duration::from_millis(args.num("connect-timeout-ms", 10_000)?);
+        let mut client =
+            cmg_serve::ServeClient::connect(&socket, timeout).map_err(|e| e.to_string())?;
+
+        if let Some(path) = args.get("mutations") {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            for (i, batch) in parse_mutation_script(&text)?.iter().enumerate() {
+                match client.mutate(batch).map_err(|e| e.to_string())? {
+                    cmg_serve::RepairAck::Done {
+                        mode,
+                        dirty_matching,
+                        dirty_coloring,
+                        match_rounds,
+                        color_rounds,
+                        micros,
+                    } => println!(
+                        "batch {i}: {} ({dirty_matching}+{dirty_coloring} dirty, \
+                         {match_rounds}+{color_rounds} rounds, {micros} us)",
+                        if mode == 0 { "repaired" } else { "recomputed" },
+                    ),
+                    cmg_serve::RepairAck::Rejected { code } => {
+                        return Err(format!(
+                            "batch {i} rejected: {}",
+                            if code == 1 {
+                                "invalid mutation"
+                            } else {
+                                "undecodable payload"
+                            }
+                        ))
+                    }
+                }
+            }
+        }
+
+        if let Some(v) = args.get("mate") {
+            let v: u32 = v.parse().map_err(|_| format!("bad vertex: {v}"))?;
+            match client.mate_of(v).map_err(|e| e.to_string())? {
+                Some(mate) => println!("mate({v}) = {mate}"),
+                None => println!("mate({v}) = unmatched"),
+            }
+        }
+        if let Some(v) = args.get("color") {
+            let v: u32 = v.parse().map_err(|_| format!("bad vertex: {v}"))?;
+            println!(
+                "color({v}) = {}",
+                client.color_of(v).map_err(|e| e.to_string())?
+            );
+        }
+        if args.has_switch("--summary") {
+            let s = client.summary().map_err(|e| e.to_string())?;
+            println!(
+                "graph: {} vertices, {} edges | matching: {} edges, weight {:.4} | \
+                 coloring: {} colors | absorbed {} batches ({} repaired, {} recomputed)",
+                s.n, s.m, s.matched, s.weight, s.colors, s.batches, s.repairs, s.recomputes
+            );
+        }
+
+        if args.has_switch("--shutdown") {
+            client.shutdown_server().map_err(|e| e.to_string())?;
+        } else {
+            client.end_session().map_err(|e| e.to_string())?;
+        }
+        Ok(())
+    })
+}
+
+/// Parses the `cmg client --mutations` script format.
+fn parse_mutation_script(text: &str) -> Result<Vec<cmg_graph::MutationBatch>, String> {
+    let mut batches = Vec::new();
+    let mut batch = cmg_graph::MutationBatch::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            if !batch.ops.is_empty() {
+                batches.push(std::mem::take(&mut batch));
+            }
+            continue;
+        }
+        let err = |what: &str| format!("line {}: {what}: {line}", lineno + 1);
+        let mut tok = line.split_whitespace();
+        let op = tok
+            .next()
+            .ok_or_else(|| err("empty line slipped the filter"))?;
+        let mut num = |name: &str| -> Result<u32, String> {
+            tok.next()
+                .ok_or_else(|| err(&format!("missing {name}")))?
+                .parse()
+                .map_err(|_| err(&format!("bad {name}")))
+        };
+        match op.chars().next().map(|c| c.to_ascii_lowercase()) {
+            Some('i') => {
+                let (u, v) = (num("u")?, num("v")?);
+                let w: f64 = tok
+                    .next()
+                    .ok_or_else(|| err("missing weight"))?
+                    .parse()
+                    .map_err(|_| err("bad weight"))?;
+                batch.insert(u, v, w);
+            }
+            Some('d') => {
+                let (u, v) = (num("u")?, num("v")?);
+                batch.delete(u, v);
+            }
+            Some('r') => {
+                let (u, v) = (num("u")?, num("v")?);
+                let w: f64 = tok
+                    .next()
+                    .ok_or_else(|| err("missing weight"))?
+                    .parse()
+                    .map_err(|_| err("bad weight"))?;
+                batch.reweight(u, v, w);
+            }
+            _ => return Err(err("unknown op (insert|delete|reweight)")),
+        }
+    }
+    if !batch.ops.is_empty() {
+        batches.push(batch);
+    }
+    Ok(batches)
+}

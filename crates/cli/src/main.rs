@@ -20,6 +20,8 @@ fn main() {
         Some("match") => commands::matching(&argv[1..]),
         Some("color") => commands::coloring(&argv[1..]),
         Some("run") => commands::run_demo(&argv[1..]),
+        Some("serve") => commands::serve(&argv[1..]),
+        Some("client") => commands::client(&argv[1..]),
         Some("trace") => commands::trace(&argv[1..]),
         Some("analyze") => commands::analyze(&argv[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
@@ -66,6 +68,20 @@ COMMANDS
              --checkpoint-interval K snapshots every rank every K rounds —
              on the net engine the supervisor then respawns and replays
              the fleet from the last checkpoint if a worker dies)
+  serve      long-lived incremental matching/coloring service: load and
+             partition once, then absorb mutation batches by warm-start
+             repair and answer queries over a Unix socket
+             --socket PATH [--input FILE | --rows R --cols C --seed S]
+             [--ranks N] [--threshold F] [--engine sim|net] [--emit-bench]
+             (--engine net keeps a resident multi-process worker fleet
+             for cold passes; warm repairs always run in-process;
+             --emit-bench writes BENCH_serve.json at shutdown)
+  client     drive a running cmg serve
+             --socket PATH [--mutations FILE] [--mate V] [--color V]
+             [--summary] [--shutdown]
+             (the mutations file has one `insert U V W` / `delete U V` /
+             `reweight U V W` per line, blank lines separate batches;
+             --shutdown stops the server after this session)
   trace      analyze a recorded trace: per-round critical path
              trace report --input FILE [--json FILE] [--emit-bench]
              (FILE is a --trace-out Chrome trace or an --events-out

@@ -268,6 +268,11 @@ pub struct DistColoring {
     usage: Vec<u64>,
     /// StaggeredFirstFit offset.
     stagger: u32,
+    /// Warm start ([`DistColoring::warm`]): `on_start` keeps the
+    /// pre-seeded retained colors and dirty work list instead of coloring
+    /// from scratch. Not snapshotted — it is consumed before the first
+    /// round, and restores resume past `on_start`.
+    warm: bool,
 }
 
 impl DistColoring {
@@ -307,9 +312,55 @@ impl DistColoring {
             stamp: 0,
             usage: Vec::new(),
             stagger,
+            warm: false,
             cfg,
             dg,
         }
+    }
+
+    /// Prepares a warm-start program: retained colors (owned *and* ghost,
+    /// from the same global view on every rank, so the halo is consistent
+    /// without catch-up messages) are kept, and only the owned vertices
+    /// `dirty` deems stale are re-colored — they form the first phase's
+    /// work list. The ordinary phase protocol (speculate → DONE wave →
+    /// conflict detection → allreduce) then repairs the frontier; clean
+    /// vertices are never revisited, so their colors survive verbatim.
+    pub fn warm(
+        dg: DistGraph,
+        cfg: ColoringConfig,
+        colors: &[u32],
+        dirty: impl Fn(VertexId) -> bool,
+    ) -> Self {
+        let mut p = DistColoring::new(dg, cfg);
+        // Dirty vertices start uncolored everywhere — owned *and* ghost
+        // copies — so no rank forbids (or trusts) a stale color; fresh
+        // colors of the frontier arrive through the ordinary exchange.
+        for i in 0..p.dg.n_total() {
+            let g = p.dg.global_ids[i];
+            p.color[i] = if dirty(g) {
+                UNCOLORED
+            } else {
+                colors[g as usize]
+            };
+        }
+        p.u_cur = p.halo.dirty_split(&p.dg, &dirty);
+        p.u_pos = 0;
+        // The retained interior is already colored; broadcast_and_act must
+        // not re-color it at the end.
+        p.interior_colored = true;
+        if cfg.color_choice == ColorChoice::LeastUsed {
+            for v in 0..p.dg.n_local {
+                let c = p.color[v];
+                if c != UNCOLORED {
+                    if c as usize >= p.usage.len() {
+                        p.usage.resize(c as usize + 1, 0);
+                    }
+                    p.usage[c as usize] += 1;
+                }
+            }
+        }
+        p.warm = true;
+        p
     }
 
     /// Final colors of owned vertices as `(global id, color)`.
@@ -687,11 +738,18 @@ impl RankProgram for DistColoring {
     }
 
     fn on_start(&mut self, ctx: &mut RankCtx<ColorMsg>) -> Status {
-        if self.cfg.order == LocalOrder::InteriorFirst {
-            self.color_interior(ctx);
+        if self.warm {
+            // Warm start: retained colors and the dirty work list were
+            // seeded by [`DistColoring::warm`]; go straight to the phase
+            // protocol over the frontier.
+            self.warm = false;
+        } else {
+            if self.cfg.order == LocalOrder::InteriorFirst {
+                self.color_interior(ctx);
+            }
+            self.u_cur = self.halo.boundary.clone();
+            self.u_pos = 0;
         }
-        self.u_cur = self.halo.boundary.clone();
-        self.u_pos = 0;
         self.phases_executed = 1;
         if self.superstep(ctx) {
             self.announce_done(ctx);

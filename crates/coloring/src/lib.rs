@@ -22,6 +22,7 @@ pub mod dist;
 pub mod dist2;
 pub mod distance2;
 pub mod jp;
+pub mod repair;
 pub mod seq;
 
 pub use coloring::Coloring;
@@ -31,3 +32,4 @@ pub use dist::{
 };
 pub use dist2::{assemble_d2, D2Msg, D2Snap, DistColoring2};
 pub use jp::{assemble_jp, JonesPlassmann, JpSnap, JpSnapshot};
+pub use repair::{invalidate_colors, repair_frontier_colors, ColorRetained};

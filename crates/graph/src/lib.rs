@@ -26,15 +26,19 @@ pub mod csr;
 pub mod generators;
 pub mod io;
 pub mod metis_io;
+pub mod mutable;
 pub mod stats;
 pub mod traversal;
 pub mod util;
+pub mod view;
 pub mod weights;
 
 pub use bipartite::BipartiteGraph;
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
+pub use mutable::{ApplyOutcome, MutableGraph, Mutation, MutationBatch};
 pub use stats::GraphStats;
+pub use view::NeighborView;
 
 /// Vertex identifier. `u32` covers every graph size this workspace targets
 /// (up to ~4.29 billion vertices) at half the adjacency-memory cost of

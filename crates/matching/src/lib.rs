@@ -21,8 +21,10 @@ pub mod dist;
 pub mod exact;
 pub mod ext;
 pub mod matching;
+pub mod repair;
 pub mod seq;
 
 pub use dist::{assemble_matching, DistMatching, MatchMsg, MatchSnap};
 pub use ext::{assemble_b_matching, BMatching, BSuitorSnap, DistBSuitor, ExtMsg};
 pub use matching::Matching;
+pub use repair::{invalidate, repair_frontier, MatchRetained};

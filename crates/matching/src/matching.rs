@@ -32,6 +32,13 @@ impl Matching {
         self.mate[v as usize]
     }
 
+    /// The whole mate vector (`mates()[v]` = `v`'s partner or
+    /// [`NO_VERTEX`]) — the retained-state input of warm-start repair.
+    #[inline]
+    pub fn mates(&self) -> &[VertexId] {
+        &self.mate
+    }
+
     /// `true` if `v` is matched.
     #[inline]
     pub fn is_matched(&self, v: VertexId) -> bool {

@@ -29,8 +29,13 @@ use std::io::{Read, Write};
 /// checkpoint plane: the [`Ctrl::Checkpoint`] control word workers ship
 /// at round edges, the `checkpoint_every` run option, and the resume
 /// section of the assignment that relaunches a fleet from the last
-/// complete snapshot set.
-pub const PROTO_VERSION: u32 = 4;
+/// complete snapshot set. v5 added the session plane for the resident
+/// serving supervisor (`cmg-serve`): the [`Ctrl::MutateBatch`] /
+/// [`Ctrl::MutateAck`] mutation stream, the [`Ctrl::Query`] /
+/// [`Ctrl::QueryReply`] request pair, and [`Ctrl::SessionEnd`] —
+/// plus the persistent-fleet worker mode where `Done` loops back to
+/// "await the next `Assignment`" instead of exiting.
+pub const PROTO_VERSION: u32 = 5;
 
 /// Upper bound on a frame's encoded size (64 MiB). A length prefix
 /// beyond this is treated as corruption rather than honored with a
@@ -221,6 +226,37 @@ wire_codec! {
             /// travels in the payload.
             seq_floor: u64,
         },
+        /// Client -> serve supervisor: the payload carries one encoded
+        /// mutation batch (see `cmg-serve`'s wire schema) to apply to
+        /// the resident graph and repair around.
+        18 => MutateBatch {
+            /// Client-assigned batch id, echoed in [`Ctrl::MutateAck`].
+            batch_id: u64,
+        },
+        /// Serve supervisor -> client: batch applied and repaired; the
+        /// payload carries the repair report (dirtiness, repair mode,
+        /// and latency).
+        19 => MutateAck {
+            /// The batch being acknowledged.
+            batch_id: u64,
+        },
+        /// Client -> serve supervisor: the payload carries one encoded
+        /// query against the resident result (matching/coloring
+        /// summary or per-vertex lookup).
+        20 => Query {
+            /// Client-assigned query id, echoed in [`Ctrl::QueryReply`].
+            query_id: u64,
+        },
+        /// Serve supervisor -> client: the payload carries the query's
+        /// answer.
+        21 => QueryReply {
+            /// The query being answered.
+            query_id: u64,
+        },
+        /// Client -> serve supervisor: the client is finished; the
+        /// server drops the connection (the resident state lives on for
+        /// the next client).
+        22 => SessionEnd,
     }
 }
 
@@ -537,6 +573,23 @@ mod tests {
         .encode(&mut buf);
         assert_eq!(buf[0], 17);
         assert_eq!(buf.len(), 1 + 4 + 8 + 8);
+        let mut buf = BytesMut::new();
+        Ctrl::MutateBatch { batch_id: 0 }.encode(&mut buf);
+        assert_eq!(buf[0], 18);
+        assert_eq!(buf.len(), 1 + 8);
+        let mut buf = BytesMut::new();
+        Ctrl::MutateAck { batch_id: 0 }.encode(&mut buf);
+        assert_eq!(buf[0], 19);
+        let mut buf = BytesMut::new();
+        Ctrl::Query { query_id: 0 }.encode(&mut buf);
+        assert_eq!(buf[0], 20);
+        let mut buf = BytesMut::new();
+        Ctrl::QueryReply { query_id: 0 }.encode(&mut buf);
+        assert_eq!(buf[0], 21);
+        let mut buf = BytesMut::new();
+        Ctrl::SessionEnd.encode(&mut buf);
+        assert_eq!(buf[0], 22);
+        assert_eq!(buf.len(), 1);
     }
 
     #[test]

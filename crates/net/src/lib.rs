@@ -70,6 +70,6 @@ pub use proto::{
 };
 pub use supervisor::{
     run_coloring, run_jones_plassmann, run_matching, run_task, KillSpec, LinkTotals,
-    NetColoringRun, NetConfig, NetMatchingRun, NetOutcome,
+    NetColoringRun, NetConfig, NetMatchingRun, NetOutcome, NetSession,
 };
 pub use worker::worker_main;

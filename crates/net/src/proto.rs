@@ -569,8 +569,12 @@ pub struct TransportSnapshot {
     pub barrier_down: Vec<(u64, u8)>,
     /// Buffered round packets awaiting delivery, keyed by the round
     /// they were sent in: `(round, [(src, logical_bytes, payload)])`.
-    pub pending: Vec<(u64, Vec<(u32, u32, Vec<u8>)>)>,
+    pub pending: Vec<(u64, Vec<PendingPacket>)>,
 }
+
+/// One buffered round packet inside [`TransportSnapshot::pending`]:
+/// `(src rank, logical byte count, payload)`.
+pub type PendingPacket = (u32, u32, Vec<u8>);
 
 /// One rank's full checkpoint: the payload of a
 /// [`Ctrl::Checkpoint`](crate::frame::Ctrl::Checkpoint) frame and of

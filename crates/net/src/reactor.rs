@@ -54,6 +54,7 @@ struct LinkState {
 pub(crate) fn spawn_reactor(
     links: Vec<(u32, UnixStream)>,
     tx: Sender<Incoming>,
+    gen: u64,
 ) -> std::io::Result<()> {
     let poll = mio::Poll::new()?;
     let mut states = Vec::with_capacity(links.len());
@@ -67,14 +68,14 @@ pub(crate) fn spawn_reactor(
             alive: true,
         });
     }
-    let _ = std::thread::spawn(move || run(&poll, &mut states, &tx));
+    let _ = std::thread::spawn(move || run(&poll, &mut states, &tx, gen));
     Ok(())
 }
 
 /// The reactor loop: wait for readiness, drain every ready link. Level
 /// triggering keeps this restartable — anything not fully drained
 /// reports readable again on the next wait.
-fn run(poll: &mio::Poll, states: &mut [LinkState], tx: &Sender<Incoming>) {
+fn run(poll: &mio::Poll, states: &mut [LinkState], tx: &Sender<Incoming>, gen: u64) {
     let mut events = mio::Events::with_capacity(states.len().max(1) * 2);
     let mut alive = states.len();
     let mut buf = vec![0u8; READ_BUF];
@@ -89,7 +90,7 @@ fn run(poll: &mio::Poll, states: &mut [LinkState], tx: &Sender<Incoming>) {
             if !s.alive {
                 continue;
             }
-            if !drain(s, &mut buf, tx) {
+            if !drain(s, &mut buf, tx, gen) {
                 s.alive = false;
                 alive -= 1;
                 let _ = poll.deregister(s.stream.as_raw_fd());
@@ -105,7 +106,7 @@ fn run(poll: &mio::Poll, states: &mut [LinkState], tx: &Sender<Incoming>) {
 /// complete frame to the main loop. Returns `false` when the link is
 /// finished — EOF, a read error, a framing error, or a hung-up
 /// receiver — and `true` when it merely ran dry.
-fn drain(s: &mut LinkState, buf: &mut [u8], tx: &Sender<Incoming>) -> bool {
+fn drain(s: &mut LinkState, buf: &mut [u8], tx: &Sender<Incoming>, gen: u64) -> bool {
     loop {
         match mio::read_fd(s.stream.as_raw_fd(), buf) {
             Ok(0) => return false,
@@ -118,6 +119,7 @@ fn drain(s: &mut LinkState, buf: &mut [u8], tx: &Sender<Incoming>) -> bool {
                                 from: s.from,
                                 seq,
                                 frame,
+                                gen,
                             };
                             if tx.send(incoming).is_err() {
                                 return false;
@@ -145,7 +147,9 @@ mod tests {
 
     fn recv_peer(rx: &std::sync::mpsc::Receiver<Incoming>) -> (u32, u64, Frame) {
         match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
-            Incoming::Peer { from, seq, frame } => (from, seq, frame),
+            Incoming::Peer {
+                from, seq, frame, ..
+            } => (from, seq, frame),
             other => panic!("expected a peer frame, got {}", incoming_name(&other)),
         }
     }
@@ -165,7 +169,7 @@ mod tests {
         let (r0, w0) = UnixStream::pair().unwrap();
         let (r1, w1) = UnixStream::pair().unwrap();
         let (tx, rx) = channel();
-        spawn_reactor(vec![(3, r0), (5, r1)], tx).unwrap();
+        spawn_reactor(vec![(3, r0), (5, r1)], tx, 0).unwrap();
 
         let mut link0 = LinkWriter::new(w0);
         let mut link1 = LinkWriter::new(w1);
@@ -217,7 +221,7 @@ mod tests {
     fn closing_a_link_surfaces_peer_gone_after_its_buffered_frames() {
         let (r0, w0) = UnixStream::pair().unwrap();
         let (tx, rx) = channel();
-        spawn_reactor(vec![(1, r0)], tx).unwrap();
+        spawn_reactor(vec![(1, r0)], tx, 0).unwrap();
 
         let mut link = LinkWriter::new(w0);
         link.send(&Frame::bare(Ctrl::Start)).unwrap();
@@ -237,7 +241,7 @@ mod tests {
         use std::io::Write;
         let (r0, mut w0) = UnixStream::pair().unwrap();
         let (tx, rx) = channel();
-        spawn_reactor(vec![(0, r0)], tx).unwrap();
+        spawn_reactor(vec![(0, r0)], tx, 0).unwrap();
         // A length prefix far beyond MAX_FRAME_LEN: a framing error, not
         // a frame.
         w0.write_all(&u32::MAX.to_le_bytes()).unwrap();

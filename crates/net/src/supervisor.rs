@@ -354,6 +354,176 @@ pub fn run_jones_plassmann(
     })
 }
 
+/// A resident worker fleet that runs a *sequence* of tasks over the
+/// same partitions without respawning processes between them.
+///
+/// [`run_task`] pays the full fleet lifecycle — spawn, handshake,
+/// mesh dial — for every task. A session pays it once: workers stay
+/// alive after their `Done`, waiting on the supervisor link for either
+/// a `Shutdown` or the next `Assignment`, and each retask rebuilds
+/// only the peer mesh (over the same bound rank sockets). This is the
+/// engine under `cmg-serve`'s warm-start repair loop, where the
+/// inter-task latency *is* the serving latency.
+///
+/// Checkpoint recovery composes unchanged: a worker death mid-task
+/// respawns the whole fleet from the task's `last_good` snapshot set
+/// (the fresh workers enter the same resident session loop), and the
+/// recovery budget resets at each retask. A task that fails
+/// unrecoverably poisons the fleet — the session drops it (killing the
+/// workers) and the next submit relaunches from scratch.
+///
+/// Every task in a session shares one `run_id`: traces and telemetry
+/// from the whole session merge into a single timeline.
+pub struct NetSession {
+    parts: Vec<DistGraph>,
+    cfg: NetConfig,
+    run: Option<Run>,
+}
+
+impl NetSession {
+    /// Creates a session over `parts`. The fleet launches lazily on
+    /// the first submit (the wire protocol delivers a task with every
+    /// handshake, so there is nothing to start until one exists).
+    pub fn open(parts: Vec<DistGraph>, cfg: NetConfig) -> NetSession {
+        NetSession {
+            parts,
+            cfg,
+            run: None,
+        }
+    }
+
+    pub fn num_ranks(&self) -> u32 {
+        self.parts.len() as u32
+    }
+
+    /// Global vertex count across every partition.
+    pub fn n_vertices(&self) -> usize {
+        self.parts.iter().map(|p| p.n_local).sum()
+    }
+
+    /// Whether the fleet is currently resident (a prior submit
+    /// succeeded and nothing has poisoned it since).
+    pub fn is_live(&self) -> bool {
+        self.run.is_some()
+    }
+
+    /// Mutable access to the session configuration. Changes apply at
+    /// the next fleet *launch* — i.e. after a [`close`](Self::close)
+    /// or a poisoning failure — not to a resident fleet, which keeps
+    /// the configuration it was launched with.
+    pub fn config_mut(&mut self) -> &mut NetConfig {
+        &mut self.cfg
+    }
+
+    /// Replaces the partitions subsequent tasks run over (the serving
+    /// layer re-partitions after graph mutations). Every task ships
+    /// each rank its partition with the assignment, so a resident
+    /// fleet picks the new graph up at its next submit. The rank count
+    /// is fixed — the fleet is sized to it.
+    pub fn set_parts(&mut self, parts: Vec<DistGraph>) -> Result<(), NetError> {
+        if parts.len() != self.parts.len() {
+            return Err(NetError::Inconsistent {
+                detail: format!(
+                    "session has {} ranks but set_parts got {}",
+                    self.parts.len(),
+                    parts.len()
+                ),
+            });
+        }
+        for (i, p) in parts.iter().enumerate() {
+            if p.rank != i as u32 || p.num_ranks != parts.len() as u32 {
+                return Err(NetError::Inconsistent {
+                    detail: format!(
+                        "partition {i} labeled rank {}/{} in a {}-rank session",
+                        p.rank,
+                        p.num_ranks,
+                        parts.len()
+                    ),
+                });
+            }
+        }
+        if let Some(run) = self.run.as_mut() {
+            run.parts = parts.clone();
+        }
+        self.parts = parts;
+        Ok(())
+    }
+
+    /// Runs one task on the resident fleet (launching it first if
+    /// needed) and returns the assembled outcome. On any error the
+    /// fleet is torn down; the error is returned typed and the next
+    /// submit starts a fresh fleet.
+    pub fn submit(&mut self, task: NetTask) -> Result<NetOutcome, NetError> {
+        let result = self.submit_inner(task);
+        if result.is_err() {
+            // A failed task leaves the fleet in an unknown protocol
+            // state. Dropping the run kills the workers and removes
+            // the socket directory.
+            self.run = None;
+        }
+        result
+    }
+
+    fn submit_inner(&mut self, task: NetTask) -> Result<NetOutcome, NetError> {
+        let started = Instant::now();
+        let run = match self.run.as_mut() {
+            Some(run) => {
+                run.retask(task)?;
+                run
+            }
+            None => {
+                let run = Run::launch(self.parts.clone(), task, &self.cfg)?;
+                self.run.insert(run)
+            }
+        };
+        let (outcomes, stats, links, rounds) = run.drive_session()?;
+        let round_wall_time = run.max_loop_micros as f64 / 1e6;
+        let round_cpu_time = run.sum_cpu_micros as f64 / 1e6;
+        if self.cfg.recorder.enabled() {
+            run.replay_events(&self.cfg.recorder)?;
+        }
+        let clocks = run.clocks.iter().map(|c| c.unwrap_or_default()).collect();
+        Ok(NetOutcome {
+            outcomes,
+            stats,
+            links,
+            rounds,
+            wall_time: started.elapsed().as_secs_f64(),
+            round_wall_time,
+            round_cpu_time,
+            health: run.health.clone(),
+            clocks,
+        })
+    }
+
+    /// [`submit`](Self::submit) a matching task and assemble the
+    /// global matching.
+    pub fn submit_matching(&mut self, task: NetTask) -> Result<Matching, NetError> {
+        let n = self.n_vertices();
+        let out = self.submit(task)?;
+        Ok(Matching::from_mates(assemble_mates(n, &out.outcomes)?))
+    }
+
+    /// [`submit`](Self::submit) a coloring task and assemble the
+    /// global coloring.
+    pub fn submit_coloring(&mut self, task: NetTask) -> Result<Coloring, NetError> {
+        let n = self.n_vertices();
+        let out = self.submit(task)?;
+        let (colors, _) = assemble_colors(n, &out.outcomes)?;
+        Ok(Coloring::from_colors(colors))
+    }
+
+    /// Gracefully shuts the resident fleet down. Subsequent submits
+    /// relaunch. A session dropped without closing still kills its
+    /// workers (via the fleet's drop), just less politely.
+    pub fn close(&mut self) -> Result<(), NetError> {
+        match self.run.take() {
+            Some(mut run) => run.shutdown_fleet(),
+            None => Ok(()),
+        }
+    }
+}
+
 /// Merges per-rank `(vertex, mate)` reports into one global mate
 /// vector, rejecting overlaps, gaps, and asymmetric pairs.
 fn assemble_mates(n: usize, outcomes: &[WorkerOutcome]) -> Result<Vec<u32>, NetError> {
@@ -615,6 +785,35 @@ struct LaunchPlan<'a> {
     resume: Option<&'a (u64, Vec<Vec<u8>>)>,
 }
 
+impl LaunchPlan<'_> {
+    /// Builds `rank`'s assignment — the one payload both fleet
+    /// launches and session retasks ship, so run options can never
+    /// drift between the two paths.
+    fn assignment_for(&self, rank: u32) -> Assignment {
+        Assignment {
+            dg: self.parts[rank as usize].clone(),
+            task: self.task,
+            opts: RunOptions {
+                bundling: true,
+                observed: self.observed,
+                max_rounds: self.cfg.max_rounds,
+                heartbeat_millis: self.cfg.heartbeat.as_millis() as u64,
+                gap_deadline_millis: self.cfg.gap_deadline.as_millis() as u64,
+                fault: self.cfg.fault,
+                die_at_round: self.kill.die_at_round(rank),
+                run_id: self.run_id,
+                telemetry: self.cfg.telemetry,
+                event_loop: self.cfg.event_loop,
+                checkpoint_every: self.cfg.checkpoint_every,
+            },
+            resume: self.resume.map(|(round, payloads)| ResumeFrom {
+                round: *round,
+                payload: payloads[rank as usize].clone(),
+            }),
+        }
+    }
+}
+
 /// One in-flight run: the fleet, the per-worker links, and the
 /// event-loop state.
 struct Run {
@@ -666,9 +865,11 @@ struct Run {
 /// and checkpoint-recovery relaunches; each call gets its own socket
 /// directory and event channel, so a relaunch is fully isolated from
 /// any straggling process of the fleet it replaces.
-fn spawn_fleet(
-    plan: &LaunchPlan,
-) -> Result<(Fleet, Vec<LinkWriter<UnixStream>>, Receiver<SupEvent>), NetError> {
+/// Everything a freshly spawned fleet hands back to the supervisor loop:
+/// the process table, one writer per rank, and the merged event channel.
+type SpawnedFleet = (Fleet, Vec<LinkWriter<UnixStream>>, Receiver<SupEvent>);
+
+fn spawn_fleet(plan: &LaunchPlan) -> Result<SpawnedFleet, NetError> {
     let num_ranks = plan.parts.len() as u32;
     let dir = fresh_sock_dir()?;
     let mut fleet = Fleet {
@@ -790,27 +991,7 @@ fn admit(
     if slot.is_some() {
         return Err(NetError::protocol(format!("rank {rank} dialed twice")));
     }
-    let assignment = Assignment {
-        dg: plan.parts[rank as usize].clone(),
-        task: plan.task,
-        opts: RunOptions {
-            bundling: true,
-            observed: plan.observed,
-            max_rounds: plan.cfg.max_rounds,
-            heartbeat_millis: plan.cfg.heartbeat.as_millis() as u64,
-            gap_deadline_millis: plan.cfg.gap_deadline.as_millis() as u64,
-            fault: plan.cfg.fault,
-            die_at_round: plan.kill.die_at_round(rank),
-            run_id: plan.run_id,
-            telemetry: plan.cfg.telemetry,
-            event_loop: plan.cfg.event_loop,
-            checkpoint_every: plan.cfg.checkpoint_every,
-        },
-        resume: plan.resume.map(|(round, payloads)| ResumeFrom {
-            round: *round,
-            payload: payloads[rank as usize].clone(),
-        }),
-    };
+    let assignment = plan.assignment_for(rank);
     let mut writer = LinkWriter::new(stream);
     writer.send(&Frame::with_payload(
         Ctrl::Assignment { rank },
@@ -934,6 +1115,74 @@ impl Run {
         self.assemble()
     }
 
+    /// [`drive`](Self::drive) without the shutdown: the fleet stays
+    /// resident after the results are assembled, ready for a
+    /// [`retask`](Self::retask). Checkpoint recovery works unchanged —
+    /// a relaunched fleet's workers enter the same session loop.
+    #[allow(clippy::type_complexity)]
+    fn drive_session(
+        &mut self,
+    ) -> Result<(Vec<WorkerOutcome>, RunStats, LinkTotals, u64), NetError> {
+        loop {
+            match self.drive_to_done() {
+                Ok(()) => break,
+                Err(e) if self.recoverable(&e) => self.recover()?,
+                Err(e) => return Err(e),
+            }
+        }
+        self.assemble()
+    }
+
+    /// Ships a fresh assignment to every resident worker and resets the
+    /// per-task event-loop state, leaving the fleet (processes, links,
+    /// reader threads) in place. Only valid after the previous task
+    /// fully assembled — the results plane is strictly ordered
+    /// (Stats/Outcome/Events precede Done on each per-link FIFO), so no
+    /// frame of the finished task can still be in flight here.
+    fn retask(&mut self, task: NetTask) -> Result<(), NetError> {
+        self.task = task;
+        let plan = LaunchPlan {
+            parts: &self.parts,
+            task,
+            cfg: &self.cfg,
+            observed: self.observed,
+            run_id: self.run_id,
+            kill: self.kill_queue.front().copied().unwrap_or_default(),
+            resume: None,
+        };
+        for (rank, w) in self.writers.iter_mut().enumerate() {
+            let rank = rank as u32;
+            let assignment = plan.assignment_for(rank);
+            w.send(&Frame::with_payload(
+                Ctrl::Assignment { rank },
+                Bytes::from(encode_assignment(&assignment)),
+            ))?;
+        }
+        let n = self.num_ranks as usize;
+        let now = Instant::now();
+        self.launched = now;
+        self.ready = vec![false; n];
+        self.started = None;
+        self.last_round = vec![0; n];
+        self.last_progress = vec![now; n];
+        self.stall_since = None;
+        self.done = vec![None; n];
+        self.stats = vec![None; n];
+        self.outcomes = vec![None; n];
+        self.events = vec![None; n];
+        self.clocks = vec![None; n];
+        self.max_loop_micros = 0;
+        self.sum_cpu_micros = 0;
+        self.pending_sets.clear();
+        // Checkpoints belong to the task that took them; resuming the
+        // new task from an old task's snapshot would be corruption, so
+        // the recovery budget and baseline reset together.
+        self.last_good = None;
+        self.recoveries = 0;
+        self.recovering_since = None;
+        Ok(())
+    }
+
     /// Runs the event loop until every rank reports `Done` or a failure
     /// is diagnosed.
     fn drive_to_done(&mut self) -> Result<(), NetError> {
@@ -972,10 +1221,7 @@ impl Run {
     fn recoverable(&self, e: &NetError) -> bool {
         self.cfg.checkpoint_every > 0
             && self.recoveries < MAX_RECOVERIES
-            && matches!(
-                e,
-                NetError::RankDied { .. } | NetError::WorkerFatal { .. }
-            )
+            && matches!(e, NetError::RankDied { .. } | NetError::WorkerFatal { .. })
     }
 
     /// Relaunches the whole fleet from the last complete checkpoint
@@ -1100,7 +1346,9 @@ impl Run {
                 }
                 Ok(())
             }
-            Ctrl::Checkpoint { rank: said, round, .. } if said == rank => {
+            Ctrl::Checkpoint {
+                rank: said, round, ..
+            } if said == rank => {
                 self.note_checkpoint(r, round, frame.payload.to_vec());
                 Ok(())
             }

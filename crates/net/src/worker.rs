@@ -204,8 +204,18 @@ fn lock(m: &Mutex<LinkWriter<UnixStream>>) -> MutexGuard<'_, LinkWriter<UnixStre
 /// Everything a reader thread (or the reactor) can hand the worker's
 /// main loop.
 pub(crate) enum Incoming {
-    /// A frame from peer `from`, with its link sequence number.
-    Peer { from: u32, seq: u64, frame: Frame },
+    /// A frame from peer `from`, with its link sequence number. `gen`
+    /// is the session generation the reader was spawned for: in a
+    /// persistent-fleet session the channel outlives individual tasks,
+    /// and a previous task's stragglers (final-round markers read after
+    /// the next assignment landed) must not be fed to the new task's
+    /// resequencers, whose sequence space restarted at zero.
+    Peer {
+        from: u32,
+        seq: u64,
+        frame: Frame,
+        gen: u64,
+    },
     /// A peer closed its stream (EOF or read error — either way
     /// nothing more is coming; the supervisor diagnoses the cause).
     PeerGone,
@@ -250,6 +260,13 @@ struct Transport {
     started: bool,
     /// Set when `Shutdown` arrives.
     shutdown: bool,
+    /// This task's session generation; peer frames tagged with an
+    /// older one are previous-task stragglers and are dropped.
+    gen: u64,
+    /// Set when the supervisor ships the *next* assignment of a
+    /// persistent-fleet session instead of `Shutdown`: the payload of
+    /// the task this worker runs after the current one winds down.
+    next_assignment: Option<Bytes>,
     epoch: Option<Instant>,
     /// Shared with the heartbeat and supervisor-reader threads.
     clock: Arc<ClockSync>,
@@ -315,7 +332,17 @@ impl Transport {
 
     fn dispatch(&mut self, ev: Incoming) -> Result<(), NetError> {
         match ev {
-            Incoming::Peer { from, seq, frame } => {
+            Incoming::Peer {
+                from,
+                seq,
+                frame,
+                gen,
+            } => {
+                if gen != self.gen {
+                    // A straggler from the previous task of this
+                    // session (its reader thread outlives the task).
+                    return Ok(());
+                }
                 let mut ready = Vec::new();
                 match self.reseq.get_mut(from as usize) {
                     Some(r) => r.accept(seq, frame, &mut ready),
@@ -417,6 +444,20 @@ impl Transport {
             }
             Ctrl::Shutdown => {
                 self.shutdown = true;
+                Ok(())
+            }
+            // Persistent-fleet session: after this task's `Done`, the
+            // supervisor sends the next task's assignment on the same
+            // link instead of `Shutdown`. Stash it; the post-`Done`
+            // wait loop hands it back to `worker_main`'s session loop.
+            Ctrl::Assignment { rank: addressee } => {
+                if addressee != self.rank {
+                    return Err(NetError::protocol(format!(
+                        "rank {} received rank {addressee}'s assignment",
+                        self.rank
+                    )));
+                }
+                self.next_assignment = Some(frame.payload);
                 Ok(())
             }
             other => Err(NetError::protocol(format!(
@@ -911,8 +952,9 @@ pub fn worker_main(sock_dir: &Path, rank: u32) -> Result<(), NetError> {
         proto: PROTO_VERSION,
     }))?;
 
-    // The assignment arrives synchronously, before any reader thread.
-    let assignment = match read_frame(&mut sup_read)? {
+    // The first assignment arrives synchronously, before any reader
+    // thread.
+    let mut assignment = match read_frame(&mut sup_read)? {
         Some((_, frame)) => match frame.ctrl {
             Ctrl::Assignment { rank: addressee } if addressee == rank => {
                 decode_assignment(&frame.payload)?
@@ -927,7 +969,40 @@ pub fn worker_main(sock_dir: &Path, rank: u32) -> Result<(), NetError> {
     };
 
     let sup = Arc::new(Mutex::new(sup_writer));
-    let result = run_assigned(rank, assignment, &listener, Arc::clone(&sup), sup_read);
+    // The supervisor link, clock, and event channel persist across a
+    // whole session; tasks come and go under them. The sup reader is
+    // spawned exactly once — a per-task reader would race the handoff
+    // of the next assignment between tasks.
+    let clock = Arc::new(ClockSync::new());
+    let (tx, rx) = channel();
+    spawn_sup_reader(sup_read, tx.clone(), Arc::clone(&clock));
+    let mut rx = rx;
+    // The session loop: run a task; if the supervisor follows our
+    // `Done` with another assignment instead of `Shutdown`, loop. The
+    // generation tags peer frames so one task's stragglers can never
+    // leak into the next task's fresh sequence space.
+    let mut generation: u64 = 0;
+    let result = loop {
+        let link = SessionLink {
+            sup: Arc::clone(&sup),
+            clock: Arc::clone(&clock),
+            tx: tx.clone(),
+            rx,
+            generation,
+        };
+        match run_assigned(rank, assignment, &listener, link) {
+            Ok((Some(next), rx_back)) => {
+                rx = rx_back;
+                generation += 1;
+                assignment = match decode_assignment(&next) {
+                    Ok(a) => a,
+                    Err(e) => break Err(e),
+                };
+            }
+            Ok((None, _)) => break Ok(()),
+            Err(e) => break Err(e),
+        }
+    };
     if let Err(e) = &result {
         // Best effort: tell the supervisor why before exiting nonzero.
         let _ = lock(&sup).send(&Frame::with_payload(
@@ -936,6 +1011,18 @@ pub fn worker_main(sock_dir: &Path, rank: u32) -> Result<(), NetError> {
         ));
     }
     result
+}
+
+/// The session-scoped plumbing `worker_main` threads through every
+/// task of a persistent fleet: the shared supervisor writer, the clock
+/// estimator, and the event channel (sender for this task's readers,
+/// receiver for its transport) plus the task generation.
+struct SessionLink {
+    sup: Arc<Mutex<LinkWriter<UnixStream>>>,
+    clock: Arc<ClockSync>,
+    tx: Sender<Incoming>,
+    rx: Receiver<Incoming>,
+    generation: u64,
 }
 
 /// The `Fatal` frame payload for a worker-side error. Frame loss gets a
@@ -958,14 +1045,22 @@ fn fatal_payload(e: &NetError) -> Vec<u8> {
 }
 
 /// Everything after the assignment: mesh, readers, heartbeats, the
-/// round loop, and the results plane.
+/// round loop, and the results plane. Returns the payload of the next
+/// session assignment (plus the receiver, which outlives the task) if
+/// the supervisor sent one instead of `Shutdown`.
 fn run_assigned(
     rank: u32,
     assignment: Assignment,
     listener: &UnixListener,
-    sup: Arc<Mutex<LinkWriter<UnixStream>>>,
-    sup_read: UnixStream,
-) -> Result<(), NetError> {
+    link: SessionLink,
+) -> Result<(Option<Bytes>, Receiver<Incoming>), NetError> {
+    let SessionLink {
+        sup,
+        clock,
+        tx,
+        rx,
+        generation,
+    } = link;
     let Assignment {
         dg,
         task,
@@ -1005,19 +1100,16 @@ fn run_assigned(
         }
     }
 
-    let clock = Arc::new(ClockSync::new());
     let telemetry = opts.telemetry.then(|| Arc::new(TelemetryCells::default()));
 
-    let (tx, rx) = channel();
     if opts.event_loop {
-        crate::reactor::spawn_reactor(read_halves, tx.clone())
+        crate::reactor::spawn_reactor(read_halves, tx.clone(), generation)
             .map_err(|e| NetError::io("starting the peer-link reactor", e))?;
     } else {
         for (from, stream) in read_halves {
-            spawn_peer_reader(from, stream, tx.clone());
+            spawn_peer_reader(from, stream, tx.clone(), generation);
         }
     }
-    spawn_sup_reader(sup_read, tx.clone(), Arc::clone(&clock));
     drop(tx);
 
     lock(&sup).send(&Frame::bare(Ctrl::Ready { rank }))?;
@@ -1060,6 +1152,8 @@ fn run_assigned(
         peer_active: BTreeMap::new(),
         started: false,
         shutdown: false,
+        gen: generation,
+        next_assignment: None,
         epoch: None,
         clock: Arc::clone(&clock),
         telemetry,
@@ -1140,9 +1234,11 @@ fn run_assigned(
     }
 
     // Absorb stragglers (late duplicates, other ranks' final barrier
-    // frames) until the supervisor says everyone has reported.
+    // frames) until the supervisor says everyone has reported — with
+    // either a `Shutdown` (session over, exit) or the next task's
+    // `Assignment` (persistent fleet, loop back in `worker_main`).
     let waited = Instant::now();
-    while !t.shutdown {
+    while !t.shutdown && t.next_assignment.is_none() {
         t.pump(PUMP_TICK)?;
         if waited.elapsed() > SHUTDOWN_WAIT {
             return Err(NetError::Handshake {
@@ -1151,7 +1247,15 @@ fn run_assigned(
             });
         }
     }
-    Ok(())
+    // Dropping the rest of the transport closes our peer write halves,
+    // letting the peers' reader threads (and ours, once they do the
+    // same) wind down between tasks.
+    let Transport {
+        rx,
+        next_assignment,
+        ..
+    } = t;
+    Ok((next_assignment, rx))
 }
 
 /// Rebuilds a rank program from its checkpointed snapshot bytes.
@@ -1474,7 +1578,7 @@ fn run_rounds<P: RankProgram>(
         // equivalence oracle), ship a consistent snapshot home. Only
         // mid-run — a final edge has nothing left to recover.
         let ck = t.opts.checkpoint_every;
-        if keep && ck > 0 && (round + 1) % ck == 0 {
+        if keep && ck > 0 && (round + 1).is_multiple_of(ck) {
             if !event {
                 // The legacy barrier certifies votes, not bundles — a
                 // round's bundles may trail the allreduce. A snapshot
@@ -1657,11 +1761,22 @@ fn build_mesh(
 }
 
 /// Reader thread: blocking `read_frame` loop feeding the main loop.
-fn spawn_peer_reader(from: u32, mut stream: UnixStream, tx: Sender<Incoming>) {
+/// `gen` tags every frame with the session generation the link belongs
+/// to, so a persistent-session transport can drop stragglers from a
+/// finished task.
+fn spawn_peer_reader(from: u32, mut stream: UnixStream, tx: Sender<Incoming>, gen: u64) {
     let _ = std::thread::spawn(move || loop {
         match read_frame(&mut stream) {
             Ok(Some((seq, frame))) => {
-                if tx.send(Incoming::Peer { from, seq, frame }).is_err() {
+                if tx
+                    .send(Incoming::Peer {
+                        from,
+                        seq,
+                        frame,
+                        gen,
+                    })
+                    .is_err()
+                {
                     return;
                 }
             }

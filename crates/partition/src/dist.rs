@@ -67,6 +67,22 @@ impl DistGraph {
             .collect()
     }
 
+    /// Builds a single rank's local graph. A rank's [`DistGraph`]
+    /// depends only on the edges incident to its owned vertices, so an
+    /// incremental caller (cmg-serve) can refresh just the ranks whose
+    /// owned vertices touched a mutation instead of rebuilding all `p`
+    /// slices.
+    ///
+    /// # Panics
+    /// Panics if graph and partition disagree on the vertex count.
+    pub fn build_for_rank(g: &CsrGraph, partition: &Partition, rank: Rank) -> DistGraph {
+        assert_eq!(g.num_vertices(), partition.num_vertices());
+        let owned: Vec<VertexId> = (0..g.num_vertices() as VertexId)
+            .filter(|&v| partition.owner(v) == rank)
+            .collect();
+        Self::build_one(g, partition, rank, &owned)
+    }
+
     fn build_one(g: &CsrGraph, partition: &Partition, rank: Rank, owned: &[VertexId]) -> DistGraph {
         let n_local = owned.len();
         let mut global_ids: Vec<VertexId> = owned.to_vec();

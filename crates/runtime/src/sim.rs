@@ -626,7 +626,7 @@ impl<P: RankProgram> SimEngine<P> {
             loop {
                 let first = rounds == 0;
                 if let Some(k) = self.config.checkpoint_every.filter(|&k| k > 0) {
-                    if !first && rounds % k == 0 {
+                    if !first && rounds.is_multiple_of(k) {
                         for slot in &mut self.slots {
                             checkpoint_roundtrip(&mut slot.program);
                         }
@@ -811,7 +811,7 @@ impl<P: RankProgram> SimEngine<P> {
             loop {
                 let first = rounds == 0;
                 if let Some(k) = self.config.checkpoint_every.filter(|&k| k > 0) {
-                    if !first && rounds % k == 0 {
+                    if !first && rounds.is_multiple_of(k) {
                         for slot in &mut self.slots {
                             checkpoint_roundtrip(&mut slot.program);
                         }

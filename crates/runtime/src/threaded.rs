@@ -326,7 +326,7 @@ fn run_rank<P: RankProgram>(
         // Purely thread-local and deterministic, so the run must stay
         // bit-identical to an uninterrupted one.
         if let Some(k) = config.checkpoint_every.filter(|&k| k > 0) {
-            if round % k == 0 {
+            if round.is_multiple_of(k) {
                 use crate::snapshot::ProgramSnapshot;
                 let meta = program.meta();
                 let bytes = program.snapshot().encode_bytes();

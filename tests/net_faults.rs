@@ -10,7 +10,7 @@ use cmg_graph::weights::{assign_weights, WeightScheme};
 use cmg_graph::{generators, CsrGraph};
 use cmg_net::{
     connect_with_backoff, run_coloring, run_matching, run_task, FaultPlan, KillSpec, NetConfig,
-    NetError, NetTask,
+    NetError, NetSession, NetTask,
 };
 use cmg_partition::simple::block_partition;
 use cmg_partition::DistGraph;
@@ -266,7 +266,10 @@ fn legacy_path_recovers_from_checkpoint_bit_identically() {
 fn double_kill_recovers_twice_bit_identically() {
     let g = weighted_grid();
     let clean = run_task(parts(&g, 4), RECOVERY_TASK, &NetConfig::default()).expect("clean run");
-    assert!(clean.rounds > 6, "second kill round must fall inside the run");
+    assert!(
+        clean.rounds > 6,
+        "second kill round must fall inside the run"
+    );
     let cfg = NetConfig {
         kill_plan: vec![
             KillSpec::KillAtRound { rank: 1, round: 3 },
@@ -338,7 +341,10 @@ fn checkpointing_off_leaves_death_diagnosis_unchanged() {
         .map(|_| ())
         .expect_err("without checkpoints, death must remain fatal");
     assert!(
-        matches!(err, NetError::RankDied { .. } | NetError::WorkerFatal { .. }),
+        matches!(
+            err,
+            NetError::RankDied { .. } | NetError::WorkerFatal { .. }
+        ),
         "expected the pre-recovery diagnosis, got {err}"
     );
 }
@@ -441,6 +447,119 @@ fn batch_drops_are_diagnosed_not_hung_under_coalescing() {
         ),
         "expected a typed drop diagnosis, got {err:?}"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Persistent-fleet sessions. A NetSession keeps one worker fleet
+// resident across a sequence of tasks (the engine under cmg-serve's
+// request loop); each task's results must match one-shot runs, a kill
+// mid-session must recover from the task's checkpoints and leave the
+// fleet serving, and an unrecoverable failure must poison the session
+// with a typed error while the next submit relaunches cleanly.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn session_reuses_one_fleet_across_tasks_bit_identically() {
+    let g = weighted_grid();
+    let ccfg = ColoringConfig::default();
+    let clean_m = run_matching(parts(&g, 4), &NetConfig::default()).expect("one-shot matching");
+    let clean_c =
+        run_coloring(parts(&g, 4), ccfg, &NetConfig::default()).expect("one-shot coloring");
+
+    let mut session = NetSession::open(parts(&g, 4), NetConfig::default());
+    let m1 = session
+        .submit_matching(NetTask::Matching)
+        .expect("first session task");
+    let c = session
+        .submit_coloring(NetTask::Coloring(ccfg))
+        .expect("second session task on the same fleet");
+    let m2 = session
+        .submit_matching(NetTask::Matching)
+        .expect("third session task on the same fleet");
+
+    assert_eq!(m1, clean_m.matching, "session matching == one-shot run");
+    assert_eq!(c, clean_c.coloring, "session coloring == one-shot run");
+    assert_eq!(m2, clean_m.matching, "a repeated task stays bit-identical");
+    assert!(session.is_live(), "the fleet survives all three tasks");
+    session.close().expect("graceful shutdown");
+    assert!(!session.is_live());
+}
+
+/// The kill-during-request case cmg-serve leans on: a worker SIGKILLed
+/// mid-task on a resident fleet recovers from the task's own
+/// checkpoints, the in-flight submit is answered bit-identically, and
+/// the *recovered* fleet keeps serving subsequent tasks.
+#[test]
+fn killed_worker_mid_session_recovers_and_the_fleet_keeps_serving() {
+    let g = weighted_grid();
+    let clean = run_task(parts(&g, 4), RECOVERY_TASK, &NetConfig::default()).expect("clean run");
+    assert!(clean.rounds > 5, "kill round must fall inside the run");
+    let clean_m =
+        run_matching(parts(&g, 4), &NetConfig::default()).expect("clean one-shot matching");
+
+    let mut session = NetSession::open(
+        parts(&g, 4),
+        NetConfig {
+            kill: KillSpec::KillAtRound { rank: 1, round: 5 },
+            checkpoint_every: 2,
+            heartbeat: Duration::from_millis(50),
+            ..Default::default()
+        },
+    );
+    let recovered = session
+        .submit(RECOVERY_TASK)
+        .expect("the in-flight request must be re-answered after recovery");
+    assert_eq!(recovered.health.recoveries(), 1, "exactly one recovery");
+    assert_eq!(
+        clean.outcomes, recovered.outcomes,
+        "the recovered answer must be bit-identical to an undisturbed run"
+    );
+    assert!(session.is_live(), "recovery leaves the fleet resident");
+
+    // The fired kill retired with the fleet relaunch; the next task
+    // runs on the recovered fleet and must still be exact.
+    let m = session
+        .submit_matching(NetTask::Matching)
+        .expect("the recovered fleet keeps serving");
+    assert_eq!(m, clean_m.matching);
+    session.close().expect("graceful shutdown");
+}
+
+/// Without checkpoints a mid-session death is unrecoverable: the
+/// submit fails with the usual typed diagnosis, the session drops the
+/// poisoned fleet, and the next submit relaunches from scratch.
+#[test]
+fn unrecoverable_session_failure_is_typed_and_the_next_submit_relaunches() {
+    let g = weighted_grid();
+    let clean_m =
+        run_matching(parts(&g, 4), &NetConfig::default()).expect("clean one-shot matching");
+    let mut session = NetSession::open(
+        parts(&g, 4),
+        NetConfig {
+            kill: KillSpec::KillAtRound { rank: 2, round: 2 },
+            heartbeat: Duration::from_millis(50),
+            ..Default::default()
+        },
+    );
+    let err = session
+        .submit(NetTask::Matching)
+        .map(|_| ())
+        .expect_err("without checkpoints, death must fail the request");
+    assert!(
+        matches!(
+            err,
+            NetError::RankDied { .. } | NetError::WorkerFatal { .. }
+        ),
+        "expected a typed death diagnosis, got {err:?}"
+    );
+    assert!(!session.is_live(), "the failed fleet is dropped");
+
+    session.config_mut().kill = KillSpec::None;
+    let m = session
+        .submit_matching(NetTask::Matching)
+        .expect("the next submit relaunches a fresh fleet");
+    assert_eq!(m, clean_m.matching);
+    session.close().expect("graceful shutdown");
 }
 
 // ---------------------------------------------------------------------------

@@ -8,6 +8,7 @@ use cmg_coloring::ColorMsg;
 use cmg_matching::{ExtMsg, MatchMsg};
 use cmg_runtime::message::decode_all;
 use cmg_runtime::WireMessage;
+use cmg_serve::{RepairAck, ServeOp, ServeQuery, ServeReply};
 use proptest::prelude::*;
 
 fn arb_match_msg() -> impl Strategy<Value = MatchMsg> {
@@ -49,6 +50,65 @@ fn arb_ext_msg() -> impl Strategy<Value = ExtMsg> {
     })
 }
 
+fn arb_serve_op() -> impl Strategy<Value = ServeOp> {
+    (0u8..3, any::<u32>(), any::<u32>(), any::<f64>()).prop_map(|(tag, u, v, w)| match tag {
+        0 => ServeOp::Insert { u, v, w },
+        1 => ServeOp::Delete { u, v },
+        _ => ServeOp::Reweight { u, v, w },
+    })
+}
+
+fn arb_serve_query() -> impl Strategy<Value = ServeQuery> {
+    (0u8..5, any::<u32>()).prop_map(|(tag, v)| match tag {
+        0 => ServeQuery::MateOf { v },
+        1 => ServeQuery::ColorOf { v },
+        2 => ServeQuery::Matching,
+        3 => ServeQuery::Coloring,
+        _ => ServeQuery::Summary,
+    })
+}
+
+fn arb_serve_reply() -> impl Strategy<Value = ServeReply> {
+    (
+        0u8..3,
+        any::<u32>(),
+        any::<u32>(),
+        any::<u64>(),
+        any::<f64>(),
+    )
+        .prop_map(|(tag, a, b, c, w)| match tag {
+            0 => ServeReply::Mate { v: a, mate: b },
+            1 => ServeReply::Color { v: a, color: b },
+            _ => ServeReply::Summary {
+                n: c,
+                m: c.wrapping_mul(3),
+                matched: a as u64,
+                weight: w,
+                colors: b,
+                batches: c,
+                repairs: c / 2,
+                recomputes: c / 3,
+            },
+        })
+}
+
+fn arb_repair_ack() -> impl Strategy<Value = RepairAck> {
+    (any::<bool>(), any::<u8>(), any::<u64>(), any::<u64>()).prop_map(|(done, code, a, b)| {
+        if done {
+            RepairAck::Done {
+                mode: code % 2,
+                dirty_matching: a,
+                dirty_coloring: b,
+                match_rounds: a % 97,
+                color_rounds: b % 89,
+                micros: a ^ b,
+            }
+        } else {
+            RepairAck::Rejected { code }
+        }
+    })
+}
+
 fn round_trip<M: WireMessage + PartialEq + std::fmt::Debug + Clone>(msgs: &[M]) {
     let mut buf = BytesMut::new();
     let mut expected_len = 0;
@@ -81,6 +141,26 @@ proptest! {
 
     #[test]
     fn ext_msgs_round_trip(msgs in proptest::collection::vec(arb_ext_msg(), 0..40)) {
+        round_trip(&msgs);
+    }
+
+    #[test]
+    fn serve_ops_round_trip(msgs in proptest::collection::vec(arb_serve_op(), 0..40)) {
+        round_trip(&msgs);
+    }
+
+    #[test]
+    fn serve_queries_round_trip(msgs in proptest::collection::vec(arb_serve_query(), 0..40)) {
+        round_trip(&msgs);
+    }
+
+    #[test]
+    fn serve_replies_round_trip(msgs in proptest::collection::vec(arb_serve_reply(), 0..40)) {
+        round_trip(&msgs);
+    }
+
+    #[test]
+    fn repair_acks_round_trip(msgs in proptest::collection::vec(arb_repair_ack(), 0..40)) {
         round_trip(&msgs);
     }
 

@@ -1,0 +1,234 @@
+//! Schedule-adversarial serve repair: random mutation streams absorbed
+//! by the resident state must stay correct after *every* batch, agree
+//! with from-scratch on the final graph, and — on the distributed warm
+//! path — be invariant to adversarial message delivery schedules.
+//!
+//! Three layers of assurance:
+//!
+//! 1. **Streamed oracles.** A [`ServeState`] absorbs a long random
+//!    stream (inserts, deletes, reweights) and after each batch the
+//!    served matching must pass validity + the ½-approx (local
+//!    dominance) certificate and the served coloring must be proper —
+//!    on the *current* graph, reconstructed independently by a mirror.
+//! 2. **Repair ≡ from-scratch.** At the end of the stream the served
+//!    matching must equal a cold [`ServeState`] built on the final
+//!    graph, bit for bit (weights are distinct, so the locally dominant
+//!    matching is unique). Runs at two thresholds so both the warm
+//!    repair path and the recompute path carry real traffic.
+//! 3. **Delivery adversaries.** The *distributed* warm path — every
+//!    rank reseeded from the retained state, engine rerun over the
+//!    frontier — must produce the identical matching under reordered,
+//!    reversed, LIFO, delayed, and randomly permuted mailbox merges,
+//!    and that matching must equal the sequential frontier kernel the
+//!    serving layer runs in-process. Per-source FIFO is preserved by
+//!    every policy (the MPI non-overtaking guarantee).
+
+use cmg_check::oracles::{half_approx_certificate, proper_coloring, valid_matching};
+use cmg_coloring::Coloring;
+use cmg_graph::generators::erdos_renyi;
+use cmg_graph::weights::{assign_weights, WeightScheme};
+use cmg_graph::{CsrGraph, MutableGraph, MutationBatch, VertexId};
+use cmg_matching::dist::assemble_matching;
+use cmg_matching::repair::{invalidate, repair_frontier};
+use cmg_matching::{DistMatching, Matching};
+use cmg_partition::simple::hash_partition;
+use cmg_partition::DistGraph;
+use cmg_runtime::{CostModel, DeliveryPolicy, EngineConfig, SimEngine, WarmStart};
+use cmg_serve::{RepairMode, ServeConfig, ServeState};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const N: u32 = 70;
+
+fn base_graph(seed: u64) -> CsrGraph {
+    assign_weights(
+        &erdos_renyi(N as usize, 180, seed),
+        WeightScheme::Uniform { lo: 0.1, hi: 1.0 },
+        seed,
+    )
+}
+
+/// 1–4 random ops; weights are fresh 53-bit draws so they stay distinct
+/// and the locally dominant matching stays unique.
+fn random_batch(rng: &mut SmallRng) -> MutationBatch {
+    let mut batch = MutationBatch::new();
+    for _ in 0..rng.random_range(1usize..5) {
+        let u = rng.random_range(0u32..N);
+        let v = rng.random_range(0u32..N);
+        if u == v {
+            continue;
+        }
+        match rng.random_range(0u32..3) {
+            0 => batch.insert(u, v, rng.random::<f64>() + 0.1),
+            1 => batch.delete(u, v),
+            _ => batch.reweight(u, v, rng.random::<f64>() + 0.1),
+        };
+    }
+    batch
+}
+
+fn check_oracles(g: &CsrGraph, mate: &[u32], colors: &[u32], ctx: &str) {
+    let m = Matching::from_mates(mate.to_vec());
+    valid_matching(g, &m).unwrap_or_else(|e| panic!("{ctx}: invalid matching: {e}"));
+    half_approx_certificate(g, &m)
+        .unwrap_or_else(|e| panic!("{ctx}: matching not locally dominant: {e}"));
+    proper_coloring(g, &Coloring::from_colors(colors.to_vec()))
+        .unwrap_or_else(|e| panic!("{ctx}: improper coloring: {e}"));
+}
+
+/// Streams 30 random batches through a resident state, checking the
+/// oracles after every absorb and bit-identity with a cold run on the
+/// final graph. `threshold` selects how much traffic falls through to
+/// the recompute path.
+fn stream_and_verify(seed: u64, threshold: f64) -> (u64, u64) {
+    let g0 = base_graph(seed);
+    let cfg = ServeConfig {
+        recompute_threshold: threshold,
+        ..Default::default()
+    };
+    let mut state = ServeState::new(&g0, cfg).expect("initial load");
+    let mut mirror = MutableGraph::from_csr(&g0);
+    let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    for step in 0..30 {
+        let batch = random_batch(&mut rng);
+        let report = state.apply(&batch).expect("valid batch absorbs");
+        mirror.apply(&batch).expect("mirror applies");
+        let g = mirror.rebuild();
+        let (mate, colors) = (state.matching(), state.coloring());
+        check_oracles(
+            &g,
+            mate.mates(),
+            colors.colors(),
+            &format!(
+                "seed {seed} threshold {threshold} step {step} ({:?})",
+                report.mode
+            ),
+        );
+    }
+    let cold = ServeState::new(&mirror.rebuild(), ServeConfig::default()).expect("cold run");
+    assert_eq!(
+        state.matching().mates(),
+        cold.matching().mates(),
+        "seed {seed} threshold {threshold}: streamed matching != from-scratch on final graph"
+    );
+    (state.repairs, state.recomputes)
+}
+
+#[test]
+fn streamed_repairs_stay_correct_and_match_cold_runs() {
+    let mut total_repairs = 0;
+    for seed in 0..3u64 {
+        let (r, _) = stream_and_verify(seed, 0.25);
+        total_repairs += r;
+    }
+    assert!(
+        total_repairs > 0,
+        "threshold 0.25 exercised no warm repairs — the test lost its subject"
+    );
+}
+
+#[test]
+fn streamed_recomputes_stay_correct_and_match_cold_runs() {
+    let mut total_recomputes = 0;
+    for seed in 0..3u64 {
+        // Threshold 0 forces every batch down the recompute path.
+        let (_, rc) = stream_and_verify(seed, 0.0);
+        total_recomputes += rc;
+    }
+    assert!(total_recomputes > 0, "threshold 0 exercised no recomputes");
+}
+
+#[test]
+fn mixed_mode_streams_cross_the_threshold_both_ways() {
+    // A mid threshold on a small graph: some batches repair, some
+    // recompute, and correctness holds across every boundary crossing.
+    let g0 = base_graph(9);
+    let cfg = ServeConfig {
+        recompute_threshold: 0.05,
+        ..Default::default()
+    };
+    let mut state = ServeState::new(&g0, cfg).expect("initial load");
+    let mut mirror = MutableGraph::from_csr(&g0);
+    let mut rng = SmallRng::seed_from_u64(0xA5A5_5A5A);
+    let (mut saw_repair, mut saw_recompute) = (false, false);
+    for step in 0..40 {
+        let batch = random_batch(&mut rng);
+        let report = state.apply(&batch).expect("valid batch absorbs");
+        match report.mode {
+            RepairMode::Repair => saw_repair = true,
+            RepairMode::Recompute => saw_recompute = true,
+        }
+        mirror.apply(&batch).expect("mirror applies");
+        let (mate, colors) = (state.matching(), state.coloring());
+        check_oracles(
+            &mirror.rebuild(),
+            mate.mates(),
+            colors.colors(),
+            &format!("step {step}"),
+        );
+    }
+    assert!(
+        saw_repair && saw_recompute,
+        "stream crossed the threshold only one way (repair: {saw_repair}, recompute: {saw_recompute})"
+    );
+    let cold = ServeState::new(&mirror.rebuild(), ServeConfig::default()).expect("cold run");
+    assert_eq!(state.matching().mates(), cold.matching().mates());
+}
+
+/// The distributed warm path under adversarial delivery schedules:
+/// identical retained state, identical repaired matching, equal to the
+/// sequential kernel — for every policy.
+#[test]
+fn distributed_warm_repair_is_delivery_schedule_invariant() {
+    let g0 = base_graph(4);
+    let mut mg = MutableGraph::from_csr(&g0);
+    let mut mate: Vec<VertexId> = cmg_matching::seq::local_dominant(&g0).mates().to_vec();
+    let mut rng = SmallRng::seed_from_u64(0xD3117E41);
+
+    for step in 0..6 {
+        let batch = random_batch(&mut rng);
+        mg.apply(&batch).expect("valid batch");
+        let retained = invalidate(&mg, &mate, &batch);
+        // The serving layer's sequential answer...
+        let sequential = repair_frontier(&mg, &retained);
+        let g = mg.rebuild();
+
+        // ...must be what every adversarially-scheduled distributed
+        // warm run converges to.
+        let mut policies = vec![
+            DeliveryPolicy::Arrival,
+            DeliveryPolicy::ReverseRank,
+            DeliveryPolicy::Lifo,
+            DeliveryPolicy::DelayRank { src: 1, rounds: 2 },
+        ];
+        for i in 0..6u64 {
+            policies.push(DeliveryPolicy::RandomPermutation {
+                seed: 0xBEEF ^ (i << 8) ^ step,
+            });
+        }
+        for policy in policies {
+            let p = hash_partition(g.num_vertices(), 3, 7);
+            let programs: Vec<DistMatching> = DistGraph::build_all(&g, &p)
+                .into_iter()
+                .map(|dg| DistMatching::reseed(dg, &retained))
+                .collect();
+            let cfg = EngineConfig {
+                cost: CostModel::compute_only(),
+                delivery: policy.clone(),
+                ..Default::default()
+            };
+            let result = SimEngine::new(programs, cfg).run();
+            assert!(
+                !result.hit_round_cap,
+                "warm run did not quiesce under {policy:?}"
+            );
+            let dist = assemble_matching(&result.programs, g.num_vertices());
+            assert_eq!(
+                dist.mates(),
+                &sequential[..],
+                "step {step}: distributed warm repair under {policy:?} != sequential kernel"
+            );
+        }
+        mate = sequential;
+    }
+}

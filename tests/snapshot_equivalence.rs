@@ -75,7 +75,7 @@ fn weighted(n: usize, m: usize, seed: u64) -> CsrGraph {
 }
 
 fn partition_for(n: usize, ranks: u32, seed: u64) -> Partition {
-    if seed % 2 == 0 {
+    if seed.is_multiple_of(2) {
         block_partition(n, ranks)
     } else {
         hash_partition(n, ranks, seed)
